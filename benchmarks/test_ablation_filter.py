@@ -1,0 +1,59 @@
+"""Ablation — FFT brick-wall vs FIR low-pass vs FFT-peak estimation.
+
+Section IV-B presents the FFT low-pass as the primary extractor, notes a
+"finite impulse response (FIR) low pass filter can also be adopted", and
+rejects plain FFT-peak estimation for its 1/window resolution.  The
+ablation quantifies all three on identical captures.
+"""
+
+import numpy as np
+
+from repro import FFTPeakEstimator, Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import MetronomeBreathing, Subject
+
+from conftest import print_reproduction
+
+#: Rates needing >= 7 zero crossings within the window (Eq. 5's buffer):
+#: the slowest Table I rates cannot fill a 7-crossing buffer in 25 s, so
+#: the window is stretched slightly to 30 s (resolution: 2.0 bpm).
+RATES = (9.0, 11.0, 13.0, 17.0)
+DURATION_S = 30.0
+
+
+def run_all_estimators():
+    errors = {"fft-lowpass": [], "fir-lowpass": [], "fft-peak": []}
+    for i, rate in enumerate(RATES):
+        scenario = Scenario([Subject(user_id=1, distance_m=3.0,
+                                     breathing=MetronomeBreathing(rate),
+                                     sway_seed=i)])
+        result = run_scenario(scenario, duration_s=DURATION_S, seed=307 + i)
+        for name, filter_type in (("fft-lowpass", "fft"), ("fir-lowpass", "fir")):
+            pipeline = TagBreathe(user_ids={1}, filter_type=filter_type)
+            estimates = pipeline.process(result.reports)
+            err = (abs(estimates[1].rate_bpm - rate)
+                   if 1 in estimates else rate)
+            errors[name].append(err)
+        track = TagBreathe(user_ids={1}).fused_track(1, result.reports)
+        peak = FFTPeakEstimator().estimate_rate_bpm(track)
+        errors["fft-peak"].append(abs(peak - rate))
+    return {name: float(np.mean(errs)) for name, errs in errors.items()}
+
+
+def test_ablation_filter(benchmark, capsys):
+    mean_errors = benchmark.pedantic(run_all_estimators, rounds=1, iterations=1)
+    rows = [
+        (name, f"{err:.2f} bpm")
+        for name, err in sorted(mean_errors.items(), key=lambda kv: kv[1])
+    ]
+    print_reproduction(
+        capsys, f"Ablation: extractor choice ({DURATION_S:.0f} s windows)",
+        ("estimator", "mean |error|"), rows,
+        paper_note="zero-crossing on the filtered signal beats the "
+                   "resolution-limited FFT peak (2.0 bpm grid at 30 s)",
+    )
+    # Both filtered zero-crossing paths achieve sub-bpm error...
+    assert mean_errors["fft-lowpass"] < 1.0
+    assert mean_errors["fir-lowpass"] < 1.5
+    # ...and beat (or at worst match) the FFT-peak baseline, whose error
+    # is bounded below by the resolution grid on off-grid rates.
+    assert mean_errors["fft-lowpass"] <= mean_errors["fft-peak"] + 0.05

@@ -1,0 +1,60 @@
+"""Ablation — preprocessing representation: samples vs literal increments.
+
+DESIGN.md Section 5: the production pipeline reconstructs per-channel
+*unwrapped displacement samples* (Eq. 3/4 telescoped per channel + the
+Fig. 6 normalisation), while the paper's text reads as per-read increment
+fusion (Eq. 6/7 literally).  The increments form accumulates dwell-
+boundary endpoint noise into a random walk; the samples form does not.
+This ablation quantifies the gap — the reproduction's most consequential
+engineering decision.
+"""
+
+import numpy as np
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import MetronomeBreathing, Subject
+
+from conftest import print_reproduction
+
+DISTANCES_M = (2.0, 4.0, 6.0)
+
+
+def compare_modes():
+    out = {}
+    for distance in DISTANCES_M:
+        accs = {"samples": [], "increments": []}
+        for seed, rate in enumerate((9.0, 15.0)):
+            scenario = Scenario([Subject(user_id=1, distance_m=distance,
+                                         breathing=MetronomeBreathing(rate),
+                                         sway_seed=seed)])
+            result = run_scenario(scenario, duration_s=60.0,
+                                  seed=601 + seed + int(distance))
+            for mode in accs:
+                estimates = TagBreathe(user_ids={1}, mode=mode).process(result.reports)
+                accs[mode].append(
+                    breathing_rate_accuracy(estimates[1].rate_bpm, rate)
+                    if 1 in estimates else 0.0
+                )
+        out[distance] = {mode: float(np.mean(vals)) for mode, vals in accs.items()}
+    return out
+
+
+def test_ablation_preprocessing(benchmark, capsys):
+    results = benchmark.pedantic(compare_modes, rounds=1, iterations=1)
+    rows = [
+        (f"{d:.0f} m",
+         f"{results[d]['samples'] * 100:.1f}%",
+         f"{results[d]['increments'] * 100:.1f}%")
+        for d in DISTANCES_M
+    ]
+    print_reproduction(
+        capsys, "Ablation: samples (production) vs increments (paper-literal)",
+        ("distance", "samples mode", "increments mode"), rows,
+        paper_note="unwrapped-sample preprocessing avoids the dwell-stitch "
+                   "random walk; see DESIGN.md",
+    )
+    # The production representation dominates at every distance.
+    for d in DISTANCES_M:
+        assert results[d]["samples"] >= results[d]["increments"] - 0.02
+    # And keeps the paper's >90% bar where the literal form cannot.
+    assert all(results[d]["samples"] > 0.9 for d in DISTANCES_M)

@@ -1,0 +1,61 @@
+"""Section IV-B's resolution pitfall, quantified end-to-end.
+
+    "One of the pitfalls of the Fourier transform for a window size of w
+    seconds is that it has a resolution of 1/w. ... since the window size
+    is 25 seconds, the frequency resolution is 0.04 Hz which corresponds
+    to 2.4 breaths per minute."
+
+The benchmark measures both estimators on rates placed OFF the 25 s FFT
+grid and shows zero-crossing (Eq. 5) beating the grid-locked FFT peak —
+the paper's stated reason for the zero-crossing design.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FFTPeakEstimator, Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.core.spectral import frequency_resolution_bpm
+
+from conftest import print_reproduction
+
+WINDOW_S = 25.0
+#: Rates deliberately halfway between 2.4 bpm FFT bins.
+OFF_GRID_RATES = (8.4, 10.8, 13.2, 15.6)
+
+
+def compare_estimators():
+    zc_errors, peak_errors = [], []
+    for i, rate in enumerate(OFF_GRID_RATES):
+        scenario = Scenario([Subject(user_id=1, distance_m=2.0,
+                                     breathing=MetronomeBreathing(rate),
+                                     sway_seed=i)])
+        result = run_scenario(scenario, duration_s=WINDOW_S, seed=701 + i)
+        pipeline = TagBreathe(user_ids={1})
+        estimates = pipeline.process(result.reports)
+        zc_errors.append(abs(estimates[1].rate_bpm - rate) if 1 in estimates else rate)
+        track = pipeline.fused_track(1, result.reports)
+        peak_errors.append(abs(FFTPeakEstimator().estimate_rate_bpm(track) - rate))
+    return float(np.mean(zc_errors)), float(np.mean(peak_errors))
+
+
+def test_fftres_pitfall(benchmark, capsys):
+    zc_error, peak_error = benchmark.pedantic(compare_estimators, rounds=1, iterations=1)
+    resolution = frequency_resolution_bpm(WINDOW_S)
+    rows = [
+        ("FFT resolution at 25 s", f"{resolution:.2f} bpm"),
+        ("FFT-peak mean |error| (off-grid rates)", f"{peak_error:.2f} bpm"),
+        ("zero-crossing mean |error|", f"{zc_error:.2f} bpm"),
+    ]
+    print_reproduction(
+        capsys, "Section IV-B pitfall: FFT resolution vs zero crossings",
+        ("quantity", "value"), rows,
+        paper_note="25 s window -> 2.4 bpm grid; Eq. (5) avoids the grid entirely",
+    )
+    assert resolution == pytest.approx(2.4)
+    # Off-grid truths sit ~1.2 bpm from the nearest FFT bin; the peak
+    # estimator cannot do better than that on average.
+    assert peak_error > 0.6
+    # Zero crossings resolve the same rates with sub-bpm error.
+    assert zc_error < 0.8
+    assert zc_error < peak_error

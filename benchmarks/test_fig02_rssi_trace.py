@@ -1,0 +1,65 @@
+"""Fig. 2 — raw RSSI readings during the Section IV-A measurement.
+
+The paper shows a "clear trend of periodic changes in the RSSI readings"
+at the breathing rate, but quantised to the reader's 0.5 dBm resolution.
+The benchmark regenerates the 25 s trace and verifies both properties:
+a spectral peak at the breathing rate and 0.5 dB quantisation.
+"""
+
+import numpy as np
+
+from repro.streams import TimeSeries
+from repro.streams.resample import bin_mean, resample_linear
+from repro.viz import sparkline
+
+from conftest import print_reproduction
+
+
+def build_rssi_trace(capture):
+    reports = capture.reports_for_user(1)
+    times = np.array([r.timestamp_s for r in reports])
+    rssi = np.array([r.rssi_dbm for r in reports])
+    # Cancel frequency-selective per-channel offsets exactly as the phase
+    # path does (group by channel); the reader hops every 0.2 s, so the
+    # raw trace mixes channel levels.
+    channels = np.array([r.channel_index for r in reports])
+    centred = rssi.astype(float).copy()
+    for ch in np.unique(channels):
+        mask = channels == ch
+        centred[mask] -= centred[mask].mean()
+    keep = np.concatenate([[True], np.diff(times) > 0])
+    series = TimeSeries(times[keep], rssi[keep])
+    centred_series = TimeSeries(times[keep], centred[keep])
+    smoothed = bin_mean(centred_series, 0.25)
+    regular = resample_linear(smoothed, 4.0)
+    freqs = np.fft.rfftfreq(len(regular), d=0.25)
+    spectrum = np.abs(np.fft.rfft(regular.values - regular.values.mean()))
+    return series, regular, freqs, spectrum
+
+
+def test_fig02_rssi_trace(benchmark, capsys, characterisation_capture):
+    series, regular, freqs, spectrum = benchmark.pedantic(
+        build_rssi_trace, args=(characterisation_capture,), rounds=1, iterations=1,
+    )
+    true_hz = 12.0 / 60.0
+    band = (freqs >= 0.08) & (freqs <= 0.67)
+    peak_hz = freqs[band][int(np.argmax(spectrum[band]))]
+    rows = [
+        ("samples in 25 s", len(series)),
+        ("sampling rate", f"{series.mean_rate_hz():.1f} Hz"),
+        ("RSSI span", f"{series.values.min():.1f} .. {series.values.max():.1f} dBm"),
+        ("distinct levels", len(np.unique(series.values))),
+        ("spectral peak", f"{peak_hz * 60:.1f} bpm (truth 12.0)"),
+        ("trace", sparkline(regular.values, width=60)),
+    ]
+    print_reproduction(
+        capsys, "Fig. 2: raw RSSI during the measurements",
+        ("quantity", "reproduced"), rows,
+        paper_note="clear periodic trend at the breathing rate; 0.5 dBm resolution",
+    )
+    # Quantisation: every reading sits on the 0.5 dBm grid.
+    assert np.allclose(series.values * 2, np.round(series.values * 2))
+    # Periodicity: the band peak lands at the breathing rate.
+    assert abs(peak_hz - true_hz) < 0.05
+    # ~64 Hz sampling as the paper reports.
+    assert 40.0 < series.mean_rate_hz() < 90.0

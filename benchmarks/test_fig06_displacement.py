@@ -1,0 +1,61 @@
+"""Fig. 6 — displacement values during the measurement.
+
+    "We normalize the displacement values and plot the results ... the
+    displacement values are not influenced by the frequency hopping and
+    track the periodic body movement mainly due to breathing."
+
+The benchmark runs the preprocessing stage (Eq. 3/4 + normalisation) on
+the characterisation capture and verifies the two claims: hop immunity
+(no discontinuities at hop instants) and periodicity at the breathing
+rate.
+"""
+
+import numpy as np
+
+from repro import TagBreathe
+from repro.viz import sparkline
+
+from conftest import print_reproduction
+
+
+def build_displacement_track(capture):
+    pipeline = TagBreathe(user_ids={1})
+    track = pipeline.fused_track(1, capture.reports_for_user(1)).normalize()
+    freqs = np.fft.rfftfreq(len(track), d=track.times[1] - track.times[0])
+    spectrum = np.abs(np.fft.rfft(track.values))
+    return track, freqs, spectrum
+
+
+def test_fig06_displacement(benchmark, capsys, characterisation_capture):
+    track, freqs, spectrum = benchmark.pedantic(
+        build_displacement_track, args=(characterisation_capture,),
+        rounds=1, iterations=1,
+    )
+    band = (freqs >= 0.08) & (freqs <= 0.67)
+    peak_hz = freqs[band][int(np.argmax(spectrum[band]))]
+    # Hop immunity: measure the track's step size at hop boundaries vs
+    # elsewhere — a hop-contaminated track would jump at 0.2 s multiples.
+    steps = np.abs(np.diff(track.values))
+    rows = [
+        ("track samples", len(track)),
+        ("span", f"{track.duration:.1f} s"),
+        ("normalised range", f"{track.values.min():.2f} .. {track.values.max():.2f}"),
+        ("spectral peak", f"{peak_hz * 60:.1f} bpm (truth 12.0)"),
+        ("max step", f"{steps.max():.3f} (normalised units)"),
+        ("track", sparkline(track.values, width=60)),
+    ]
+    print_reproduction(
+        capsys, "Fig. 6: displacement values (hop-immune)",
+        ("quantity", "reproduced"), rows,
+        paper_note="smooth periodic track, unaffected by channel hopping",
+    )
+    # Periodic at the breathing rate.
+    assert abs(peak_hz - 0.2) < 0.04
+    # Hop-immune: raw phase tears span the full 2*pi range (lambda/4 ~
+    # 8 cm of apparent displacement); the preprocessed track's residual
+    # steps (per-channel multipath mismatch) stay an order of magnitude
+    # below the full breathing swing of the normalised plot.
+    assert steps.max() < 1.0
+    assert float(np.median(steps)) < 0.1
+    # Normalised as the paper plots it.
+    assert np.abs(track.values).max() <= 1.0 + 1e-9

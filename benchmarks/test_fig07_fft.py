@@ -1,0 +1,55 @@
+"""Fig. 7 — FFT of the displacement values.
+
+    "the peak of the FFT output corresponds to the breathing rate ...
+    since the window size is 25 seconds, the frequency resolution is
+    0.04 Hz which corresponds to 2.4 breaths per minute."
+
+The benchmark regenerates the spectrum, confirms the peak sits at the
+breathing rate, and reproduces the resolution-pitfall arithmetic that
+motivates the zero-crossing estimator.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TagBreathe, fft_peak_rate_bpm
+from repro.core.spectral import fft_spectrum, frequency_resolution_bpm
+
+from conftest import print_reproduction
+
+
+def build_spectrum(capture):
+    pipeline = TagBreathe(user_ids={1})
+    track = pipeline.fused_track(1, capture.reports_for_user(1))
+    freqs, spectrum = fft_spectrum(track)
+    peak_bpm = fft_peak_rate_bpm(track)
+    return track, freqs, spectrum, peak_bpm
+
+
+def test_fig07_fft(benchmark, capsys, characterisation_capture):
+    track, freqs, spectrum, peak_bpm = benchmark.pedantic(
+        build_spectrum, args=(characterisation_capture,), rounds=1, iterations=1,
+    )
+    resolution = frequency_resolution_bpm(track.duration)
+    band = (freqs >= 0.08) & (freqs <= 0.67)
+    in_band = spectrum[band]
+    prominence = in_band.max() / np.median(in_band)
+    rows = [
+        ("window", f"{track.duration:.1f} s"),
+        ("bin width", f"{freqs[1] - freqs[0]:.4f} Hz"),
+        ("FFT-peak estimate", f"{peak_bpm:.2f} bpm (truth 12.0)"),
+        ("rate resolution", f"{resolution:.2f} bpm"),
+        ("peak prominence", f"{prominence:.1f}x median in-band bin"),
+    ]
+    print_reproduction(
+        capsys, "Fig. 7: FFT of displacement values",
+        ("quantity", "reproduced"), rows,
+        paper_note="peak at the breathing rate; 25 s window -> 0.04 Hz -> 2.4 bpm resolution",
+    )
+    # The paper's resolution arithmetic for a ~25 s window.
+    assert resolution == pytest.approx(60.0 / track.duration)
+    assert 2.2 <= resolution <= 2.6
+    # The peak lands on the breathing rate within one resolution cell.
+    assert abs(peak_bpm - 12.0) <= resolution
+    # And it is a real peak, not noise.
+    assert prominence > 3.0

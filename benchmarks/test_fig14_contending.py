@@ -1,0 +1,70 @@
+"""Fig. 14 — accuracy with different numbers of contending tags.
+
+    "TagBreathe is able to achieve the accuracy of 91.0% even with 30
+    contending tags in the communication range. The main reason is because
+    the total reading rates is sufficiently high ... The accuracy
+    decreases when more contending tags are in presence which leads to
+    lower reading rates of 3 breath monitoring tags."
+
+Shape asserted: the monitoring tags' read rate dilutes sharply as item
+tags contend for MAC airtime, yet accuracy degrades only gently and stays
+above 90 % with 30 contending tags.
+"""
+
+import numpy as np
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import MetronomeBreathing, Subject
+
+from conftest import TRIAL_SECONDS, print_reproduction
+
+CONTENDING_COUNTS = (0, 5, 10, 20, 30)
+
+#: Approximate values read off the paper's Fig. 14.
+PAPER_ACCURACY = {0: 0.95, 5: 0.95, 10: 0.94, 20: 0.93, 30: 0.91}
+
+
+def run_contention(count: int, seed: int):
+    scenario = Scenario([Subject(
+        user_id=1, distance_m=4.0,
+        breathing=MetronomeBreathing(10.0), sway_seed=seed,
+    )]).with_contending_tags(count, seed=seed)
+    result = run_scenario(scenario, duration_s=TRIAL_SECONDS,
+                          seed=seed * 211 + count)
+    estimates = TagBreathe(user_ids={1}).process(result.reports)
+    accuracy = (breathing_rate_accuracy(estimates[1].rate_bpm, 10.0)
+                if 1 in estimates else 0.0)
+    monitor_rate = len(result.reports_for_user(1)) / TRIAL_SECONDS
+    return accuracy, monitor_rate
+
+
+def sweep_contention():
+    out = {}
+    for count in CONTENDING_COUNTS:
+        per_seed = [run_contention(count, seed) for seed in (0, 1)]
+        out[count] = (
+            float(np.mean([a for a, _ in per_seed])),
+            float(np.mean([r for _, r in per_seed])),
+        )
+    return out
+
+
+def test_fig14_contending(benchmark, capsys):
+    results = benchmark.pedantic(sweep_contention, rounds=1, iterations=1)
+    rows = [
+        (f"{count} tags", f"{results[count][0] * 100:.1f}%",
+         f"{results[count][1]:.0f} reads/s",
+         f"{PAPER_ACCURACY[count] * 100:.0f}%")
+        for count in CONTENDING_COUNTS
+    ]
+    print_reproduction(
+        capsys, "Fig. 14: accuracy vs contending tags",
+        ("contending", "reproduced", "monitor-tag rate", "paper"), rows,
+        paper_note=">=91% even with 30 contending tags, via diluted but sufficient read rates",
+    )
+    # The headline: >=90% with 30 contending tags.
+    assert results[30][0] > 0.90
+    # The mechanism: monitoring-tag read rate collapses with contention...
+    assert results[30][1] < 0.4 * results[0][1]
+    # ...yet accuracy degrades only gently.
+    assert results[0][0] - results[30][0] < 0.08

@@ -1,0 +1,52 @@
+"""Fig. 16 — accuracy at different orientations (with LOS, < 90 deg).
+
+    "when the user faces to the antenna, the measurement accuracy is above
+    90%. The accuracy decreases from 90% to 85% as the user rotates to
+    90 deg."
+
+Shape asserted: above-90% accuracy facing the antenna, a decline toward
+90 deg, and a still-usable estimate at 90 deg (the lateral rib-expansion
+component keeps the signal alive).
+"""
+
+import numpy as np
+
+from conftest import mean_accuracy, print_reproduction, single_user_scenario
+
+ORIENTATIONS_DEG = (0, 30, 60, 90)
+
+#: Approximate values read off the paper's Fig. 16.
+PAPER_ACCURACY = {0: 0.92, 30: 0.91, 60: 0.88, 90: 0.85}
+
+
+def sweep_orientation_accuracy():
+    out = {}
+    for orientation in ORIENTATIONS_DEG:
+        out[orientation] = mean_accuracy(
+            lambda rate, seed, o=orientation: single_user_scenario(
+                distance_m=4.0, rate_bpm=rate, seed=seed,
+                orientation_deg=float(o),
+            ),
+            rates=(8.0, 12.0, 16.0),
+        )
+    return out
+
+
+def test_fig16_orientation_acc(benchmark, capsys):
+    accuracies = benchmark.pedantic(sweep_orientation_accuracy, rounds=1, iterations=1)
+    rows = [
+        (f"{o} deg", f"{accuracies[o] * 100:.1f}%", f"{PAPER_ACCURACY[o] * 100:.0f}%")
+        for o in ORIENTATIONS_DEG
+    ]
+    print_reproduction(
+        capsys, "Fig. 16: accuracy vs orientation (LOS cases)",
+        ("orientation", "reproduced", "paper"), rows,
+        paper_note="above 90% facing the antenna, declining to ~85% at 90 deg",
+    )
+    # Facing the antenna: above 90%.
+    assert accuracies[0] > 0.90
+    # 90 deg is the worst orientation but still delivers estimates.
+    assert accuracies[90] == min(accuracies.values())
+    assert accuracies[90] > 0.75
+    # Monotone-ish decline: 90 deg clearly below the frontal cases.
+    assert accuracies[90] <= min(accuracies[0], accuracies[30]) + 0.01

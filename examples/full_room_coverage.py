@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Multi-antenna coverage and per-user antenna selection (Section IV-D-3).
+
+    "to increase the reader coverage and fully enable breath monitoring in
+    the environment, a commodity reader can connect multiple antennas to
+    ensure line-of-sight paths to the tags ... TagBreathe evaluates the
+    data quality ... and extract breathing signals with the data reported
+    by the optimal antenna for each user."
+
+Two users face opposite directions.  With a single antenna, the one
+facing away is invisible (body blockage, Fig. 15); adding a second
+antenna on the far wall restores coverage, and the pipeline picks the
+optimal antenna per user automatically.
+
+Run:  python examples/full_room_coverage.py
+"""
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.config import ReaderConfig
+from repro.reader import Antenna
+from repro.viz import render_table
+
+
+def build_scenario():
+    return Scenario([
+        # Faces antenna 1 (at the origin wall).
+        Subject(user_id=1, distance_m=3.0, lateral_offset_m=-0.8,
+                orientation_deg=0.0, breathing=MetronomeBreathing(11.0),
+                sway_seed=1),
+        # Faces the OPPOSITE wall: blocked for antenna 1, perfect for
+        # antenna 2.
+        Subject(user_id=2, distance_m=3.0, lateral_offset_m=0.8,
+                orientation_deg=180.0, breathing=MetronomeBreathing(17.0),
+                sway_seed=2),
+    ])
+
+
+def monitor(label, antennas):
+    scenario = build_scenario()
+    config = ReaderConfig(num_antennas=len(antennas))
+    result = run_scenario(scenario, duration_s=60.0, seed=55,
+                          reader_config=config, antennas=antennas)
+    estimates, failures = TagBreathe(user_ids={1, 2}).process_detailed(
+        result.reports
+    )
+    rows = []
+    for uid, truth in ((1, 11.0), (2, 17.0)):
+        if uid in estimates:
+            est = estimates[uid]
+            rows.append([f"user {uid}", f"{truth:.0f} bpm",
+                         f"{est.rate_bpm:.1f} bpm",
+                         f"port {est.antenna_port}" if est.antenna_port else "fused"])
+        else:
+            rows.append([f"user {uid}", f"{truth:.0f} bpm", "NO ESTIMATE",
+                         failures.get(uid, "?")[:40]])
+    print(f"\n--- {label} ---")
+    print(render_table(["user", "truth", "estimate", "antenna"], rows))
+
+
+def main() -> None:
+    wall_a = Antenna(port=1, position_m=(0.0, 0.0, 1.0), boresight=(1, 0, 0))
+    wall_b = Antenna(port=2, position_m=(6.0, 0.0, 1.0), boresight=(-1, 0, 0))
+
+    print("Two users, facing opposite walls.")
+    monitor("single antenna (origin wall only)", [wall_a])
+    monitor("two antennas, round-robin (both walls)", [wall_a, wall_b])
+    print("\nWith the second antenna, the away-facing user is recovered and")
+    print("each user is served by the antenna with the best data quality.")
+
+
+if __name__ == "__main__":
+    main()

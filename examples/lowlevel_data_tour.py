@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A tour of the commodity reader's low-level data (Section IV-A).
+
+Walks through the same characterisation the paper performs before
+designing TagBreathe: one tag, 2 m, 25 s, ~64 Hz — then inspects each
+observable the reader reports (RSSI, Doppler, raw phase, channel index)
+and finally the preprocessed displacement track and its FFT, mirroring
+Figs. 2-7.
+
+Run:  python examples/lowlevel_data_tour.py
+"""
+
+import numpy as np
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.core.spectral import fft_spectrum, frequency_resolution_bpm
+from repro.streams import TimeSeries
+from repro.viz import render_series, sparkline
+
+
+def main() -> None:
+    subject = Subject(user_id=1, distance_m=2.0, num_tags=1,
+                      breathing=MetronomeBreathing(12.0), sway_seed=0)
+    result = run_scenario(Scenario([subject]), duration_s=25.0, seed=2017)
+    reports = result.reports
+    print(f"Captured {len(reports)} reads in 25 s "
+          f"({len(reports) / 25.0:.0f} Hz sampling)\n")
+
+    times = np.array([r.timestamp_s for r in reports])
+    keep = np.concatenate([[True], np.diff(times) > 0])
+
+    # --- Fig. 2: RSSI --------------------------------------------------
+    rssi = np.array([r.rssi_dbm for r in reports])[keep]
+    print("Fig. 2 - RSSI (0.5 dBm steps, periodic but coarse):")
+    print("  " + sparkline(rssi, width=70))
+    print(f"  span {rssi.min():.1f} .. {rssi.max():.1f} dBm, "
+          f"{len(np.unique(rssi))} distinct levels\n")
+
+    # --- Fig. 3: raw Doppler -------------------------------------------
+    doppler = np.array([r.doppler_hz for r in reports])[keep]
+    print("Fig. 3 - raw Doppler shift (noisy at breathing speeds):")
+    print("  " + sparkline(doppler, width=70))
+    print(f"  std {doppler.std():.2f} Hz vs a true peak shift of ~0.02 Hz\n")
+
+    # --- Fig. 4: raw phase ---------------------------------------------
+    phases = np.array([r.phase_rad for r in reports])[keep]
+    print("Fig. 4 - raw phase (discontinuous at every 0.2 s hop):")
+    print("  " + sparkline(phases[:300], width=70))
+
+    # --- Fig. 5: channel hopping ---------------------------------------
+    channels = np.array([r.channel_index for r in reports])[keep]
+    print("\nFig. 5 - channel index staircase:")
+    print("  " + sparkline(channels[:300].astype(float), width=70))
+    print(f"  {len(np.unique(channels))} channels in the hop set\n")
+
+    # --- Fig. 6: displacement track ------------------------------------
+    pipeline = TagBreathe(user_ids={1})
+    track = pipeline.fused_track(1, reports).normalize()
+    print(render_series(track, title="Fig. 6 - preprocessed displacement "
+                                     "(hop-immune, periodic)"))
+
+    # --- Fig. 7: FFT ----------------------------------------------------
+    freqs, spectrum = fft_spectrum(track)
+    band = (freqs >= 0.05) & (freqs <= 0.8)
+    print("\nFig. 7 - displacement spectrum (peak = breathing rate):")
+    print("  " + sparkline(spectrum[band], width=70))
+    peak_bpm = freqs[band][int(np.argmax(spectrum[band]))] * 60.0
+    print(f"  peak at {peak_bpm:.1f} bpm (truth 12.0); "
+          f"resolution {frequency_resolution_bpm(25.0):.1f} bpm at 25 s —\n"
+          f"  the pitfall that motivates zero-crossing estimation (Eq. 5)")
+
+    # --- Fig. 8: the final estimate -------------------------------------
+    estimate = pipeline.process(reports)[1]
+    print(f"\nFig. 8 - extracted signal -> Eq. (5): "
+          f"{estimate.rate_bpm:.2f} bpm from "
+          f"{len(estimate.estimate.crossings)} zero crossings")
+
+
+if __name__ == "__main__":
+    main()

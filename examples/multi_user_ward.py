@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-user monitoring: the paper's headline scenario.
+
+Four people sit side by side in front of one reader (a waiting room /
+hospital ward).  Each wears three tags whose EPCs encode a 64-bit user ID
+and a 32-bit tag ID (paper Fig. 9), so one capture separates cleanly into
+four breathing estimates — the capability Doppler/WiFi sensing lacks.
+
+Run:  python examples/multi_user_ward.py
+"""
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import BreathingStyle, MetronomeBreathing, Subject
+from repro.viz import render_table, sparkline
+
+
+def main() -> None:
+    patients = {
+        1: ("Alice", 7.0, BreathingStyle.ABDOMEN),
+        2: ("Bo", 11.0, BreathingStyle.CHEST),
+        3: ("Chen", 15.0, BreathingStyle.MIXED),
+        4: ("Dana", 19.0, BreathingStyle.CHEST),
+    }
+    subjects = [
+        Subject(
+            user_id=uid,
+            distance_m=4.0,
+            lateral_offset_m=(uid - 2.5) * 0.8,  # side by side, 0.8 m apart
+            breathing=MetronomeBreathing(rate),
+            style=style,
+            sway_seed=uid,
+        )
+        for uid, (_, rate, style) in patients.items()
+    ]
+    scenario = Scenario(subjects)
+
+    print(f"Monitoring {len(subjects)} users "
+          f"({scenario.total_tag_count()} tags) for 90 seconds...")
+    result = run_scenario(scenario, duration_s=90.0, seed=42)
+    print(f"  aggregate read rate: {result.aggregate_read_rate_hz():.0f} reads/s")
+
+    pipeline = TagBreathe(user_ids=set(patients))
+    estimates, failures = pipeline.process_detailed(result.reports)
+
+    rows = []
+    for uid, (name, rate, style) in patients.items():
+        if uid in estimates:
+            est = estimates[uid]
+            acc = breathing_rate_accuracy(est.rate_bpm, rate)
+            trace = sparkline(est.estimate.signal.values[::8], width=24)
+            rows.append([name, style.value, f"{rate:.0f} bpm",
+                         f"{est.rate_bpm:.1f} bpm", f"{acc * 100:.1f}%", trace])
+        else:
+            rows.append([name, style.value, f"{rate:.0f} bpm", "no estimate",
+                         failures.get(uid, "?"), ""])
+    print()
+    print(render_table(
+        ["patient", "style", "metronome", "estimated", "accuracy", "signal"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Neonatal monitoring: adapting the pipeline beyond the paper's band.
+
+The paper's intro raises newborn monitoring ("Parents are concerned about
+the safety of breath monitoring devices for their newborns") but its
+0.67 Hz low-pass assumes adult rates below 40 bpm.  A newborn breathes
+30-60 bpm (0.5-1.0 Hz) with only millimetres of chest excursion — both
+ends of the design need adjusting:
+
+* the cutoff must rise (``recommended_pipeline_config``),
+* the tag must sit close (crib-side) so the tiny excursion beats the
+  room's multipath.
+
+This example monitors a 48 bpm newborn and an adult in the same capture,
+each with its demographic's pipeline configuration.
+
+Run:  python examples/neonatal_monitoring.py
+"""
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import (
+    ADULT,
+    NEWBORN,
+    MetronomeBreathing,
+    Subject,
+    recommended_pipeline_config,
+)
+from repro.viz import render_table
+
+
+def main() -> None:
+    baby = Subject(
+        user_id=1, distance_m=0.8,  # crib-side antenna
+        breathing=MetronomeBreathing(48.0, amplitude_m=0.004),
+        style=NEWBORN.typical_style, sway_seed=1,
+    )
+    parent = Subject(
+        user_id=2, distance_m=2.5, lateral_offset_m=1.0,
+        breathing=MetronomeBreathing(14.0, amplitude_m=0.010),
+        style=ADULT.typical_style, sway_seed=2,
+    )
+    scenario = Scenario([baby, parent])
+    print("Monitoring newborn (48 bpm) + parent (14 bpm) for 60 s...")
+    result = run_scenario(scenario, duration_s=60.0, seed=33)
+
+    rows = []
+    for uid, group, truth in ((1, NEWBORN, 48.0), (2, ADULT, 14.0)):
+        config = recommended_pipeline_config(group)
+        pipeline = TagBreathe(user_ids={uid}, config=config)
+        estimates, failures = pipeline.process_detailed(result.reports)
+        if uid in estimates:
+            est = estimates[uid]
+            rows.append([
+                group.name, f"{truth:.0f} bpm", f"{est.rate_bpm:.1f} bpm",
+                f"{breathing_rate_accuracy(est.rate_bpm, truth) * 100:.1f}%",
+                f"{config.cutoff_hz:.2f} Hz",
+            ])
+        else:
+            rows.append([group.name, f"{truth:.0f} bpm", "no estimate",
+                         failures.get(uid, "?")[:30], f"{config.cutoff_hz:.2f} Hz"])
+    print()
+    print(render_table(
+        ["subject", "truth", "estimate", "accuracy", "cutoff used"], rows,
+    ))
+
+    # Show why the adaptation matters: the paper's adult band applied to
+    # the newborn filters the breathing fundamental away entirely.
+    print("\nWith the paper's adult 0.67 Hz cutoff applied to the newborn:")
+    adult_band = TagBreathe(user_ids={1})
+    estimates, failures = adult_band.process_detailed(result.reports)
+    if 1 in estimates:
+        est = estimates[1]
+        print(f"  estimate {est.rate_bpm:.1f} bpm vs truth 48.0 — "
+              f"accuracy {breathing_rate_accuracy(est.rate_bpm, 48.0) * 100:.0f}% "
+              f"(the 0.8 Hz fundamental was filtered out)")
+    else:
+        print(f"  no estimate at all: {failures.get(1, '?')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: monitor one person's breathing with a simulated RFID setup.
+
+Reproduces the paper's basic usage: three passive tags on a seated user's
+clothes, a reader antenna on a tripod, two minutes of low-level data, one
+breathing-rate estimate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.viz import render_series, render_table
+
+
+def main() -> None:
+    # A volunteer sits 3 m from the antenna, breathing at a 14 bpm
+    # metronome pace, wearing the paper's chest/middle/abdomen tag array.
+    subject = Subject(
+        user_id=1,
+        distance_m=3.0,
+        breathing=MetronomeBreathing(14.0),
+        sway_seed=1,
+    )
+    scenario = Scenario([subject])
+
+    print("Inventorying tags for 60 seconds (simulated)...")
+    result = run_scenario(scenario, duration_s=60.0, seed=7)
+    print(f"  captured {len(result.reports)} tag reads "
+          f"({result.aggregate_read_rate_hz():.0f} reads/s)")
+
+    # The TagBreathe pipeline: channel-grouped phase preprocessing,
+    # multi-tag fusion, 0.67 Hz low-pass, zero-crossing rate estimation.
+    pipeline = TagBreathe(user_ids={1})
+    estimate = pipeline.process(result.reports)[1]
+
+    truth = result.ground_truth.rate_bpm(1, 0.0, 60.0)
+    print()
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["tags fused", estimate.tags_fused],
+            ["reads used", estimate.read_count],
+            ["estimated rate", f"{estimate.rate_bpm:.2f} bpm"],
+            ["metronome truth", f"{truth:.2f} bpm"],
+            ["error", f"{abs(estimate.rate_bpm - truth):.2f} bpm"],
+        ],
+    ))
+    print()
+    print(render_series(
+        estimate.estimate.signal.slice_time(10.0, 40.0),
+        title="Extracted breathing signal (10-40 s window)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

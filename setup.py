@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (PEP 660 editable builds need bdist_wheel).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""TagBreathe — breath monitoring with commodity RFID systems.
+
+A full reproduction of *TagBreathe: Monitor Breathing with Commodity RFID
+Systems* (Hou, Wang, Zheng — IEEE ICDCS 2017), including every substrate
+the paper depends on: a UHF backscatter RF model, an EPC Gen2 MAC
+simulator, an Impinj-R420-class reader model with frequency hopping and
+multi-antenna round-robin, a breathing-human body model, and the
+TagBreathe signal pipeline itself (phase preprocessing, multi-tag raw-data
+fusion, FFT low-pass extraction, zero-crossing rate estimation).
+
+Quickstart::
+
+    from repro import Scenario, run_scenario, TagBreathe
+
+    scenario = Scenario.single_user(distance_m=2.0)
+    result = run_scenario(scenario, duration_s=30.0, seed=7)
+    pipeline = TagBreathe(user_ids={1})
+    estimate = pipeline.process(result.reports)[1]
+    print(f"breathing rate: {estimate.rate_bpm:.1f} bpm")
+
+See DESIGN.md for the module map and EXPERIMENTS.md for the paper-vs-
+reproduction results of every figure.
+"""
+
+from .config import (
+    NoiseConfig,
+    PipelineConfig,
+    ReaderConfig,
+    ScenarioDefaults,
+    SystemConfig,
+    default_config,
+)
+from .core import (
+    BreathExtractor,
+    BreathingEstimate,
+    DopplerBreathEstimator,
+    FFTPeakEstimator,
+    RSSIBreathEstimator,
+    TagBreathe,
+    UserEstimate,
+    default_frequencies,
+    displacement_deltas,
+    displacement_track,
+    fft_lowpass,
+    fft_peak_rate_bpm,
+    fir_lowpass,
+    fuse_streams,
+    group_reports_by_user,
+    rate_series_bpm,
+    zero_crossing_times,
+)
+from .body import (
+    AsymmetricBreathing,
+    BreathingStyle,
+    IrregularBreathing,
+    MetronomeBreathing,
+    SinusoidalBreathing,
+    Subject,
+)
+from .epc import EPC96, EPCMappingTable
+from .errors import ReproError
+from .metrics import (
+    AccuracyStats,
+    ExperimentRunner,
+    breathing_rate_accuracy,
+    summarize_accuracies,
+)
+from .reader import Antenna, LLRPClient, Reader, ROSpec, TagReport
+from .sim import GroundTruth, Scenario, SimulationResult, run_scenario
+from .streams import TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "NoiseConfig", "PipelineConfig", "ReaderConfig", "ScenarioDefaults",
+    "SystemConfig", "default_config",
+    # core pipeline
+    "TagBreathe", "UserEstimate", "BreathExtractor", "BreathingEstimate",
+    "default_frequencies", "displacement_deltas", "displacement_track",
+    "fuse_streams", "group_reports_by_user", "fft_lowpass", "fir_lowpass",
+    "zero_crossing_times", "rate_series_bpm", "fft_peak_rate_bpm",
+    "RSSIBreathEstimator", "DopplerBreathEstimator", "FFTPeakEstimator",
+    # body models
+    "Subject", "BreathingStyle", "SinusoidalBreathing", "AsymmetricBreathing",
+    "IrregularBreathing", "MetronomeBreathing",
+    # EPC
+    "EPC96", "EPCMappingTable",
+    # reader
+    "Reader", "TagReport", "Antenna", "LLRPClient", "ROSpec",
+    # simulation
+    "Scenario", "SimulationResult", "run_scenario", "GroundTruth",
+    # metrics
+    "breathing_rate_accuracy", "summarize_accuracies", "AccuracyStats",
+    "ExperimentRunner",
+    # streams
+    "TimeSeries",
+    # errors
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Human-subject substrate: breathing waveforms, tag placement, geometry.
+
+Plays the role of the paper's recruited volunteers plus the metronome app
+that paced them (Section VI-A).  A :class:`~repro.body.subject.Subject`
+carries tags whose positions oscillate with a configurable breathing
+waveform; the waveform's known rate is the experiment ground truth.
+"""
+
+from .waveforms import (
+    BreathingWaveform,
+    SinusoidalBreathing,
+    AsymmetricBreathing,
+    IrregularBreathing,
+    MetronomeBreathing,
+)
+from .placement import TagPlacement, BreathingStyle, standard_placements
+from .subject import Subject, BodyTag
+from .blockage import orientation_loss_db, is_los_blocked
+from .motion import BodySway
+from .activities import RestlessBreathing, TransientMotion
+from .population import (
+    ADULT,
+    CHILD,
+    ELDERLY,
+    NEWBORN,
+    PROFILES,
+    DemographicProfile,
+    profile,
+    random_cohort,
+    random_subject,
+    recommended_pipeline_config,
+)
+
+__all__ = [
+    "BreathingWaveform",
+    "SinusoidalBreathing",
+    "AsymmetricBreathing",
+    "IrregularBreathing",
+    "MetronomeBreathing",
+    "TagPlacement",
+    "BreathingStyle",
+    "standard_placements",
+    "Subject",
+    "BodyTag",
+    "orientation_loss_db",
+    "is_los_blocked",
+    "BodySway",
+    "RestlessBreathing",
+    "TransientMotion",
+    "DemographicProfile",
+    "ADULT",
+    "ELDERLY",
+    "CHILD",
+    "NEWBORN",
+    "PROFILES",
+    "profile",
+    "random_subject",
+    "random_cohort",
+    "recommended_pipeline_config",
+]

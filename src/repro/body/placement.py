@@ -1,0 +1,94 @@
+"""Tag placement on the torso — the paper's three-tag array.
+
+    "we place three tags on the upper body of each user: one on chest, one
+    on lower abdomen, and one in between. Note that when a user inhales or
+    exhales, the three tags' relative displacement to reader's antenna
+    simultaneously decrease and increase, which allows us to constructively
+    fuse the sensor data"  (Section IV-D-1)
+
+Different users breathe differently ("some users breathe with chests while
+other breathe with their abdomens"), so the displacement share of each
+placement depends on the user's :class:`BreathingStyle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from ..errors import BodyModelError
+
+
+class BreathingStyle(Enum):
+    """Where a user's breathing motion concentrates."""
+
+    CHEST = "chest"
+    ABDOMEN = "abdomen"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class TagPlacement:
+    """One tag's mounting spot on the torso.
+
+    Attributes:
+        name: placement label ("chest", "middle", "abdomen").
+        height_offset_m: vertical offset from the torso reference point
+            (positive = up).
+        motion_share: fraction of the user's breathing displacement this
+            spot exhibits, in [0, 1].
+    """
+
+    name: str
+    height_offset_m: float
+    motion_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.motion_share <= 1.0:
+            raise BodyModelError(
+                f"motion_share must be in [0, 1], got {self.motion_share}"
+            )
+        if abs(self.height_offset_m) > 1.0:
+            raise BodyModelError("height_offset_m must be within +/- 1 m of torso centre")
+
+
+#: Relative breathing-motion share per placement, by breathing style.
+_MOTION_SHARES: Dict[BreathingStyle, Dict[str, float]] = {
+    BreathingStyle.CHEST: {"chest": 1.0, "middle": 0.6, "abdomen": 0.3},
+    BreathingStyle.ABDOMEN: {"chest": 0.3, "middle": 0.6, "abdomen": 1.0},
+    BreathingStyle.MIXED: {"chest": 0.7, "middle": 0.7, "abdomen": 0.7},
+}
+
+#: Vertical offsets from the torso reference point [m].
+_HEIGHT_OFFSETS: Dict[str, float] = {"chest": 0.15, "middle": 0.0, "abdomen": -0.15}
+
+#: Placement order used when fewer than three tags are worn: the paper's
+#: single-tag experiments put the tag on the chest.
+_PLACEMENT_PRIORITY: List[str] = ["chest", "abdomen", "middle"]
+
+
+def standard_placements(count: int = 3,
+                        style: BreathingStyle = BreathingStyle.MIXED) -> List[TagPlacement]:
+    """The paper's standard tag placements for ``count`` tags per user.
+
+    Args:
+        count: tags per user, 1–3 (Table I range).
+        style: the user's breathing style, which sets each placement's
+            share of the breathing motion.
+
+    Returns:
+        ``count`` placements: chest first, then abdomen, then middle —
+        the order that maximises captured motion for any style.
+
+    Raises:
+        BodyModelError: if ``count`` is outside the Table I range.
+    """
+    if not 1 <= count <= 3:
+        raise BodyModelError(f"tags per user must be 1-3 (Table I), got {count}")
+    shares = _MOTION_SHARES[style]
+    names = _PLACEMENT_PRIORITY[:count]
+    return [
+        TagPlacement(name=n, height_offset_m=_HEIGHT_OFFSETS[n], motion_share=shares[n])
+        for n in names
+    ]

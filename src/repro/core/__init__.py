@@ -1,0 +1,78 @@
+"""TagBreathe core: the paper's signal-processing contribution.
+
+The stages mirror Fig. 10's workflow:
+
+1. :mod:`~repro.core.preprocess` — phase measurement preprocessing:
+   channel grouping and displacement calculation (Eq. 3–4).
+2. :mod:`~repro.core.fusion` — raw-data fusion of multi-tag streams
+   (Eq. 6–7) grouped per user via the EPC user-ID field.
+3. :mod:`~repro.core.filters` / :mod:`~repro.core.zerocross` /
+   :mod:`~repro.core.extraction` — breath-signal extraction: FFT low-pass
+   at 0.67 Hz, zero-crossing detection, instantaneous rate (Eq. 5).
+4. :mod:`~repro.core.pipeline` — the end-to-end :class:`TagBreathe`
+   engine, batch and streaming.
+
+:mod:`~repro.core.baselines` implements the RSSI / Doppler / FFT-peak
+alternatives the paper characterises and argues against (Section IV-A/B),
+and :mod:`~repro.core.quality` the per-antenna data-quality selection
+(Section IV-D-3).
+"""
+
+from .preprocess import (
+    default_frequencies,
+    group_reports_by_stream,
+    displacement_deltas,
+    displacement_samples,
+    displacement_track,
+    phase_segments,
+)
+from .fusion import fuse_streams, fuse_sample_streams, group_reports_by_user, FusedStream
+from .filters import fft_lowpass, fir_lowpass, detrend_series
+from .zerocross import zero_crossing_times, instant_rates_bpm, rate_series_bpm
+from .spectral import fft_spectrum, fft_peak_rate_bpm, frequency_resolution_bpm
+from .extraction import BreathExtractor, BreathingEstimate
+from .quality import antenna_quality_scores, select_best_antenna
+from .pipeline import TagBreathe, UserEstimate
+from .baselines import RSSIBreathEstimator, DopplerBreathEstimator, FFTPeakEstimator
+from .hybrid import HybridBreathEstimator, HybridEstimate, ObservableEstimate
+from .tracking import BreathingRateTracker, TrackedRate, smooth_rate_series
+from .calibration import ChannelCalibration, ChannelCalibrator
+
+__all__ = [
+    "default_frequencies",
+    "group_reports_by_stream",
+    "displacement_deltas",
+    "displacement_samples",
+    "displacement_track",
+    "phase_segments",
+    "fuse_streams",
+    "fuse_sample_streams",
+    "group_reports_by_user",
+    "FusedStream",
+    "fft_lowpass",
+    "fir_lowpass",
+    "detrend_series",
+    "zero_crossing_times",
+    "instant_rates_bpm",
+    "rate_series_bpm",
+    "fft_spectrum",
+    "fft_peak_rate_bpm",
+    "frequency_resolution_bpm",
+    "BreathExtractor",
+    "BreathingEstimate",
+    "antenna_quality_scores",
+    "select_best_antenna",
+    "TagBreathe",
+    "UserEstimate",
+    "RSSIBreathEstimator",
+    "DopplerBreathEstimator",
+    "FFTPeakEstimator",
+    "HybridBreathEstimator",
+    "HybridEstimate",
+    "ObservableEstimate",
+    "BreathingRateTracker",
+    "TrackedRate",
+    "smooth_rate_series",
+    "ChannelCalibration",
+    "ChannelCalibrator",
+]

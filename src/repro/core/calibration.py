@@ -1,0 +1,187 @@
+"""Per-channel phase-offset calibration with a static reference tag.
+
+Eq. (1)'s constant ``c`` differs per channel, which is why TagBreathe
+groups phase readings by channel and discards all cross-channel phase
+relationships.  That information need not be lost: a **static reference
+tag** at a known distance (taped to a wall, a standard trick from the
+RFID localisation literature the paper builds on, e.g. Tagoram) measures
+each channel's offset directly —
+
+    c_k = theta_measured(k) - 4*pi*d_ref / lambda_k      (mod 2*pi)
+
+Once calibrated, phase readings from *any* tag can be offset-corrected,
+making phases comparable across channels (up to the half-wavelength
+ambiguity).  The breathing pipeline itself does not need this — but
+diagnostics, absolute-displacement tracking, and multi-channel ranging
+extensions do, and the calibration quality metric doubles as a health
+check of the deployment (a drifting offset means the reference tag
+moved or the cabling changed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InsufficientDataError, ReproError
+from ..reader.tagreport import TagReport
+from ..units import SPEED_OF_LIGHT, TWO_PI, wrap_phase
+
+
+@dataclass(frozen=True)
+class ChannelCalibration:
+    """One channel's calibrated offset.
+
+    Attributes:
+        channel_index: the calibrated channel.
+        offset_rad: estimated constant ``c`` (mod 2*pi).
+        spread_rad: circular std of the per-read estimates — the
+            calibration's quality (should be at the phase-noise floor
+            for a truly static reference).
+        sample_count: reads used.
+    """
+
+    channel_index: int
+    offset_rad: float
+    spread_rad: float
+    sample_count: int
+
+
+def _circular_mean_and_spread(angles: np.ndarray) -> Tuple[float, float]:
+    """Mean direction and circular std of angles [rad]."""
+    vectors = np.exp(1j * angles)
+    mean_vector = vectors.mean()
+    mean = float(np.angle(mean_vector)) % TWO_PI
+    r = abs(mean_vector)
+    spread = float(np.sqrt(-2.0 * np.log(max(r, 1e-12))))
+    return mean, spread
+
+
+class ChannelCalibrator:
+    """Estimates per-channel offsets from a static reference tag's reads.
+
+    Args:
+        reference_distance_m: surveyed antenna-to-reference-tag distance.
+        frequencies_hz: channel-index -> carrier frequency map.
+        min_reads_per_channel: reads required before a channel is
+            considered calibrated.
+
+    Raises:
+        ReproError: on a non-positive distance or empty frequency map.
+    """
+
+    def __init__(self, reference_distance_m: float,
+                 frequencies_hz: Sequence[float],
+                 min_reads_per_channel: int = 5) -> None:
+        if reference_distance_m <= 0:
+            raise ReproError("reference distance must be > 0")
+        if not frequencies_hz:
+            raise ReproError("need at least one channel frequency")
+        if min_reads_per_channel < 1:
+            raise ReproError("min_reads_per_channel must be >= 1")
+        self._d_ref = float(reference_distance_m)
+        self._frequencies = list(frequencies_hz)
+        self._min_reads = int(min_reads_per_channel)
+        self._samples: Dict[int, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def ingest(self, report: TagReport) -> None:
+        """Feed one read of the reference tag.
+
+        Raises:
+            ReproError: on a channel index outside the frequency map.
+        """
+        if report.channel_index >= len(self._frequencies):
+            raise ReproError(
+                f"channel {report.channel_index} outside the "
+                f"{len(self._frequencies)}-channel map"
+            )
+        lam = SPEED_OF_LIGHT / self._frequencies[report.channel_index]
+        geometric = TWO_PI / lam * 2.0 * self._d_ref
+        offset = wrap_phase(report.phase_rad - geometric)
+        self._samples.setdefault(report.channel_index, []).append(offset)
+
+    def ingest_many(self, reports: Iterable[TagReport]) -> None:
+        """Feed a batch of reference-tag reads."""
+        for report in reports:
+            self.ingest(report)
+
+    # ------------------------------------------------------------------
+    def calibration(self, channel_index: int) -> ChannelCalibration:
+        """The calibrated offset of one channel.
+
+        Raises:
+            InsufficientDataError: with too few reads on that channel.
+        """
+        samples = self._samples.get(channel_index, [])
+        if len(samples) < self._min_reads:
+            raise InsufficientDataError(
+                f"channel {channel_index}: {len(samples)} reads "
+                f"< {self._min_reads} required"
+            )
+        mean, spread = _circular_mean_and_spread(np.asarray(samples))
+        return ChannelCalibration(
+            channel_index=channel_index,
+            offset_rad=mean,
+            spread_rad=spread,
+            sample_count=len(samples),
+        )
+
+    def calibrated_channels(self) -> List[int]:
+        """Channels with enough reads to calibrate."""
+        return sorted(
+            ch for ch, samples in self._samples.items()
+            if len(samples) >= self._min_reads
+        )
+
+    def all_calibrations(self) -> Dict[int, ChannelCalibration]:
+        """Calibrations for every sufficiently-sampled channel."""
+        return {ch: self.calibration(ch) for ch in self.calibrated_channels()}
+
+    def is_complete(self) -> bool:
+        """True once every channel in the frequency map is calibrated."""
+        return len(self.calibrated_channels()) == len(self._frequencies)
+
+    # ------------------------------------------------------------------
+    def correct_phase(self, report: TagReport) -> float:
+        """A report's phase with the channel offset removed [rad].
+
+        After correction, ``phase = 4*pi*d/lambda_k (mod 2*pi)`` holds
+        with the same zero across channels (up to the target tag's own
+        circuit offset, which is channel-independent).
+
+        Raises:
+            InsufficientDataError: if the report's channel is uncalibrated.
+        """
+        calibration = self.calibration(report.channel_index)
+        return wrap_phase(report.phase_rad - calibration.offset_rad)
+
+    def distance_candidates(self, report: TagReport,
+                            max_distance_m: float = 12.0) -> List[float]:
+        """Possible tag distances for one corrected read.
+
+        The half-wavelength ambiguity means a single phase maps to a comb
+        of distances ``(phase * lambda / (4*pi)) + n * lambda/2``.
+
+        Raises:
+            InsufficientDataError: if the channel is uncalibrated.
+            ReproError: on a non-positive range limit.
+        """
+        if max_distance_m <= 0:
+            raise ReproError("max_distance_m must be > 0")
+        corrected = self.correct_phase(report)
+        lam = SPEED_OF_LIGHT / self._frequencies[report.channel_index]
+        base = corrected * lam / (4.0 * math.pi)
+        candidates = []
+        n = 0
+        while True:
+            d = base + n * lam / 2.0
+            if d > max_distance_m:
+                break
+            if d > 0:
+                candidates.append(d)
+            n += 1
+        return candidates

@@ -1,0 +1,165 @@
+"""Hybrid estimation: fusing phase with RSSI/Doppler — Section IV-D-2.
+
+    "One possible enhancement is to fuse the RSSI and Doppler frequency
+    shift with the phase values to improve the monitoring accuracy."
+
+The paper leaves this as a discussion item; this module implements it as
+confidence-weighted decision fusion.  Each observable produces an
+independent rate estimate with a confidence score (spectral prominence of
+its breathing peak); the hybrid combines agreeing estimates and falls
+back to the most confident one when they disagree.
+
+Phase remains the primary sensor (its confidence dominates in practice);
+the auxiliaries buy robustness when phase data is thin — for example a
+user read at a very low rate whose RSSI still wiggles visibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PipelineConfig
+from ..errors import InsufficientDataError
+from ..reader.tagreport import TagReport
+from ..streams.timeseries import TimeSeries
+from ..units import BPM_PER_HZ
+from .baselines import DopplerBreathEstimator, RSSIBreathEstimator
+from .extraction import BreathingEstimate
+from .pipeline import TagBreathe
+from .spectral import fft_spectrum
+
+
+@dataclass(frozen=True)
+class ObservableEstimate:
+    """One observable's contribution to the hybrid decision.
+
+    Attributes:
+        name: "phase", "rssi", or "doppler".
+        rate_bpm: that observable's rate estimate (None = unavailable).
+        confidence: spectral prominence of the breathing peak (>= 0).
+    """
+
+    name: str
+    rate_bpm: Optional[float]
+    confidence: float
+
+
+@dataclass(frozen=True)
+class HybridEstimate:
+    """The fused result.
+
+    Attributes:
+        rate_bpm: the fused breathing rate.
+        contributions: every observable's estimate and confidence.
+        agreement: True when all available observables agreed within the
+            tolerance (the fused value is then their weighted mean).
+    """
+
+    rate_bpm: float
+    contributions: Tuple[ObservableEstimate, ...]
+    agreement: bool
+
+
+def _peak_prominence(signal: TimeSeries, rate_bpm: float) -> float:
+    """Spectral prominence of a breathing peak: peak bin / median in-band."""
+    if len(signal) < 8:
+        return 0.0
+    freqs, spectrum = fft_spectrum(signal)
+    band = (freqs >= 0.05) & (freqs <= 0.67)
+    if band.sum() < 3:
+        return 0.0
+    target = rate_bpm / BPM_PER_HZ
+    idx = int(np.argmin(np.abs(freqs - target)))
+    peak = float(spectrum[idx])
+    floor = float(np.median(spectrum[band]))
+    if floor <= 0:
+        return 0.0
+    return peak / floor
+
+
+class HybridBreathEstimator:
+    """Phase + RSSI + Doppler decision fusion (Section IV-D-2).
+
+    Args:
+        config: pipeline parameters shared by all observables.
+        agreement_tolerance_bpm: estimates within this of each other are
+            considered agreeing and averaged by confidence.
+        use_doppler: include the (very noisy) Doppler observable.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 agreement_tolerance_bpm: float = 2.0,
+                 use_doppler: bool = False) -> None:
+        if agreement_tolerance_bpm <= 0:
+            raise InsufficientDataError("agreement tolerance must be > 0")
+        self._config = config if config is not None else PipelineConfig()
+        self._tolerance = agreement_tolerance_bpm
+        self._use_doppler = use_doppler
+
+    # ------------------------------------------------------------------
+    def estimate(self, user_id: int,
+                 reports: Sequence[TagReport]) -> HybridEstimate:
+        """Fuse all observables for one user's reports.
+
+        Raises:
+            InsufficientDataError: when no observable produced an estimate.
+        """
+        contributions: List[ObservableEstimate] = []
+
+        phase = self._try_phase(user_id, reports)
+        contributions.append(phase)
+        contributions.append(self._try_baseline(
+            "rssi", RSSIBreathEstimator(self._config), reports,
+        ))
+        if self._use_doppler:
+            contributions.append(self._try_baseline(
+                "doppler", DopplerBreathEstimator(self._config), reports,
+            ))
+
+        available = [c for c in contributions if c.rate_bpm is not None
+                     and c.confidence > 0]
+        if not available:
+            raise InsufficientDataError(
+                f"user {user_id}: no observable produced a breathing estimate"
+            )
+        best = max(available, key=lambda c: c.confidence)
+        agreeing = [
+            c for c in available
+            if abs(c.rate_bpm - best.rate_bpm) <= self._tolerance
+        ]
+        agreement = len(agreeing) == len(available)
+        weights = np.array([c.confidence for c in agreeing])
+        rates = np.array([c.rate_bpm for c in agreeing])
+        fused = float(np.average(rates, weights=weights))
+        return HybridEstimate(
+            rate_bpm=fused,
+            contributions=tuple(contributions),
+            agreement=agreement,
+        )
+
+    # ------------------------------------------------------------------
+    def _try_phase(self, user_id: int,
+                   reports: Sequence[TagReport]) -> ObservableEstimate:
+        pipeline = TagBreathe(config=self._config, user_ids={user_id})
+        estimates = pipeline.process(reports)
+        estimate = estimates.get(user_id)
+        if estimate is None:
+            return ObservableEstimate("phase", None, 0.0)
+        confidence = _peak_prominence(estimate.estimate.signal,
+                                      estimate.rate_bpm)
+        # Phase is the engineered primary sensor; its prominence is
+        # weighted up so auxiliaries only dominate when phase is weak.
+        return ObservableEstimate("phase", estimate.rate_bpm, 3.0 * confidence)
+
+    @staticmethod
+    def _try_baseline(name: str, estimator,
+                      reports: Sequence[TagReport]) -> ObservableEstimate:
+        try:
+            estimate: BreathingEstimate = estimator.estimate(list(reports))
+        except InsufficientDataError:
+            return ObservableEstimate(name, None, 0.0)
+        confidence = _peak_prominence(estimate.signal, estimate.rate_bpm)
+        return ObservableEstimate(name, estimate.rate_bpm, confidence)

@@ -1,0 +1,307 @@
+"""The end-to-end TagBreathe engine — Fig. 10's workflow as a public API.
+
+    Data Collection -> Data Fusion -> Vital Sign Extraction
+
+Batch mode (:meth:`TagBreathe.process`) consumes a full LLRP capture and
+returns per-user estimates; streaming mode (:meth:`TagBreathe.feed` +
+:meth:`TagBreathe.estimate_user`) consumes reports one at a time, the way
+the paper's prototype visualised breathing "in realtime" (Section V).
+
+Two preprocessing representations are supported (see DESIGN.md):
+
+* ``mode="samples"`` (default, production): per-channel unwrapped phase
+  segments, offset-normalised and fused by binned averaging.  Every sample
+  carries only its own noise — no dwell-boundary random walk — and channel
+  recurrences preserve continuity even when reads are sparse (30
+  contending tags, 90-degree orientation).
+* ``mode="increments"``: the literal Eq. (3)/(6)/(7) increment pipeline of
+  the paper's text, retained for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..config import PipelineConfig
+from ..errors import ExtractionError, InsufficientDataError
+from ..reader.tagreport import TagReport
+from ..streams.timeseries import TimeSeries
+from .extraction import BreathExtractor, BreathingEstimate
+from .fusion import (
+    fuse_sample_streams,
+    fuse_streams,
+    group_reports_by_user,
+)
+from .preprocess import (
+    DEFAULT_MAX_GAP_S,
+    DEFAULT_SEGMENT_GAP_S,
+    DEFAULT_SMOOTH_K,
+    StreamKey,
+    default_frequencies,
+    displacement_deltas,
+    displacement_samples,
+    group_reports_by_stream,
+)
+from .quality import filter_to_antenna, select_best_antenna
+
+#: Supported preprocessing representations.
+MODES = ("samples", "increments")
+
+
+@dataclass(frozen=True)
+class UserEstimate:
+    """One user's monitoring result.
+
+    Attributes:
+        user_id: the monitored user.
+        estimate: the extraction output (rate, signal, crossings).
+        antenna_port: the antenna whose data was used (None = all fused).
+        tags_fused: how many tag streams contributed.
+        read_count: how many low-level reads backed the estimate.
+    """
+
+    user_id: int
+    estimate: BreathingEstimate
+    antenna_port: Optional[int]
+    tags_fused: int
+    read_count: int
+
+    @property
+    def rate_bpm(self) -> float:
+        """Shortcut to the headline breathing rate."""
+        return self.estimate.rate_bpm
+
+
+class TagBreathe:
+    """The TagBreathe breath-monitoring engine.
+
+    Args:
+        frequencies_hz: channel-index -> carrier frequency map of the
+            reader's hop table (defaults to the 10-channel FCC plan).
+        config: signal-processing parameters (cutoff, buffer M, ...).
+        user_ids: when given, only these users are monitored; all other
+            EPCs (e.g. item-labelling tags) are ignored — the Fig. 14
+            setup.
+        filter_type: "fft" (paper default) or "fir".
+        select_antenna: restrict each user's data to the best-quality
+            antenna (Section IV-D-3) when reads arrive via several
+            antennas.
+        mode: "samples" (production) or "increments" (paper-literal);
+            see the module docstring.
+        max_gap_s: chain/segment gap limit for the chosen mode (defaults
+            to the mode's recommended value).
+        smooth_k: phase moving-average window (increments mode only).
+
+    Raises:
+        ExtractionError: on an unknown mode or filter type.
+    """
+
+    def __init__(
+        self,
+        frequencies_hz: Optional[Sequence[float]] = None,
+        config: Optional[PipelineConfig] = None,
+        user_ids: Optional[Set[int]] = None,
+        filter_type: str = "fft",
+        select_antenna: bool = True,
+        mode: str = "samples",
+        max_gap_s: Optional[float] = None,
+        smooth_k: int = DEFAULT_SMOOTH_K,
+    ) -> None:
+        if mode not in MODES:
+            raise ExtractionError(f"mode must be one of {MODES}, got {mode!r}")
+        self._frequencies = list(
+            frequencies_hz if frequencies_hz is not None else default_frequencies()
+        )
+        self._config = config if config is not None else PipelineConfig()
+        self._user_ids = set(user_ids) if user_ids is not None else None
+        self._extractor = BreathExtractor(self._config, filter_type=filter_type)
+        self._select_antenna = select_antenna
+        self._mode = mode
+        if max_gap_s is None:
+            max_gap_s = (DEFAULT_SEGMENT_GAP_S if mode == "samples"
+                         else DEFAULT_MAX_GAP_S)
+        self._max_gap_s = max_gap_s
+        self._smooth_k = smooth_k
+        # Streaming state: raw reports buffered per (user, tag) stream;
+        # estimates re-run the batch path over the trailing window, so
+        # streaming and batch results agree by construction.
+        self._report_buffers: Dict[StreamKey, List[TagReport]] = {}
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The signal-processing configuration in force."""
+        return self._config
+
+    @property
+    def mode(self) -> str:
+        """The preprocessing representation in use."""
+        return self._mode
+
+    @property
+    def extractor(self) -> BreathExtractor:
+        """The extraction stage (exposed for inspection/ablation)."""
+        return self._extractor
+
+    # ------------------------------------------------------------------
+    # Batch mode
+    # ------------------------------------------------------------------
+    def process(self, reports: Iterable[TagReport]) -> Dict[int, UserEstimate]:
+        """Process a full capture; estimates for every estimable user.
+
+        Users without enough data (fully blocked LOS, too few crossings)
+        are silently absent — the paper's "does not report" behaviour.
+        Use :meth:`process_detailed` to see why a user is missing.
+        """
+        estimates, _failures = self.process_detailed(reports)
+        return estimates
+
+    def process_detailed(
+        self, reports: Iterable[TagReport]
+    ) -> Tuple[Dict[int, UserEstimate], Dict[int, str]]:
+        """Like :meth:`process`, also returning per-user failure reasons."""
+        by_user = group_reports_by_user(reports, user_ids=self._user_ids)
+        estimates: Dict[int, UserEstimate] = {}
+        failures: Dict[int, str] = {}
+        for user_id, user_reports in sorted(by_user.items()):
+            try:
+                estimates[user_id] = self._process_user(user_id, user_reports)
+            except InsufficientDataError as exc:
+                failures[user_id] = str(exc)
+        if self._user_ids is not None:
+            for user_id in self._user_ids - set(by_user):
+                failures[user_id] = "no reads received (tag unreadable?)"
+        return estimates, failures
+
+    def fused_track(self, user_id: int,
+                    user_reports: Sequence[TagReport]) -> TimeSeries:
+        """The fused displacement track for one user's reports.
+
+        Exposed for diagnostics and the characterisation benchmarks
+        (Figs. 6-8 plot exactly this series and its derivatives).
+
+        Raises:
+            InsufficientDataError / EmptyStreamError: with too little data.
+        """
+        streams = group_reports_by_stream(user_reports)
+        if self._mode == "samples":
+            sample_streams = {
+                key: displacement_samples(tag_reports, self._frequencies,
+                                          max_gap_s=self._max_gap_s)
+                for key, tag_reports in streams.items()
+            }
+            fused = fuse_sample_streams(user_id, sample_streams,
+                                        bin_s=self._config.fusion_bin_s)
+        else:
+            delta_streams = {
+                key: displacement_deltas(tag_reports, self._frequencies,
+                                         max_gap_s=self._max_gap_s,
+                                         smooth_k=self._smooth_k)
+                for key, tag_reports in streams.items()
+            }
+            fused = fuse_streams(user_id, delta_streams,
+                                 bin_s=self._config.fusion_bin_s)
+        return fused.track
+
+    def _process_user(self, user_id: int,
+                      user_reports: List[TagReport]) -> UserEstimate:
+        antenna_port: Optional[int] = None
+        working = user_reports
+        ports = {r.antenna_port for r in user_reports}
+        if self._select_antenna and len(ports) > 1:
+            antenna_port = select_best_antenna(user_reports)
+            working = filter_to_antenna(user_reports, antenna_port)
+        elif len(ports) == 1:
+            antenna_port = next(iter(ports))
+
+        streams = group_reports_by_stream(working)
+        track = self.fused_track(user_id, working)
+        estimate = self._extractor.estimate(track)
+        return UserEstimate(
+            user_id=user_id,
+            estimate=estimate,
+            antenna_port=antenna_port,
+            tags_fused=len(streams),
+            read_count=len(working),
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming mode
+    # ------------------------------------------------------------------
+    def feed(self, report: TagReport) -> None:
+        """Consume one report into the streaming buffers.
+
+        Reports for unmonitored users (when ``user_ids`` was given) are
+        dropped; out-of-order reports within a stream are ignored rather
+        than corrupting the buffers.
+        """
+        if self._user_ids is not None and report.user_id not in self._user_ids:
+            return
+        if report.channel_index >= len(self._frequencies):
+            raise InsufficientDataError(
+                f"channel index {report.channel_index} outside the "
+                f"{len(self._frequencies)}-channel frequency map"
+            )
+        key = report.stream_key
+        buffer = self._report_buffers.setdefault(key, [])
+        if buffer and report.timestamp_s <= buffer[-1].timestamp_s:
+            return
+        buffer.append(report)
+        # Bound memory: keep ~4 analysis windows of raw reports.
+        if len(buffer) % 512 == 0:
+            horizon = report.timestamp_s - 4.0 * self._window_s()
+            if buffer[0].timestamp_s < horizon:
+                self._report_buffers[key] = [
+                    r for r in buffer if r.timestamp_s >= horizon
+                ]
+
+    def feed_many(self, reports: Iterable[TagReport]) -> None:
+        """Feed a batch of reports in order."""
+        for report in reports:
+            self.feed(report)
+
+    def estimate_user(self, user_id: int,
+                      window_s: Optional[float] = None) -> UserEstimate:
+        """Estimate from the trailing window of streamed data.
+
+        Args:
+            user_id: the user to estimate.
+            window_s: analysis window length (default: 25 s, the paper's
+                characterisation window).
+
+        Raises:
+            InsufficientDataError: when no streamed data covers the user
+                or the window holds too little signal.
+        """
+        window = window_s if window_s is not None else self._window_s()
+        user_reports: List[TagReport] = []
+        t_latest = None
+        for key, buffer in self._report_buffers.items():
+            if key[0] != user_id or not buffer:
+                continue
+            last = buffer[-1].timestamp_s
+            t_latest = last if t_latest is None else max(t_latest, last)
+        if t_latest is None:
+            raise InsufficientDataError(f"no streamed data for user {user_id}")
+        cutoff = t_latest - window
+        for key, buffer in self._report_buffers.items():
+            if key[0] != user_id:
+                continue
+            user_reports.extend(r for r in buffer if r.timestamp_s >= cutoff)
+        user_reports.sort(key=lambda r: r.timestamp_s)
+        if not user_reports:
+            raise InsufficientDataError(f"no streamed data for user {user_id}")
+        return self._process_user(user_id, user_reports)
+
+    def streamed_users(self) -> List[int]:
+        """Users with at least one buffered report."""
+        return sorted({key[0] for key, buf in self._report_buffers.items() if buf})
+
+    def reset_streaming(self) -> None:
+        """Drop all streaming state (start a fresh monitoring session)."""
+        self._report_buffers.clear()
+
+    # ------------------------------------------------------------------
+    def _window_s(self) -> float:
+        """The default streaming analysis window: 25 s as in Section IV-A."""
+        return max(25.0, self._config.min_window_s)

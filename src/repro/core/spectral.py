@@ -1,0 +1,80 @@
+"""Frequency-domain analysis: the FFT view of the displacement track.
+
+The paper uses the FFT twice: Fig. 7 shows the displacement spectrum whose
+peak sits at the breathing rate, and Section IV-B then points out the
+pitfall of *estimating* the rate from that peak:
+
+    "One of the pitfalls of the Fourier transform for a window size of w
+    seconds is that it has a resolution of 1/w. ... since the window size
+    is 25 seconds, the frequency resolution is 0.04 Hz which corresponds
+    to 2.4 breaths per minute."
+
+The peak estimator is implemented here as a characterised baseline; the
+production path uses zero crossings (:mod:`repro.core.zerocross`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import StreamError
+from ..streams.timeseries import TimeSeries
+from ..units import BPM_PER_HZ
+from .filters import _require_regular
+
+
+def fft_spectrum(series: TimeSeries) -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum of a regularly sampled series.
+
+    Returns:
+        (frequencies [Hz], amplitudes), DC included.
+
+    Raises:
+        StreamError: on irregular sampling or too few samples.
+    """
+    rate_hz = _require_regular(series, "fft_spectrum")
+    values = series.values - series.values.mean()
+    spectrum = np.abs(np.fft.rfft(values)) / len(series)
+    freqs = np.fft.rfftfreq(len(series), d=1.0 / rate_hz)
+    return freqs, spectrum
+
+
+def fft_peak_rate_bpm(series: TimeSeries,
+                      band_bpm: Tuple[float, float] = (4.0, 40.0)) -> float:
+    """The pitfall baseline: breathing rate from the FFT peak [bpm].
+
+    Args:
+        series: regularly sampled displacement track.
+        band_bpm: search band; defaults to plausible human rates.
+
+    Raises:
+        StreamError: if no FFT bin falls inside the band (window too short).
+    """
+    lo_bpm, hi_bpm = band_bpm
+    if not 0 < lo_bpm < hi_bpm:
+        raise StreamError(f"invalid band {band_bpm}")
+    freqs, spectrum = fft_spectrum(series)
+    mask = (freqs >= lo_bpm / BPM_PER_HZ) & (freqs <= hi_bpm / BPM_PER_HZ)
+    if not mask.any():
+        raise StreamError(
+            f"no FFT bin inside {band_bpm} bpm: window of {series.duration:.1f}s "
+            f"has resolution {frequency_resolution_bpm(series.duration):.2f} bpm"
+        )
+    band_freqs = freqs[mask]
+    band_amp = spectrum[mask]
+    return float(band_freqs[int(np.argmax(band_amp))] * BPM_PER_HZ)
+
+
+def frequency_resolution_bpm(window_s: float) -> float:
+    """The FFT's rate resolution for a ``window_s``-second window [bpm].
+
+    The paper's example: 25 s -> 0.04 Hz -> 2.4 bpm.
+
+    Raises:
+        StreamError: on non-positive window.
+    """
+    if window_s <= 0:
+        raise StreamError("window_s must be > 0")
+    return BPM_PER_HZ / window_s

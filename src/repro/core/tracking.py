@@ -1,0 +1,159 @@
+"""Breathing-rate tracking over time: a smoothed realtime estimate.
+
+The paper's prototype "buffers 7 zero crossings ... to calculate the
+breathing rates for realtime visualization" — a moving estimate that
+still jitters with every crossing.  This module adds the tracking layer
+a production monitor would put on top: a constant-velocity Kalman filter
+over the Eq. (5) instantaneous rates, with innovation gating so a single
+corrupted crossing cannot yank the displayed rate.
+
+State: ``[rate_bpm, rate_trend_bpm_per_s]``; measurements: the Eq. (5)
+instantaneous rates at their crossing timestamps (irregular intervals are
+handled by time-scaled process noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..streams.timeseries import TimeSeries
+
+
+@dataclass(frozen=True)
+class TrackedRate:
+    """One tracker output.
+
+    Attributes:
+        time_s: measurement timestamp.
+        rate_bpm: smoothed rate estimate.
+        trend_bpm_per_min: estimated rate-of-change (positive = speeding up).
+        uncertainty_bpm: 1-sigma uncertainty of the rate estimate.
+        gated: True when the raw measurement was rejected as an outlier.
+    """
+
+    time_s: float
+    rate_bpm: float
+    trend_bpm_per_min: float
+    uncertainty_bpm: float
+    gated: bool
+
+
+class BreathingRateTracker:
+    """Constant-velocity Kalman tracker over instantaneous breathing rates.
+
+    Args:
+        process_noise: rate-trend random-walk intensity
+            [bpm^2 / s^3]-ish; larger = more responsive, jitterier.
+        measurement_noise_bpm: 1-sigma of an Eq. (5) instantaneous rate.
+        gate_sigmas: innovation gate; measurements farther than this many
+            sigmas from the prediction are ignored (flagged ``gated``).
+        initial_rate_bpm: optional prior; otherwise the first measurement
+            initialises the state.
+
+    Raises:
+        ReproError: on non-positive noise/gate parameters.
+    """
+
+    def __init__(self, process_noise: float = 0.005,
+                 measurement_noise_bpm: float = 0.8,
+                 gate_sigmas: float = 4.0,
+                 initial_rate_bpm: Optional[float] = None) -> None:
+        if process_noise <= 0 or measurement_noise_bpm <= 0:
+            raise ReproError("noise parameters must be > 0")
+        if gate_sigmas <= 0:
+            raise ReproError("gate_sigmas must be > 0")
+        self._q = float(process_noise)
+        self._r = float(measurement_noise_bpm) ** 2
+        self._gate = float(gate_sigmas)
+        self._t: Optional[float] = None
+        self._x = np.zeros(2)
+        self._p = np.diag([25.0, 1.0])
+        if initial_rate_bpm is not None:
+            if initial_rate_bpm <= 0:
+                raise ReproError("initial rate must be > 0 bpm")
+            self._x[0] = initial_rate_bpm
+            self._initialised = True
+        else:
+            self._initialised = False
+
+    @property
+    def rate_bpm(self) -> Optional[float]:
+        """Current smoothed rate (None before the first measurement)."""
+        if not self._initialised:
+            return None
+        return float(self._x[0])
+
+    # ------------------------------------------------------------------
+    def update(self, time_s: float, measured_bpm: float) -> TrackedRate:
+        """Ingest one instantaneous-rate measurement.
+
+        Raises:
+            ReproError: on a non-positive measurement or time going
+                backwards.
+        """
+        if measured_bpm <= 0:
+            raise ReproError(f"rate must be > 0 bpm, got {measured_bpm}")
+        if self._t is not None and time_s < self._t:
+            raise ReproError(f"time went backwards: {time_s} < {self._t}")
+
+        if not self._initialised:
+            self._x = np.array([measured_bpm, 0.0])
+            self._p = np.diag([self._r, 0.25])
+            self._initialised = True
+            self._t = time_s
+            return TrackedRate(time_s, measured_bpm, 0.0,
+                               float(np.sqrt(self._p[0, 0])), False)
+
+        dt = 0.0 if self._t is None else max(0.0, time_s - self._t)
+        self._t = time_s
+        # Predict.
+        f = np.array([[1.0, dt], [0.0, 1.0]])
+        q = self._q * np.array([
+            [dt ** 3 / 3.0, dt ** 2 / 2.0],
+            [dt ** 2 / 2.0, dt],
+        ])
+        self._x = f @ self._x
+        self._p = f @ self._p @ f.T + q
+
+        # Gate.
+        innovation = measured_bpm - self._x[0]
+        s = self._p[0, 0] + self._r
+        gated = abs(innovation) > self._gate * np.sqrt(s)
+        if not gated:
+            # Update.
+            k = self._p[:, 0] / s
+            self._x = self._x + k * innovation
+            self._p = self._p - np.outer(k, self._p[0, :])
+        return TrackedRate(
+            time_s=time_s,
+            rate_bpm=float(self._x[0]),
+            trend_bpm_per_min=float(self._x[1] * 60.0),
+            uncertainty_bpm=float(np.sqrt(max(self._p[0, 0], 0.0))),
+            gated=gated,
+        )
+
+    def track_series(self, rates: TimeSeries) -> List[TrackedRate]:
+        """Run the tracker over a whole Eq. (5) rate series.
+
+        Raises:
+            ReproError: propagated from :meth:`update`.
+        """
+        return [self.update(float(t), float(v)) for t, v in rates]
+
+
+def smooth_rate_series(rates: TimeSeries, **tracker_kwargs) -> TimeSeries:
+    """Convenience: Kalman-smooth a rate series into a new TimeSeries.
+
+    Raises:
+        ReproError: on an empty input series.
+    """
+    if not rates:
+        raise ReproError("cannot smooth an empty rate series")
+    tracker = BreathingRateTracker(**tracker_kwargs)
+    tracked = tracker.track_series(rates)
+    return TimeSeries([t.time_s for t in tracked],
+                      [t.rate_bpm for t in tracked])

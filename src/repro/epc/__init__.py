@@ -1,0 +1,74 @@
+"""EPC Gen2 substrate: EPC-96 codec and MAC-layer inventory simulation.
+
+TagBreathe rides on two EPC Gen2 behaviours:
+
+* collision arbitration (framed slotted ALOHA with the Q algorithm), which
+  is why multiple users' tags "naturally avoid interferences" (Section I)
+  but also why read rates fall as contending tags appear (Fig. 14);
+* writable 96-bit EPCs, which TagBreathe overwrites with a 64-bit user ID
+  plus a 32-bit tag ID (Fig. 9).
+"""
+
+from .codec import EPC96, EPCMappingTable, encode_user_tag, decode_user_tag
+from .gen2 import Gen2Config, Gen2Inventory, SlotOutcome, RoundStats
+from .inventory import expected_round_stats, expected_aggregate_read_rate, expected_per_tag_rate
+from .select import (
+    SelectCommand,
+    crc16_bits,
+    population_filter,
+    select_user,
+    select_user_prefix,
+)
+from .transcript import (
+    Exchange,
+    RoundTranscript,
+    TranscriptBuilder,
+    airtime_of_successful_slot,
+)
+from .commands import (
+    QueryCommand,
+    crc5,
+    crc16,
+    encode_ack,
+    decode_ack,
+    encode_query_rep,
+    decode_query_rep,
+    encode_query_adjust,
+    decode_query_adjust,
+    frame_epc_reply,
+    parse_epc_reply,
+)
+
+__all__ = [
+    "EPC96",
+    "EPCMappingTable",
+    "encode_user_tag",
+    "decode_user_tag",
+    "Gen2Config",
+    "Gen2Inventory",
+    "SlotOutcome",
+    "RoundStats",
+    "expected_round_stats",
+    "expected_aggregate_read_rate",
+    "expected_per_tag_rate",
+    "QueryCommand",
+    "crc5",
+    "crc16",
+    "encode_ack",
+    "decode_ack",
+    "encode_query_rep",
+    "decode_query_rep",
+    "encode_query_adjust",
+    "decode_query_adjust",
+    "frame_epc_reply",
+    "parse_epc_reply",
+    "SelectCommand",
+    "crc16_bits",
+    "population_filter",
+    "select_user",
+    "select_user_prefix",
+    "Exchange",
+    "RoundTranscript",
+    "TranscriptBuilder",
+    "airtime_of_successful_slot",
+]

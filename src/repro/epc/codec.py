@@ -1,0 +1,156 @@
+"""EPC-96 encoding: the 64-bit user ID + 32-bit tag ID split of Fig. 9.
+
+    "We overwrite the 96-bit tag ID with a 64-bit user ID followed by a
+    32-bit short tag ID ... If the overwriting operation is not supported,
+    the reader can build a mapping table to map and lookup 96-bit tag IDs
+    to user IDs and short tag IDs."  (Section IV-C)
+
+Both paths are implemented: :func:`encode_user_tag` / :func:`decode_user_tag`
+for the overwrite path and :class:`EPCMappingTable` for the fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import EPCFormatError
+
+#: Bit widths from Fig. 9.
+EPC_BITS = 96
+USER_ID_BITS = 64
+TAG_ID_BITS = 32
+
+_EPC_MAX = (1 << EPC_BITS) - 1
+_USER_MAX = (1 << USER_ID_BITS) - 1
+_TAG_MAX = (1 << TAG_ID_BITS) - 1
+
+
+@dataclass(frozen=True)
+class EPC96:
+    """An immutable 96-bit EPC value.
+
+    Attributes:
+        value: the raw 96-bit integer.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _EPC_MAX:
+            raise EPCFormatError(f"EPC must fit in {EPC_BITS} bits, got {self.value:#x}")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "EPC96":
+        """Parse a 24-hex-digit EPC string (whitespace/dashes tolerated).
+
+        Raises:
+            EPCFormatError: on malformed input.
+        """
+        cleaned = text.replace(" ", "").replace("-", "").lower()
+        if len(cleaned) != EPC_BITS // 4:
+            raise EPCFormatError(
+                f"EPC hex must be {EPC_BITS // 4} digits, got {len(cleaned)}"
+            )
+        try:
+            return cls(int(cleaned, 16))
+        except ValueError as exc:
+            raise EPCFormatError(f"invalid EPC hex {text!r}") from exc
+
+    @classmethod
+    def from_user_tag(cls, user_id: int, tag_id: int) -> "EPC96":
+        """Build the overwritten EPC of Fig. 9 from a user ID and tag ID."""
+        return cls(encode_user_tag(user_id, tag_id))
+
+    def to_hex(self) -> str:
+        """24-digit lowercase hex representation."""
+        return f"{self.value:024x}"
+
+    @property
+    def user_id(self) -> int:
+        """The high 64 bits, interpreted as a TagBreathe user ID."""
+        return (self.value >> TAG_ID_BITS) & _USER_MAX
+
+    @property
+    def tag_id(self) -> int:
+        """The low 32 bits, interpreted as a TagBreathe short tag ID."""
+        return self.value & _TAG_MAX
+
+    def split(self) -> Tuple[int, int]:
+        """``(user_id, tag_id)`` per Fig. 9."""
+        return self.user_id, self.tag_id
+
+    def __str__(self) -> str:
+        return self.to_hex()
+
+
+def encode_user_tag(user_id: int, tag_id: int) -> int:
+    """Pack ``user_id`` (64 b) and ``tag_id`` (32 b) into one 96-bit value.
+
+    Raises:
+        EPCFormatError: if either field overflows its width.
+    """
+    if not 0 <= user_id <= _USER_MAX:
+        raise EPCFormatError(f"user_id must fit in {USER_ID_BITS} bits, got {user_id}")
+    if not 0 <= tag_id <= _TAG_MAX:
+        raise EPCFormatError(f"tag_id must fit in {TAG_ID_BITS} bits, got {tag_id}")
+    return (user_id << TAG_ID_BITS) | tag_id
+
+
+def decode_user_tag(epc_value: int) -> Tuple[int, int]:
+    """Unpack a 96-bit EPC into ``(user_id, tag_id)``.
+
+    Raises:
+        EPCFormatError: if the value does not fit in 96 bits.
+    """
+    return EPC96(epc_value).split()
+
+
+class EPCMappingTable:
+    """Fallback lookup table for readers that cannot overwrite EPCs.
+
+    Maps factory 96-bit EPCs to ``(user_id, tag_id)`` pairs, exactly the
+    "mapping table" alternative of Section IV-C.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[int, Tuple[int, int]] = {}
+        self._reverse: Dict[Tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def register(self, factory_epc: EPC96, user_id: int, tag_id: int) -> None:
+        """Associate a factory EPC with a (user, tag) identity.
+
+        Raises:
+            EPCFormatError: if the identity fields overflow, or the factory
+                EPC / identity pair is already registered differently.
+        """
+        encode_user_tag(user_id, tag_id)  # validates widths
+        key = factory_epc.value
+        identity = (user_id, tag_id)
+        existing = self._table.get(key)
+        if existing is not None and existing != identity:
+            raise EPCFormatError(
+                f"EPC {factory_epc} already mapped to {existing}, cannot remap to {identity}"
+            )
+        owner = self._reverse.get(identity)
+        if owner is not None and owner != key:
+            raise EPCFormatError(
+                f"identity {identity} already bound to EPC {owner:#x}"
+            )
+        self._table[key] = identity
+        self._reverse[identity] = key
+
+    def lookup(self, factory_epc: EPC96) -> Optional[Tuple[int, int]]:
+        """``(user_id, tag_id)`` for a factory EPC, or None if unregistered.
+
+        Unregistered EPCs are how item-labelling *contending* tags (Fig. 14)
+        are distinguished from breath-monitoring tags.
+        """
+        return self._table.get(factory_epc.value)
+
+    def is_monitoring_tag(self, factory_epc: EPC96) -> bool:
+        """True when the EPC belongs to a registered breath-monitoring tag."""
+        return factory_epc.value in self._table

@@ -1,0 +1,277 @@
+"""EPC C1G2 command-level encoding: Query/QueryRep/QueryAdjust/ACK + CRCs.
+
+The MAC simulator (:mod:`repro.epc.gen2`) works at slot granularity; this
+module implements the bit-level commands those slots carry, per the
+EPCglobal Class-1 Generation-2 air-interface spec the paper's reader
+follows ("Both the reader and the tags follow the standard EPC protocol",
+Section V).  It exists so protocol-level tooling (sniffer decoding, trace
+validation, airtime accounting) works against realistic frames.
+
+Implemented:
+
+* CRC-5 (poly x^5 + x^3 + 1, preset 01001) protecting Query commands.
+* CRC-16-CCITT (preset 0xFFFF, bit-reflected per ISO/IEC 13239) protecting
+  EPC backscatter (the PC + EPC + CRC16 reply format).
+* Query / QueryRep / QueryAdjust / ACK encoders and decoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import EPCError
+
+#: Command prefixes per the C1G2 spec.
+_QUERY_PREFIX = "1000"
+_QUERYREP_PREFIX = "00"
+_QUERYADJUST_PREFIX = "1001"
+_ACK_PREFIX = "01"
+
+
+def _bits_of(value: int, width: int) -> str:
+    if value < 0 or value >= (1 << width):
+        raise EPCError(f"value {value} does not fit in {width} bits")
+    return format(value, f"0{width}b")
+
+
+# ----------------------------------------------------------------------
+# CRC-5 (Query commands)
+# ----------------------------------------------------------------------
+def crc5(bits: str) -> int:
+    """CRC-5 of a bit string, per C1G2 Annex F (poly 0x09, preset 0b01001).
+
+    Raises:
+        EPCError: on a non-binary input string.
+    """
+    if not all(b in "01" for b in bits):
+        raise EPCError("crc5 input must be a binary string")
+    register = 0b01001
+    for bit in bits:
+        top = (register >> 4) & 1
+        register = ((register << 1) & 0b11111) | int(bit)
+        if top:
+            register ^= 0b01001
+    # One more pass to flush... the standard algorithm XORs on the bit
+    # shifted out; the loop above already realises it.
+    return register & 0b11111
+
+
+def crc5_check(bits_with_crc: str) -> bool:
+    """True when a Query frame's trailing 5 CRC bits verify."""
+    if len(bits_with_crc) < 5:
+        return False
+    body, tail = bits_with_crc[:-5], bits_with_crc[-5:]
+    return crc5(body) == int(tail, 2)
+
+
+# ----------------------------------------------------------------------
+# CRC-16 (EPC backscatter)
+# ----------------------------------------------------------------------
+def crc16(data: bytes) -> int:
+    """CRC-16-CCITT per C1G2 Annex F: preset 0xFFFF, poly 0x1021, final XOR.
+
+    The tag backscatters PC + EPC + CRC-16; the reader validates before
+    reporting the read (a failed CRC is one of the 'link failure' slots of
+    the MAC simulator).
+    """
+    register = 0xFFFF
+    for byte in data:
+        register ^= byte << 8
+        for _ in range(8):
+            if register & 0x8000:
+                register = ((register << 1) ^ 0x1021) & 0xFFFF
+            else:
+                register = (register << 1) & 0xFFFF
+    return register ^ 0xFFFF
+
+
+def crc16_check(data: bytes, crc: int) -> bool:
+    """True when ``crc`` matches the CRC-16 of ``data``."""
+    return crc16(data) == (crc & 0xFFFF)
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryCommand:
+    """The Query command starting an inventory round.
+
+    Attributes:
+        dr: divide ratio flag (0 = 8, 1 = 64/3).
+        m: miller encoding selector 0-3 (M = 1, 2, 4, 8).
+        trext: pilot-tone flag.
+        sel: SL-flag filter, 0-3.
+        session: inventory session 0-3 (S0-S3).
+        target: inventoried flag target (0 = A, 1 = B).
+        q: slot-count exponent, 0-15.
+    """
+
+    dr: int = 0
+    m: int = 0
+    trext: int = 0
+    sel: int = 0
+    session: int = 0
+    target: int = 0
+    q: int = 0
+
+    def __post_init__(self) -> None:
+        for name, width in (("dr", 1), ("m", 2), ("trext", 1), ("sel", 2),
+                            ("session", 2), ("target", 1), ("q", 4)):
+            value = getattr(self, name)
+            if not 0 <= value < (1 << width):
+                raise EPCError(f"Query.{name}={value} does not fit {width} bits")
+
+    def encode(self) -> str:
+        """The 22-bit Query frame (prefix + fields + CRC-5)."""
+        body = (
+            _QUERY_PREFIX
+            + _bits_of(self.dr, 1)
+            + _bits_of(self.m, 2)
+            + _bits_of(self.trext, 1)
+            + _bits_of(self.sel, 2)
+            + _bits_of(self.session, 2)
+            + _bits_of(self.target, 1)
+            + _bits_of(self.q, 4)
+        )
+        return body + _bits_of(crc5(body), 5)
+
+    @classmethod
+    def decode(cls, bits: str) -> "QueryCommand":
+        """Parse and CRC-check a 22-bit Query frame.
+
+        Raises:
+            EPCError: on wrong length, prefix, or CRC.
+        """
+        if len(bits) != 22:
+            raise EPCError(f"Query frame must be 22 bits, got {len(bits)}")
+        if not bits.startswith(_QUERY_PREFIX):
+            raise EPCError("not a Query frame (bad prefix)")
+        if not crc5_check(bits):
+            raise EPCError("Query CRC-5 mismatch")
+        return cls(
+            dr=int(bits[4], 2),
+            m=int(bits[5:7], 2),
+            trext=int(bits[7], 2),
+            sel=int(bits[8:10], 2),
+            session=int(bits[10:12], 2),
+            target=int(bits[12], 2),
+            q=int(bits[13:17], 2),
+        )
+
+
+# ----------------------------------------------------------------------
+# QueryRep / QueryAdjust / ACK
+# ----------------------------------------------------------------------
+def encode_query_rep(session: int) -> str:
+    """The 4-bit QueryRep advancing to the next slot.
+
+    Raises:
+        EPCError: on a session outside 0-3.
+    """
+    return _QUERYREP_PREFIX + _bits_of(session, 2)
+
+
+def decode_query_rep(bits: str) -> int:
+    """Session number of a QueryRep frame.
+
+    Raises:
+        EPCError: on wrong length or prefix.
+    """
+    if len(bits) != 4 or not bits.startswith(_QUERYREP_PREFIX):
+        raise EPCError(f"not a QueryRep frame: {bits!r}")
+    return int(bits[2:], 2)
+
+
+#: UpDn field values for QueryAdjust.
+_UPDN = {+1: "110", 0: "000", -1: "011"}
+_UPDN_REVERSE = {v: k for k, v in _UPDN.items()}
+
+
+def encode_query_adjust(session: int, updn: int) -> str:
+    """The 9-bit QueryAdjust nudging Q by ``updn`` in (-1, 0, +1).
+
+    Raises:
+        EPCError: on invalid session or updn.
+    """
+    code = _UPDN.get(updn)
+    if code is None:
+        raise EPCError(f"updn must be -1, 0 or +1, got {updn}")
+    return _QUERYADJUST_PREFIX + _bits_of(session, 2) + code
+
+
+def decode_query_adjust(bits: str) -> Tuple[int, int]:
+    """(session, updn) of a QueryAdjust frame.
+
+    Raises:
+        EPCError: on malformed frames.
+    """
+    if len(bits) != 9 or not bits.startswith(_QUERYADJUST_PREFIX):
+        raise EPCError(f"not a QueryAdjust frame: {bits!r}")
+    session = int(bits[4:6], 2)
+    updn = _UPDN_REVERSE.get(bits[6:])
+    if updn is None:
+        raise EPCError(f"invalid UpDn code {bits[6:]!r}")
+    return session, updn
+
+
+def encode_ack(rn16: int) -> str:
+    """The 18-bit ACK echoing a tag's RN16.
+
+    Raises:
+        EPCError: on an RN16 outside 16 bits.
+    """
+    return _ACK_PREFIX + _bits_of(rn16, 16)
+
+
+def decode_ack(bits: str) -> int:
+    """RN16 of an ACK frame.
+
+    Raises:
+        EPCError: on malformed frames.
+    """
+    if len(bits) != 18 or not bits.startswith(_ACK_PREFIX):
+        raise EPCError(f"not an ACK frame: {bits!r}")
+    return int(bits[2:], 2)
+
+
+# ----------------------------------------------------------------------
+# Tag reply framing
+# ----------------------------------------------------------------------
+def frame_epc_reply(epc_bytes: bytes) -> bytes:
+    """PC + EPC + CRC-16, the tag's backscattered identification reply.
+
+    The 16-bit Protocol Control word encodes the EPC length in words.
+
+    Raises:
+        EPCError: on an EPC that is not a whole number of 16-bit words or
+            longer than the PC field can describe (31 words).
+    """
+    if len(epc_bytes) % 2 != 0:
+        raise EPCError("EPC must be a whole number of 16-bit words")
+    words = len(epc_bytes) // 2
+    if words > 31:
+        raise EPCError("EPC longer than 31 words")
+    pc = (words << 11) & 0xFFFF
+    body = pc.to_bytes(2, "big") + epc_bytes
+    return body + crc16(body).to_bytes(2, "big")
+
+
+def parse_epc_reply(frame: bytes) -> bytes:
+    """Extract and CRC-verify the EPC from a backscattered reply.
+
+    Raises:
+        EPCError: on truncated frames, PC/length mismatch, or bad CRC.
+    """
+    if len(frame) < 4:
+        raise EPCError("reply too short for PC + CRC-16")
+    pc = int.from_bytes(frame[:2], "big")
+    words = pc >> 11
+    expected = 2 + 2 * words + 2
+    if len(frame) != expected:
+        raise EPCError(f"reply length {len(frame)} != PC-declared {expected}")
+    body, crc = frame[:-2], int.from_bytes(frame[-2:], "big")
+    if not crc16_check(body, crc):
+        raise EPCError("EPC reply CRC-16 mismatch")
+    return frame[2:-2]

@@ -1,0 +1,161 @@
+"""Analytic read-rate model for framed slotted ALOHA.
+
+Closed-form expectations matching :class:`repro.epc.gen2.Gen2Inventory` at
+its steady state.  Used by fast benchmarks (Fig. 14's x-axis spans 30
+contending-tag populations) and by tests as an independent oracle for the
+event-driven simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .gen2 import Gen2Config
+
+
+@dataclass(frozen=True)
+class ExpectedRoundStats:
+    """Expected per-round slot counts and duration for a given (n, Q)."""
+
+    n_tags: int
+    q: int
+    slots: int
+    expected_singles: float
+    expected_empties: float
+    expected_collisions: float
+    expected_duration_s: float
+
+    @property
+    def reads_per_second(self) -> float:
+        """Expected aggregate successful-read throughput [reads/s]."""
+        if self.expected_duration_s <= 0:
+            return 0.0
+        return self.expected_singles / self.expected_duration_s
+
+
+def expected_round_stats(n_tags: int, q: int,
+                         config: Gen2Config = None) -> ExpectedRoundStats:
+    """Expected slot outcomes for ``n_tags`` tags in a frame of ``2**q`` slots.
+
+    With each of ``n`` tags choosing uniformly among ``L = 2**q`` slots:
+
+    * E[singles]    = n * (1 - 1/L) ** (n - 1)
+    * E[empties]    = L * (1 - 1/L) ** n
+    * E[collisions] = L - E[empties] - E[singles]... corrected: collision
+      slots = occupied slots - singleton slots.
+
+    Raises:
+        ConfigError: on non-positive tag count or negative q.
+    """
+    if n_tags <= 0:
+        raise ConfigError("n_tags must be > 0")
+    if q < 0:
+        raise ConfigError("q must be >= 0")
+    cfg = config if config is not None else Gen2Config()
+    slots = 1 << q
+    if slots == 1:
+        singles = 1.0 if n_tags == 1 else 0.0
+        empties = 0.0
+        collisions = 0.0 if n_tags == 1 else 1.0
+    else:
+        p_other = 1.0 - 1.0 / slots
+        singles = n_tags * p_other ** (n_tags - 1)
+        empties = slots * p_other ** n_tags
+        occupied = slots - empties
+        collisions = max(0.0, occupied - singles)
+    duration = (
+        cfg.t_round_overhead_s
+        + singles * cfg.t_success_s
+        + empties * cfg.t_empty_s
+        + collisions * cfg.t_collision_s
+    )
+    return ExpectedRoundStats(
+        n_tags=n_tags,
+        q=q,
+        slots=slots,
+        expected_singles=singles,
+        expected_empties=empties,
+        expected_collisions=collisions,
+        expected_duration_s=duration,
+    )
+
+
+def optimal_q(n_tags: int, q_max: int = 15) -> int:
+    """The Q maximising expected read throughput for ``n_tags`` tags.
+
+    The classic ALOHA optimum is a frame size near the tag count; we pick
+    the throughput-maximising integer Q directly.
+
+    Raises:
+        ConfigError: on non-positive tag count.
+    """
+    if n_tags <= 0:
+        raise ConfigError("n_tags must be > 0")
+    best_q, best_rate = 0, -1.0
+    for q in range(0, q_max + 1):
+        rate = expected_round_stats(n_tags, q).reads_per_second
+        if rate > best_rate:
+            best_q, best_rate = q, rate
+    return best_q
+
+
+def expected_aggregate_read_rate(n_tags: int, config: Gen2Config = None,
+                                 link_success: float = 1.0) -> float:
+    """Expected aggregate reads/s across all tags at the optimal Q.
+
+    Args:
+        n_tags: tag population in the field.
+        config: MAC timing parameters.
+        link_success: probability a singleton slot decodes (physical link).
+
+    Raises:
+        ConfigError: if ``link_success`` is outside [0, 1].
+    """
+    if not 0.0 <= link_success <= 1.0:
+        raise ConfigError("link_success must be in [0, 1]")
+    cfg = config if config is not None else Gen2Config()
+    stats = expected_round_stats(n_tags, optimal_q(n_tags), cfg)
+    # A failed decode occupies collision-length airtime instead of a
+    # successful slot; adjust both numerator and duration.
+    good = stats.expected_singles * link_success
+    bad = stats.expected_singles * (1.0 - link_success)
+    duration = (
+        cfg.t_round_overhead_s
+        + good * cfg.t_success_s
+        + bad * cfg.t_collision_s
+        + stats.expected_empties * cfg.t_empty_s
+        + stats.expected_collisions * cfg.t_collision_s
+    )
+    if duration <= 0:
+        return 0.0
+    return good / duration
+
+
+def expected_per_tag_rate(n_tags: int, config: Gen2Config = None,
+                          link_success: float = 1.0) -> float:
+    """Expected reads/s *per tag* — the sampling rate TagBreathe sees.
+
+    This is the quantity that degrades along Fig. 14's x-axis: more
+    contending tags dilute the per-tag share of the aggregate throughput.
+    """
+    if n_tags <= 0:
+        raise ConfigError("n_tags must be > 0")
+    return expected_aggregate_read_rate(n_tags, config, link_success) / n_tags
+
+
+def breathing_nyquist_margin(per_tag_rate_hz: float,
+                             breathing_rate_bpm: float) -> float:
+    """How far above Nyquist a per-tag sampling rate sits for a breath rate.
+
+    Returns the ratio ``per_tag_rate / (2 * breathing_frequency)``; values
+    below 1 mean breathing is unrecoverable from that single tag.
+
+    Raises:
+        ConfigError: on non-positive breathing rate.
+    """
+    if breathing_rate_bpm <= 0:
+        raise ConfigError("breathing_rate_bpm must be > 0")
+    nyquist = 2.0 * breathing_rate_bpm / 60.0
+    return per_tag_rate_hz / nyquist

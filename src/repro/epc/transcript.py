@@ -1,0 +1,205 @@
+"""Command-level protocol transcripts of inventory rounds.
+
+Bridges the slot-level MAC simulator (:mod:`repro.epc.gen2`) and the
+bit-level command codecs (:mod:`repro.epc.commands`): given a round's
+slot outcomes, it reconstructs the full reader/tag exchange — Query,
+QueryRep, ACK, RN16s, EPC replies — as a real air sniffer would log it,
+and accounts airtime from actual bit counts at the configured link rates.
+
+Useful for protocol debugging, for validating the MAC simulator's slot
+durations against first principles, and as the ground truth for tests of
+the command codecs in context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EPCError
+from .codec import EPC96
+from .commands import (
+    QueryCommand,
+    encode_ack,
+    encode_query_rep,
+    frame_epc_reply,
+)
+
+#: Reader -> tag (forward) link rate [bits/s]; Tari=12.5 us PIE averages
+#: roughly 53 kbps on commodity readers.
+DEFAULT_FORWARD_RATE_BPS = 53_000.0
+
+#: Tag -> reader (backscatter) link rate [bits/s] (FM0 at BLF 160 kHz).
+DEFAULT_REVERSE_RATE_BPS = 160_000.0
+
+#: Inter-frame gaps (T1/T2 timing) [s].
+DEFAULT_TURNAROUND_S = 62e-6
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One reader-tag exchange within a slot.
+
+    Attributes:
+        slot: 0-based slot index within the round.
+        reader_frames: bit strings the reader transmitted.
+        tag_frames: byte strings the tag backscattered (RN16 rendered as
+            2 bytes, EPC replies as PC+EPC+CRC16).
+        outcome: "empty", "collision", "read", or "link_fail".
+        epc: the identified tag's EPC for "read" outcomes.
+        airtime_s: total air occupancy of the slot from bit counts.
+    """
+
+    slot: int
+    reader_frames: Tuple[str, ...]
+    tag_frames: Tuple[bytes, ...]
+    outcome: str
+    epc: Optional[EPC96]
+    airtime_s: float
+
+
+@dataclass
+class RoundTranscript:
+    """A full inventory round at command granularity.
+
+    Attributes:
+        query: the opening Query command.
+        exchanges: per-slot exchanges in order.
+    """
+
+    query: QueryCommand
+    exchanges: List[Exchange] = field(default_factory=list)
+
+    @property
+    def total_airtime_s(self) -> float:
+        """Air occupancy of the whole round."""
+        return sum(e.airtime_s for e in self.exchanges)
+
+    def reads(self) -> List[EPC96]:
+        """EPCs successfully identified this round."""
+        return [e.epc for e in self.exchanges if e.outcome == "read" and e.epc]
+
+    def frame_count(self) -> int:
+        """Total frames on the air (both directions)."""
+        return 1 + sum(len(e.reader_frames) + len(e.tag_frames)
+                       for e in self.exchanges)
+
+
+class TranscriptBuilder:
+    """Builds command-level transcripts for inventory rounds.
+
+    Args:
+        forward_rate_bps: reader-to-tag bit rate.
+        reverse_rate_bps: tag-to-reader bit rate.
+        turnaround_s: inter-frame gap (applied per direction change).
+        session: Gen2 session carried in Query/QueryRep.
+        rng: random source for RN16 draws.
+
+    Raises:
+        EPCError: on non-positive rates/gaps.
+    """
+
+    def __init__(self,
+                 forward_rate_bps: float = DEFAULT_FORWARD_RATE_BPS,
+                 reverse_rate_bps: float = DEFAULT_REVERSE_RATE_BPS,
+                 turnaround_s: float = DEFAULT_TURNAROUND_S,
+                 session: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if forward_rate_bps <= 0 or reverse_rate_bps <= 0:
+            raise EPCError("link rates must be > 0")
+        if turnaround_s < 0:
+            raise EPCError("turnaround must be >= 0")
+        if not 0 <= session <= 3:
+            raise EPCError("session must be 0-3")
+        self._fwd = forward_rate_bps
+        self._rev = reverse_rate_bps
+        self._gap = turnaround_s
+        self._session = session
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    def _fwd_time(self, bits: str) -> float:
+        return len(bits) / self._fwd
+
+    def _rev_time(self, payload: bytes) -> float:
+        # FM0 preamble (6 symbols) + payload bits + dummy bit.
+        return (6 + len(payload) * 8 + 1) / self._rev
+
+    def build_round(self, q: int,
+                    slot_outcomes: Sequence[Tuple[str, Optional[EPC96]]]) -> RoundTranscript:
+        """Reconstruct a round from slot outcomes.
+
+        Args:
+            q: the round's Q (the transcript encodes it in the Query).
+            slot_outcomes: per slot, ("empty" | "collision" | "read" |
+                "link_fail", epc-or-None).
+
+        Raises:
+            EPCError: on unknown outcomes or a "read" without an EPC.
+        """
+        query = QueryCommand(session=self._session, q=q)
+        transcript = RoundTranscript(query=query)
+        for index, (outcome, epc) in enumerate(slot_outcomes):
+            transcript.exchanges.append(
+                self._build_slot(index, outcome, epc, query)
+            )
+        return transcript
+
+    def _build_slot(self, index: int, outcome: str,
+                    epc: Optional[EPC96], query: QueryCommand) -> Exchange:
+        opener = (query.encode() if index == 0
+                  else encode_query_rep(self._session))
+        reader_frames: List[str] = [opener]
+        tag_frames: List[bytes] = []
+        airtime = self._fwd_time(opener) + self._gap
+
+        if outcome == "empty":
+            pass
+        elif outcome == "collision":
+            # Two (or more) RN16s pile up; model as one garbled 16-bit
+            # burst of airtime — the reader cannot slice it.
+            rn_a = int(self._rng.integers(0, 1 << 16))
+            tag_frames.append(int(rn_a).to_bytes(2, "big"))
+            airtime += self._rev_time(tag_frames[-1]) + self._gap
+        elif outcome in ("read", "link_fail"):
+            rn16 = int(self._rng.integers(0, 1 << 16))
+            tag_frames.append(rn16.to_bytes(2, "big"))
+            airtime += self._rev_time(tag_frames[-1]) + self._gap
+            ack = encode_ack(rn16)
+            reader_frames.append(ack)
+            airtime += self._fwd_time(ack) + self._gap
+            if outcome == "read":
+                if epc is None:
+                    raise EPCError("a 'read' outcome needs an EPC")
+                reply = frame_epc_reply(epc.value.to_bytes(12, "big"))
+                tag_frames.append(reply)
+                airtime += self._rev_time(reply) + self._gap
+            # link_fail: the EPC reply was garbled; airtime for the
+            # attempted reply still elapses.
+            else:
+                airtime += self._rev_time(b"\x00" * 16) + self._gap
+        else:
+            raise EPCError(f"unknown slot outcome {outcome!r}")
+        return Exchange(
+            slot=index,
+            reader_frames=tuple(reader_frames),
+            tag_frames=tuple(tag_frames),
+            outcome=outcome,
+            epc=epc,
+            airtime_s=airtime,
+        )
+
+
+def airtime_of_successful_slot(builder: Optional[TranscriptBuilder] = None) -> float:
+    """First-principles airtime of one successful identification slot.
+
+    Used by tests to sanity-check :class:`repro.epc.gen2.Gen2Config`'s
+    ``t_success_s`` against the command-level accounting.
+    """
+    builder = builder if builder is not None else TranscriptBuilder(
+        rng=np.random.default_rng(0)
+    )
+    transcript = builder.build_round(0, [("read", EPC96.from_user_tag(1, 1))])
+    return transcript.exchanges[0].airtime_s

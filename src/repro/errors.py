@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TagBreathe reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base type.  Substrate-specific errors subclass it per subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class StreamError(ReproError):
+    """A time-series / stream operation received invalid data."""
+
+
+class EmptyStreamError(StreamError):
+    """An operation required a non-empty stream but got an empty one."""
+
+
+class NonMonotonicTimeError(StreamError):
+    """Timestamps passed to a stream were not strictly increasing."""
+
+
+class EPCError(ReproError):
+    """EPC codec or Gen2 protocol error."""
+
+
+class EPCFormatError(EPCError):
+    """An EPC value has the wrong width or cannot be decoded."""
+
+
+class ReaderError(ReproError):
+    """Reader-model error (bad antenna port, bad hop table, ...)."""
+
+
+class AntennaError(ReaderError):
+    """An antenna port is unknown or misconfigured."""
+
+
+class BodyModelError(ReproError):
+    """Human-subject model error (bad posture, placement, waveform)."""
+
+
+class ScenarioError(ReproError):
+    """An end-to-end simulation scenario is inconsistent."""
+
+
+class ExtractionError(ReproError):
+    """Breath-signal extraction could not produce an estimate."""
+
+
+class InsufficientDataError(ExtractionError):
+    """Not enough readings (or zero crossings) to estimate a breathing rate."""
+
+
+class NoLineOfSightError(ReaderError):
+    """The tag cannot be read at all (LOS fully blocked, paper Fig. 15).
+
+    TagBreathe explicitly *does not report* monitoring results in this case
+    (paper Section VI-B-4), so the condition is an exception rather than a
+    silent empty result.
+    """

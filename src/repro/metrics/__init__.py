@@ -1,0 +1,27 @@
+"""Evaluation metrics and the repeat-trial experiment runner."""
+
+from .accuracy import breathing_rate_accuracy, bpm_error, AccuracyStats, summarize_accuracies
+from .evaluation import TrialOutcome, ExperimentRunner
+from .respiratory import (
+    Apnea,
+    BreathCycle,
+    RespiratoryReport,
+    analyze_breathing,
+    detect_apneas,
+    detect_breath_cycles,
+)
+
+__all__ = [
+    "breathing_rate_accuracy",
+    "bpm_error",
+    "AccuracyStats",
+    "summarize_accuracies",
+    "TrialOutcome",
+    "ExperimentRunner",
+    "Apnea",
+    "BreathCycle",
+    "RespiratoryReport",
+    "analyze_breathing",
+    "detect_apneas",
+    "detect_breath_cycles",
+]

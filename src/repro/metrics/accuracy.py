@@ -1,0 +1,97 @@
+"""The paper's accuracy metric (Eq. 8) and aggregate statistics.
+
+    Accuracy = 1 - |R_hat - R| / R                       (Eq. 8)
+
+where ``R_hat`` is the measured and ``R`` the actual breathing rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def breathing_rate_accuracy(measured_bpm: float, actual_bpm: float) -> float:
+    """Eq. (8): relative accuracy of one breathing-rate measurement.
+
+    Clamped below at 0 (a wildly wrong estimate is "0 % accurate", not
+    negatively accurate) — the paper plots accuracies in [0, 1].
+
+    Raises:
+        ReproError: on a non-positive actual rate.
+    """
+    if actual_bpm <= 0:
+        raise ReproError(f"actual rate must be > 0 bpm, got {actual_bpm}")
+    return max(0.0, 1.0 - abs(measured_bpm - actual_bpm) / actual_bpm)
+
+
+def bpm_error(measured_bpm: float, actual_bpm: float) -> float:
+    """Absolute error in breaths per minute.
+
+    The paper's headline: "less than 1 breath per minute error on average".
+    """
+    return abs(measured_bpm - actual_bpm)
+
+
+@dataclass(frozen=True)
+class AccuracyStats:
+    """Aggregate accuracy over repeated trials.
+
+    Attributes:
+        mean: mean Eq. (8) accuracy.
+        std: standard deviation of per-trial accuracies.
+        minimum / maximum: range of per-trial accuracies.
+        mean_bpm_error: mean absolute bpm error.
+        trials: number of trials aggregated.
+        failures: trials that produced no estimate at all (blocked LOS
+            etc.); excluded from the accuracy moments but reported.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    mean_bpm_error: float
+    trials: int
+    failures: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"accuracy {self.mean * 100:.1f}% +/- {self.std * 100:.1f}% "
+            f"(range {self.minimum * 100:.1f}-{self.maximum * 100:.1f}%), "
+            f"|err| {self.mean_bpm_error:.2f} bpm over {self.trials} trials"
+            + (f", {self.failures} failed" if self.failures else "")
+        )
+
+
+def summarize_accuracies(measured_bpm: Sequence[float],
+                         actual_bpm: Sequence[float],
+                         failures: int = 0) -> AccuracyStats:
+    """Aggregate per-trial (measured, actual) pairs into Eq. (8) statistics.
+
+    Raises:
+        ReproError: on mismatched lengths or no successful trials.
+    """
+    if len(measured_bpm) != len(actual_bpm):
+        raise ReproError(
+            f"{len(measured_bpm)} measurements vs {len(actual_bpm)} truths"
+        )
+    if not measured_bpm:
+        raise ReproError("no successful trials to summarise")
+    accuracies = np.array([
+        breathing_rate_accuracy(m, a) for m, a in zip(measured_bpm, actual_bpm)
+    ])
+    errors = np.array([bpm_error(m, a) for m, a in zip(measured_bpm, actual_bpm)])
+    return AccuracyStats(
+        mean=float(accuracies.mean()),
+        std=float(accuracies.std()),
+        minimum=float(accuracies.min()),
+        maximum=float(accuracies.max()),
+        mean_bpm_error=float(errors.mean()),
+        trials=len(measured_bpm),
+        failures=failures,
+    )

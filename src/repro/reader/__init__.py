@@ -1,0 +1,28 @@
+"""Commodity-reader model: the Impinj R420 equivalent of the paper.
+
+Produces the exact low-level data tuple the paper's prototype consumed via
+the LLRP Toolkit: received signal strength, raw phase value, raw Doppler
+shift, time stamp, tag EPC, channel index, and antenna port (Sections
+IV-A and V).
+"""
+
+from .tagreport import TagReport
+from .hopping import HopSchedule
+from .antenna import Antenna, RoundRobinScheduler
+from .reader import Reader, TagEnvironment
+from .llrp import LLRPClient, ROSpec
+from .sniffer import DecodedFrame, ProtocolSniffer, SnifferReport
+
+__all__ = [
+    "DecodedFrame",
+    "ProtocolSniffer",
+    "SnifferReport",
+    "TagReport",
+    "HopSchedule",
+    "Antenna",
+    "RoundRobinScheduler",
+    "Reader",
+    "TagEnvironment",
+    "LLRPClient",
+    "ROSpec",
+]

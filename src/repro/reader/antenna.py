@@ -1,0 +1,142 @@
+"""Antenna model and round-robin multi-antenna scheduling.
+
+    "a commodity reader can be connected to multiple antennas (e.g., 4
+    antenna ports for one Impinj R420). The reader coordinates the multiple
+    antennas with the round-robin scheduling and avoids the inter-antenna
+    interference. ... only one antenna will be powered up at a time"
+    (Section IV-D-3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AntennaError
+
+Vec3 = Tuple[float, float, float]
+
+
+def _as_vec(v: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(v, dtype=float)
+    if arr.shape != (3,):
+        raise AntennaError(f"expected a 3-vector, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """One reader antenna: position, boresight, and a simple gain pattern.
+
+    The paper's Alien ALR-8696-C is a circularly polarised panel with
+    8.5 dBic peak gain and a roughly 70-degree beamwidth; the pattern here
+    is the standard cos^k rolloff fitted to that beamwidth.
+
+    Attributes:
+        port: 1-based LLRP antenna port.
+        position_m: antenna phase-centre position (paper: 1 m above ground).
+        boresight: unit-ish vector the panel faces along.
+        peak_gain_dbi: gain on boresight.
+        beamwidth_deg: full 3 dB beamwidth.
+    """
+
+    port: int
+    position_m: Vec3 = (0.0, 0.0, 1.0)
+    boresight: Vec3 = (1.0, 0.0, 0.0)
+    peak_gain_dbi: float = 8.5
+    beamwidth_deg: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.port < 1:
+            raise AntennaError("antenna port is 1-based")
+        if self.beamwidth_deg <= 0 or self.beamwidth_deg > 360:
+            raise AntennaError("beamwidth must be in (0, 360] degrees")
+        if float(np.linalg.norm(self.boresight)) == 0.0:
+            raise AntennaError("boresight must be non-zero")
+
+    def gain_dbi_toward(self, point_m: Sequence[float]) -> float:
+        """Gain [dBi] in the direction of ``point_m``.
+
+        Uses the cos^k pattern with k chosen so gain drops 3 dB at half the
+        beamwidth; directions behind the panel get a -20 dB back lobe.
+        """
+        direction = _as_vec(point_m) - _as_vec(self.position_m)
+        dist = float(np.linalg.norm(direction))
+        if dist == 0.0:
+            return self.peak_gain_dbi
+        bs = _as_vec(self.boresight)
+        cos_angle = float(direction @ bs / (dist * np.linalg.norm(bs)))
+        cos_angle = min(1.0, max(-1.0, cos_angle))
+        if cos_angle <= 0.0:
+            return self.peak_gain_dbi - 20.0
+        half_bw = np.radians(self.beamwidth_deg / 2.0)
+        k = np.log(0.5) / np.log(np.cos(half_bw) ** 2)
+        rolloff_db = 10.0 * k * np.log10(cos_angle ** 2)
+        return self.peak_gain_dbi + max(rolloff_db, -20.0)
+
+    def distance_to(self, point_m: Sequence[float]) -> float:
+        """Euclidean distance [m] from the antenna to ``point_m``."""
+        return float(np.linalg.norm(_as_vec(point_m) - _as_vec(self.position_m)))
+
+
+class RoundRobinScheduler:
+    """Round-robin antenna activation, one antenna powered at a time.
+
+    Args:
+        antennas: the connected antennas, in activation order.
+        switch_period_s: residency per antenna before switching.
+
+    Raises:
+        AntennaError: on empty antenna list, duplicate ports, or a
+            non-positive switch period.
+    """
+
+    def __init__(self, antennas: Sequence[Antenna],
+                 switch_period_s: float = 0.2) -> None:
+        if not antennas:
+            raise AntennaError("need at least one antenna")
+        ports = [a.port for a in antennas]
+        if len(set(ports)) != len(ports):
+            raise AntennaError(f"duplicate antenna ports: {ports}")
+        if switch_period_s <= 0:
+            raise AntennaError("switch_period_s must be > 0")
+        self._antennas: List[Antenna] = list(antennas)
+        self._period = float(switch_period_s)
+
+    @property
+    def antennas(self) -> List[Antenna]:
+        """All antennas in activation order."""
+        return list(self._antennas)
+
+    @property
+    def switch_period_s(self) -> float:
+        """Residency per antenna."""
+        return self._period
+
+    def active_at(self, t: float) -> Antenna:
+        """The single powered antenna at time ``t``.
+
+        Raises:
+            AntennaError: for negative times.
+        """
+        if t < 0:
+            raise AntennaError("schedule time must be >= 0")
+        slot = int(t / self._period)
+        return self._antennas[slot % len(self._antennas)]
+
+    def duty_cycle(self) -> float:
+        """Fraction of time each antenna is powered (1/N round-robin)."""
+        return 1.0 / len(self._antennas)
+
+    def by_port(self, port: int) -> Antenna:
+        """Look up an antenna by its LLRP port.
+
+        Raises:
+            AntennaError: if the port is not connected.
+        """
+        for antenna in self._antennas:
+            if antenna.port == port:
+                return antenna
+        raise AntennaError(f"no antenna on port {port}")

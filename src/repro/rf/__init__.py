@@ -1,0 +1,45 @@
+"""RF physics substrate: channels, phase model, propagation, Doppler, noise.
+
+This replaces the physical UHF air interface the paper measured through.
+Everything the TagBreathe pipeline consumes — phase values with per-channel
+offsets, quantised RSSI, noisy Doppler — is produced here with the same
+artefacts a commodity Impinj reader exhibits (paper Section IV-A).
+"""
+
+from .constants import (
+    UHF_BAND_LOW_HZ,
+    UHF_BAND_HIGH_HZ,
+    FCC_CHANNEL_SPACING_HZ,
+    fcc_channel_frequencies,
+)
+from .channel import Channel, ChannelPlan
+from .phase import PhaseModel, backscatter_phase, phase_to_distance_delta
+from .propagation import LinkBudget, PathLossModel
+from .doppler import doppler_shift_from_velocity, doppler_report
+from .noise import DynamicMultipath, PhaseNoiseModel, quantize_rssi
+from .regional import REGULATIONS, RegionalRegulation, regulation
+from .tagchip import ConstellationSnapshot, TagChipModel
+
+__all__ = [
+    "UHF_BAND_LOW_HZ",
+    "UHF_BAND_HIGH_HZ",
+    "FCC_CHANNEL_SPACING_HZ",
+    "fcc_channel_frequencies",
+    "Channel",
+    "ChannelPlan",
+    "PhaseModel",
+    "backscatter_phase",
+    "phase_to_distance_delta",
+    "LinkBudget",
+    "PathLossModel",
+    "doppler_shift_from_velocity",
+    "doppler_report",
+    "PhaseNoiseModel",
+    "DynamicMultipath",
+    "quantize_rssi",
+    "REGULATIONS",
+    "RegionalRegulation",
+    "regulation",
+    "ConstellationSnapshot",
+    "TagChipModel",
+]

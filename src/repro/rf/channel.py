@@ -1,0 +1,110 @@
+"""Frequency channels and the hop plan.
+
+A :class:`Channel` bundles a centre frequency with the constant phase offset
+``c`` of Eq. (1): "c is a constant phase offset which captures the influence
+of reader and tag circuits independent of the distance".  Crucially, ``c``
+*differs per channel* — "when the reader hops to neighbor channels, the
+wavelength and the phase offset c in Eq.(1) also change, leading to
+discontinuity of phase values every 0.2 s" (Section IV-A-3).  That
+discontinuity is the whole reason the preprocessing stage exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import wavelength, wrap_phase
+from .constants import fcc_channel_frequencies
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One frequency channel of the hop plan.
+
+    Attributes:
+        index: 0-based channel index as reported in the low-level data.
+        frequency_hz: carrier centre frequency.
+        phase_offset_rad: the channel's constant offset ``c`` in Eq. (1).
+    """
+
+    index: int
+    frequency_hz: float
+    phase_offset_rad: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigError("channel index must be >= 0")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be > 0")
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength [m]."""
+        return wavelength(self.frequency_hz)
+
+
+class ChannelPlan:
+    """An ordered set of hop channels with per-channel phase offsets.
+
+    Args:
+        frequencies_hz: channel centre frequencies.
+        phase_offsets_rad: per-channel constant offsets ``c``; randomly drawn
+            when omitted (they model circuit group delay, which is arbitrary
+            but fixed for a given tag/reader/channel combination).
+        rng: random source for drawing offsets.
+
+    Raises:
+        ConfigError: on empty plans or mismatched offset lengths.
+    """
+
+    def __init__(
+        self,
+        frequencies_hz: Sequence[float],
+        phase_offsets_rad: Optional[Sequence[float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(frequencies_hz) == 0:
+            raise ConfigError("channel plan must contain at least one channel")
+        if phase_offsets_rad is None:
+            rng = rng if rng is not None else np.random.default_rng()
+            phase_offsets_rad = rng.uniform(0.0, 2.0 * np.pi, size=len(frequencies_hz))
+        if len(phase_offsets_rad) != len(frequencies_hz):
+            raise ConfigError(
+                f"{len(phase_offsets_rad)} offsets for {len(frequencies_hz)} channels"
+            )
+        self._channels: List[Channel] = [
+            Channel(i, float(f), wrap_phase(float(c)))
+            for i, (f, c) in enumerate(zip(frequencies_hz, phase_offsets_rad))
+        ]
+
+    @classmethod
+    def default(cls, num_channels: int = 10,
+                rng: Optional[np.random.Generator] = None) -> "ChannelPlan":
+        """The paper's observed plan: 10 channels across 902–928 MHz (Fig. 5)."""
+        return cls(fcc_channel_frequencies(num_channels), rng=rng)
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels)
+
+    def __getitem__(self, index: int) -> Channel:
+        return self._channels[index]
+
+    @property
+    def channels(self) -> List[Channel]:
+        """All channels in hop order."""
+        return list(self._channels)
+
+    def frequencies(self) -> np.ndarray:
+        """Channel centre frequencies as an array."""
+        return np.array([ch.frequency_hz for ch in self._channels])
+
+    def min_wavelength_m(self) -> float:
+        """Shortest wavelength in the plan (worst case for phase ambiguity)."""
+        return min(ch.wavelength_m for ch in self._channels)

@@ -1,0 +1,49 @@
+"""UHF RFID band constants (FCC Part 15, the regime the paper operates in).
+
+The paper's system operates "at the Ultra-High Frequency (UHF) band between
+902 MHz and 928 MHz" (Section V) and hops among 10 frequency channels
+(Fig. 5).  The real FCC plan has 50 channels at 500 kHz spacing; readers use
+a pseudo-random subset/sequence.  We expose both the full plan and the
+10-channel subset the paper observed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Lower edge of the US UHF RFID band [Hz].
+UHF_BAND_LOW_HZ = 902_000_000.0
+
+#: Upper edge of the US UHF RFID band [Hz].
+UHF_BAND_HIGH_HZ = 928_000_000.0
+
+#: FCC channel spacing [Hz].
+FCC_CHANNEL_SPACING_HZ = 500_000.0
+
+#: First FCC channel centre [Hz] (channel 1 centred at 902.75 MHz).
+FCC_FIRST_CHANNEL_HZ = 902_750_000.0
+
+#: Number of channels in the full FCC plan.
+FCC_NUM_CHANNELS = 50
+
+
+def fcc_channel_frequencies(num_channels: int = FCC_NUM_CHANNELS) -> List[float]:
+    """Centre frequencies [Hz] of the first ``num_channels`` FCC channels.
+
+    For ``num_channels < 50`` the subset is spread evenly across the whole
+    902–928 MHz band (a reader's hop table spans the band; the paper's
+    10 observed channels do too, which is what makes the per-channel phase
+    offsets in Fig. 4 differ so visibly).
+
+    Raises:
+        ValueError: if ``num_channels`` is not in [1, 50].
+    """
+    if not 1 <= num_channels <= FCC_NUM_CHANNELS:
+        raise ValueError(f"num_channels must be in [1, {FCC_NUM_CHANNELS}]")
+    if num_channels == FCC_NUM_CHANNELS:
+        indices = range(FCC_NUM_CHANNELS)
+    else:
+        # Evenly spaced picks across the 50-channel plan.
+        step = (FCC_NUM_CHANNELS - 1) / max(1, num_channels - 1)
+        indices = [round(i * step) for i in range(num_channels)]
+    return [FCC_FIRST_CHANNEL_HZ + i * FCC_CHANNEL_SPACING_HZ for i in indices]

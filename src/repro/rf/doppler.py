@@ -1,0 +1,64 @@
+"""Doppler frequency-shift reports — Eq. (2) of the paper.
+
+Commodity readers estimate Doppler from the phase rotation *within one
+backscatter packet*::
+
+    f = delta_theta / (4 * pi * delta_T)                 (Eq. 2)
+
+Because a packet lasts only a millisecond or two, the intra-packet phase
+rotation from breathing-speed motion is tiny and the estimate is dominated
+by noise — the paper's Fig. 3 shows a noisy envelope that only "roughly
+tracks" breathing.  We reproduce both the physics and the noisiness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import TWO_PI
+
+#: Typical duration of one backscatter packet [s] (EPC Gen2 at ~64 kbps).
+DEFAULT_PACKET_DURATION_S = 1.5e-3
+
+
+def doppler_shift_from_velocity(velocity_mps: float, wavelength_m: float) -> float:
+    """Noise-free Doppler shift [Hz] under the paper's Eq. (2) convention.
+
+    With ``theta = 4*pi*d/lambda``, a radial velocity ``v`` rotates the phase
+    by ``delta_theta = 4*pi*v*delta_T/lambda`` during a packet, so Eq. (2)
+    reports ``f = v / lambda``.  Positive velocity = moving away.
+
+    Raises:
+        ValueError: on non-positive wavelength.
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    return velocity_mps / wavelength_m
+
+
+def doppler_report(velocity_mps: float, wavelength_m: float,
+                   rng: np.random.Generator,
+                   phase_noise_rad: float,
+                   packet_duration_s: float = DEFAULT_PACKET_DURATION_S) -> float:
+    """One raw Doppler-shift report [Hz] as a commodity reader would emit.
+
+    The reader differences two noisy phase estimates ``packet_duration_s``
+    apart (Eq. 2), so the per-report noise is two independent phase-noise
+    draws divided by a very small ``4*pi*delta_T`` — which is why raw
+    Doppler is so noisy (Fig. 3).
+
+    Args:
+        velocity_mps: true radial velocity of the tag.
+        wavelength_m: active channel wavelength.
+        rng: random source.
+        phase_noise_rad: sigma of a single phase estimate.
+        packet_duration_s: backscatter packet duration delta_T.
+
+    Raises:
+        ValueError: on non-positive packet duration or wavelength.
+    """
+    if packet_duration_s <= 0:
+        raise ValueError(f"packet duration must be > 0, got {packet_duration_s}")
+    true_delta = 2.0 * TWO_PI * velocity_mps * packet_duration_s / wavelength_m
+    noisy_delta = true_delta + rng.normal(0.0, phase_noise_rad * np.sqrt(2.0))
+    return noisy_delta / (2.0 * TWO_PI * packet_duration_s)

@@ -1,0 +1,152 @@
+"""Measurement-noise models: phase noise vs SNR, RSSI quantisation.
+
+The paper notes phase measurements "are subject to noises" (Section II-B)
+and that the COTS reader's RSSI resolution is only 0.5 dBm (Section IV-A-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PhaseNoiseModel:
+    """Phase-estimate noise as a function of receive SNR.
+
+    The sigma floors at ``floor_rad`` (quantisation/oscillator limits of the
+    reader) and grows as SNR falls::
+
+        sigma(snr) = floor + ref * 10 ** ((reference_snr_db - snr_db) / 20)
+
+    i.e. inverse-proportional to signal *amplitude*, the standard behaviour
+    of an I/Q phase estimator in additive noise.
+
+    Attributes:
+        floor_rad: high-SNR noise floor.
+        ref_rad: sigma contribution at the reference SNR.
+        reference_snr_db: SNR where the SNR-dependent term equals ref_rad.
+    """
+
+    floor_rad: float = 0.015
+    ref_rad: float = 0.1
+    reference_snr_db: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.floor_rad < 0 or self.ref_rad < 0:
+            raise ConfigError("noise sigmas must be >= 0")
+
+    def sigma(self, snr_db: float) -> float:
+        """Phase-noise sigma [rad] at the given SNR."""
+        return self.floor_rad + self.ref_rad * 10.0 ** ((self.reference_snr_db - snr_db) / 20.0)
+
+    def sample(self, snr_db: float, rng: np.random.Generator) -> float:
+        """One phase-noise draw [rad]."""
+        return float(rng.normal(0.0, self.sigma(snr_db)))
+
+
+class DynamicMultipath:
+    """Slow phase distortion from moving clutter in the environment.
+
+    The paper's office "contains furniture including desks and chairs, and
+    electric appliances including laptops and fans" (Section VI-A).  The
+    backscatter the reader sees is the direct path plus reflections; when a
+    reflector moves (fan sweep, distant person), the composite phase wobbles
+    at sub-hertz rates — squarely inside the breathing band.  The relative
+    strength of clutter grows with tag distance: the direct two-way path
+    weakens as ``d^(2*exponent)`` while room reverberation stays roughly
+    constant, so remote tags see proportionally more distortion.  This is
+    the dominant reason accuracy degrades with distance in Fig. 12.
+
+    Each (tag, channel, antenna) link gets its own random set of
+    interference tones — different channels reflect off the room
+    differently — so multi-tag/multi-channel fusion partially averages the
+    distortion away, exactly the benefit Section IV-C claims for fusion.
+
+    Args:
+        amplitude_at_ref_rad: distortion amplitude at the reference distance.
+        reference_m: distance where the reference amplitude applies.
+        distance_exponent: amplitude growth power with distance.
+        band_hz: frequency band of the clutter motion.
+        components: interference tones per link.
+        max_amplitude_rad: amplitude cap (phase distortion saturates once
+            clutter rivals the direct path).
+        rng: random source for per-link tone draws.
+
+    Raises:
+        ConfigError: on invalid parameters.
+    """
+
+    def __init__(self, amplitude_at_ref_rad: float = 0.03,
+                 reference_m: float = 1.0,
+                 distance_exponent: float = 1.5,
+                 band_hz: tuple = (0.05, 0.6),
+                 components: int = 2,
+                 max_amplitude_rad: float = 1.0,
+                 rng: np.random.Generator = None) -> None:
+        if amplitude_at_ref_rad < 0:
+            raise ConfigError("amplitude_at_ref_rad must be >= 0")
+        if reference_m <= 0:
+            raise ConfigError("reference_m must be > 0")
+        lo, hi = band_hz
+        if not 0 < lo < hi:
+            raise ConfigError(f"invalid clutter band {band_hz}")
+        if components < 1:
+            raise ConfigError("need at least one component")
+        if max_amplitude_rad <= 0:
+            raise ConfigError("max_amplitude_rad must be > 0")
+        self._a_ref = float(amplitude_at_ref_rad)
+        self._d_ref = float(reference_m)
+        self._exp = float(distance_exponent)
+        self._band = (float(lo), float(hi))
+        self._k = int(components)
+        self._a_max = float(max_amplitude_rad)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._links: dict = {}
+
+    def _components_for(self, link_key) -> tuple:
+        entry = self._links.get(link_key)
+        if entry is None:
+            freqs = self._rng.uniform(*self._band, size=self._k)
+            phases = self._rng.uniform(0.0, 2.0 * np.pi, size=self._k)
+            raw = self._rng.uniform(0.3, 1.0, size=self._k)
+            weights = raw / np.sqrt(float(np.sum(raw ** 2)))
+            entry = (freqs, phases, weights)
+            self._links[link_key] = entry
+        return entry
+
+    def amplitude_rad(self, distance_m: float) -> float:
+        """Distortion amplitude [rad] for a link at ``distance_m``.
+
+        Raises:
+            ConfigError: on non-positive distance.
+        """
+        if distance_m <= 0:
+            raise ConfigError("distance must be > 0")
+        return min(self._a_max,
+                   self._a_ref * (distance_m / self._d_ref) ** self._exp)
+
+    def phase_offset(self, link_key, t: float, distance_m: float) -> float:
+        """The link's clutter phase distortion [rad] at time ``t``."""
+        freqs, phases, weights = self._components_for(link_key)
+        amp = self.amplitude_rad(distance_m)
+        return float(amp * np.sum(
+            weights * np.sin(2.0 * np.pi * freqs * t + phases)
+        ))
+
+
+def quantize_rssi(rssi_dbm: float, resolution_db: float = 0.5) -> float:
+    """Quantise an RSSI value to the reader's reporting resolution.
+
+    The paper calls out the 0.5 dBm resolution as the reason RSSI cannot
+    resolve subtle chest motion in challenging scenarios (Section IV-A-1).
+
+    Raises:
+        ValueError: on non-positive resolution.
+    """
+    if resolution_db <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution_db}")
+    return round(rssi_dbm / resolution_db) * resolution_db

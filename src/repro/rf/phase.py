@@ -1,0 +1,104 @@
+"""The backscatter phase model — Eq. (1) of the paper and its inverse.
+
+Forward model (what the commodity reader reports)::
+
+    theta = (2*pi/lambda * 2*d + c) mod 2*pi            (Eq. 1)
+
+Inverse model (what TagBreathe preprocessing computes)::
+
+    delta_d = lambda/(4*pi) * (theta_{i+1} - theta_i)    (Eq. 3)
+
+with the phase difference wrapped into ``[-pi, pi)`` because "the tag
+displacement during two consecutive phase readings is within a half of radio
+wavelength" (Section IV-A-3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..units import TWO_PI, wrap_phase, wrap_phase_delta
+from .channel import Channel
+
+
+def backscatter_phase(distance_m: float, wavelength_m: float,
+                      offset_rad: float = 0.0) -> float:
+    """Eq. (1): reader-reported phase for a tag at ``distance_m``.
+
+    The radio wave traverses ``2 * distance_m`` (reader -> tag -> reader).
+
+    Raises:
+        ValueError: on non-positive wavelength or negative distance.
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    if distance_m < 0:
+        raise ValueError(f"distance must be >= 0, got {distance_m}")
+    return wrap_phase(TWO_PI / wavelength_m * 2.0 * distance_m + offset_rad)
+
+
+def phase_to_distance_delta(theta_prev: float, theta_next: float,
+                            wavelength_m: float) -> float:
+    """Eq. (3): displacement between two same-channel phase readings.
+
+    Positive result = tag moved *away* from the antenna.
+
+    Raises:
+        ValueError: on non-positive wavelength.
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    return wavelength_m / (4.0 * np.pi) * wrap_phase_delta(theta_next - theta_prev)
+
+
+def max_unambiguous_displacement(wavelength_m: float) -> float:
+    """Largest |displacement| Eq. (3) can resolve between consecutive reads.
+
+    The phase difference wraps at +/- pi, i.e. +/- lambda/4 of motion.
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    return wavelength_m / 4.0
+
+
+class PhaseModel:
+    """Stateful forward phase model for one (tag, antenna) link.
+
+    Combines Eq. (1) with a per-link random circuit offset on top of the
+    channel offset — two different tags on the same channel still report
+    different absolute phases, as real tags do.
+
+    Args:
+        link_offset_rad: the tag+cabling contribution to ``c`` in Eq. (1);
+            drawn uniformly when omitted.
+        rng: random source for the draw.
+    """
+
+    def __init__(self, link_offset_rad: Optional[float] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if link_offset_rad is None:
+            rng = rng if rng is not None else np.random.default_rng()
+            link_offset_rad = float(rng.uniform(0.0, TWO_PI))
+        self._link_offset = wrap_phase(link_offset_rad)
+
+    @property
+    def link_offset_rad(self) -> float:
+        """This link's fixed circuit phase offset."""
+        return self._link_offset
+
+    def phase(self, distance_m: float, channel: Channel,
+              noise_rad: float = 0.0) -> float:
+        """Reader-reported phase for this link on ``channel``.
+
+        Args:
+            distance_m: one-way antenna–tag distance.
+            channel: active hop channel (supplies wavelength and channel offset).
+            noise_rad: additive phase noise to inject before wrapping.
+        """
+        clean = backscatter_phase(
+            distance_m, channel.wavelength_m,
+            channel.phase_offset_rad + self._link_offset,
+        )
+        return wrap_phase(clean + noise_rad)

@@ -1,0 +1,151 @@
+"""Regional UHF RFID regulations: channel plans and hopping rules.
+
+The paper notes that "a fixed frequency channel may not be supported by
+commodity readers in some regions (e.g., US, Singapore, Hong Kong)"
+(Section IV-A-3) — frequency-hopping behaviour, and hence TagBreathe's
+channel-grouping preprocessing, is regulation-driven.  This module
+captures the major regimes so the pipeline can be exercised under each:
+
+* **FCC** (US / "902-928 MHz" of the paper): 50 channels, 500 kHz
+  spacing, mandatory pseudo-random hopping, <= 0.4 s per channel per 20 s.
+* **ETSI** (EU, EN 302 208): 4 high-power channels at 600 kHz spacing
+  (865.7-867.5 MHz); no hopping mandate (listen-before-talk historically),
+  so a reader may *sit* on one channel — the easy case for phase sensing.
+* **Japan** (ARIB STD-T107): 6 channels in 916.8-920.8 MHz.
+* **China** (SRRC): 16 channels in 920.625-924.375 MHz, 250 kHz spacing.
+* **Hong Kong** (OFCA, the paper's own venue): 920-925 MHz band, hopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .channel import ChannelPlan
+
+
+@dataclass(frozen=True)
+class RegionalRegulation:
+    """One region's UHF RFID channel regulation.
+
+    Attributes:
+        name: region identifier.
+        band_hz: (low, high) band edges.
+        channel_frequencies_hz: permitted channel centres.
+        hopping_required: whether the reader must hop pseudo-randomly.
+        max_dwell_s: maximum continuous residency per channel (None = no
+            explicit per-channel limit).
+        max_eirp_dbm: transmit power ceiling (EIRP).
+    """
+
+    name: str
+    band_hz: Tuple[float, float]
+    channel_frequencies_hz: Tuple[float, ...]
+    hopping_required: bool
+    max_dwell_s: Optional[float]
+    max_eirp_dbm: float
+
+    def __post_init__(self) -> None:
+        low, high = self.band_hz
+        if not 0 < low < high:
+            raise ConfigError(f"invalid band {self.band_hz}")
+        if not self.channel_frequencies_hz:
+            raise ConfigError("regulation needs at least one channel")
+        for freq in self.channel_frequencies_hz:
+            if not low <= freq <= high:
+                raise ConfigError(
+                    f"{self.name}: channel {freq / 1e6:.3f} MHz outside band "
+                    f"{low / 1e6:.1f}-{high / 1e6:.1f} MHz"
+                )
+
+    @property
+    def num_channels(self) -> int:
+        """Permitted channel count."""
+        return len(self.channel_frequencies_hz)
+
+    def channel_plan(self, rng: Optional[np.random.Generator] = None) -> ChannelPlan:
+        """A :class:`ChannelPlan` over this region's channels."""
+        return ChannelPlan(list(self.channel_frequencies_hz), rng=rng)
+
+    def effective_dwell_s(self, default_s: float = 0.2) -> float:
+        """The dwell a reader would use here (respecting any limit)."""
+        if self.max_dwell_s is None:
+            return default_s
+        return min(default_s, self.max_dwell_s)
+
+
+def _spaced(first_hz: float, spacing_hz: float, count: int) -> Tuple[float, ...]:
+    return tuple(first_hz + i * spacing_hz for i in range(count))
+
+
+#: US FCC Part 15.247 — the paper's regime.
+FCC = RegionalRegulation(
+    name="FCC",
+    band_hz=(902e6, 928e6),
+    channel_frequencies_hz=_spaced(902.75e6, 0.5e6, 50),
+    hopping_required=True,
+    max_dwell_s=0.4,
+    max_eirp_dbm=36.0,
+)
+
+#: EU ETSI EN 302 208 upper band, 2 W ERP (~36 dBm EIRP equivalent 33+2.15).
+ETSI = RegionalRegulation(
+    name="ETSI",
+    band_hz=(865e6, 868e6),
+    channel_frequencies_hz=(865.7e6, 866.3e6, 866.9e6, 867.5e6),
+    hopping_required=False,
+    max_dwell_s=None,
+    max_eirp_dbm=35.15,
+)
+
+#: Japan ARIB STD-T107 (1 W band).
+JAPAN = RegionalRegulation(
+    name="Japan",
+    band_hz=(916.7e6, 920.9e6),
+    channel_frequencies_hz=_spaced(916.8e6, 0.8e6, 6),
+    hopping_required=False,
+    max_dwell_s=4.0,
+    max_eirp_dbm=36.0,
+)
+
+#: China SRRC 920-925 MHz.
+CHINA = RegionalRegulation(
+    name="China",
+    band_hz=(920e6, 925e6),
+    channel_frequencies_hz=_spaced(920.625e6, 0.25e6, 16),
+    hopping_required=True,
+    max_dwell_s=2.0,
+    max_eirp_dbm=33.0,
+)
+
+#: Hong Kong OFCA 920-925 MHz — where the paper's experiments ran.
+HONG_KONG = RegionalRegulation(
+    name="Hong Kong",
+    band_hz=(920e6, 925e6),
+    channel_frequencies_hz=_spaced(920.25e6, 0.5e6, 10),
+    hopping_required=True,
+    max_dwell_s=0.4,
+    max_eirp_dbm=36.0,
+)
+
+#: All built-in regulations by name.
+REGULATIONS: Dict[str, RegionalRegulation] = {
+    reg.name: reg for reg in (FCC, ETSI, JAPAN, CHINA, HONG_KONG)
+}
+
+
+def regulation(name: str) -> RegionalRegulation:
+    """Look up a regulation by (case-insensitive) region name.
+
+    Raises:
+        ConfigError: for unknown regions.
+    """
+    for key, reg in REGULATIONS.items():
+        if key.lower() == name.lower():
+            return reg
+    raise ConfigError(
+        f"unknown region {name!r}; available: {sorted(REGULATIONS)}"
+    )

@@ -1,0 +1,36 @@
+"""End-to-end simulation testbed: scenarios, the run engine, ground truth.
+
+This is the stand-in for the paper's office testbed (Section VI-A):
+volunteers seated at configurable distances/orientations/postures, item
+tags scattered around as contention, a reader on a tripod 1 m up.
+"""
+
+from .scenario import Scenario, ContendingTag
+from .engine import SimulationResult, run_scenario
+from .ground_truth import GroundTruth
+from .environments import ENVIRONMENTS, Environment, environment
+from .trace_io import (
+    TraceFormatError,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+    trace_summary,
+)
+
+__all__ = [
+    "Scenario",
+    "ContendingTag",
+    "SimulationResult",
+    "run_scenario",
+    "GroundTruth",
+    "TraceFormatError",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
+    "trace_summary",
+    "Environment",
+    "ENVIRONMENTS",
+    "environment",
+]

@@ -1,0 +1,125 @@
+"""Predefined RF environments: bundled link-budget + clutter presets.
+
+The paper evaluates in "a standard office building" with "furniture
+including desks and chairs, and electric appliances including laptops and
+fans".  Different deployment environments change two things the
+evaluation is sensitive to: the path-loss exponent / fading depth, and
+the amount of *moving* clutter whose reflections land in the breathing
+band.  These presets let scenarios run in each regime with one argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rf.noise import DynamicMultipath
+from ..rf.propagation import LinkBudget, PathLossModel
+
+
+@dataclass(frozen=True)
+class Environment:
+    """One deployment environment's RF character.
+
+    Attributes:
+        name: environment label.
+        path_exponent: log-distance path-loss exponent (one way).
+        fading_sigma_db: per-attempt lognormal fading depth.
+        clutter_amplitude_rad: dynamic-multipath phase distortion at 1 m.
+        clutter_exponent: distortion growth power with distance.
+        description: one-line human description.
+    """
+
+    name: str
+    path_exponent: float
+    fading_sigma_db: float
+    clutter_amplitude_rad: float
+    clutter_exponent: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.path_exponent <= 0:
+            raise ConfigError("path_exponent must be > 0")
+        if self.fading_sigma_db < 0 or self.clutter_amplitude_rad < 0:
+            raise ConfigError("noise magnitudes must be >= 0")
+
+    def link_budget(self, **overrides) -> LinkBudget:
+        """A LinkBudget configured for this environment."""
+        return LinkBudget(
+            path_loss=PathLossModel(
+                exponent=self.path_exponent,
+                fading_sigma_db=self.fading_sigma_db,
+            ),
+            **overrides,
+        )
+
+    def multipath(self, rng: Optional[np.random.Generator] = None) -> DynamicMultipath:
+        """A DynamicMultipath model for this environment's moving clutter."""
+        return DynamicMultipath(
+            amplitude_at_ref_rad=self.clutter_amplitude_rad,
+            distance_exponent=self.clutter_exponent,
+            rng=rng,
+        )
+
+
+#: The paper's venue: office with desks, laptops, fans.
+OFFICE = Environment(
+    name="office",
+    path_exponent=2.2,
+    fading_sigma_db=3.0,
+    clutter_amplitude_rad=0.03,
+    clutter_exponent=1.5,
+    description="standard office: moderate multipath, fans and laptops moving",
+)
+
+#: An anechoic-chamber-like ideal: free space, nothing moving.
+ANECHOIC = Environment(
+    name="anechoic",
+    path_exponent=2.0,
+    fading_sigma_db=0.5,
+    clutter_amplitude_rad=0.0005,
+    clutter_exponent=1.0,
+    description="near-free-space reference: minimal fading, no moving clutter",
+)
+
+#: A hospital ward: more absorbers (beds, curtains), staff walking by.
+WARD = Environment(
+    name="ward",
+    path_exponent=2.5,
+    fading_sigma_db=4.0,
+    clutter_amplitude_rad=0.05,
+    clutter_exponent=1.5,
+    description="hospital ward: soft absorbers plus frequent people motion",
+)
+
+#: A home bedroom: short range, quiet, light clutter.
+BEDROOM = Environment(
+    name="bedroom",
+    path_exponent=2.1,
+    fading_sigma_db=2.0,
+    clutter_amplitude_rad=0.015,
+    clutter_exponent=1.3,
+    description="home bedroom: quiet, close-range monitoring",
+)
+
+#: All built-in environments by name.
+ENVIRONMENTS: Dict[str, Environment] = {
+    e.name: e for e in (OFFICE, ANECHOIC, WARD, BEDROOM)
+}
+
+
+def environment(name: str) -> Environment:
+    """Look up an environment preset (case-insensitive).
+
+    Raises:
+        ConfigError: for unknown environments.
+    """
+    found = ENVIRONMENTS.get(name.lower())
+    if found is None:
+        raise ConfigError(
+            f"unknown environment {name!r}; available: {sorted(ENVIRONMENTS)}"
+        )
+    return found

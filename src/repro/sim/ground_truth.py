@@ -1,0 +1,50 @@
+"""Ground-truth bookkeeping — the role of the paper's metronome app.
+
+    "we use a breathing metronome application to instruct the participants
+    to regulate their breaths to evaluate the accuracy of breathing rate
+    estimate of TagBreathe"  (Section VI-A)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ScenarioError
+from .scenario import Scenario
+
+
+class GroundTruth:
+    """Per-user true breathing rates for a scenario.
+
+    Args:
+        scenario: the simulated experiment environment.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        self._scenario = scenario
+
+    def rate_bpm(self, user_id: int, t_start: float, t_end: float) -> float:
+        """True average breathing rate of ``user_id`` over a window.
+
+        Raises:
+            ScenarioError: for unknown users (propagated from the scenario).
+        """
+        return self._scenario.subject(user_id).true_rate_bpm(t_start, t_end)
+
+    def all_rates_bpm(self, t_start: float, t_end: float) -> Dict[int, float]:
+        """True rates for every monitored user over a window."""
+        return {
+            uid: self.rate_bpm(uid, t_start, t_end)
+            for uid in self._scenario.monitored_user_ids
+        }
+
+    def windowed_rates_bpm(self, user_id: int,
+                           windows: List[Tuple[float, float]]) -> List[float]:
+        """True rates for a user over each of several windows.
+
+        Raises:
+            ScenarioError: on an empty window list.
+        """
+        if not windows:
+            raise ScenarioError("need at least one window")
+        return [self.rate_bpm(user_id, w0, w1) for w0, w1 in windows]

@@ -1,0 +1,162 @@
+"""Capture persistence: save/replay low-level tag-report traces.
+
+A real TagBreathe deployment logs the reader's LLRP reports for offline
+analysis; this module writes and reads those logs so captures — simulated
+here, or recorded from actual hardware with the same columns — can be
+replayed through the pipeline.  CSV keeps the columns the Impinj reader
+reports (Section IV-A): EPC, timestamp, phase, RSSI, Doppler, channel,
+antenna.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from ..epc.codec import EPC96
+from ..errors import ReproError
+from ..reader.tagreport import TagReport
+
+#: CSV column order (stable format contract).
+CSV_COLUMNS = (
+    "epc", "timestamp_s", "phase_rad", "rssi_dbm",
+    "doppler_hz", "channel_index", "antenna_port",
+)
+
+
+class TraceFormatError(ReproError):
+    """A trace file is malformed or uses an unknown format."""
+
+
+def _report_to_row(report: TagReport) -> List[str]:
+    return [
+        report.epc.to_hex(),
+        repr(report.timestamp_s),
+        repr(report.phase_rad),
+        repr(report.rssi_dbm),
+        repr(report.doppler_hz),
+        str(report.channel_index),
+        str(report.antenna_port),
+    ]
+
+
+def _row_to_report(row: Sequence[str]) -> TagReport:
+    if len(row) != len(CSV_COLUMNS):
+        raise TraceFormatError(
+            f"expected {len(CSV_COLUMNS)} columns, got {len(row)}: {row!r}"
+        )
+    try:
+        return TagReport(
+            epc=EPC96.from_hex(row[0]),
+            timestamp_s=float(row[1]),
+            phase_rad=float(row[2]),
+            rssi_dbm=float(row[3]),
+            doppler_hz=float(row[4]),
+            channel_index=int(row[5]),
+            antenna_port=int(row[6]),
+        )
+    except (ValueError, ReproError) as exc:
+        raise TraceFormatError(f"bad trace row {row!r}: {exc}") from exc
+
+
+def save_trace_csv(reports: Iterable[TagReport],
+                   path: Union[str, Path]) -> int:
+    """Write a capture as CSV; returns the number of reports written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for report in reports:
+            writer.writerow(_report_to_row(report))
+            count += 1
+    return count
+
+
+def load_trace_csv(path: Union[str, Path]) -> List[TagReport]:
+    """Read a CSV capture back into timestamp-ordered reports.
+
+    Raises:
+        TraceFormatError: on a missing/incorrect header or malformed rows.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceFormatError("empty trace file") from None
+        if tuple(header) != CSV_COLUMNS:
+            raise TraceFormatError(
+                f"unexpected header {header!r}; expected {list(CSV_COLUMNS)}"
+            )
+        reports = [_row_to_report(row) for row in reader if row]
+    reports.sort(key=lambda r: r.timestamp_s)
+    return reports
+
+
+def save_trace_jsonl(reports: Iterable[TagReport],
+                     path: Union[str, Path]) -> int:
+    """Write a capture as JSON-lines; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for report in reports:
+            handle.write(json.dumps({
+                "epc": report.epc.to_hex(),
+                "timestamp_s": report.timestamp_s,
+                "phase_rad": report.phase_rad,
+                "rssi_dbm": report.rssi_dbm,
+                "doppler_hz": report.doppler_hz,
+                "channel_index": report.channel_index,
+                "antenna_port": report.antenna_port,
+            }) + "\n")
+            count += 1
+    return count
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> List[TagReport]:
+    """Read a JSON-lines capture back into timestamp-ordered reports.
+
+    Raises:
+        TraceFormatError: on malformed lines or missing fields.
+    """
+    reports: List[TagReport] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                reports.append(TagReport(
+                    epc=EPC96.from_hex(record["epc"]),
+                    timestamp_s=float(record["timestamp_s"]),
+                    phase_rad=float(record["phase_rad"]),
+                    rssi_dbm=float(record["rssi_dbm"]),
+                    doppler_hz=float(record["doppler_hz"]),
+                    channel_index=int(record["channel_index"]),
+                    antenna_port=int(record["antenna_port"]),
+                ))
+            except (json.JSONDecodeError, KeyError, ValueError, ReproError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: bad trace line: {exc}"
+                ) from exc
+    reports.sort(key=lambda r: r.timestamp_s)
+    return reports
+
+
+def trace_summary(reports: Sequence[TagReport]) -> str:
+    """A one-paragraph human-readable summary of a capture."""
+    if not reports:
+        return "empty trace"
+    span = reports[-1].timestamp_s - reports[0].timestamp_s
+    streams = {r.stream_key for r in reports}
+    users = {r.user_id for r in reports}
+    channels = {r.channel_index for r in reports}
+    antennas = {r.antenna_port for r in reports}
+    rate = len(reports) / span if span > 0 else float("nan")
+    return (
+        f"{len(reports)} reports over {span:.1f}s ({rate:.0f}/s), "
+        f"{len(streams)} tag streams across {len(users)} user IDs, "
+        f"{len(channels)} channels, {len(antennas)} antenna(s)"
+    )

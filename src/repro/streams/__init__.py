@@ -1,0 +1,24 @@
+"""Time-series substrate used by every other subsystem.
+
+The RFID reader reports irregularly-timed samples (reads happen whenever the
+Gen2 MAC grants a slot), so the core abstraction is an irregular
+:class:`~repro.streams.timeseries.TimeSeries` plus resampling onto the
+regular grids that FFT-based processing needs.
+"""
+
+from .timeseries import TimeSeries
+from .ringbuffer import RingBuffer, StreamBuffer
+from .resample import bin_sum, bin_mean, resample_linear, sample_interval_stats
+from .windows import sliding_windows, window_slices
+
+__all__ = [
+    "TimeSeries",
+    "RingBuffer",
+    "StreamBuffer",
+    "bin_sum",
+    "bin_mean",
+    "resample_linear",
+    "sample_interval_stats",
+    "sliding_windows",
+    "window_slices",
+]

@@ -1,0 +1,150 @@
+"""Streaming buffers for the realtime pipeline.
+
+The paper's prototype processes reader output "in a pipelined manner" and
+visualises breathing signals in realtime (Section V).  The streaming side of
+:mod:`repro.core.pipeline` keeps recent samples in these buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import NonMonotonicTimeError, StreamError
+from .timeseries import TimeSeries
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO of ``(time, value)`` samples.
+
+    When full, appending evicts the oldest sample.  Times must be appended in
+    strictly increasing order.
+
+    Args:
+        capacity: maximum number of retained samples.
+
+    Raises:
+        StreamError: if ``capacity`` is not a positive integer.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise StreamError(f"capacity must be > 0, got {capacity}")
+        self._capacity = int(capacity)
+        self._times = np.zeros(self._capacity, dtype=float)
+        self._values = np.zeros(self._capacity, dtype=float)
+        self._head = 0  # next write slot
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of samples retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """True when the next append will evict."""
+        return self._size == self._capacity
+
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the newest sample, or None when empty."""
+        if self._size == 0:
+            return None
+        return float(self._times[(self._head - 1) % self._capacity])
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample.
+
+        Raises:
+            NonMonotonicTimeError: if ``time`` does not increase.
+        """
+        last = self.last_time()
+        if last is not None and time <= last:
+            raise NonMonotonicTimeError(
+                f"append time {time} <= last buffered time {last}"
+            )
+        self._times[self._head] = time
+        self._values[self._head] = value
+        self._head = (self._head + 1) % self._capacity
+        if self._size < self._capacity:
+            self._size += 1
+
+    def extend(self, series: TimeSeries) -> None:
+        """Append every sample of ``series`` in order."""
+        for t, v in series:
+            self.append(t, v)
+
+    def snapshot(self) -> TimeSeries:
+        """The buffered samples, oldest first, as a :class:`TimeSeries`."""
+        if self._size == 0:
+            return TimeSeries.empty()
+        if self._size < self._capacity:
+            t = self._times[: self._size]
+            v = self._values[: self._size]
+        else:
+            t = np.roll(self._times, -self._head)
+            v = np.roll(self._values, -self._head)
+        return TimeSeries(t.copy(), v.copy())
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        self._head = 0
+        self._size = 0
+
+
+class StreamBuffer:
+    """Unbounded append-only sample buffer with time-window trimming.
+
+    The realtime pipeline keeps one per (user, tag) stream and periodically
+    trims everything older than the analysis window.
+    """
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample (times must strictly increase).
+
+        Raises:
+            NonMonotonicTimeError: if ``time`` does not increase.
+        """
+        if self._times and time <= self._times[-1]:
+            raise NonMonotonicTimeError(
+                f"append time {time} <= last buffered time {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Newest ``(time, value)`` pair, or None when empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def trim_before(self, t_cut: float) -> int:
+        """Drop samples with time < ``t_cut``; return how many were dropped."""
+        idx = int(np.searchsorted(np.asarray(self._times), t_cut, side="left"))
+        if idx > 0:
+            del self._times[:idx]
+            del self._values[:idx]
+        return idx
+
+    def snapshot(self) -> TimeSeries:
+        """All buffered samples as a :class:`TimeSeries`."""
+        return TimeSeries(list(self._times), list(self._values))
+
+    def window(self, duration_s: float) -> TimeSeries:
+        """The trailing ``duration_s`` seconds of samples."""
+        if not self._times:
+            return TimeSeries.empty()
+        t_end = self._times[-1]
+        snap = self.snapshot()
+        return snap.slice_time(t_end - duration_s, t_end + np.finfo(float).eps * 10 + 1e-12)

@@ -1,0 +1,100 @@
+"""Physical constants and unit-conversion helpers.
+
+The whole library works in SI units internally: metres, seconds, hertz,
+radians, watts.  Anything user-facing that the paper quotes in other units
+(dBm, breaths-per-minute, degrees) converts at the boundary through the
+helpers in this module.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Two pi, used constantly in phase arithmetic.
+TWO_PI = 2.0 * math.pi
+
+#: Breaths-per-minute per hertz.
+BPM_PER_HZ = 60.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in decibels to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 1e-3 * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises:
+        ValueError: if ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be > 0 W, got {watts!r}")
+    return linear_to_db(watts / 1e-3)
+
+
+def hz_to_bpm(hz: float) -> float:
+    """Convert a frequency in Hz to breaths per minute."""
+    return hz * BPM_PER_HZ
+
+def bpm_to_hz(bpm: float) -> float:
+    """Convert breaths per minute to Hz."""
+    return bpm / BPM_PER_HZ
+
+
+def deg_to_rad(degrees: float) -> float:
+    """Convert degrees to radians."""
+    return math.radians(degrees)
+
+
+def rad_to_deg(radians: float) -> float:
+    """Convert radians to degrees."""
+    return math.degrees(radians)
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength [m] of a carrier at ``frequency_hz``.
+
+    Raises:
+        ValueError: if the frequency is not strictly positive.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be > 0 Hz, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def wrap_phase(theta: float) -> float:
+    """Wrap a phase angle into ``[0, 2*pi)`` as a commodity reader reports it."""
+    wrapped = theta % TWO_PI
+    # Float rounding of the modulo can land exactly on 2*pi for inputs a
+    # hair below zero; keep the contract half-open.
+    return 0.0 if wrapped >= TWO_PI else wrapped
+
+
+def wrap_phase_delta(delta: float) -> float:
+    """Wrap a phase *difference* into ``[-pi, pi)``.
+
+    Used when differencing two consecutive phase readings (paper Eq. 3):
+    the physical displacement between consecutive reads is far below half a
+    wavelength, so the true phase change lies within one half-turn.
+    """
+    return (delta + math.pi) % TWO_PI - math.pi

@@ -1,0 +1,13 @@
+"""Terminal visualisation helpers used by the runnable examples."""
+
+from .ascii import sparkline, render_series, render_table, render_bar_chart
+from .dashboard import UserPanel, render_dashboard
+
+__all__ = [
+    "sparkline",
+    "render_series",
+    "render_table",
+    "render_bar_chart",
+    "UserPanel",
+    "render_dashboard",
+]

@@ -1,0 +1,104 @@
+"""ASCII plotting: sparklines, series plots, tables for the examples.
+
+The paper's prototype showed extracted breathing signals on a laptop UI
+(Fig. 11); the examples here render the same traces in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..streams.timeseries import TimeSeries
+
+_SPARK_CHARS = " .:-=+*#%@"
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of a value sequence.
+
+    Args:
+        values: the samples to render.
+        width: downsample to this many characters (None = one per sample).
+    """
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        return ""
+    if width is not None and width > 0 and v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return _BLOCKS[0] * v.size
+    scaled = (v - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(s))] for s in scaled)
+
+
+def render_series(series: TimeSeries, height: int = 12, width: int = 72,
+                  title: str = "") -> str:
+    """A multi-line ASCII plot of a time series.
+
+    Args:
+        series: the series to plot.
+        height: plot rows.
+        width: plot columns.
+        title: optional header line.
+
+    Returns:
+        The rendered plot (empty string for an empty series).
+    """
+    if not series or height < 2 or width < 2:
+        return ""
+    t = series.times
+    v = series.values
+    cols = np.clip(((t - t[0]) / max(t[-1] - t[0], 1e-12) * (width - 1)).astype(int),
+                   0, width - 1)
+    lo, hi = float(v.min()), float(v.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((v - lo) / span * (height - 1)).astype(int), 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:+.3g}".rjust(10))
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"{lo:+.3g}".rjust(10))
+    lines.append(f"t: {t[0]:.1f}s .. {t[-1]:.1f}s   ({len(series)} samples)")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A plain monospace table.
+
+    Args:
+        headers: column titles.
+        rows: row cell values (stringified).
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row[: len(widths)]):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if not labels or len(labels) != len(values):
+        return ""
+    vmax = max(max(values), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(value / vmax * width)))
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""A multi-user terminal dashboard — the Fig. 11 UI, text edition.
+
+The paper's prototype shows each user's extracted breathing signal and
+live rate on a laptop screen.  This renderer produces the equivalent as
+a monospace panel per user: name, current rate with trend arrow, a
+sparkline of the recent breathing signal, and status flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..streams.timeseries import TimeSeries
+from .ascii import sparkline
+
+
+@dataclass(frozen=True)
+class UserPanel:
+    """One user's dashboard state.
+
+    Attributes:
+        label: display name.
+        rate_bpm: current smoothed rate (None = no estimate yet).
+        trend_bpm_per_min: rate trend (None = unknown).
+        signal: recent breathing-signal window for the sparkline.
+        status: short status string ("ok", "no reads", "apnea?", ...).
+    """
+
+    label: str
+    rate_bpm: Optional[float]
+    trend_bpm_per_min: Optional[float] = None
+    signal: Optional[TimeSeries] = None
+    status: str = "ok"
+
+
+def _trend_arrow(trend: Optional[float]) -> str:
+    if trend is None:
+        return " "
+    if trend > 0.5:
+        return "^"
+    if trend < -0.5:
+        return "v"
+    return "-"
+
+
+def render_dashboard(panels: Sequence[UserPanel], width: int = 76,
+                     title: str = "TagBreathe monitor") -> str:
+    """Render the full dashboard as a single string.
+
+    Args:
+        panels: one per monitored user, display order preserved.
+        width: total panel width in characters.
+        title: header line.
+    """
+    bar = "=" * width
+    lines: List[str] = [bar, title.center(width), bar]
+    if not panels:
+        lines.append("(no users under monitoring)".center(width))
+        lines.append(bar)
+        return "\n".join(lines)
+    for panel in panels:
+        rate_part = (
+            f"{panel.rate_bpm:5.1f} bpm {_trend_arrow(panel.trend_bpm_per_min)}"
+            if panel.rate_bpm is not None else "  --.- bpm  "
+        )
+        head = f" {panel.label:<16} {rate_part}   [{panel.status}]"
+        lines.append(head[:width])
+        if panel.signal is not None and len(panel.signal) > 1:
+            trace = sparkline(panel.signal.values, width=width - 4)
+            lines.append("  " + trace)
+        else:
+            lines.append("  " + "." * (width - 4))
+        lines.append("-" * width)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Tests for transient motion and monitoring robustness under it."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import (
+    MetronomeBreathing,
+    RestlessBreathing,
+    Subject,
+    TransientMotion,
+)
+from repro.core.tracking import BreathingRateTracker
+from repro.errors import BodyModelError
+
+
+class TestTransientMotion:
+    def test_schedule_respects_rate(self):
+        motion = TransientMotion(rate_per_minute=3.0, horizon_s=600.0, seed=0)
+        # ~30 bursts expected over 10 minutes.
+        assert 15 <= len(motion.burst_times) <= 50
+
+    def test_zero_rate_means_no_bursts(self):
+        motion = TransientMotion(rate_per_minute=0.0, seed=0)
+        assert motion.burst_times == []
+        assert motion.displacement(10.0) == 0.0
+
+    def test_burst_shape(self):
+        motion = TransientMotion(rate_per_minute=1.0, amplitude_m=0.04,
+                                 duration_s=2.0, seed=1)
+        start = motion.burst_times[0]
+        assert motion.displacement(start) == pytest.approx(0.0, abs=1e-9)
+        assert motion.displacement(start + 1.0) == pytest.approx(0.04, abs=1e-9)
+        assert motion.displacement(start + 2.01) == pytest.approx(0.0, abs=1e-9)
+        assert motion.is_active(start + 0.5)
+        assert not motion.is_active(start + 2.5)
+
+    def test_deterministic(self):
+        a = TransientMotion(seed=7)
+        b = TransientMotion(seed=7)
+        assert a.burst_times == b.burst_times
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            TransientMotion(rate_per_minute=-1.0)
+        with pytest.raises(BodyModelError):
+            TransientMotion(duration_s=0.0)
+
+
+class TestRestlessBreathing:
+    def make(self, seed=0, rate_per_minute=2.0):
+        return RestlessBreathing(
+            MetronomeBreathing(12.0),
+            TransientMotion(rate_per_minute=rate_per_minute,
+                            amplitude_m=0.05, seed=seed),
+        )
+
+    def test_ground_truth_unchanged(self):
+        waveform = self.make()
+        assert waveform.true_rate_bpm(0, 60) == 12.0
+
+    def test_displacement_adds(self):
+        waveform = self.make(seed=2)
+        start = waveform.transients.burst_times[0]
+        quiet = MetronomeBreathing(12.0).displacement(start + 0.75)
+        assert waveform.displacement(start + 0.75) > quiet + 0.01
+
+    def test_clean_windows_avoid_bursts(self):
+        waveform = self.make(seed=3)
+        windows = waveform.clean_windows(0.0, 120.0, min_length_s=5.0)
+        for w0, w1 in windows:
+            for start in waveform.transients.burst_times:
+                assert not (w0 < start < w1)
+
+    def test_clean_windows_validation(self):
+        with pytest.raises(BodyModelError):
+            self.make().clean_windows(10.0, 10.0)
+
+
+class TestMonitoringUnderMotion:
+    def test_rate_survives_occasional_bursts(self):
+        """A couple of chair-shifts per minute must not destroy the
+        estimate: the bursts are broadband while breathing is narrowband,
+        and the adaptive band locks onto the breathing peak."""
+        waveform = RestlessBreathing(
+            MetronomeBreathing(12.0),
+            TransientMotion(rate_per_minute=2.0, amplitude_m=0.04,
+                            duration_s=1.5, seed=5),
+        )
+        scenario = Scenario([Subject(user_id=1, distance_m=3.0,
+                                     breathing=waveform, sway_seed=5)])
+        result = run_scenario(scenario, duration_s=60.0, seed=111)
+        estimates = TagBreathe(user_ids={1}).process(result.reports)
+        assert 1 in estimates
+        assert breathing_rate_accuracy(estimates[1].rate_bpm, 12.0) > 0.8
+
+    def test_tracker_gates_burst_corrupted_rates(self):
+        """Instantaneous rates corrupted by a burst are outliers the
+        Kalman tracker's innovation gate rejects."""
+        tracker = BreathingRateTracker()
+        for i in range(12):
+            tracker.update(i * 2.5, 12.0 + 0.2 * np.sin(i))
+        corrupted = tracker.update(30.0, 34.0)
+        assert corrupted.gated
+        assert tracker.rate_bpm == pytest.approx(12.0, abs=0.5)

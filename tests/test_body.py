@@ -1,0 +1,334 @@
+"""Tests for the human-subject substrate (repro.body)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.body import (
+    AsymmetricBreathing,
+    BodySway,
+    BreathingStyle,
+    IrregularBreathing,
+    MetronomeBreathing,
+    SinusoidalBreathing,
+    Subject,
+    is_los_blocked,
+    orientation_loss_db,
+    standard_placements,
+)
+from repro.errors import BodyModelError
+from repro.reader import Antenna
+
+
+class TestSinusoidalBreathing:
+    def test_rate_is_ground_truth(self):
+        wf = SinusoidalBreathing(12.0)
+        assert wf.true_rate_bpm(0.0, 60.0) == 12.0
+
+    def test_displacement_range(self):
+        wf = SinusoidalBreathing(12.0, amplitude_m=0.01)
+        samples = [wf.displacement(t) for t in np.linspace(0, 10, 500)]
+        assert min(samples) >= -1e-12
+        assert max(samples) <= 0.01 + 1e-12
+        assert max(samples) > 0.009  # reaches full inhalation
+
+    def test_period(self):
+        wf = SinusoidalBreathing(12.0)  # 5-second period
+        assert wf.displacement(1.0) == pytest.approx(wf.displacement(6.0), abs=1e-12)
+
+    def test_starts_exhaled(self):
+        assert SinusoidalBreathing(10.0).displacement(0.0) == pytest.approx(0.0)
+
+    def test_vectorised_matches_scalar(self):
+        wf = SinusoidalBreathing(15.0)
+        times = np.linspace(0, 5, 50)
+        np.testing.assert_allclose(
+            wf.displacement_array(times),
+            [wf.displacement(float(t)) for t in times],
+        )
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            SinusoidalBreathing(0.0)
+        with pytest.raises(BodyModelError):
+            SinusoidalBreathing(10.0, amplitude_m=-0.01)
+
+
+class TestAsymmetricBreathing:
+    def test_cycle_count_matches_rate(self):
+        wf = AsymmetricBreathing(10.0, amplitude_m=0.01)
+        # Count maxima over 60 s: expect ~10.
+        times = np.linspace(0, 60, 6000)
+        values = np.array([wf.displacement(float(t)) for t in times])
+        peaks = np.sum((values[1:-1] > values[:-2]) & (values[1:-1] >= values[2:])
+                       & (values[1:-1] > 0.009))
+        assert 9 <= peaks <= 11
+
+    def test_inhale_faster_than_exhale(self):
+        wf = AsymmetricBreathing(10.0, inhale_fraction=0.4)
+        period = 6.0
+        peak_time = 0.4 * period
+        # Rising to the peak takes 40 % of the cycle.
+        assert wf.displacement(peak_time) == pytest.approx(0.01, abs=1e-6)
+
+    def test_continuous_at_cycle_boundary(self):
+        wf = AsymmetricBreathing(10.0)
+        assert wf.displacement(5.999) == pytest.approx(wf.displacement(6.001), abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            AsymmetricBreathing(10.0, inhale_fraction=0.01)
+
+
+class TestIrregularBreathing:
+    def test_mean_rate_near_base(self):
+        wf = IrregularBreathing(12.0, rate_jitter=0.05, seed=1)
+        assert wf.true_rate_bpm(0.0, 300.0) == pytest.approx(12.0, rel=0.1)
+
+    def test_pauses_reduce_counted_rate(self):
+        steady = IrregularBreathing(12.0, rate_jitter=0.0, seed=2)
+        pausing = IrregularBreathing(12.0, rate_jitter=0.0,
+                                     pause_probability=0.5,
+                                     pause_duration_s=3.0, seed=2)
+        assert pausing.true_rate_bpm(0, 300) < steady.true_rate_bpm(0, 300)
+
+    def test_displacement_zero_during_pause(self):
+        wf = IrregularBreathing(12.0, pause_probability=1.0,
+                                pause_duration_s=2.0, seed=3)
+        # Find a pause window and check the hold.
+        cycle = wf._cycles[0]
+        t_pause = cycle[0] + cycle[1] + 0.1
+        if t_pause < cycle[0] + cycle[1] + cycle[2]:
+            assert wf.displacement(t_pause) == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = IrregularBreathing(10.0, seed=5)
+        b = IrregularBreathing(10.0, seed=5)
+        for t in np.linspace(0, 100, 50):
+            assert a.displacement(float(t)) == b.displacement(float(t))
+
+    def test_horizon_enforced(self):
+        wf = IrregularBreathing(10.0, horizon_s=50.0)
+        with pytest.raises(BodyModelError):
+            wf.displacement(51.0)
+
+    def test_empty_window_rejected(self):
+        wf = IrregularBreathing(10.0)
+        with pytest.raises(BodyModelError):
+            wf.true_rate_bpm(10.0, 10.0)
+
+
+class TestMetronomeBreathing:
+    def test_ground_truth_is_metronome_setting(self):
+        wf = MetronomeBreathing(14.0)
+        assert wf.true_rate_bpm(0, 120) == 14.0
+
+    def test_instantaneous_rate_wanders(self):
+        wf = MetronomeBreathing(10.0, compliance_jitter=0.05)
+        ref = MetronomeBreathing(10.0, compliance_jitter=0.0)
+        diffs = [abs(wf.displacement(t) - ref.displacement(t))
+                 for t in np.linspace(0, 60, 600)]
+        assert max(diffs) > 1e-4  # the wander is real
+
+    def test_wander_averages_out(self):
+        """Cycle count over a long window still matches the metronome."""
+        wf = MetronomeBreathing(12.0, compliance_jitter=0.05)
+        times = np.linspace(0, 120, 24000)
+        values = np.array([wf.displacement(float(t)) for t in times])
+        crossings = np.sum((values[:-1] < 0.005) & (values[1:] >= 0.005))
+        assert crossings == pytest.approx(24, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            MetronomeBreathing(10.0, compliance_jitter=0.9)
+        with pytest.raises(BodyModelError):
+            MetronomeBreathing(10.0, wander_period_s=0.0)
+
+
+class TestPlacements:
+    def test_three_standard_spots(self):
+        placements = standard_placements(3)
+        assert [p.name for p in placements] == ["chest", "abdomen", "middle"]
+
+    def test_single_tag_on_chest(self):
+        assert standard_placements(1)[0].name == "chest"
+
+    def test_chest_breather_shares(self):
+        placements = standard_placements(3, BreathingStyle.CHEST)
+        shares = {p.name: p.motion_share for p in placements}
+        assert shares["chest"] > shares["middle"] > shares["abdomen"]
+
+    def test_abdomen_breather_shares(self):
+        placements = standard_placements(3, BreathingStyle.ABDOMEN)
+        shares = {p.name: p.motion_share for p in placements}
+        assert shares["abdomen"] > shares["chest"]
+
+    def test_count_validation(self):
+        with pytest.raises(BodyModelError):
+            standard_placements(0)
+        with pytest.raises(BodyModelError):
+            standard_placements(4)
+
+
+class TestBlockage:
+    def test_no_loss_facing(self):
+        assert orientation_loss_db(0.0) == 0.0
+
+    def test_loss_grows_with_angle(self):
+        assert orientation_loss_db(60.0) < orientation_loss_db(90.0)
+        assert orientation_loss_db(30.0) < orientation_loss_db(60.0)
+
+    def test_blocked_beyond_90(self):
+        """Paper: no reads at all past 90 degrees."""
+        assert math.isinf(orientation_loss_db(91.0))
+        assert math.isinf(orientation_loss_db(180.0))
+        assert is_los_blocked(120.0)
+        assert not is_los_blocked(90.0)
+
+    def test_symmetric_fold(self):
+        assert orientation_loss_db(30.0) == pytest.approx(orientation_loss_db(330.0))
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            orientation_loss_db(-1.0)
+        with pytest.raises(BodyModelError):
+            is_los_blocked(360.0)
+
+    @given(st.floats(min_value=0, max_value=90))
+    def test_loss_finite_with_los(self, angle):
+        assert orientation_loss_db(angle) < math.inf
+
+
+class TestBodySway:
+    def test_amplitude_scale(self):
+        sway = BodySway(amplitude_m=0.001, seed=0)
+        samples = [sway.displacement(t) for t in np.linspace(0, 100, 2000)]
+        rms = float(np.sqrt(np.mean(np.square(samples))))
+        assert 0.0003 < rms < 0.002
+
+    def test_zero_amplitude(self):
+        sway = BodySway(amplitude_m=0.0, seed=0)
+        assert sway.displacement(12.3) == 0.0
+
+    def test_deterministic(self):
+        a = BodySway(seed=4)
+        b = BodySway(seed=4)
+        assert a.displacement(5.0) == b.displacement(5.0)
+
+    def test_vectorised_matches_scalar(self):
+        sway = BodySway(seed=2)
+        times = np.linspace(0, 10, 30)
+        np.testing.assert_allclose(
+            sway.displacement_array(times),
+            [sway.displacement(float(t)) for t in times],
+            atol=1e-12,
+        )
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            BodySway(amplitude_m=-0.1)
+        with pytest.raises(BodyModelError):
+            BodySway(band_hz=(0.5, 0.1))
+
+
+class TestSubject:
+    def make(self, **kwargs):
+        defaults = dict(user_id=1, distance_m=4.0, sway_seed=0)
+        defaults.update(kwargs)
+        return Subject(**defaults)
+
+    def test_default_three_tags(self):
+        subject = self.make()
+        assert len(subject.tags) == 3
+        assert {t.tag_id for t in subject.tags} == {1, 2, 3}
+
+    def test_epcs_encode_identity(self):
+        subject = self.make(user_id=9)
+        for tag in subject.tags:
+            assert tag.epc.user_id == 9
+            assert tag.epc.tag_id == tag.tag_id
+
+    def test_tag_positions_near_torso(self):
+        subject = self.make()
+        pos = subject.tag_position_m(1, 0.0)
+        assert pos[0] == pytest.approx(4.0, abs=0.05)
+        assert pos[2] == pytest.approx(1.15, abs=0.05)  # chest above torso ref
+
+    def test_breathing_moves_tag_toward_antenna(self):
+        """Inhaling decreases tag-antenna distance (paper Section I)."""
+        subject = self.make(breathing=SinusoidalBreathing(10.0, amplitude_m=0.01))
+        antenna = Antenna(port=1, position_m=(0, 0, 1))
+        exhaled = antenna.distance_to(subject.tag_position_m(1, 0.0))
+        inhaled = antenna.distance_to(subject.tag_position_m(1, 3.0))  # mid cycle
+        assert inhaled < exhaled
+
+    def test_three_tags_move_in_phase(self):
+        """Section IV-D-1: all tags' distances shrink together on inhale."""
+        subject = self.make(breathing=SinusoidalBreathing(10.0, amplitude_m=0.01))
+        antenna = Antenna(port=1, position_m=(0, 0, 1))
+        for tag_id in (1, 2, 3):
+            d0 = antenna.distance_to(subject.tag_position_m(tag_id, 0.0))
+            d1 = antenna.distance_to(subject.tag_position_m(tag_id, 3.0))
+            assert d1 < d0
+
+    def test_orientation_reduces_radial_motion(self):
+        def radial_swing(orientation):
+            subject = self.make(
+                orientation_deg=orientation,
+                breathing=SinusoidalBreathing(10.0, amplitude_m=0.01),
+                sway=BodySway(amplitude_m=0.0),
+            )
+            antenna = Antenna(port=1, position_m=(0, 0, 1))
+            distances = [
+                antenna.distance_to(subject.tag_position_m(1, t))
+                for t in np.linspace(0, 6, 120)
+            ]
+            return max(distances) - min(distances)
+        # The lateral rib-expansion term can slightly boost mid angles;
+        # the physically important ordering is side-on << facing.
+        assert radial_swing(90.0) < 0.6 * radial_swing(0.0)
+        assert radial_swing(90.0) > 0.001  # lateral rib motion keeps signal alive
+
+    def test_effective_orientation_relative_to_antenna(self):
+        subject = self.make(orientation_deg=0.0)
+        front = Antenna(port=1, position_m=(0, 0, 1))
+        side = Antenna(port=2, position_m=(4.0, 4.0, 1))
+        assert subject.effective_orientation_deg(front) == pytest.approx(0.0, abs=1.0)
+        assert subject.effective_orientation_deg(side) == pytest.approx(90.0, abs=1.0)
+
+    def test_blocked_orientation_infinite_loss(self):
+        subject = self.make(orientation_deg=150.0)
+        antenna = Antenna(port=1, position_m=(0, 0, 1))
+        assert math.isinf(subject.extra_loss_db(1, 0.0, antenna))
+
+    def test_posture_heights(self):
+        assert self.make(posture="standing").torso_height_m > \
+            self.make(posture="sitting").torso_height_m > \
+            self.make(posture="lying").torso_height_m
+
+    def test_lying_breathes_mostly_vertically(self):
+        subject = self.make(posture="lying",
+                            breathing=SinusoidalBreathing(10.0, amplitude_m=0.01),
+                            sway=BodySway(amplitude_m=0.0))
+        rest = subject.tag_position_m(1, 0.0)
+        inhaled = subject.tag_position_m(1, 3.0)
+        motion = inhaled - rest
+        assert abs(motion[2]) > abs(motion[0])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(BodyModelError):
+            self.make().tag_by_id(99)
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            self.make(distance_m=0.0)
+        with pytest.raises(BodyModelError):
+            self.make(posture="floating")
+        with pytest.raises(BodyModelError):
+            self.make(orientation_deg=200.0)
+
+    def test_true_rate_delegates_to_waveform(self):
+        subject = self.make(breathing=MetronomeBreathing(13.0))
+        assert subject.true_rate_bpm(0, 60) == 13.0

@@ -1,0 +1,149 @@
+"""Tests for per-channel phase-offset calibration."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario, run_scenario
+from repro.core.calibration import ChannelCalibrator
+from repro.core.preprocess import default_frequencies
+from repro.epc import EPC96
+from repro.errors import InsufficientDataError, ReproError
+from repro.reader import TagReport
+from repro.rf.phase import backscatter_phase
+from repro.units import SPEED_OF_LIGHT, TWO_PI
+
+FREQS = default_frequencies(10)
+
+
+def reference_reports(distance, offsets, n_per_channel=8, noise=0.0, seed=0):
+    """Noise-controlled reads of a static reference tag on every channel."""
+    rng = np.random.default_rng(seed)
+    reports = []
+    t = 0.0
+    for ch, offset in enumerate(offsets):
+        lam = SPEED_OF_LIGHT / FREQS[ch]
+        for _ in range(n_per_channel):
+            t += 0.01
+            phase = backscatter_phase(distance, lam, offset)
+            phase = (phase + rng.normal(0, noise)) % TWO_PI
+            reports.append(TagReport(
+                epc=EPC96.from_user_tag(99, 1), timestamp_s=t,
+                phase_rad=phase, rssi_dbm=-50.0, doppler_hz=0.0,
+                channel_index=ch, antenna_port=1,
+            ))
+    return reports
+
+
+class TestCalibrator:
+    def test_recovers_known_offsets(self):
+        offsets = np.linspace(0.3, 5.8, 10)
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        calibrator.ingest_many(reference_reports(2.0, offsets))
+        assert calibrator.is_complete()
+        for ch, true_offset in enumerate(offsets):
+            cal = calibrator.calibration(ch)
+            assert cal.offset_rad == pytest.approx(true_offset % TWO_PI, abs=1e-9)
+            assert cal.spread_rad == pytest.approx(0.0, abs=1e-6)
+
+    def test_noise_reflected_in_spread(self):
+        offsets = [1.0] * 10
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        calibrator.ingest_many(
+            reference_reports(2.0, offsets, n_per_channel=40, noise=0.1)
+        )
+        cal = calibrator.calibration(0)
+        assert cal.offset_rad == pytest.approx(1.0, abs=0.1)
+        assert 0.05 < cal.spread_rad < 0.2
+
+    def test_wraparound_offsets(self):
+        """Offsets near 0/2*pi must not average to pi (circular mean)."""
+        offsets = [0.05] * 10
+        calibrator = ChannelCalibrator(3.0, FREQS)
+        calibrator.ingest_many(
+            reference_reports(3.0, offsets, n_per_channel=40, noise=0.2, seed=4)
+        )
+        cal = calibrator.calibration(0)
+        distance = min(cal.offset_rad, TWO_PI - cal.offset_rad - -0.05)
+        assert (cal.offset_rad < 0.4) or (cal.offset_rad > TWO_PI - 0.4)
+
+    def test_insufficient_reads_rejected(self):
+        calibrator = ChannelCalibrator(2.0, FREQS, min_reads_per_channel=10)
+        calibrator.ingest_many(reference_reports(2.0, [1.0] * 10, n_per_channel=3))
+        with pytest.raises(InsufficientDataError):
+            calibrator.calibration(0)
+        assert calibrator.calibrated_channels() == []
+
+    def test_unknown_channel_rejected(self):
+        calibrator = ChannelCalibrator(2.0, FREQS[:2])
+        report = reference_reports(2.0, [0.0] * 10)[-1]  # channel 9
+        with pytest.raises(ReproError):
+            calibrator.ingest(report)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ChannelCalibrator(0.0, FREQS)
+        with pytest.raises(ReproError):
+            ChannelCalibrator(2.0, [])
+        with pytest.raises(ReproError):
+            ChannelCalibrator(2.0, FREQS, min_reads_per_channel=0)
+
+
+class TestPhaseCorrection:
+    def test_corrected_phase_is_geometric(self):
+        offsets = np.linspace(0.5, 6.0, 10)
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        calibrator.ingest_many(reference_reports(2.0, offsets))
+        # A different (target) tag at 3.1 m, no extra circuit offset.
+        target = reference_reports(3.1, offsets, n_per_channel=1)
+        for report in target:
+            corrected = calibrator.correct_phase(report)
+            lam = SPEED_OF_LIGHT / FREQS[report.channel_index]
+            expected = (TWO_PI / lam * 2.0 * 3.1) % TWO_PI
+            assert corrected == pytest.approx(expected, abs=1e-9)
+
+    def test_distance_candidates_contain_truth(self):
+        offsets = [2.2] * 10
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        calibrator.ingest_many(reference_reports(2.0, offsets))
+        target = reference_reports(4.4, offsets, n_per_channel=1)[0]
+        candidates = calibrator.distance_candidates(target, max_distance_m=8.0)
+        assert any(abs(c - 4.4) < 1e-6 for c in candidates)
+        # Candidates are spaced by half wavelengths.
+        gaps = np.diff(candidates)
+        lam = SPEED_OF_LIGHT / FREQS[target.channel_index]
+        assert np.allclose(gaps, lam / 2.0)
+
+    def test_uncalibrated_channel_rejected(self):
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        report = reference_reports(2.0, [0.0] * 10, n_per_channel=1)[0]
+        with pytest.raises(InsufficientDataError):
+            calibrator.correct_phase(report)
+
+    def test_candidates_validation(self):
+        offsets = [1.0] * 10
+        calibrator = ChannelCalibrator(2.0, FREQS)
+        calibrator.ingest_many(reference_reports(2.0, offsets))
+        report = reference_reports(2.0, offsets, n_per_channel=1)[0]
+        with pytest.raises(ReproError):
+            calibrator.distance_candidates(report, max_distance_m=0.0)
+
+
+class TestEndToEndCalibration:
+    def test_reference_tag_in_simulation(self):
+        """Calibrate from a simulated static item tag, then verify the
+        calibration's internal consistency (spread near the phase-noise
+        floor at close range)."""
+        scenario = Scenario.single_user(distance_m=2.0).with_contending_tags(
+            1, seed=0, area_m=(2.0, 2.0)
+        )
+        item = scenario.contending_tags[0]
+        result = run_scenario(scenario, duration_s=30.0, seed=17)
+        item_reports = [r for r in result.reports if r.epc == item.epc]
+        assert len(item_reports) > 100
+        distance = float(np.linalg.norm(
+            np.asarray(item.position_m) - np.array([0.0, 0.0, 1.0])
+        ))
+        calibrator = ChannelCalibrator(distance, FREQS)
+        calibrator.ingest_many(item_reports)
+        for cal in calibrator.all_calibrations().values():
+            assert cal.spread_rad < 0.3

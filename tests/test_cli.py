@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.users == 1
+        assert args.distance == 3.0
+        assert args.duration == 60.0
+
+    def test_record_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["record"])
+
+
+class TestCommands:
+    def test_regions(self, capsys):
+        assert main(["regions"]) == 0
+        out = capsys.readouterr().out
+        assert "FCC" in out and "ETSI" in out
+        assert "hopping" in out
+
+    def test_demo_single_user(self, capsys):
+        code = main(["demo", "--duration", "30", "--rate", "12",
+                     "--distance", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimate" in out
+        assert "bpm" in out
+        assert "accuracy" in out
+
+    def test_demo_multi_user(self, capsys):
+        code = main(["demo", "--users", "2", "--duration", "30",
+                     "--distance", "2", "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Two user rows with estimates.
+        assert out.count("bpm") >= 2
+
+    def test_record_then_analyze(self, tmp_path, capsys):
+        trace = tmp_path / "capture.csv"
+        assert main(["record", "--duration", "30", "--distance", "2",
+                     "--seed", "5", "--out", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "reports over" in out
+        assert "bpm" in out
+
+    def test_analyze_custom_cutoff(self, tmp_path, capsys):
+        trace = tmp_path / "capture.csv"
+        main(["record", "--duration", "30", "--distance", "2",
+              "--rate", "18", "--seed", "6", "--out", str(trace)])
+        capsys.readouterr()
+        assert main(["analyze", str(trace), "--cutoff-hz", "1.0"]) == 0

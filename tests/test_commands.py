@@ -1,0 +1,174 @@
+"""Tests for the C1G2 command-level encoding (repro.epc.commands)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.epc.commands import (
+    QueryCommand,
+    crc5,
+    crc5_check,
+    crc16,
+    crc16_check,
+    decode_ack,
+    decode_query_adjust,
+    decode_query_rep,
+    encode_ack,
+    encode_query_adjust,
+    encode_query_rep,
+    frame_epc_reply,
+    parse_epc_reply,
+)
+from repro.errors import EPCError
+
+
+class TestCRC16:
+    def test_known_check_value(self):
+        """CRC-16/GENIBUS (the Gen2 CRC) of '123456789' is 0xD64E."""
+        assert crc16(b"123456789") == 0xD64E
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0x0000  # preset FFFF ^ final FFFF
+
+    def test_check_helper(self):
+        data = b"\x30\x00hello world!"
+        assert crc16_check(data, crc16(data))
+        assert not crc16_check(data, crc16(data) ^ 1)
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60)
+    def test_single_bit_errors_detected(self, data):
+        reference = crc16(data)
+        corrupted = bytes([data[0] ^ 0x01]) + data[1:]
+        assert crc16(corrupted) != reference
+
+
+class TestCRC5:
+    def test_deterministic(self):
+        assert crc5("10000000000001001") == crc5("10000000000001001")
+
+    def test_range(self):
+        assert 0 <= crc5("1010101") < 32
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EPCError):
+            crc5("10a01")
+
+    @given(st.text(alphabet="01", min_size=5, max_size=30))
+    @settings(max_examples=60)
+    def test_bit_flip_detected(self, bits):
+        reference = crc5(bits)
+        flipped = ("1" if bits[0] == "0" else "0") + bits[1:]
+        # CRC-5 detects all single-bit errors.
+        assert crc5(flipped) != reference
+
+    def test_check_roundtrip(self):
+        body = "1000" + "0" * 13
+        framed = body + format(crc5(body), "05b")
+        assert crc5_check(framed)
+        assert not crc5_check(framed[:-1] + ("1" if framed[-1] == "0" else "0"))
+
+
+class TestQueryCommand:
+    def test_frame_length(self):
+        assert len(QueryCommand().encode()) == 22
+
+    def test_roundtrip(self):
+        query = QueryCommand(dr=1, m=2, trext=1, sel=3, session=2, target=1, q=9)
+        assert QueryCommand.decode(query.encode()) == query
+
+    @given(
+        st.integers(0, 1), st.integers(0, 3), st.integers(0, 1),
+        st.integers(0, 3), st.integers(0, 3), st.integers(0, 1),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, dr, m, trext, sel, session, target, q):
+        query = QueryCommand(dr, m, trext, sel, session, target, q)
+        assert QueryCommand.decode(query.encode()) == query
+
+    def test_decode_rejects_bad_crc(self):
+        bits = QueryCommand(q=5).encode()
+        corrupted = bits[:-1] + ("1" if bits[-1] == "0" else "0")
+        with pytest.raises(EPCError):
+            QueryCommand.decode(corrupted)
+
+    def test_decode_rejects_wrong_prefix(self):
+        bits = "0" + QueryCommand().encode()[1:]
+        with pytest.raises(EPCError):
+            QueryCommand.decode(bits)
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(EPCError):
+            QueryCommand.decode("10" * 5)
+
+    def test_field_validation(self):
+        with pytest.raises(EPCError):
+            QueryCommand(q=16)
+        with pytest.raises(EPCError):
+            QueryCommand(session=4)
+
+
+class TestShortCommands:
+    def test_query_rep_roundtrip(self):
+        for session in range(4):
+            assert decode_query_rep(encode_query_rep(session)) == session
+
+    def test_query_rep_rejects_garbage(self):
+        with pytest.raises(EPCError):
+            decode_query_rep("1111")
+
+    def test_query_adjust_roundtrip(self):
+        for session in range(4):
+            for updn in (-1, 0, 1):
+                frame = encode_query_adjust(session, updn)
+                assert decode_query_adjust(frame) == (session, updn)
+                assert len(frame) == 9
+
+    def test_query_adjust_rejects_bad_updn(self):
+        with pytest.raises(EPCError):
+            encode_query_adjust(0, 2)
+        with pytest.raises(EPCError):
+            decode_query_adjust("1001" + "00" + "111")
+
+    def test_ack_roundtrip(self):
+        assert decode_ack(encode_ack(0xBEEF)) == 0xBEEF
+        assert len(encode_ack(0)) == 18
+
+    def test_ack_rejects_oversized_rn16(self):
+        with pytest.raises(EPCError):
+            encode_ack(0x10000)
+
+    def test_ack_rejects_garbage(self):
+        with pytest.raises(EPCError):
+            decode_ack("10" + "0" * 16)
+
+
+class TestEPCReplyFraming:
+    def test_roundtrip_96bit_epc(self):
+        epc = bytes(range(12))
+        assert parse_epc_reply(frame_epc_reply(epc)) == epc
+
+    def test_pc_word_encodes_length(self):
+        frame = frame_epc_reply(bytes(12))
+        pc = int.from_bytes(frame[:2], "big")
+        assert pc >> 11 == 6  # 12 bytes = 6 words
+
+    def test_crc_corruption_detected(self):
+        frame = bytearray(frame_epc_reply(bytes(12)))
+        frame[5] ^= 0xFF
+        with pytest.raises(EPCError):
+            parse_epc_reply(bytes(frame))
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(EPCError):
+            frame_epc_reply(bytes(11))
+
+    def test_truncated_reply_rejected(self):
+        with pytest.raises(EPCError):
+            parse_epc_reply(b"\x00\x01")
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20)
+    def test_any_word_count_roundtrips(self, words):
+        epc = bytes(range(2 * words))
+        assert parse_epc_reply(frame_epc_reply(epc)) == epc

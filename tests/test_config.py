@@ -1,0 +1,113 @@
+"""Tests for configuration validation (Table I ranges)."""
+
+import pytest
+
+from repro.config import (
+    NoiseConfig,
+    PipelineConfig,
+    ReaderConfig,
+    ScenarioDefaults,
+    SystemConfig,
+    default_config,
+)
+from repro.errors import ConfigError
+
+
+class TestReaderConfig:
+    def test_defaults_match_table1(self):
+        config = ReaderConfig()
+        assert config.tx_power_dbm == 30.0
+        assert config.num_channels == 10
+        assert config.channel_dwell_s == pytest.approx(0.2)
+        assert config.rssi_resolution_db == 0.5
+
+    def test_tx_power_range(self):
+        ReaderConfig(tx_power_dbm=15.0)  # lower Table I bound
+        with pytest.raises(ConfigError):
+            ReaderConfig(tx_power_dbm=14.0)
+        with pytest.raises(ConfigError):
+            ReaderConfig(tx_power_dbm=31.0)
+
+    def test_antenna_limit(self):
+        ReaderConfig(num_antennas=4)  # R420 port count
+        with pytest.raises(ConfigError):
+            ReaderConfig(num_antennas=5)
+
+    def test_other_validation(self):
+        with pytest.raises(ConfigError):
+            ReaderConfig(num_channels=0)
+        with pytest.raises(ConfigError):
+            ReaderConfig(channel_dwell_s=0.0)
+        with pytest.raises(ConfigError):
+            ReaderConfig(rssi_resolution_db=0.0)
+
+
+class TestPipelineConfig:
+    def test_defaults_match_paper(self):
+        config = PipelineConfig()
+        assert config.cutoff_hz == pytest.approx(0.67)
+        assert config.zero_crossing_buffer == 7
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(cutoff_hz=0.0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(highpass_hz=-0.1)
+        with pytest.raises(ConfigError):
+            PipelineConfig(highpass_hz=0.7, cutoff_hz=0.67)
+        with pytest.raises(ConfigError):
+            PipelineConfig(band_halfwidth_hz=0.0)
+
+    def test_buffer_validation(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(zero_crossing_buffer=1)
+
+    def test_literal_paper_mode_constructible(self):
+        config = PipelineConfig(highpass_hz=0.0, adaptive_band=False)
+        assert config.highpass_hz == 0.0
+
+
+class TestScenarioDefaults:
+    def test_defaults_match_table1(self):
+        defaults = ScenarioDefaults()
+        assert defaults.distance_m == 4.0
+        assert defaults.num_users == 1
+        assert defaults.tags_per_user == 3
+        assert defaults.breathing_rate_bpm == 10.0
+        assert defaults.posture == "sitting"
+        assert defaults.line_of_sight
+
+    def test_table1_ranges_enforced(self):
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(distance_m=0.5)
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(distance_m=7.0)
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(num_users=5)
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(tags_per_user=4)
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(breathing_rate_bpm=25.0)
+        with pytest.raises(ConfigError):
+            ScenarioDefaults(posture="hovering")
+
+
+class TestNoiseConfig:
+    def test_defaults_valid(self):
+        NoiseConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NoiseConfig(rssi_noise_db=-1.0)
+        with pytest.raises(ConfigError):
+            NoiseConfig(breathing_rate_jitter=1.5)
+        with pytest.raises(ConfigError):
+            NoiseConfig(body_sway_amplitude_m=-0.1)
+
+
+class TestSystemConfig:
+    def test_default_bundle(self):
+        config = default_config()
+        assert isinstance(config, SystemConfig)
+        assert config.reader.tx_power_dbm == 30.0
+        assert config.pipeline.cutoff_hz == pytest.approx(0.67)

@@ -1,0 +1,58 @@
+"""Tests for the terminal dashboard renderer."""
+
+import numpy as np
+
+from repro.streams import TimeSeries
+from repro.viz import UserPanel, render_dashboard
+
+
+def make_panel(**kwargs):
+    defaults = dict(
+        label="Alice",
+        rate_bpm=12.3,
+        trend_bpm_per_min=0.1,
+        signal=TimeSeries.regular(np.sin(np.linspace(0, 12, 80)), 4.0),
+        status="ok",
+    )
+    defaults.update(kwargs)
+    return UserPanel(**defaults)
+
+
+class TestDashboard:
+    def test_contains_user_info(self):
+        text = render_dashboard([make_panel()])
+        assert "Alice" in text
+        assert "12.3 bpm" in text
+        assert "[ok]" in text
+
+    def test_title(self):
+        text = render_dashboard([make_panel()], title="Ward 3")
+        assert "Ward 3" in text
+
+    def test_empty_dashboard(self):
+        text = render_dashboard([])
+        assert "no users" in text
+
+    def test_missing_estimate_placeholder(self):
+        text = render_dashboard([make_panel(rate_bpm=None, signal=None)])
+        assert "--.-" in text
+
+    def test_trend_arrows(self):
+        up = render_dashboard([make_panel(trend_bpm_per_min=2.0)])
+        down = render_dashboard([make_panel(trend_bpm_per_min=-2.0)])
+        flat = render_dashboard([make_panel(trend_bpm_per_min=0.0)])
+        assert "^" in up.splitlines()[3]
+        assert "v" in down.splitlines()[3]
+        assert "bpm -" in flat.splitlines()[3]
+
+    def test_width_respected(self):
+        text = render_dashboard([make_panel()], width=60)
+        assert all(len(line) <= 60 for line in text.splitlines())
+
+    def test_multiple_panels(self):
+        text = render_dashboard([
+            make_panel(label="Alice"),
+            make_panel(label="Bo", status="no reads", rate_bpm=None),
+        ])
+        assert "Alice" in text and "Bo" in text
+        assert "[no reads]" in text

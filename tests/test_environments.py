@@ -1,0 +1,67 @@
+"""Tests for RF environment presets (repro.sim.environments)."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.errors import ConfigError
+from repro.sim import ENVIRONMENTS, Environment, environment
+from repro.sim.environments import ANECHOIC, BEDROOM, OFFICE, WARD
+
+
+class TestCatalog:
+    def test_all_present(self):
+        assert set(ENVIRONMENTS) == {"office", "anechoic", "ward", "bedroom"}
+
+    def test_lookup(self):
+        assert environment("Office") is OFFICE
+        with pytest.raises(ConfigError):
+            environment("space-station")
+
+    def test_clutter_ordering(self):
+        """Ward > office > bedroom > anechoic in moving clutter."""
+        assert WARD.clutter_amplitude_rad > OFFICE.clutter_amplitude_rad
+        assert OFFICE.clutter_amplitude_rad > BEDROOM.clutter_amplitude_rad
+        assert BEDROOM.clutter_amplitude_rad > ANECHOIC.clutter_amplitude_rad
+
+    def test_factories(self):
+        budget = OFFICE.link_budget()
+        assert budget.path_loss.exponent == pytest.approx(2.2)
+        multipath = OFFICE.multipath(rng=np.random.default_rng(0))
+        assert multipath.amplitude_rad(4.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Environment("bad", 0.0, 3.0, 0.01, 1.5, "x")
+        with pytest.raises(ConfigError):
+            Environment("bad", 2.0, -1.0, 0.01, 1.5, "x")
+
+
+class TestEnvironmentEffects:
+    @staticmethod
+    def run_in(env, seed=0, distance=5.0):
+        scenario = Scenario([Subject(user_id=1, distance_m=distance,
+                                     breathing=MetronomeBreathing(12.0),
+                                     sway_seed=seed)])
+        result = run_scenario(
+            scenario, duration_s=60.0, seed=seed,
+            link_budget=env.link_budget(),
+            multipath=env.multipath(rng=np.random.default_rng(seed)),
+        )
+        estimates = TagBreathe(user_ids={1}).process(result.reports)
+        if 1 not in estimates:
+            return 0.0
+        return breathing_rate_accuracy(estimates[1].rate_bpm, 12.0)
+
+    def test_anechoic_is_easiest(self):
+        anechoic = np.mean([self.run_in(ANECHOIC, s) for s in range(2)])
+        ward = np.mean([self.run_in(WARD, s) for s in range(2)])
+        assert anechoic >= ward - 0.01
+        assert anechoic > 0.97
+
+    def test_all_environments_usable_at_range(self):
+        """Monitoring works in every preset at the 5 m far range."""
+        for env in ENVIRONMENTS.values():
+            accuracy = self.run_in(env, seed=3)
+            assert accuracy > 0.75, f"{env.name} collapsed: {accuracy}"

@@ -1,0 +1,131 @@
+"""Tests for the FFT/FIR low-pass filters and detrending (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import (
+    PAPER_CUTOFF_HZ,
+    detrend_series,
+    fft_lowpass,
+    fir_lowpass,
+)
+from repro.errors import StreamError
+from repro.streams import TimeSeries
+
+
+def two_tone(rate_hz=20.0, duration=30.0, f_low=0.2, f_high=3.0):
+    t = np.arange(0.0, duration, 1.0 / rate_hz)
+    values = np.sin(2 * np.pi * f_low * t) + 0.8 * np.sin(2 * np.pi * f_high * t)
+    return TimeSeries(t, values), t
+
+
+class TestFFTLowpass:
+    def test_keeps_breathing_band(self):
+        series, t = two_tone()
+        filtered = fft_lowpass(series, PAPER_CUTOFF_HZ)
+        expected = np.sin(2 * np.pi * 0.2 * t)
+        assert np.corrcoef(filtered.values, expected)[0, 1] > 0.99
+
+    def test_removes_high_frequency(self):
+        series, t = two_tone()
+        filtered = fft_lowpass(series, PAPER_CUTOFF_HZ)
+        high = 0.8 * np.sin(2 * np.pi * 3.0 * t)
+        residual = np.abs(np.fft.rfft(filtered.values - np.sin(2 * np.pi * 0.2 * t)))
+        assert np.max(residual) < 0.05 * np.max(np.abs(np.fft.rfft(high)))
+
+    def test_removes_dc(self):
+        series = TimeSeries.regular(np.ones(100) * 5.0 + np.sin(np.arange(100)), 10.0)
+        filtered = fft_lowpass(series, 0.67)
+        assert abs(filtered.values.mean()) < 1e-9
+
+    def test_highpass_edge(self):
+        rate = 20.0
+        t = np.arange(0, 60, 1 / rate)
+        slow = np.sin(2 * np.pi * 0.01 * t)  # below the 0.05 Hz edge
+        breath = np.sin(2 * np.pi * 0.2 * t)
+        filtered = fft_lowpass(TimeSeries(t, slow + breath), 0.67, highpass_hz=0.05)
+        assert np.corrcoef(filtered.values, breath)[0, 1] > 0.99
+
+    def test_preserves_time_grid(self):
+        series, _ = two_tone()
+        filtered = fft_lowpass(series)
+        np.testing.assert_array_equal(filtered.times, series.times)
+
+    def test_rejects_irregular(self):
+        irregular = TimeSeries([0.0, 0.1, 0.3, 0.35], [1, 2, 3, 4])
+        with pytest.raises(StreamError):
+            fft_lowpass(irregular)
+
+    def test_rejects_cutoff_above_nyquist(self):
+        series = TimeSeries.regular(np.sin(np.arange(40)), rate_hz=1.0)
+        with pytest.raises(StreamError):
+            fft_lowpass(series, cutoff_hz=0.67)
+
+    def test_rejects_bad_band(self):
+        series, _ = two_tone()
+        with pytest.raises(StreamError):
+            fft_lowpass(series, 0.67, highpass_hz=0.7)
+        with pytest.raises(StreamError):
+            fft_lowpass(series, 0.0)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(StreamError):
+            fft_lowpass(TimeSeries([0.0, 0.1], [1.0, 2.0]))
+
+
+class TestFIRLowpass:
+    def test_keeps_breathing_band(self):
+        series, t = two_tone()
+        filtered = fir_lowpass(series, PAPER_CUTOFF_HZ)
+        expected = np.sin(2 * np.pi * 0.2 * t)
+        assert np.corrcoef(filtered.values, expected)[0, 1] > 0.98
+
+    def test_agrees_with_fft_filter(self):
+        """The paper says an FIR filter 'can also be adopted' — the two
+        implementations must agree on a clean in-band signal."""
+        series, _ = two_tone()
+        a = fft_lowpass(series, PAPER_CUTOFF_HZ)
+        b = fir_lowpass(series, PAPER_CUTOFF_HZ)
+        # Ignore the edges where filtfilt ramps.
+        core = slice(50, -50)
+        assert np.corrcoef(a.values[core], b.values[core])[0, 1] > 0.99
+
+    def test_short_series_shrinks_taps(self):
+        series = TimeSeries.regular(np.sin(np.arange(40) * 0.3), rate_hz=10.0)
+        filtered = fir_lowpass(series, 0.67, num_taps=101)
+        assert len(filtered) == len(series)
+
+    def test_highpass_edge(self):
+        rate = 20.0
+        t = np.arange(0, 60, 1 / rate)
+        slow = np.sin(2 * np.pi * 0.01 * t)
+        breath = np.sin(2 * np.pi * 0.2 * t)
+        filtered = fir_lowpass(TimeSeries(t, slow + breath), 0.67, highpass_hz=0.05)
+        assert np.corrcoef(filtered.values, breath)[0, 1] > 0.98
+
+    def test_validation(self):
+        series, _ = two_tone()
+        with pytest.raises(StreamError):
+            fir_lowpass(series, 0.0)
+        with pytest.raises(StreamError):
+            fir_lowpass(series, 0.67, num_taps=1)
+        with pytest.raises(StreamError):
+            fir_lowpass(series, 0.67, highpass_hz=1.0)
+
+
+class TestDetrend:
+    def test_removes_linear_ramp(self):
+        t = np.arange(0, 10, 0.1)
+        values = 3.0 * t + 1.0 + np.sin(2 * np.pi * 0.5 * t)
+        detrended = detrend_series(TimeSeries(t, values))
+        assert abs(np.polyfit(t, detrended.values, 1)[0]) < 1e-9
+
+    def test_preserves_oscillation(self):
+        t = np.arange(0, 10, 0.1)
+        wave = np.sin(2 * np.pi * 0.5 * t)
+        detrended = detrend_series(TimeSeries(t, 2.0 * t + wave))
+        assert np.corrcoef(detrended.values, wave)[0, 1] > 0.98
+
+    def test_short_series_noop(self):
+        ts = TimeSeries([0.0], [5.0])
+        assert detrend_series(ts) == ts

@@ -1,0 +1,133 @@
+"""Tests for multi-tag raw-data fusion (Eq. 6-7) and user grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import (
+    FusedStream,
+    fuse_sample_streams,
+    fuse_streams,
+    group_reports_by_user,
+)
+from repro.epc import EPC96
+from repro.errors import EmptyStreamError, StreamError
+from repro.reader import TagReport
+from repro.streams import TimeSeries
+
+
+def make_report(t, user, tag):
+    return TagReport(
+        epc=EPC96.from_user_tag(user, tag),
+        timestamp_s=t,
+        phase_rad=1.0,
+        rssi_dbm=-55.0,
+        doppler_hz=0.0,
+        channel_index=0,
+        antenna_port=1,
+    )
+
+
+def sine_stream(freq=0.2, duration=30.0, rate=10.0, amplitude=1.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(0.0, duration, 1.0 / rate)
+    v = amplitude * np.sin(2 * np.pi * freq * t) + rng.normal(0, noise, len(t))
+    return TimeSeries(t, v)
+
+
+class TestUserGrouping:
+    def test_groups_by_epc_user_field(self):
+        reports = [make_report(0.1, 1, 1), make_report(0.2, 2, 1),
+                   make_report(0.3, 1, 2)]
+        grouped = group_reports_by_user(reports)
+        assert set(grouped) == {1, 2}
+        assert len(grouped[1]) == 2
+
+    def test_filter_to_monitored_users(self):
+        """Fig. 14: item tags' reads must be ignored via the ID filter."""
+        reports = [make_report(0.1, 1, 1), make_report(0.2, 0xFFFF_FFFF_0000_0001, 1)]
+        grouped = group_reports_by_user(reports, user_ids={1})
+        assert set(grouped) == {1}
+
+
+class TestFuseStreamsEq6:
+    def test_coherent_signals_add(self):
+        streams = {(1, k): sine_stream(seed=k) for k in (1, 2, 3)}
+        fused = fuse_streams(1, streams, bin_s=0.1)
+        single = fuse_streams(1, {(1, 1): sine_stream()}, bin_s=0.1)
+        assert np.abs(fused.increments.values).max() == pytest.approx(
+            3 * np.abs(single.increments.values).max(), rel=0.05
+        )
+
+    def test_track_is_cumsum_of_increments(self):
+        streams = {(1, 1): sine_stream()}
+        fused = fuse_streams(1, streams)
+        np.testing.assert_allclose(
+            fused.track.values, np.cumsum(fused.increments.values)
+        )
+
+    def test_tags_fused_counts_nonempty(self):
+        streams = {(1, 1): sine_stream(), (1, 2): TimeSeries.empty()}
+        fused = fuse_streams(1, streams)
+        assert fused.tags_fused == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(EmptyStreamError):
+            fuse_streams(1, {(1, 1): TimeSeries.empty()})
+
+    def test_bad_bin_rejected(self):
+        with pytest.raises(StreamError):
+            fuse_streams(1, {(1, 1): sine_stream()}, bin_s=0.0)
+
+    def test_noise_averages_down(self):
+        """Eq. 6's point: coherent signal, incoherent noise."""
+        def band_snr(fused):
+            spectrum = np.abs(np.fft.rfft(fused.increments.values))
+            freqs = np.fft.rfftfreq(len(fused.increments), d=fused.bin_s)
+            sig = spectrum[np.argmin(np.abs(freqs - 0.2))]
+            noise = np.median(spectrum[(freqs > 1.0)])
+            return sig / noise
+        single = fuse_streams(1, {(1, 1): sine_stream(noise=1.0, seed=1)}, bin_s=0.1)
+        triple = fuse_streams(1, {
+            (1, k): sine_stream(noise=1.0, seed=k) for k in (1, 2, 3)
+        }, bin_s=0.1)
+        assert band_snr(triple) > band_snr(single)
+
+
+class TestFuseSampleStreams:
+    def test_sum_of_binned_means(self):
+        streams = {(1, k): sine_stream(rate=25.0, seed=k) for k in (1, 2, 3)}
+        fused = fuse_sample_streams(1, streams, bin_s=0.1)
+        assert fused.tags_fused == 3
+        # Peak of the fused track ~ 3x the single-tag amplitude.
+        assert np.abs(fused.track.values).max() == pytest.approx(3.0, rel=0.1)
+
+    def test_increments_are_diff_of_track(self):
+        fused = fuse_sample_streams(1, {(1, 1): sine_stream(rate=25.0)})
+        np.testing.assert_allclose(
+            fused.increments.values, np.diff(fused.track.values)
+        )
+
+    def test_interpolates_missing_bins(self):
+        # A stream with a long gap still produces a full regular track.
+        t = np.concatenate([np.arange(0, 5, 0.1), np.arange(15, 20, 0.1)])
+        stream = TimeSeries(t, np.sin(0.5 * t))
+        fused = fuse_sample_streams(1, {(1, 1): stream}, bin_s=0.1)
+        gaps = np.diff(fused.track.times)
+        assert gaps.max() == pytest.approx(gaps.min())
+
+    def test_single_sample_streams_skipped(self):
+        streams = {
+            (1, 1): sine_stream(rate=25.0),
+            (1, 2): TimeSeries([1.0], [0.5]),
+        }
+        fused = fuse_sample_streams(1, streams)
+        assert fused.tags_fused == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(EmptyStreamError):
+            fuse_sample_streams(1, {(1, 1): TimeSeries.empty()})
+
+    def test_is_fused_stream(self):
+        fused = fuse_sample_streams(1, {(1, 1): sine_stream(rate=25.0)})
+        assert isinstance(fused, FusedStream)
+        assert fused.user_id == 1

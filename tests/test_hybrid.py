@@ -1,0 +1,66 @@
+"""Tests for the Section IV-D-2 hybrid (phase + RSSI + Doppler) estimator."""
+
+import pytest
+
+from repro import Scenario, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.core.hybrid import HybridBreathEstimator, HybridEstimate
+from repro.errors import InsufficientDataError
+
+
+@pytest.fixture(scope="module")
+def capture():
+    scenario = Scenario([Subject(user_id=1, distance_m=2.0,
+                                 breathing=MetronomeBreathing(12.0),
+                                 sway_seed=0)])
+    return run_scenario(scenario, duration_s=45.0, seed=77)
+
+
+class TestHybridEstimator:
+    def test_fused_rate_accurate(self, capture):
+        estimate = HybridBreathEstimator().estimate(1, capture.reports)
+        assert isinstance(estimate, HybridEstimate)
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.08)
+
+    def test_phase_is_among_contributions(self, capture):
+        estimate = HybridBreathEstimator().estimate(1, capture.reports)
+        names = {c.name for c in estimate.contributions}
+        assert "phase" in names
+        assert "rssi" in names
+
+    def test_phase_confidence_dominates(self, capture):
+        """Phase is the engineered sensor; it should carry the decision."""
+        estimate = HybridBreathEstimator().estimate(1, capture.reports)
+        by_name = {c.name: c for c in estimate.contributions}
+        assert by_name["phase"].confidence >= by_name["rssi"].confidence
+
+    def test_doppler_optional(self, capture):
+        with_doppler = HybridBreathEstimator(use_doppler=True).estimate(
+            1, capture.reports
+        )
+        names = {c.name for c in with_doppler.contributions}
+        assert "doppler" in names
+        # Even with the noisy Doppler included, the fused rate holds.
+        assert with_doppler.rate_bpm == pytest.approx(12.0, rel=0.12)
+
+    def test_agreement_flag(self, capture):
+        estimate = HybridBreathEstimator(agreement_tolerance_bpm=50.0).estimate(
+            1, capture.reports
+        )
+        assert estimate.agreement  # everything agrees at infinite tolerance
+
+    def test_no_data_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            HybridBreathEstimator().estimate(1, [])
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            HybridBreathEstimator(agreement_tolerance_bpm=0.0)
+
+    def test_hybrid_not_worse_than_phase_alone(self, capture):
+        from repro import TagBreathe, breathing_rate_accuracy
+        phase = TagBreathe(user_ids={1}).process(capture.reports)[1]
+        hybrid = HybridBreathEstimator().estimate(1, capture.reports)
+        acc_phase = breathing_rate_accuracy(phase.rate_bpm, 12.0)
+        acc_hybrid = breathing_rate_accuracy(hybrid.rate_bpm, 12.0)
+        assert acc_hybrid >= acc_phase - 0.05

@@ -1,0 +1,131 @@
+"""Tests for the Eq. (8) accuracy metric and the experiment runner."""
+
+import pytest
+
+from repro.body import MetronomeBreathing, Subject
+from repro.errors import ReproError
+from repro.metrics import (
+    AccuracyStats,
+    ExperimentRunner,
+    breathing_rate_accuracy,
+    bpm_error,
+    summarize_accuracies,
+)
+from repro.metrics.evaluation import TrialOutcome
+from repro.sim import Scenario
+
+
+class TestEq8Accuracy:
+    def test_perfect(self):
+        assert breathing_rate_accuracy(10.0, 10.0) == 1.0
+
+    def test_ten_percent_error(self):
+        assert breathing_rate_accuracy(11.0, 10.0) == pytest.approx(0.9)
+
+    def test_symmetric_in_error_sign(self):
+        assert breathing_rate_accuracy(9.0, 10.0) == \
+            pytest.approx(breathing_rate_accuracy(11.0, 10.0))
+
+    def test_clamped_at_zero(self):
+        assert breathing_rate_accuracy(50.0, 10.0) == 0.0
+
+    def test_rejects_bad_truth(self):
+        with pytest.raises(ReproError):
+            breathing_rate_accuracy(10.0, 0.0)
+
+    def test_bpm_error(self):
+        assert bpm_error(11.5, 10.0) == pytest.approx(1.5)
+        assert bpm_error(8.5, 10.0) == pytest.approx(1.5)
+
+
+class TestSummaries:
+    def test_aggregate_fields(self):
+        stats = summarize_accuracies([10.0, 11.0], [10.0, 10.0])
+        assert stats.trials == 2
+        assert stats.mean == pytest.approx(0.95)
+        assert stats.minimum == pytest.approx(0.9)
+        assert stats.maximum == pytest.approx(1.0)
+        assert stats.mean_bpm_error == pytest.approx(0.5)
+
+    def test_failures_reported(self):
+        stats = summarize_accuracies([10.0], [10.0], failures=3)
+        assert stats.failures == 3
+
+    def test_str_readable(self):
+        stats = summarize_accuracies([10.0], [10.0])
+        assert "accuracy" in str(stats)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            summarize_accuracies([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize_accuracies([], [])
+
+
+class TestExperimentRunner:
+    def make_runner(self, **kwargs):
+        def factory(trial, rate):
+            return Scenario([Subject(
+                user_id=1, distance_m=2.0,
+                breathing=MetronomeBreathing(rate), sway_seed=trial,
+            )])
+        defaults = dict(scenario_factory=factory, trials=2,
+                        trial_duration_s=30.0, seed=0)
+        defaults.update(kwargs)
+        return ExperimentRunner(**defaults)
+
+    def test_runs_all_trials(self):
+        outcomes = self.make_runner().run()
+        assert len(outcomes) == 2
+        assert all(isinstance(o, TrialOutcome) for o in outcomes)
+
+    def test_rates_drawn_from_range(self):
+        outcomes = self.make_runner(rate_range_bpm=(8.0, 9.0)).run()
+        for outcome in outcomes:
+            assert 8.0 <= outcome.true_rate_bpm <= 9.0
+
+    def test_aggregate(self):
+        outcomes = self.make_runner().run()
+        stats = ExperimentRunner.aggregate(outcomes)
+        assert isinstance(stats, AccuracyStats)
+        assert stats.mean > 0.9  # 2 m, clean conditions
+
+    def test_deterministic(self):
+        a = self.make_runner().run()
+        b = self.make_runner().run()
+        assert [o.measured_rate_bpm for o in a] == [o.measured_rate_bpm for o in b]
+
+    def test_failure_outcomes(self):
+        def blocked_factory(trial, rate):
+            return Scenario([Subject(user_id=1, distance_m=4.0,
+                                     orientation_deg=170.0)])
+        runner = self.make_runner(scenario_factory=blocked_factory, trials=1)
+        outcomes = runner.run()
+        assert not outcomes[0].succeeded
+        assert outcomes[0].failure_reason
+        with pytest.raises(ReproError):
+            ExperimentRunner.aggregate(outcomes)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            self.make_runner(trials=0)
+        with pytest.raises(ReproError):
+            self.make_runner(trial_duration_s=0.0)
+        with pytest.raises(ReproError):
+            self.make_runner(rate_range_bpm=(5.0, 4.0))
+
+    def test_multi_user_outcomes(self):
+        def factory(trial, rate):
+            return Scenario([
+                Subject(user_id=1, distance_m=2.0, lateral_offset_m=-0.5,
+                        breathing=MetronomeBreathing(rate), sway_seed=trial),
+                Subject(user_id=2, distance_m=2.0, lateral_offset_m=0.5,
+                        breathing=MetronomeBreathing(rate + 3), sway_seed=trial + 50),
+            ])
+        runner = ExperimentRunner(scenario_factory=factory, trials=1,
+                                  trial_duration_s=30.0, seed=0,
+                                  rate_range_bpm=(8.0, 12.0))
+        outcomes = runner.run()
+        assert {o.user_id for o in outcomes} == {1, 2}

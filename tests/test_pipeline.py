@@ -1,0 +1,219 @@
+"""Tests for the end-to-end TagBreathe engine (batch + streaming)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PipelineConfig,
+    Scenario,
+    TagBreathe,
+    breathing_rate_accuracy,
+    run_scenario,
+)
+from repro.body import MetronomeBreathing, Subject
+from repro.errors import ExtractionError, InsufficientDataError
+from repro.reader import Antenna
+from repro.config import ReaderConfig
+
+
+@pytest.fixture(scope="module")
+def capture():
+    """One shared 50 s close-range capture (12 bpm)."""
+    scenario = Scenario([Subject(user_id=1, distance_m=2.0,
+                                 breathing=MetronomeBreathing(12.0),
+                                 sway_seed=0)])
+    return run_scenario(scenario, duration_s=50.0, seed=11)
+
+
+class TestBatch:
+    def test_recovers_rate(self, capture):
+        estimates = TagBreathe(user_ids={1}).process(capture.reports)
+        assert estimates[1].rate_bpm == pytest.approx(12.0, rel=0.08)
+
+    def test_estimate_metadata(self, capture):
+        estimate = TagBreathe(user_ids={1}).process(capture.reports)[1]
+        assert estimate.tags_fused == 3
+        assert estimate.read_count == len(capture.reports)
+        assert estimate.antenna_port == 1
+
+    def test_unfiltered_monitors_all_epcs(self, capture):
+        estimates = TagBreathe().process(capture.reports)
+        assert 1 in estimates
+
+    def test_filter_ignores_other_users(self, capture):
+        estimates = TagBreathe(user_ids={99}).process(capture.reports)
+        assert estimates == {}
+
+    def test_missing_user_reported_in_failures(self, capture):
+        _, failures = TagBreathe(user_ids={1, 99}).process_detailed(capture.reports)
+        assert 99 in failures
+
+    def test_increments_mode(self, capture):
+        """The paper-literal Eq. (6)/(7) mode runs end-to-end.  It is
+        noisier than the samples mode (dwell-stitch random walk), which
+        is exactly what the ablation benchmark quantifies — here we only
+        require a plausible estimate."""
+        pipeline = TagBreathe(user_ids={1}, mode="increments")
+        estimates = pipeline.process(capture.reports)
+        assert 4.0 < estimates[1].rate_bpm < 40.0
+
+    def test_samples_mode_at_least_as_accurate(self, capture):
+        samples = TagBreathe(user_ids={1}, mode="samples").process(capture.reports)
+        increments = TagBreathe(user_ids={1}, mode="increments").process(capture.reports)
+        err_samples = abs(samples[1].rate_bpm - 12.0)
+        err_increments = abs(increments[1].rate_bpm - 12.0)
+        assert err_samples <= err_increments + 0.5
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExtractionError):
+            TagBreathe(mode="magic")
+
+    def test_empty_capture(self):
+        estimates, failures = TagBreathe(user_ids={1}).process_detailed([])
+        assert estimates == {}
+        assert 1 in failures
+
+    def test_custom_config_respected(self, capture):
+        config = PipelineConfig(cutoff_hz=0.5, zero_crossing_buffer=5)
+        pipeline = TagBreathe(user_ids={1}, config=config)
+        assert pipeline.config.cutoff_hz == 0.5
+        estimate = pipeline.process(capture.reports)[1]
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+    def test_fused_track_exposed(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        track = pipeline.fused_track(1, capture.reports)
+        assert track.duration == pytest.approx(50.0, abs=2.0)
+
+
+class TestStreaming:
+    def test_streaming_matches_batch(self, capture):
+        batch = TagBreathe(user_ids={1}).process(capture.reports)[1]
+        streaming = TagBreathe(user_ids={1})
+        streaming.feed_many(capture.reports)
+        estimate = streaming.estimate_user(1, window_s=40.0)
+        assert estimate.rate_bpm == pytest.approx(batch.rate_bpm, rel=0.05)
+
+    def test_trailing_window(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        estimate = pipeline.estimate_user(1, window_s=25.0)
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+    def test_streamed_users(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        assert pipeline.streamed_users() == [1]
+
+    def test_unknown_user_estimate_rejected(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        with pytest.raises(InsufficientDataError):
+            pipeline.estimate_user(42)
+
+    def test_reset(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        pipeline.reset_streaming()
+        assert pipeline.streamed_users() == []
+        with pytest.raises(InsufficientDataError):
+            pipeline.estimate_user(1)
+
+    def test_out_of_order_reports_ignored(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        pipeline.feed(capture.reports[0])  # stale: silently dropped
+        estimate = pipeline.estimate_user(1, window_s=40.0)
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+    def test_unmonitored_reports_dropped(self, capture):
+        pipeline = TagBreathe(user_ids={99})
+        pipeline.feed_many(capture.reports)
+        assert pipeline.streamed_users() == []
+
+    def test_memory_bounded(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        # Feed the capture three times with shifted timestamps to simulate
+        # a long session.
+        for shift in (0.0, 45.0, 90.0):
+            for report in capture.reports:
+                shifted = type(report)(
+                    epc=report.epc,
+                    timestamp_s=report.timestamp_s + shift,
+                    phase_rad=report.phase_rad,
+                    rssi_dbm=report.rssi_dbm,
+                    doppler_hz=report.doppler_hz,
+                    channel_index=report.channel_index,
+                    antenna_port=report.antenna_port,
+                )
+                pipeline.feed(shifted)
+        total = sum(len(buf) for buf in pipeline._report_buffers.values())
+        # Three 40 s passes = ~3x capture, but trimming caps retention.
+        assert total <= 3 * len(capture.reports)
+        estimate = pipeline.estimate_user(1, window_s=25.0)
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.15)
+
+
+class TestMultiAntenna:
+    def test_antenna_selection_picks_facing_antenna(self):
+        """Section IV-D-3: the best-quality antenna serves each user."""
+        config = ReaderConfig(num_antennas=2)
+        antennas = [
+            Antenna(port=1, position_m=(0.0, 0.0, 1.0), boresight=(1, 0, 0)),
+            # Antenna 2 sits behind the user relative to their facing.
+            Antenna(port=2, position_m=(8.0, 0.0, 1.0), boresight=(-1, 0, 0)),
+        ]
+        subject = Subject(user_id=1, distance_m=4.0,
+                          breathing=MetronomeBreathing(10.0), sway_seed=0)
+        result = run_scenario(
+            Scenario([subject]), duration_s=40.0, seed=3,
+            reader_config=config, antennas=antennas,
+        )
+        ports = {r.antenna_port for r in result.reports}
+        estimate = TagBreathe(user_ids={1}).process(result.reports)[1]
+        if len(ports) > 1:
+            assert estimate.antenna_port in ports
+        assert estimate.rate_bpm == pytest.approx(10.0, rel=0.15)
+
+    def test_selection_disabled_fuses_everything(self):
+        config = ReaderConfig(num_antennas=2)
+        antennas = [
+            Antenna(port=1, position_m=(0.0, -0.5, 1.0)),
+            Antenna(port=2, position_m=(0.0, 0.5, 1.0)),
+        ]
+        subject = Subject(user_id=1, distance_m=3.0,
+                          breathing=MetronomeBreathing(12.0), sway_seed=1)
+        result = run_scenario(Scenario([subject]), duration_s=40.0, seed=5,
+                              reader_config=config, antennas=antennas)
+        pipeline = TagBreathe(user_ids={1}, select_antenna=False)
+        estimate = pipeline.process(result.reports)[1]
+        assert estimate.antenna_port is None
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+
+class TestMultiUser:
+    def test_two_users_estimated_independently(self):
+        subjects = [
+            Subject(user_id=1, distance_m=3.0, lateral_offset_m=-0.6,
+                    breathing=MetronomeBreathing(8.0), sway_seed=1),
+            Subject(user_id=2, distance_m=3.0, lateral_offset_m=0.6,
+                    breathing=MetronomeBreathing(16.0), sway_seed=2),
+        ]
+        result = run_scenario(Scenario(subjects), duration_s=45.0, seed=9)
+        estimates = TagBreathe(user_ids={1, 2}).process(result.reports)
+        assert estimates[1].rate_bpm == pytest.approx(8.0, rel=0.1)
+        assert estimates[2].rate_bpm == pytest.approx(16.0, rel=0.1)
+
+    def test_blocked_user_absent_others_fine(self):
+        subjects = [
+            Subject(user_id=1, distance_m=3.0, lateral_offset_m=-0.6,
+                    breathing=MetronomeBreathing(10.0), sway_seed=1),
+            Subject(user_id=2, distance_m=3.0, lateral_offset_m=0.6,
+                    orientation_deg=170.0, sway_seed=2),  # back to antenna
+        ]
+        result = run_scenario(Scenario(subjects), duration_s=40.0, seed=2)
+        estimates, failures = TagBreathe(user_ids={1, 2}).process_detailed(
+            result.reports
+        )
+        assert 1 in estimates
+        assert 2 in failures  # paper: no report for a fully blocked user

@@ -1,0 +1,113 @@
+"""Tests for demographic profiles and cohort generation."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import (
+    ADULT,
+    CHILD,
+    ELDERLY,
+    NEWBORN,
+    PROFILES,
+    DemographicProfile,
+    profile,
+    random_cohort,
+    random_subject,
+    recommended_pipeline_config,
+)
+from repro.body.placement import BreathingStyle
+from repro.config import PipelineConfig
+from repro.errors import BodyModelError
+
+
+class TestProfiles:
+    def test_catalog(self):
+        assert set(PROFILES) == {"adult", "elderly", "child", "newborn"}
+
+    def test_lookup(self):
+        assert profile("Adult") is ADULT
+        with pytest.raises(BodyModelError):
+            profile("martian")
+
+    def test_clinical_ordering(self):
+        """Resting rate rises and excursion falls from adult to newborn."""
+        assert ADULT.rate_range_bpm[1] < NEWBORN.rate_range_bpm[0] + 15
+        assert NEWBORN.rate_range_bpm[1] > ADULT.rate_range_bpm[1]
+        assert NEWBORN.amplitude_range_m[1] < ADULT.amplitude_range_m[0] + 0.005
+        assert NEWBORN.torso_scale < CHILD.torso_scale < ADULT.torso_scale
+
+    def test_infants_breathe_abdominally(self):
+        assert NEWBORN.typical_style is BreathingStyle.ABDOMEN
+        assert CHILD.typical_style is BreathingStyle.ABDOMEN
+
+    def test_validation(self):
+        with pytest.raises(BodyModelError):
+            DemographicProfile("bad", (20.0, 10.0), (0.001, 0.002), 1.0,
+                               BreathingStyle.MIXED)
+        with pytest.raises(BodyModelError):
+            DemographicProfile("bad", (10.0, 20.0), (0.002, 0.001), 1.0,
+                               BreathingStyle.MIXED)
+
+
+class TestRecommendedConfig:
+    def test_adult_keeps_paper_cutoff(self):
+        config = recommended_pipeline_config(ADULT)
+        assert config.cutoff_hz == pytest.approx(0.67)
+
+    def test_newborn_widens_cutoff(self):
+        """60 bpm = 1.0 Hz exceeds the paper's 0.67 Hz cutoff; the
+        recommended config must widen it."""
+        config = recommended_pipeline_config(NEWBORN)
+        assert config.cutoff_hz > NEWBORN.max_rate_hz()
+        assert config.cutoff_hz == pytest.approx(1.5 * NEWBORN.max_rate_hz())
+
+    def test_preserves_other_parameters(self):
+        base = PipelineConfig(zero_crossing_buffer=9)
+        config = recommended_pipeline_config(NEWBORN, base)
+        assert config.zero_crossing_buffer == 9
+
+
+class TestRandomSubjects:
+    def test_rate_in_clinical_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            subject = random_subject(1, CHILD, rng)
+            rate = subject.true_rate_bpm(0.0, 60.0)
+            lo, hi = CHILD.rate_range_bpm
+            assert lo <= rate <= hi
+
+    def test_cohort_layout(self):
+        rng = np.random.default_rng(1)
+        cohort = random_cohort(ADULT, 4, rng)
+        assert [s.user_id for s in cohort] == [1, 2, 3, 4]
+        offsets = [s.lateral_offset_m for s in cohort]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == pytest.approx(-offsets[-1])
+
+    def test_cohort_count_validation(self):
+        with pytest.raises(BodyModelError):
+            random_cohort(ADULT, 0, np.random.default_rng(0))
+
+    def test_deterministic_given_rng_state(self):
+        a = random_subject(1, ADULT, np.random.default_rng(9))
+        b = random_subject(1, ADULT, np.random.default_rng(9))
+        assert a.true_rate_bpm(0, 60) == b.true_rate_bpm(0, 60)
+
+
+class TestNeonatalMonitoring:
+    def test_newborn_rate_recovered_with_widened_band(self):
+        """The neonatal extension: a 48 bpm newborn is invisible to the
+        paper's 0.67 Hz pipeline but tracked with the recommended one.
+        Crib-side range is required — a newborn's millimetre-scale chest
+        excursion loses to room clutter beyond ~1 m."""
+        from repro.body.waveforms import MetronomeBreathing
+        from repro.body.subject import Subject
+        baby = Subject(user_id=1, distance_m=0.8,
+                       breathing=MetronomeBreathing(48.0, amplitude_m=0.004),
+                       style=NEWBORN.typical_style, sway_seed=5)
+        result = run_scenario(Scenario([baby]), duration_s=45.0, seed=61)
+        config = recommended_pipeline_config(NEWBORN)
+        estimates = TagBreathe(user_ids={1}, config=config).process(result.reports)
+        assert 1 in estimates
+        assert breathing_rate_accuracy(estimates[1].rate_bpm, 48.0) > 0.9

@@ -1,0 +1,253 @@
+"""Tests for phase preprocessing: Eq. (3)/(4), segments, samples."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import (
+    DEFAULT_MAX_GAP_S,
+    DeltaChain,
+    default_frequencies,
+    displacement_deltas,
+    displacement_samples,
+    displacement_track,
+    group_reports_by_stream,
+    phase_segments,
+)
+from repro.epc import EPC96
+from repro.errors import StreamError
+from repro.reader import TagReport
+from repro.rf.phase import backscatter_phase
+from repro.units import SPEED_OF_LIGHT
+
+
+FREQS = default_frequencies(10)
+
+
+def make_report(t, phase, channel=0, antenna=1, user=1, tag=1):
+    return TagReport(
+        epc=EPC96.from_user_tag(user, tag),
+        timestamp_s=t,
+        phase_rad=phase % (2 * math.pi),
+        rssi_dbm=-55.0,
+        doppler_hz=0.0,
+        channel_index=channel,
+        antenna_port=antenna,
+    )
+
+
+def reports_for_motion(distances, times, channel=0, antenna=1, offset=0.8):
+    """Noise-free reports of a tag following a distance trajectory."""
+    lam = SPEED_OF_LIGHT / FREQS[channel]
+    return [
+        make_report(t, backscatter_phase(d, lam, offset), channel, antenna)
+        for t, d in zip(times, distances)
+    ]
+
+
+class TestGrouping:
+    def test_splits_by_stream_key(self):
+        reports = [make_report(0.1, 1.0, tag=1), make_report(0.2, 1.0, tag=2),
+                   make_report(0.3, 1.0, tag=1)]
+        streams = group_reports_by_stream(reports)
+        assert set(streams) == {(1, 1), (1, 2)}
+        assert len(streams[(1, 1)]) == 2
+
+
+class TestDisplacementDeltasEq3:
+    def test_recovers_constant_velocity(self):
+        times = np.arange(0.0, 0.15, 0.01)  # inside one dwell
+        distances = 2.0 + 0.001 * times / times[-1]
+        reports = reports_for_motion(distances, times)
+        deltas = displacement_deltas(reports, FREQS, smooth_k=1)
+        track = displacement_track(deltas)
+        assert track.values[-1] == pytest.approx(0.001, abs=1e-9)
+
+    def test_smoothed_track_lags_but_tracks(self):
+        times = np.arange(0.0, 0.15, 0.01)
+        distances = 2.0 + 0.001 * times / times[-1]
+        reports = reports_for_motion(distances, times)
+        deltas = displacement_deltas(reports, FREQS, smooth_k=3)
+        track = displacement_track(deltas)
+        # The k=3 moving average lags by (k-1)/2 samples of motion.
+        assert track.values[-1] == pytest.approx(0.001, rel=0.15)
+
+    def test_static_tag_zero_displacement(self):
+        times = np.arange(0.0, 0.14, 0.02)
+        reports = reports_for_motion([2.0] * len(times), times)
+        deltas = displacement_deltas(reports, FREQS)
+        assert np.allclose(deltas.values, 0.0, atol=1e-12)
+
+    def test_gap_breaks_chain(self):
+        # Two reads 2 s apart (same channel, different dwells): no delta.
+        reports = reports_for_motion([2.0, 2.001], [0.0, 2.0])
+        deltas = displacement_deltas(reports, FREQS, smooth_k=1)
+        assert len(deltas) == 0
+
+    def test_channels_differenced_independently(self):
+        lam0 = SPEED_OF_LIGHT / FREQS[0]
+        lam1 = SPEED_OF_LIGHT / FREQS[1]
+        reports = [
+            make_report(0.00, backscatter_phase(2.0, lam0, 0.5), channel=0),
+            make_report(0.01, backscatter_phase(2.0, lam1, 2.5), channel=1),
+            make_report(0.02, backscatter_phase(2.0005, lam0, 0.5), channel=0),
+            make_report(0.03, backscatter_phase(2.0005, lam1, 2.5), channel=1),
+        ]
+        deltas = displacement_deltas(reports, FREQS, smooth_k=1)
+        # Each channel contributes one delta of +0.5 mm despite wildly
+        # different channel offsets.
+        assert len(deltas) == 2
+        assert np.allclose(deltas.values, 0.0005, atol=1e-9)
+
+    def test_antennas_differenced_independently(self):
+        lam = SPEED_OF_LIGHT / FREQS[0]
+        reports = [
+            make_report(0.00, backscatter_phase(2.0, lam, 0.1), antenna=1),
+            make_report(0.01, backscatter_phase(2.0, lam, 3.1), antenna=2),
+            make_report(0.02, backscatter_phase(2.0, lam, 0.1), antenna=1),
+            make_report(0.03, backscatter_phase(2.0, lam, 3.1), antenna=2),
+        ]
+        deltas = displacement_deltas(reports, FREQS, smooth_k=1)
+        assert np.allclose(deltas.values, 0.0, atol=1e-12)
+
+    def test_rejects_mixed_tags(self):
+        reports = [make_report(0.0, 1.0, tag=1), make_report(0.1, 1.0, tag=2)]
+        with pytest.raises(StreamError):
+            displacement_deltas(reports, FREQS)
+
+    def test_rejects_unknown_channel(self):
+        reports = [make_report(0.0, 1.0, channel=10), make_report(0.01, 1.0, channel=10)]
+        with pytest.raises(StreamError):
+            displacement_deltas(reports, FREQS)
+
+    def test_empty_input(self):
+        assert not displacement_deltas([], FREQS)
+
+    def test_smoothing_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(0.0, 0.15, 0.005)
+        lam = SPEED_OF_LIGHT / FREQS[0]
+        noisy = [make_report(t, backscatter_phase(2.0, lam) + rng.normal(0, 0.1), 0)
+                 for t in times]
+        raw = displacement_track(displacement_deltas(noisy, FREQS, smooth_k=1))
+        smooth = displacement_track(displacement_deltas(noisy, FREQS, smooth_k=3))
+        assert np.std(smooth.values) < np.std(raw.values)
+
+
+class TestDeltaChain:
+    def test_first_push_returns_none(self):
+        chain = DeltaChain(0.3276)
+        assert chain.push(0.0, 1.0) is None
+
+    def test_delta_sign(self):
+        lam = 0.3276
+        chain = DeltaChain(lam, smooth_k=1)
+        chain.push(0.0, backscatter_phase(2.0, lam))
+        delta = chain.push(0.01, backscatter_phase(2.001, lam))
+        assert delta == pytest.approx(0.001, abs=1e-9)
+
+    def test_reset_on_gap(self):
+        chain = DeltaChain(0.3276, max_gap_s=0.1, smooth_k=1)
+        chain.push(0.0, 1.0)
+        assert chain.push(1.0, 1.5) is None  # gap too long: chain reset
+
+    def test_backwards_time_resets(self):
+        chain = DeltaChain(0.3276, smooth_k=1)
+        chain.push(1.0, 1.0)
+        assert chain.push(0.5, 1.2) is None
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            DeltaChain(0.0)
+        with pytest.raises(StreamError):
+            DeltaChain(0.3, max_gap_s=0.0)
+        with pytest.raises(StreamError):
+            DeltaChain(0.3, smooth_k=0)
+
+
+class TestPhaseSegments:
+    def test_one_segment_per_group_when_dense(self):
+        times = np.arange(0.0, 4.0, 0.05)
+        reports = reports_for_motion([2.0] * len(times), times)
+        segments = phase_segments(reports, FREQS)
+        assert list(segments) == [(0, 1)]
+        assert len(segments[(0, 1)]) == 1
+
+    def test_long_gap_splits_segment(self):
+        times = [0.0, 0.05, 0.1, 10.0, 10.05]
+        reports = reports_for_motion([2.0] * 5, times)
+        segments = phase_segments(reports, FREQS)
+        assert len(segments[(0, 1)]) == 2
+
+    def test_unwrap_across_channel_recurrence(self):
+        """The key robustness property: a 2 s channel-recurrence gap does
+        not break continuity, so slow motion integrates exactly."""
+        lam = SPEED_OF_LIGHT / FREQS[0]
+        # Tag drifts 3 cm over 6 seconds, read in bursts every 2 s.
+        times, distances = [], []
+        for burst in range(4):
+            for i in range(5):
+                t = burst * 2.0 + i * 0.02
+                times.append(t)
+                distances.append(2.0 + 0.03 * t / 6.0)
+        reports = reports_for_motion(distances, times)
+        samples = displacement_samples(reports, FREQS)
+        swing = samples.values.max() - samples.values.min()
+        expected = 0.03 * (times[-1] - times[0]) / 6.0
+        assert swing == pytest.approx(expected, abs=1e-6)
+
+    def test_segment_values_match_distance_up_to_offset(self):
+        times = np.arange(0.0, 1.0, 0.04)
+        distances = 2.0 + 0.002 * np.sin(2 * np.pi * 0.5 * times)
+        reports = reports_for_motion(distances, times)
+        segments = phase_segments(reports, FREQS)
+        segment = segments[(0, 1)][0]
+        recovered = segment.values - segment.values.mean()
+        expected = distances - distances.mean()
+        np.testing.assert_allclose(recovered, expected, atol=1e-9)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(StreamError):
+            phase_segments([make_report(0.0, 1.0)], FREQS, max_gap_s=0.0)
+
+
+class TestDisplacementSamples:
+    def test_short_segments_dropped(self):
+        reports = reports_for_motion([2.0, 2.0], [0.0, 0.01])
+        samples = displacement_samples(reports, FREQS, min_segment_len=3)
+        assert not samples
+
+    def test_samples_are_demeaned_per_segment(self):
+        times = np.arange(0.0, 2.0, 0.04)
+        reports = reports_for_motion([2.0] * len(times), times)
+        samples = displacement_samples(reports, FREQS)
+        assert samples.values.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_multi_channel_merge(self):
+        lam0 = SPEED_OF_LIGHT / FREQS[0]
+        lam5 = SPEED_OF_LIGHT / FREQS[5]
+        reports = []
+        for i in range(20):
+            t = i * 0.05
+            d = 2.0 + 0.005 * math.sin(2 * math.pi * 0.2 * t)
+            channel = 0 if (i // 4) % 2 == 0 else 5
+            lam = lam0 if channel == 0 else lam5
+            reports.append(make_report(t, backscatter_phase(d, lam, 0.3 * channel),
+                                       channel=channel))
+        samples = displacement_samples(reports, FREQS)
+        assert len(samples) == 20
+
+    def test_recovers_breathing_waveform(self):
+        """End-to-end: sinusoidal motion -> phase -> samples -> sinusoid."""
+        times = np.arange(0.0, 10.0, 0.03)
+        motion = 0.005 * np.sin(2 * np.pi * 0.2 * times)
+        reports = reports_for_motion(2.0 + motion, times)
+        samples = displacement_samples(reports, FREQS)
+        recovered = samples.values - samples.values.mean()
+        expected = motion - motion.mean()
+        np.testing.assert_allclose(recovered, expected, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            displacement_samples([make_report(0.0, 1.0)], FREQS, min_segment_len=0)

@@ -1,0 +1,85 @@
+"""Statistical properties of the reader's report stream.
+
+These validate the emergent behaviour the paper's Section IV-A measures:
+sampling-rate ranges, per-channel coverage, inter-read timing, and the
+interaction of distance with read success.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Reader, Scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.config import ReaderConfig
+
+
+def capture(distance=2.0, duration=20.0, seed=0, num_tags=1, **reader_kwargs):
+    scenario = Scenario([Subject(user_id=1, distance_m=distance,
+                                 breathing=MetronomeBreathing(12.0),
+                                 num_tags=num_tags, sway_seed=seed)])
+    reader = Reader(rng=np.random.default_rng(seed), **reader_kwargs)
+    return reader.run(scenario, duration), scenario
+
+
+class TestSamplingStatistics:
+    def test_single_tag_rate_in_paper_range(self):
+        """Section IV-A: 'The data sampling rate was around 64 Hz.'"""
+        reports, _ = capture(num_tags=1)
+        rate = len(reports) / 20.0
+        assert 45.0 <= rate <= 90.0
+
+    def test_inter_read_gaps_mostly_regular(self):
+        reports, _ = capture(num_tags=1)
+        gaps = np.diff([r.timestamp_s for r in reports])
+        # Median gap near 1/64 s; occasional longer gaps at hops.
+        assert 0.008 <= float(np.median(gaps)) <= 0.03
+        assert float(np.max(gaps)) < 0.5
+
+    def test_three_tags_share_airtime_evenly(self):
+        reports, scenario = capture(num_tags=3)
+        counts = {}
+        for report in reports:
+            counts[report.tag_id] = counts.get(report.tag_id, 0) + 1
+        values = list(counts.values())
+        assert len(values) == 3
+        assert max(values) < 1.6 * min(values)
+
+    def test_reports_cover_all_channels_evenly(self):
+        reports, _ = capture(duration=25.0)
+        counts = np.zeros(10)
+        for report in reports:
+            counts[report.channel_index] += 1
+        assert counts.min() > 0
+        assert counts.max() < 2.5 * counts.min()
+
+    def test_rate_declines_with_distance(self):
+        near, _ = capture(distance=1.0, seed=1)
+        far, _ = capture(distance=9.0, seed=1,
+                         config=None)
+        assert len(far) < len(near)
+
+    def test_rssi_declines_with_distance(self):
+        near, _ = capture(distance=1.0, seed=2)
+        far, _ = capture(distance=6.0, seed=2)
+        assert np.mean([r.rssi_dbm for r in far]) < \
+            np.mean([r.rssi_dbm for r in near]) - 5.0
+
+    def test_lower_tx_power_lowers_rate_at_range(self):
+        full, _ = capture(distance=6.0, seed=3,
+                          config=ReaderConfig(tx_power_dbm=30.0))
+        reduced, _ = capture(distance=6.0, seed=3,
+                             config=ReaderConfig(tx_power_dbm=20.0))
+        assert len(reduced) < len(full)
+
+    def test_doppler_reports_centered_near_zero(self):
+        reports, _ = capture()
+        doppler = np.array([r.doppler_hz for r in reports])
+        assert abs(np.mean(doppler)) < 0.5
+        assert np.std(doppler) > 0.5  # raw Doppler is noisy (Fig. 3)
+
+    def test_rssi_dithers_across_quantisation_steps(self):
+        """The breathing ripple must actually move the quantised RSSI —
+        otherwise Fig. 2's periodicity could never appear."""
+        reports, _ = capture(duration=25.0)
+        one_channel = [r.rssi_dbm for r in reports if r.channel_index == 0]
+        assert len(set(one_channel)) >= 2

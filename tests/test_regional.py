@@ -1,0 +1,105 @@
+"""Tests for regional regulations and pipeline operation under each."""
+
+import numpy as np
+import pytest
+
+from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.config import ReaderConfig
+from repro.errors import ConfigError
+from repro.reader import HopSchedule
+from repro.rf import REGULATIONS, RegionalRegulation, regulation
+from repro.rf.regional import CHINA, ETSI, FCC, HONG_KONG, JAPAN
+
+
+class TestRegulationCatalog:
+    def test_all_regions_present(self):
+        assert set(REGULATIONS) == {"FCC", "ETSI", "Japan", "China", "Hong Kong"}
+
+    def test_lookup_case_insensitive(self):
+        assert regulation("fcc") is FCC
+        assert regulation("Etsi") is ETSI
+
+    def test_unknown_region(self):
+        with pytest.raises(ConfigError):
+            regulation("Atlantis")
+
+    def test_channels_inside_bands(self):
+        for reg in REGULATIONS.values():
+            low, high = reg.band_hz
+            for freq in reg.channel_frequencies_hz:
+                assert low <= freq <= high
+
+    def test_fcc_matches_paper(self):
+        """The paper's regime: 902-928 MHz, hopping required."""
+        assert FCC.band_hz == (902e6, 928e6)
+        assert FCC.num_channels == 50
+        assert FCC.hopping_required
+        assert FCC.max_dwell_s == pytest.approx(0.4)
+
+    def test_etsi_four_channels_no_hopping(self):
+        assert ETSI.num_channels == 4
+        assert not ETSI.hopping_required
+
+    def test_hong_kong_band(self):
+        """Where the paper's experiments actually ran."""
+        assert HONG_KONG.band_hz == (920e6, 925e6)
+        assert HONG_KONG.hopping_required
+
+    def test_effective_dwell_respects_limit(self):
+        assert FCC.effective_dwell_s(default_s=0.5) == pytest.approx(0.4)
+        assert ETSI.effective_dwell_s(default_s=0.5) == pytest.approx(0.5)
+
+    def test_channel_plan_construction(self):
+        plan = JAPAN.channel_plan(rng=np.random.default_rng(0))
+        assert len(plan) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RegionalRegulation(
+                name="bad", band_hz=(900e6, 910e6),
+                channel_frequencies_hz=(950e6,),  # outside band
+                hopping_required=True, max_dwell_s=None, max_eirp_dbm=30.0,
+            )
+        with pytest.raises(ConfigError):
+            RegionalRegulation(
+                name="empty", band_hz=(900e6, 910e6),
+                channel_frequencies_hz=(),
+                hopping_required=True, max_dwell_s=None, max_eirp_dbm=30.0,
+            )
+
+
+class TestPipelineUnderRegulations:
+    @pytest.mark.parametrize("region", ["ETSI", "China", "Hong Kong"])
+    def test_breathing_monitored_in_any_region(self, region):
+        """TagBreathe is channel-plan agnostic: the preprocessing groups
+        by channel index, so any regulatory plan works unchanged."""
+        reg = regulation(region)
+        rng = np.random.default_rng(5)
+        plan = reg.channel_plan(rng=rng)
+        config = ReaderConfig(
+            num_channels=reg.num_channels,
+            channel_dwell_s=reg.effective_dwell_s(0.2),
+        )
+        scenario = Scenario([Subject(user_id=1, distance_m=3.0,
+                                     breathing=MetronomeBreathing(12.0),
+                                     sway_seed=1)])
+        from repro.reader import Reader
+        reader = Reader(config=config, channel_plan=plan,
+                        rng=np.random.default_rng(71))
+        reports = reader.run(scenario, 45.0)
+        frequencies = [ch.frequency_hz for ch in plan.channels]
+        pipeline = TagBreathe(frequencies_hz=frequencies, user_ids={1})
+        estimate = pipeline.process(reports)[1]
+        assert breathing_rate_accuracy(estimate.rate_bpm, 12.0) > 0.9
+
+    def test_channel_indices_bounded_by_plan(self):
+        reg = regulation("ETSI")
+        plan = reg.channel_plan(rng=np.random.default_rng(0))
+        config = ReaderConfig(num_channels=4)
+        scenario = Scenario([Subject(user_id=1, distance_m=2.0, sway_seed=0)])
+        from repro.reader import Reader
+        reader = Reader(config=config, channel_plan=plan,
+                        rng=np.random.default_rng(3))
+        reports = reader.run(scenario, 5.0)
+        assert {r.channel_index for r in reports} <= {0, 1, 2, 3}

@@ -1,0 +1,133 @@
+"""Tests for the respiratory-health analytics layer."""
+
+import numpy as np
+import pytest
+
+from repro import BreathExtractor, Scenario, TagBreathe, run_scenario
+from repro.body import AsymmetricBreathing, IrregularBreathing, Subject
+from repro.errors import InsufficientDataError, ReproError
+from repro.metrics import (
+    analyze_breathing,
+    detect_apneas,
+    detect_breath_cycles,
+)
+from repro.metrics.respiratory import Apnea, BreathCycle
+from repro.streams import TimeSeries
+
+
+def clean_estimate(bpm=12.0, duration=60.0, inhale_fraction=0.4):
+    """A BreathingEstimate from a synthetic asymmetric waveform."""
+    waveform = AsymmetricBreathing(bpm, amplitude_m=0.005,
+                                   inhale_fraction=inhale_fraction)
+    t = np.arange(0.0, duration, 0.05)
+    track = TimeSeries(t, waveform.displacement_array(t)
+                       if hasattr(waveform, "displacement_array")
+                       else np.array([waveform.displacement(x) for x in t]))
+    values = np.array([waveform.displacement(float(x)) for x in t])
+    track = TimeSeries(t, values)
+    return BreathExtractor().estimate(track)
+
+
+class TestCycleDetection:
+    def test_counts_breaths(self):
+        estimate = clean_estimate(bpm=12.0, duration=60.0)
+        cycles = detect_breath_cycles(estimate.signal, estimate.crossings)
+        # 12 bpm over 60 s -> ~12 breaths; boundary effects trim a couple.
+        assert 9 <= len(cycles) <= 12
+
+    def test_cycle_durations(self):
+        estimate = clean_estimate(bpm=12.0)
+        cycles = detect_breath_cycles(estimate.signal, estimate.crossings)
+        durations = [c.duration_s for c in cycles]
+        assert np.median(durations) == pytest.approx(5.0, abs=0.3)
+
+    def test_inhale_shorter_than_exhale(self):
+        """The asymmetric waveform's 0.4 inhale fraction must survive the
+        whole extraction chain into the cycle decomposition."""
+        estimate = clean_estimate(bpm=10.0, inhale_fraction=0.4)
+        cycles = detect_breath_cycles(estimate.signal, estimate.crossings)
+        ratios = [c.ie_ratio for c in cycles]
+        assert np.median(ratios) < 1.0
+
+    def test_ordering_invariants(self):
+        estimate = clean_estimate()
+        for cycle in detect_breath_cycles(estimate.signal, estimate.crossings):
+            assert cycle.start_s < cycle.peak_s < cycle.end_s
+            assert cycle.depth > 0
+
+    def test_empty_signal(self):
+        assert detect_breath_cycles(TimeSeries.empty(), []) == []
+        with pytest.raises(ReproError):
+            detect_breath_cycles(TimeSeries.empty(), [1.0])
+
+
+class TestApneaDetection:
+    def test_no_apnea_in_steady_breathing(self):
+        estimate = clean_estimate()
+        cycles = detect_breath_cycles(estimate.signal, estimate.crossings)
+        assert detect_apneas(cycles, estimate.signal, min_pause_s=6.0) == []
+
+    def test_synthetic_pause_detected(self):
+        # Breathing, then a 10-second hold, then breathing again.
+        t = np.arange(0.0, 60.0, 0.05)
+        values = np.where(
+            (t > 25.0) & (t < 35.0), 0.0,
+            0.005 * np.maximum(0.0, np.sin(2 * np.pi * 0.2 * t)),
+        )
+        estimate = BreathExtractor().estimate(TimeSeries(t, values))
+        cycles = detect_breath_cycles(estimate.signal, estimate.crossings)
+        apneas = detect_apneas(cycles, estimate.signal, min_pause_s=6.0)
+        assert apneas, "the 10 s hold must be detected"
+        longest = max(apneas, key=lambda a: a.duration_s)
+        assert 24.0 < (longest.start_s + longest.end_s) / 2 < 36.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ReproError):
+            detect_apneas([], TimeSeries.empty(), min_pause_s=0.0)
+
+    def test_apnea_duration(self):
+        apnea = Apnea(start_s=10.0, end_s=18.0)
+        assert apnea.duration_s == pytest.approx(8.0)
+
+
+class TestFullReport:
+    def test_report_fields(self):
+        estimate = clean_estimate(bpm=15.0)
+        report = analyze_breathing(estimate)
+        assert report.mean_rate_bpm == pytest.approx(15.0, abs=1.0)
+        assert report.rate_variability_bpm < 1.5
+        assert 0.0 <= report.shallow_fraction <= 1.0
+        assert report.apneas == ()
+        assert "breaths" in str(report)
+
+    def test_irregular_breathing_has_higher_variability(self):
+        t = np.arange(0.0, 120.0, 0.05)
+        steady_wf = AsymmetricBreathing(12.0, amplitude_m=0.005)
+        irregular_wf = IrregularBreathing(12.0, amplitude_m=0.005,
+                                          rate_jitter=0.25, seed=4)
+        steady = BreathExtractor().estimate(TimeSeries(
+            t, np.array([steady_wf.displacement(float(x)) for x in t])))
+        irregular = BreathExtractor().estimate(TimeSeries(
+            t, np.array([irregular_wf.displacement(float(x)) for x in t])))
+        r_steady = analyze_breathing(steady)
+        r_irregular = analyze_breathing(irregular)
+        assert r_irregular.rate_variability_bpm > r_steady.rate_variability_bpm
+
+    def test_too_few_breaths_rejected(self):
+        t = np.arange(0.0, 12.0, 0.05)
+        values = 0.005 * np.sin(2 * np.pi * (5.0 / 60.0) * t)  # one breath
+        with pytest.raises(InsufficientDataError):
+            estimate = BreathExtractor().estimate(TimeSeries(t, values))
+            analyze_breathing(estimate)
+
+    def test_end_to_end_from_rfid_capture(self):
+        """Full stack: simulated RFID capture -> pipeline -> health report."""
+        scenario = Scenario([Subject(
+            user_id=1, distance_m=2.0,
+            breathing=AsymmetricBreathing(12.0), sway_seed=2,
+        )])
+        result = run_scenario(scenario, duration_s=60.0, seed=23)
+        user = TagBreathe(user_ids={1}).process(result.reports)[1]
+        report = analyze_breathing(user.estimate)
+        assert report.mean_rate_bpm == pytest.approx(12.0, abs=1.5)
+        assert len(report.cycles) >= 8

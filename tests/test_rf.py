@@ -1,0 +1,336 @@
+"""Unit and property tests for the RF substrate (repro.rf)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.rf import (
+    Channel,
+    ChannelPlan,
+    DynamicMultipath,
+    LinkBudget,
+    PathLossModel,
+    PhaseModel,
+    PhaseNoiseModel,
+    backscatter_phase,
+    doppler_report,
+    doppler_shift_from_velocity,
+    fcc_channel_frequencies,
+    phase_to_distance_delta,
+    quantize_rssi,
+)
+from repro.rf.constants import (
+    FCC_NUM_CHANNELS,
+    UHF_BAND_HIGH_HZ,
+    UHF_BAND_LOW_HZ,
+)
+from repro.rf.phase import max_unambiguous_displacement
+from repro.units import TWO_PI
+
+
+class TestChannelPlan:
+    def test_frequencies_inside_band(self):
+        for freq in fcc_channel_frequencies(10):
+            assert UHF_BAND_LOW_HZ < freq < UHF_BAND_HIGH_HZ
+
+    def test_full_plan_has_fifty(self):
+        assert len(fcc_channel_frequencies()) == FCC_NUM_CHANNELS
+
+    def test_subset_spans_band(self):
+        freqs = fcc_channel_frequencies(10)
+        assert freqs[0] == pytest.approx(902.75e6)
+        assert freqs[-1] == pytest.approx(927.25e6)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            fcc_channel_frequencies(0)
+        with pytest.raises(ValueError):
+            fcc_channel_frequencies(51)
+
+    def test_default_plan(self):
+        plan = ChannelPlan.default(10, rng=np.random.default_rng(0))
+        assert len(plan) == 10
+        assert all(0 <= ch.phase_offset_rad < TWO_PI for ch in plan)
+
+    def test_plan_offsets_differ_between_channels(self):
+        plan = ChannelPlan.default(10, rng=np.random.default_rng(1))
+        offsets = {round(ch.phase_offset_rad, 6) for ch in plan}
+        assert len(offsets) > 1  # hop discontinuities need differing offsets
+
+    def test_explicit_offsets(self):
+        plan = ChannelPlan([903e6, 915e6], phase_offsets_rad=[0.5, 1.5])
+        assert plan[0].phase_offset_rad == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ChannelPlan([])
+
+    def test_rejects_mismatched_offsets(self):
+        with pytest.raises(ConfigError):
+            ChannelPlan([903e6], phase_offsets_rad=[0.1, 0.2])
+
+    def test_channel_wavelength(self):
+        ch = Channel(0, 915e6, 0.0)
+        assert ch.wavelength_m == pytest.approx(0.3276, abs=1e-3)
+
+    def test_channel_validation(self):
+        with pytest.raises(ConfigError):
+            Channel(-1, 915e6, 0.0)
+        with pytest.raises(ConfigError):
+            Channel(0, -1.0, 0.0)
+
+
+class TestPhaseModelEq1:
+    def test_zero_distance(self):
+        assert backscatter_phase(0.0, 0.3) == pytest.approx(0.0)
+
+    def test_half_wavelength_period(self):
+        # Phase repeats every lambda/2 of distance (round trip = lambda).
+        lam = 0.3276
+        p0 = backscatter_phase(1.0, lam)
+        p1 = backscatter_phase(1.0 + lam / 2.0, lam)
+        assert p0 == pytest.approx(p1, abs=1e-9)
+
+    def test_quarter_wavelength_is_pi(self):
+        lam = 0.32
+        p0 = backscatter_phase(1.0, lam)
+        p1 = backscatter_phase(1.0 + lam / 4.0, lam)
+        assert (p1 - p0) % TWO_PI == pytest.approx(math.pi, abs=1e-9)
+
+    def test_offset_applied(self):
+        assert backscatter_phase(0.0, 0.3, offset_rad=1.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            backscatter_phase(1.0, 0.0)
+        with pytest.raises(ValueError):
+            backscatter_phase(-1.0, 0.3)
+
+    @given(st.floats(min_value=0, max_value=20))
+    def test_output_range(self, d):
+        assert 0.0 <= backscatter_phase(d, 0.3276) < TWO_PI
+
+
+class TestDisplacementInversionEq3:
+    @given(
+        st.floats(min_value=0.5, max_value=8.0),
+        st.floats(min_value=-0.08, max_value=0.08),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_small_displacement(self, d0, delta):
+        """Eq. (3) recovers any displacement below lambda/4 exactly."""
+        lam = 0.3276
+        theta0 = backscatter_phase(d0, lam, offset_rad=1.23)
+        theta1 = backscatter_phase(d0 + delta, lam, offset_rad=1.23)
+        recovered = phase_to_distance_delta(theta0, theta1, lam)
+        assert recovered == pytest.approx(delta, abs=1e-9)
+
+    def test_ambiguity_limit(self):
+        lam = 0.3276
+        assert max_unambiguous_displacement(lam) == pytest.approx(lam / 4)
+
+    def test_beyond_ambiguity_wraps(self):
+        """Displacement beyond lambda/4 aliases — the physical limit."""
+        lam = 0.32
+        d0 = 1.0
+        delta = lam / 2.0  # a half wavelength looks like zero
+        theta0 = backscatter_phase(d0, lam)
+        theta1 = backscatter_phase(d0 + delta, lam)
+        recovered = phase_to_distance_delta(theta0, theta1, lam)
+        assert recovered == pytest.approx(0.0, abs=1e-9)
+
+    def test_sign_convention(self):
+        """Moving away increases distance -> positive delta."""
+        lam = 0.3276
+        theta0 = backscatter_phase(2.0, lam)
+        theta1 = backscatter_phase(2.01, lam)
+        assert phase_to_distance_delta(theta0, theta1, lam) > 0
+
+
+class TestPhaseModelClass:
+    def test_deterministic_given_offset(self):
+        model = PhaseModel(link_offset_rad=0.7)
+        ch = Channel(0, 915e6, 0.2)
+        assert model.phase(2.0, ch) == model.phase(2.0, ch)
+
+    def test_includes_channel_and_link_offsets(self):
+        ch = Channel(0, 915e6, 0.2)
+        base = backscatter_phase(2.0, ch.wavelength_m)
+        got = PhaseModel(link_offset_rad=0.7).phase(2.0, ch)
+        assert got == pytest.approx((base + 0.2 + 0.7) % TWO_PI)
+
+    def test_random_offset_in_range(self):
+        model = PhaseModel(rng=np.random.default_rng(3))
+        assert 0.0 <= model.link_offset_rad < TWO_PI
+
+
+class TestPathLoss:
+    def test_free_space_at_reference(self):
+        model = PathLossModel(exponent=2.0, fading_sigma_db=0.0)
+        # One-way FSPL at 1 m, 915 MHz is about 31.6 dB.
+        assert model.one_way_loss_db(1.0, 915e6) == pytest.approx(31.65, abs=0.1)
+
+    def test_loss_increases_with_distance(self):
+        model = PathLossModel()
+        losses = [model.one_way_loss_db(d, 915e6) for d in (1, 2, 4, 8)]
+        assert losses == sorted(losses)
+        assert losses[1] - losses[0] == pytest.approx(
+            10 * model.exponent * math.log10(2), abs=1e-6
+        )
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            PathLossModel().one_way_loss_db(0.0, 915e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PathLossModel(exponent=0.0)
+        with pytest.raises(ConfigError):
+            PathLossModel(fading_sigma_db=-1.0)
+
+
+class TestLinkBudget:
+    def setup_method(self):
+        self.budget = LinkBudget()
+
+    def test_tag_power_monotone_in_distance(self):
+        powers = [self.budget.tag_power_dbm(d, 915e6) for d in (1, 2, 4, 6)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_extra_loss_reduces_tag_power(self):
+        p0 = self.budget.tag_power_dbm(4.0, 915e6)
+        p1 = self.budget.tag_power_dbm(4.0, 915e6, extra_loss_db=5.0)
+        assert p1 == pytest.approx(p0 - 5.0)
+
+    def test_rx_below_tag_power(self):
+        assert self.budget.rx_power_dbm(2.0, 915e6) < self.budget.tag_power_dbm(2.0, 915e6)
+
+    def test_snr_definition(self):
+        snr = self.budget.snr_db(3.0, 915e6)
+        rx = self.budget.rx_power_dbm(3.0, 915e6)
+        assert snr == pytest.approx(rx - self.budget.noise_floor_dbm)
+
+    def test_success_probability_monotone(self):
+        probs = [self.budget.read_success_probability(d, 915e6) for d in (1, 3, 6, 9, 12)]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_success_probability_near_one_close(self):
+        assert self.budget.read_success_probability(1.0, 915e6) > 0.99
+
+    def test_blockage_kills_success(self):
+        p = self.budget.read_success_probability(1.0, 915e6, extra_loss_db=60.0)
+        assert p < 0.01
+
+    def test_sample_read_selection_effect(self):
+        """Successful reads under a weak link report above-average fades."""
+        rng = np.random.default_rng(0)
+        weak_distance = 9.0
+        rssis = []
+        for _ in range(4000):
+            rssi = self.budget.sample_read(weak_distance, 915e6, rng)
+            if rssi is not None:
+                rssis.append(rssi)
+        assert 0 < len(rssis) < 4000  # genuinely marginal link
+        deterministic = self.budget.rx_power_dbm(weak_distance, 915e6)
+        assert np.mean(rssis) > deterministic  # survivors faded upward
+
+    def test_sample_read_good_link_always_reads(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert self.budget.sample_read(1.0, 915e6, rng) is not None
+
+
+class TestDoppler:
+    def test_eq2_convention(self):
+        # Under Eq. (2), f = v / lambda.
+        lam = 0.3276
+        assert doppler_shift_from_velocity(0.3276, lam) == pytest.approx(1.0)
+
+    def test_sign(self):
+        assert doppler_shift_from_velocity(-1.0, 0.3) < 0
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            doppler_shift_from_velocity(1.0, 0.0)
+
+    def test_report_is_noisy_but_unbiased(self):
+        rng = np.random.default_rng(7)
+        lam = 0.3276
+        v = 0.01  # breathing-speed motion
+        reports = [doppler_report(v, lam, rng, phase_noise_rad=0.05) for _ in range(5000)]
+        true = doppler_shift_from_velocity(v, lam)
+        assert np.mean(reports) == pytest.approx(true, abs=0.2)
+        # Raw Doppler is very noisy at breathing speeds (paper Fig. 3).
+        assert np.std(reports) > 10 * abs(true)
+
+    def test_report_rejects_bad_duration(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            doppler_report(0.01, 0.3276, rng, 0.05, packet_duration_s=0.0)
+
+
+class TestNoise:
+    def test_sigma_grows_as_snr_falls(self):
+        model = PhaseNoiseModel()
+        assert model.sigma(0.0) > model.sigma(20.0) > model.sigma(40.0)
+
+    def test_sigma_floors_at_high_snr(self):
+        model = PhaseNoiseModel()
+        assert model.sigma(100.0) == pytest.approx(model.floor_rad, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PhaseNoiseModel(floor_rad=-0.1)
+
+    def test_quantize_rssi(self):
+        assert quantize_rssi(-53.26) == pytest.approx(-53.5)
+        assert quantize_rssi(-53.2) == pytest.approx(-53.0)
+
+    def test_quantize_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            quantize_rssi(-50.0, resolution_db=0.0)
+
+    @given(st.floats(min_value=-90, max_value=-20))
+    def test_quantize_error_bounded(self, rssi):
+        assert abs(quantize_rssi(rssi) - rssi) <= 0.25 + 1e-9
+
+
+class TestDynamicMultipath:
+    def test_amplitude_grows_with_distance(self):
+        mp = DynamicMultipath(rng=np.random.default_rng(0))
+        assert mp.amplitude_rad(6.0) > mp.amplitude_rad(1.0)
+
+    def test_amplitude_capped(self):
+        mp = DynamicMultipath(max_amplitude_rad=0.5, rng=np.random.default_rng(0))
+        assert mp.amplitude_rad(100.0) == pytest.approx(0.5)
+
+    def test_deterministic_per_link(self):
+        mp = DynamicMultipath(rng=np.random.default_rng(0))
+        assert mp.phase_offset("link-a", 1.5, 4.0) == mp.phase_offset("link-a", 1.5, 4.0)
+
+    def test_links_differ(self):
+        mp = DynamicMultipath(rng=np.random.default_rng(0))
+        a = [mp.phase_offset("link-a", t, 4.0) for t in np.linspace(0, 10, 20)]
+        b = [mp.phase_offset("link-b", t, 4.0) for t in np.linspace(0, 10, 20)]
+        assert not np.allclose(a, b)
+
+    def test_offset_bounded_by_amplitude(self):
+        # Weights are unit 2-norm over k components, so the worst-case
+        # excursion is amp * sqrt(k).
+        mp = DynamicMultipath(components=2, rng=np.random.default_rng(0))
+        amp = mp.amplitude_rad(4.0)
+        offsets = [mp.phase_offset("x", t, 4.0) for t in np.linspace(0, 30, 300)]
+        assert max(abs(o) for o in offsets) <= amp * math.sqrt(2.0) + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicMultipath(amplitude_at_ref_rad=-1.0)
+        with pytest.raises(ConfigError):
+            DynamicMultipath(band_hz=(0.5, 0.1))
+        mp = DynamicMultipath()
+        with pytest.raises(ConfigError):
+            mp.amplitude_rad(0.0)

@@ -1,0 +1,94 @@
+"""Tests for the protocol sniffer (repro.reader.sniffer)."""
+
+import numpy as np
+import pytest
+
+from repro.epc import EPC96, TranscriptBuilder, encode_ack, encode_query_rep
+from repro.epc.commands import QueryCommand, frame_epc_reply
+from repro.reader import ProtocolSniffer
+from repro.reader.sniffer import classify_reader_frame, classify_tag_frame
+
+
+class TestFrameClassification:
+    def test_query(self):
+        frame = classify_reader_frame(QueryCommand(q=6, session=2).encode())
+        assert frame.kind == "query"
+        assert frame.fields["q"] == 6
+        assert frame.fields["session"] == 2
+
+    def test_query_rep(self):
+        frame = classify_reader_frame(encode_query_rep(1))
+        assert frame.kind == "query_rep"
+        assert frame.fields["session"] == 1
+
+    def test_ack(self):
+        frame = classify_reader_frame(encode_ack(0xABCD))
+        assert frame.kind == "ack"
+        assert frame.fields["rn16"] == 0xABCD
+
+    def test_corrupted_query_is_unknown(self):
+        bits = QueryCommand().encode()
+        corrupted = bits[:-1] + ("1" if bits[-1] == "0" else "0")
+        assert classify_reader_frame(corrupted).kind == "unknown"
+
+    def test_garbage_is_unknown(self):
+        assert classify_reader_frame("11111").kind == "unknown"
+
+    def test_rn16(self):
+        frame = classify_tag_frame((0xBEEF).to_bytes(2, "big"))
+        assert frame.kind == "rn16"
+        assert frame.fields["rn16"] == 0xBEEF
+
+    def test_epc_reply(self):
+        epc = EPC96.from_user_tag(4, 2)
+        frame = classify_tag_frame(frame_epc_reply(epc.value.to_bytes(12, "big")))
+        assert frame.kind == "epc_reply"
+        assert frame.fields["epc"] == epc
+
+    def test_corrupt_reply_is_unknown(self):
+        reply = bytearray(frame_epc_reply(bytes(12)))
+        reply[3] ^= 0xFF
+        assert classify_tag_frame(bytes(reply)).kind == "unknown"
+
+
+class TestSnifferSession:
+    def test_transcript_roundtrip(self):
+        """Frames built by TranscriptBuilder decode back losslessly."""
+        epc_a = EPC96.from_user_tag(1, 1)
+        epc_b = EPC96.from_user_tag(1, 2)
+        builder = TranscriptBuilder(rng=np.random.default_rng(0))
+        transcript = builder.build_round(2, [
+            ("read", epc_a), ("empty", None), ("collision", None),
+            ("read", epc_b),
+        ])
+        sniffer = ProtocolSniffer()
+        sniffer.feed_transcript(transcript)
+        report = sniffer.report
+        assert report.rounds == 1
+        assert report.q_values == [2]
+        assert report.identified == [epc_a, epc_b]
+        assert report.frame_counts["ack"] == 2
+        assert report.frame_counts["query_rep"] == 3  # slots 1-3
+
+    def test_multi_round_counting(self):
+        sniffer = ProtocolSniffer()
+        builder = TranscriptBuilder(rng=np.random.default_rng(1))
+        for q in (1, 2, 3):
+            sniffer.feed_transcript(builder.build_round(q, [("empty", None)]))
+        assert sniffer.report.rounds == 3
+        assert sniffer.report.q_values == [1, 2, 3]
+
+    def test_summary_readable(self):
+        sniffer = ProtocolSniffer()
+        builder = TranscriptBuilder(rng=np.random.default_rng(2))
+        sniffer.feed_transcript(
+            builder.build_round(0, [("read", EPC96.from_user_tag(9, 1))])
+        )
+        summary = sniffer.report.summary()
+        assert "1 rounds" in summary
+        assert "1 EPCs identified" in summary
+
+    def test_empty_session(self):
+        report = ProtocolSniffer().report
+        assert report.rounds == 0
+        assert "0 frames" in report.summary()

@@ -1,0 +1,83 @@
+"""Tests for the Fig. 1 constellation model (repro.rf.tagchip)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rf import ConstellationSnapshot, TagChipModel
+from repro.units import TWO_PI, wrap_phase
+
+
+class TestTagChipModel:
+    def make_snapshot(self, **kwargs):
+        defaults = dict(amplitude=1.0, phase_rad=1.2, rotation_rad=0.0,
+                        noise_sigma=0.005, rng=np.random.default_rng(0))
+        defaults.update(kwargs)
+        return TagChipModel().snapshot(**defaults)
+
+    def test_phase_matches_requested(self):
+        snap = self.make_snapshot(phase_rad=2.3)
+        assert snap.phase_rad == pytest.approx(2.3, abs=0.01)
+
+    def test_phase_wrapped(self):
+        snap = self.make_snapshot(phase_rad=TWO_PI + 0.4)
+        assert snap.phase_rad == pytest.approx(0.4, abs=0.01)
+
+    def test_rssi_scales_with_amplitude(self):
+        weak = self.make_snapshot(amplitude=0.5)
+        strong = self.make_snapshot(amplitude=2.0)
+        assert strong.rssi_linear == pytest.approx(4 * weak.rssi_linear, rel=0.02)
+
+    def test_modulation_depth_scales_vector(self):
+        deep = TagChipModel(modulation_depth=1.0).snapshot(
+            amplitude=1.0, phase_rad=0.5, rng=np.random.default_rng(1))
+        shallow = TagChipModel(modulation_depth=0.25).snapshot(
+            amplitude=1.0, phase_rad=0.5, rng=np.random.default_rng(1))
+        assert deep.rssi_linear == pytest.approx(4 * shallow.rssi_linear, rel=0.05)
+
+    def test_intra_packet_rotation_reports_doppler(self):
+        """Fig. 1's H1 -> H2 rotation is exactly the Eq. (2) delta-theta."""
+        snap = self.make_snapshot(rotation_rad=0.15)
+        assert snap.intra_packet_rotation_rad == pytest.approx(0.15, abs=0.01)
+
+    def test_zero_rotation_for_static_tag(self):
+        snap = self.make_snapshot(rotation_rad=0.0)
+        assert snap.intra_packet_rotation_rad == pytest.approx(0.0, abs=0.01)
+
+    def test_two_clusters_separate(self):
+        snap = self.make_snapshot()
+        low_centroid = np.mean(snap.symbols_low)
+        high_centroid = np.mean(snap.symbols_high)
+        assert abs(high_centroid - low_centroid) > 10 * np.std(
+            snap.symbols_low - low_centroid
+        )
+
+    def test_cluster_separation_falls_with_noise(self):
+        clean = self.make_snapshot(noise_sigma=0.005)
+        noisy = self.make_snapshot(noise_sigma=0.2)
+        assert clean.cluster_separation() > noisy.cluster_separation()
+
+    def test_low_cluster_at_leakage(self):
+        model = TagChipModel(leakage_iq=0.5 - 0.25j)
+        snap = model.snapshot(amplitude=1.0, phase_rad=0.3,
+                              rng=np.random.default_rng(2))
+        assert snap.low_iq == pytest.approx(0.5 - 0.25j, abs=0.01)
+
+    def test_phase_independent_of_leakage(self):
+        """The L -> H vector cancels the leakage — the reason commodity
+        readers can report clean phase despite self-jamming."""
+        for leakage in (0.0 + 0.0j, 1.0 + 2.0j, -0.4 + 0.9j):
+            model = TagChipModel(leakage_iq=leakage)
+            snap = model.snapshot(amplitude=1.0, phase_rad=1.0,
+                                  rng=np.random.default_rng(3))
+            assert snap.phase_rad == pytest.approx(1.0, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TagChipModel(modulation_depth=0.0)
+        with pytest.raises(ConfigError):
+            TagChipModel(modulation_depth=1.5)
+        with pytest.raises(ConfigError):
+            self.make_snapshot(amplitude=0.0)
+        with pytest.raises(ConfigError):
+            self.make_snapshot(symbols_per_state=0)

@@ -1,0 +1,140 @@
+"""Tests for capture persistence (repro.sim.trace_io)."""
+
+import pytest
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.sim import (
+    TraceFormatError,
+    load_trace_csv,
+    load_trace_jsonl,
+    save_trace_csv,
+    save_trace_jsonl,
+    trace_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def capture():
+    scenario = Scenario([Subject(user_id=1, distance_m=2.0,
+                                 breathing=MetronomeBreathing(12.0),
+                                 sway_seed=0)])
+    return run_scenario(scenario, duration_s=20.0, seed=19)
+
+
+class TestCSVRoundtrip:
+    def test_exact_roundtrip(self, capture, tmp_path):
+        path = tmp_path / "capture.csv"
+        written = save_trace_csv(capture.reports, path)
+        loaded = load_trace_csv(path)
+        assert written == len(capture.reports) == len(loaded)
+        for original, restored in zip(capture.reports, loaded):
+            assert restored == original
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert save_trace_csv([], path) == 0
+        assert load_trace_csv(path) == []
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,real,header\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "void.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_malformed_row_rejected(self, capture, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        save_trace_csv(capture.reports[:3], path)
+        with open(path, "a") as handle:
+            handle.write("zzz,not_a_number,1,2,3,4,5\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+
+class TestJSONLRoundtrip:
+    def test_exact_roundtrip(self, capture, tmp_path):
+        path = tmp_path / "capture.jsonl"
+        written = save_trace_jsonl(capture.reports, path)
+        loaded = load_trace_jsonl(path)
+        assert written == len(loaded)
+        assert loaded == sorted(capture.reports, key=lambda r: r.timestamp_s)
+
+    def test_blank_lines_tolerated(self, capture, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_trace_jsonl(capture.reports[:5], path)
+        content = path.read_text().replace("\n", "\n\n")
+        path.write_text(content)
+        assert len(load_trace_jsonl(path)) == 5
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"epc": "000000000000000100000001"}\n')
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+
+class TestReplayThroughPipeline:
+    def test_saved_trace_reproduces_estimate(self, capture, tmp_path):
+        """The deployment workflow: record, reload, re-analyse."""
+        path = tmp_path / "session.csv"
+        save_trace_csv(capture.reports, path)
+        replayed = load_trace_csv(path)
+        live = TagBreathe(user_ids={1}).process(capture.reports)[1]
+        offline = TagBreathe(user_ids={1}).process(replayed)[1]
+        assert offline.rate_bpm == pytest.approx(live.rate_bpm, abs=1e-9)
+
+
+class TestPropertyRoundtrip:
+    """Hypothesis round-trips over arbitrary (valid) report contents."""
+
+    from hypothesis import given, settings, strategies as st
+
+    report_values = st.tuples(
+        st.integers(min_value=0, max_value=(1 << 96) - 1),   # epc
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),  # time
+        st.floats(min_value=0.0, max_value=6.28, allow_nan=False),  # phase
+        st.floats(min_value=-90.0, max_value=-20.0),          # rssi
+        st.floats(min_value=-500.0, max_value=500.0),         # doppler
+        st.integers(min_value=0, max_value=49),               # channel
+        st.integers(min_value=1, max_value=4),                # antenna
+    )
+
+    @given(st.lists(report_values, min_size=1, max_size=20, unique_by=lambda v: v[1]))
+    @settings(max_examples=25, deadline=None)
+    def test_csv_roundtrip_any_reports(self, tmp_path_factory, raw):
+        from repro.epc import EPC96
+        from repro.reader import TagReport
+        reports = [
+            TagReport(epc=EPC96(e), timestamp_s=t, phase_rad=p,
+                      rssi_dbm=r, doppler_hz=d, channel_index=c,
+                      antenna_port=a)
+            for e, t, p, r, d, c, a in raw
+        ]
+        path = tmp_path_factory.mktemp("traces") / "t.csv"
+        save_trace_csv(reports, path)
+        loaded = load_trace_csv(path)
+        assert sorted(loaded, key=lambda r: r.timestamp_s) == \
+            sorted(reports, key=lambda r: r.timestamp_s)
+
+
+class TestSummary:
+    def test_summary_fields(self, capture):
+        text = trace_summary(capture.reports)
+        assert "reports" in text
+        assert "3 tag streams" in text
+        assert "1 user" in text
+
+    def test_empty_summary(self):
+        assert trace_summary([]) == "empty trace"

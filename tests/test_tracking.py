@@ -1,0 +1,110 @@
+"""Tests for the Kalman breathing-rate tracker (repro.core.tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    BreathingRateTracker,
+    TrackedRate,
+    smooth_rate_series,
+)
+from repro.errors import ReproError
+from repro.streams import TimeSeries
+
+
+def noisy_rates(true_bpm=12.0, n=40, noise=0.8, seed=0, dt=2.5):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) * dt
+    values = true_bpm + rng.normal(0, noise, n)
+    return TimeSeries(t, np.clip(values, 1.0, None))
+
+
+class TestTracker:
+    def test_first_measurement_initialises(self):
+        tracker = BreathingRateTracker()
+        assert tracker.rate_bpm is None
+        out = tracker.update(0.0, 12.0)
+        assert out.rate_bpm == pytest.approx(12.0)
+        assert tracker.rate_bpm == pytest.approx(12.0)
+
+    def test_smooths_noise(self):
+        rates = noisy_rates(noise=1.5, seed=3)
+        tracked = BreathingRateTracker().track_series(rates)
+        raw_err = np.abs(rates.values - 12.0)
+        smoothed_err = np.abs([t.rate_bpm for t in tracked[5:]]) - 12.0
+        assert np.mean(np.abs(smoothed_err)) < np.mean(raw_err)
+
+    def test_converges_to_constant_rate(self):
+        tracked = BreathingRateTracker().track_series(noisy_rates(noise=0.5))
+        tail = np.mean([t.rate_bpm for t in tracked[-10:]])
+        assert tail == pytest.approx(12.0, abs=0.5)
+        assert abs(tracked[-1].trend_bpm_per_min) < 6.0
+
+    def test_follows_a_ramp(self):
+        # Rate climbing from 10 to 16 bpm over 100 s.
+        t = np.arange(0, 100, 2.5)
+        values = 10.0 + 0.06 * t
+        tracked = BreathingRateTracker().track_series(TimeSeries(t, values))
+        assert tracked[-1].rate_bpm == pytest.approx(values[-1], abs=1.0)
+        assert tracked[-1].trend_bpm_per_min > 0.5
+
+    def test_outlier_gated(self):
+        tracker = BreathingRateTracker()
+        for i in range(10):
+            tracker.update(i * 2.5, 12.0)
+        out = tracker.update(25.0, 60.0)  # a corrupted crossing burst
+        assert out.gated
+        assert out.rate_bpm == pytest.approx(12.0, abs=1.0)
+
+    def test_uncertainty_shrinks_with_data(self):
+        tracker = BreathingRateTracker()
+        first = tracker.update(0.0, 12.0)
+        for i in range(1, 15):
+            last = tracker.update(i * 2.5, 12.0)
+        assert last.uncertainty_bpm < first.uncertainty_bpm
+
+    def test_prior_initialisation(self):
+        tracker = BreathingRateTracker(initial_rate_bpm=15.0)
+        assert tracker.rate_bpm == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            BreathingRateTracker(process_noise=0.0)
+        with pytest.raises(ReproError):
+            BreathingRateTracker(gate_sigmas=0.0)
+        with pytest.raises(ReproError):
+            BreathingRateTracker(initial_rate_bpm=-1.0)
+        tracker = BreathingRateTracker()
+        with pytest.raises(ReproError):
+            tracker.update(0.0, 0.0)
+        tracker.update(5.0, 12.0)
+        with pytest.raises(ReproError):
+            tracker.update(4.0, 12.0)
+
+
+class TestSmoothSeries:
+    def test_output_alignment(self):
+        rates = noisy_rates()
+        smoothed = smooth_rate_series(rates)
+        np.testing.assert_array_equal(smoothed.times, rates.times)
+
+    def test_variance_reduced(self):
+        rates = noisy_rates(noise=1.2, seed=7)
+        smoothed = smooth_rate_series(rates)
+        assert smoothed.values[5:].std() < rates.values[5:].std()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            smooth_rate_series(TimeSeries.empty())
+
+    def test_end_to_end_with_pipeline(self):
+        """Tracker over real Eq. (5) output from a simulated capture."""
+        from repro import Scenario, TagBreathe, run_scenario
+        from repro.body import MetronomeBreathing, Subject
+        scenario = Scenario([Subject(user_id=1, distance_m=3.0,
+                                     breathing=MetronomeBreathing(12.0),
+                                     sway_seed=4)])
+        result = run_scenario(scenario, duration_s=60.0, seed=91)
+        estimate = TagBreathe(user_ids={1}).process(result.reports)[1]
+        smoothed = smooth_rate_series(estimate.estimate.rate_series)
+        assert smoothed.values[-1] == pytest.approx(12.0, abs=1.0)

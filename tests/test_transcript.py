@@ -1,0 +1,115 @@
+"""Tests for command-level inventory transcripts (repro.epc.transcript)."""
+
+import numpy as np
+import pytest
+
+from repro.epc import (
+    EPC96,
+    Gen2Config,
+    QueryCommand,
+    RoundTranscript,
+    TranscriptBuilder,
+    airtime_of_successful_slot,
+    decode_ack,
+    decode_query_rep,
+    parse_epc_reply,
+)
+from repro.errors import EPCError
+
+
+def make_builder(seed=0, **kwargs):
+    return TranscriptBuilder(rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestTranscriptBuilder:
+    def test_single_read_round(self):
+        epc = EPC96.from_user_tag(7, 2)
+        transcript = make_builder().build_round(0, [("read", epc)])
+        assert transcript.reads() == [epc]
+        exchange = transcript.exchanges[0]
+        assert exchange.outcome == "read"
+        # Query, then ACK, from the reader; RN16 + EPC reply from the tag.
+        assert len(exchange.reader_frames) == 2
+        assert len(exchange.tag_frames) == 2
+
+    def test_frames_decode_consistently(self):
+        """Every frame in the transcript is decodable and cross-consistent."""
+        epc = EPC96.from_user_tag(3, 1)
+        transcript = make_builder().build_round(
+            2, [("empty", None), ("read", epc), ("collision", None)]
+        )
+        read_exchange = transcript.exchanges[1]
+        # The reader's ACK echoes the tag's RN16.
+        rn16 = int.from_bytes(read_exchange.tag_frames[0], "big")
+        assert decode_ack(read_exchange.reader_frames[1]) == rn16
+        # The tag's EPC reply CRC-verifies and carries the right EPC.
+        recovered = parse_epc_reply(read_exchange.tag_frames[1])
+        assert int.from_bytes(recovered, "big") == epc.value
+        # Non-first slots open with a QueryRep in the builder's session.
+        assert decode_query_rep(transcript.exchanges[1].reader_frames[0]) == 0
+
+    def test_query_encodes_q(self):
+        transcript = make_builder().build_round(5, [("empty", None)])
+        assert transcript.query.q == 5
+        assert QueryCommand.decode(transcript.query.encode()).q == 5
+
+    def test_empty_slot_is_cheapest(self):
+        # Slot 0 carries the long Query command, so compare slots 1+
+        # which all open with the same 4-bit QueryRep.
+        epc = EPC96.from_user_tag(1, 1)
+        transcript = make_builder().build_round(
+            2, [("empty", None), ("empty", None), ("collision", None),
+                ("read", epc)]
+        )
+        _, empty, collision, read = [e.airtime_s for e in transcript.exchanges]
+        assert empty < collision < read
+
+    def test_airtime_positive_and_summed(self):
+        epc = EPC96.from_user_tag(1, 1)
+        transcript = make_builder().build_round(1, [("read", epc), ("empty", None)])
+        assert transcript.total_airtime_s == pytest.approx(
+            sum(e.airtime_s for e in transcript.exchanges)
+        )
+        assert transcript.frame_count() >= 4
+
+    def test_read_without_epc_rejected(self):
+        with pytest.raises(EPCError):
+            make_builder().build_round(0, [("read", None)])
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(EPCError):
+            make_builder().build_round(0, [("teleport", None)])
+
+    def test_validation(self):
+        with pytest.raises(EPCError):
+            TranscriptBuilder(forward_rate_bps=0)
+        with pytest.raises(EPCError):
+            TranscriptBuilder(turnaround_s=-1.0)
+        with pytest.raises(EPCError):
+            TranscriptBuilder(session=5)
+
+    def test_link_fail_costs_reply_airtime(self):
+        epc = EPC96.from_user_tag(1, 1)
+        builder = make_builder()
+        ok = builder.build_round(0, [("read", epc)]).exchanges[0]
+        failed = make_builder().build_round(0, [("link_fail", None)]).exchanges[0]
+        # A garbled reply still burns comparable airtime.
+        assert failed.airtime_s == pytest.approx(ok.airtime_s, rel=0.2)
+
+
+class TestAirtimeCrossValidation:
+    def test_successful_slot_matches_gen2_config_scale(self):
+        """The MAC simulator's t_success_s must be within a small factor
+        of the command-level first-principles airtime."""
+        config = Gen2Config()
+        first_principles = airtime_of_successful_slot()
+        assert first_principles == pytest.approx(config.t_success_s, rel=1.0)
+        # And in the right absolute ballpark (milliseconds).
+        assert 0.5e-3 < first_principles < 10e-3
+
+    def test_rates_scale_airtime(self):
+        slow = TranscriptBuilder(forward_rate_bps=26_500,
+                                 reverse_rate_bps=80_000,
+                                 rng=np.random.default_rng(1))
+        fast = TranscriptBuilder(rng=np.random.default_rng(1))
+        assert airtime_of_successful_slot(slow) > airtime_of_successful_slot(fast)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.units: conversions and phase wrapping."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    SPEED_OF_LIGHT,
+    TWO_PI,
+    bpm_to_hz,
+    db_to_linear,
+    dbm_to_watts,
+    deg_to_rad,
+    hz_to_bpm,
+    linear_to_db,
+    rad_to_deg,
+    watts_to_dbm,
+    wavelength,
+    wrap_phase,
+    wrap_phase_delta,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_negative_db(self):
+        assert db_to_linear(-3.0) == pytest.approx(0.501187, rel=1e-5)
+
+    def test_linear_to_db_inverse(self):
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_inverse(self):
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+    @given(st.floats(min_value=-60, max_value=60))
+    def test_roundtrip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestRateConversions:
+    def test_one_hz_is_sixty_bpm(self):
+        assert hz_to_bpm(1.0) == 60.0
+
+    def test_paper_cutoff(self):
+        # 0.67 Hz ~= 40 bpm, the paper's upper plausible breathing rate.
+        assert hz_to_bpm(0.67) == pytest.approx(40.2)
+
+    def test_bpm_to_hz_inverse(self):
+        assert bpm_to_hz(12.0) == pytest.approx(0.2)
+
+
+class TestAngleConversions:
+    def test_deg_to_rad(self):
+        assert deg_to_rad(180.0) == pytest.approx(math.pi)
+
+    def test_rad_to_deg(self):
+        assert rad_to_deg(math.pi / 2) == pytest.approx(90.0)
+
+
+class TestWavelength:
+    def test_uhf_mid_band(self):
+        # 915 MHz -> ~32.8 cm.
+        assert wavelength(915e6) == pytest.approx(0.3276, abs=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+    def test_consistent_with_speed_of_light(self):
+        assert wavelength(SPEED_OF_LIGHT) == pytest.approx(1.0)
+
+
+class TestPhaseWrapping:
+    def test_wrap_phase_identity_in_range(self):
+        assert wrap_phase(1.0) == pytest.approx(1.0)
+
+    def test_wrap_phase_wraps_above(self):
+        assert wrap_phase(TWO_PI + 0.5) == pytest.approx(0.5)
+
+    def test_wrap_phase_wraps_negative(self):
+        assert wrap_phase(-0.5) == pytest.approx(TWO_PI - 0.5)
+
+    @given(st.floats(min_value=-1000, max_value=1000))
+    def test_wrap_phase_range(self, theta):
+        wrapped = wrap_phase(theta)
+        assert 0.0 <= wrapped < TWO_PI
+
+    def test_wrap_delta_small_positive(self):
+        assert wrap_phase_delta(0.3) == pytest.approx(0.3)
+
+    def test_wrap_delta_small_negative(self):
+        assert wrap_phase_delta(-0.3) == pytest.approx(-0.3)
+
+    def test_wrap_delta_large_wraps(self):
+        # A +350 degree apparent change is really -10 degrees.
+        delta = wrap_phase_delta(math.radians(350))
+        assert delta == pytest.approx(math.radians(-10), abs=1e-9)
+
+    @given(st.floats(min_value=-1000, max_value=1000))
+    def test_wrap_delta_range(self, delta):
+        wrapped = wrap_phase_delta(delta)
+        assert -math.pi <= wrapped < math.pi
+
+    @given(st.floats(min_value=-math.pi + 1e-9, max_value=math.pi - 1e-9))
+    def test_wrap_delta_preserves_small_changes(self, delta):
+        # Any physical change within (-pi, pi) survives wrapping exactly.
+        assert wrap_phase_delta(delta) == pytest.approx(delta, abs=1e-9)

@@ -1,0 +1,65 @@
+"""Tests for the terminal visualisation helpers."""
+
+import numpy as np
+
+from repro.streams import TimeSeries
+from repro.viz import render_bar_chart, render_series, render_table, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_downsampling(self):
+        assert len(sparkline(range(100), width=20)) == 20
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] != line[-1]
+
+
+class TestRenderSeries:
+    def test_contains_markers_and_range(self):
+        ts = TimeSeries.regular(np.sin(np.linspace(0, 6, 60)), 10.0)
+        plot = render_series(ts, title="wave")
+        assert "wave" in plot
+        assert "*" in plot
+        assert "samples" in plot
+
+    def test_empty_series(self):
+        assert render_series(TimeSeries.empty()) == ""
+
+    def test_degenerate_dims(self):
+        ts = TimeSeries.regular([1, 2, 3], 1.0)
+        assert render_series(ts, height=1) == ""
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_contents_present(self):
+        table = render_table(["x"], [["hello"]])
+        assert "hello" in table
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = render_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_mismatched_inputs(self):
+        assert render_bar_chart(["a"], [1.0, 2.0]) == ""
+        assert render_bar_chart([], []) == ""

@@ -1,0 +1,139 @@
+"""Tests for zero-crossing detection and Eq. (5), plus spectral analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spectral import (
+    fft_peak_rate_bpm,
+    fft_spectrum,
+    frequency_resolution_bpm,
+)
+from repro.core.zerocross import (
+    PAPER_BUFFER_M,
+    instant_rates_bpm,
+    rate_series_bpm,
+    zero_crossing_times,
+)
+from repro.errors import InsufficientDataError, StreamError
+from repro.streams import TimeSeries
+
+
+def sine_series(freq_hz=0.2, duration=60.0, rate_hz=20.0, amplitude=1.0, phase=0.0):
+    t = np.arange(0.0, duration, 1.0 / rate_hz)
+    return TimeSeries(t, amplitude * np.sin(2 * np.pi * freq_hz * t + phase))
+
+
+class TestZeroCrossings:
+    def test_count_for_sine(self):
+        # 0.2 Hz over 60 s -> 12 cycles -> ~24 crossings.
+        crossings = zero_crossing_times(sine_series())
+        assert len(crossings) in (23, 24, 25)
+
+    def test_crossing_times_accurate(self):
+        crossings = zero_crossing_times(sine_series())
+        # Crossings of sin(2*pi*0.2*t) fall at multiples of 2.5 s.
+        for c in crossings:
+            nearest = round(c / 2.5) * 2.5
+            assert c == pytest.approx(nearest, abs=0.01)
+
+    def test_empty_for_constant(self):
+        ts = TimeSeries.regular(np.ones(100), 10.0)
+        assert zero_crossing_times(ts) == []
+
+    def test_exact_zero_sample_counted_once(self):
+        ts = TimeSeries([0.0, 1.0, 2.0, 3.0], [1.0, 0.0, -1.0, 1.0])
+        crossings = zero_crossing_times(ts)
+        assert len(crossings) == 2
+
+    def test_hysteresis_suppresses_chatter(self):
+        t = np.arange(0, 60, 0.05)
+        signal = np.sin(2 * np.pi * 0.2 * t) + 0.05 * np.sin(2 * np.pi * 5.1 * t)
+        ts = TimeSeries(t, signal)
+        raw = zero_crossing_times(ts, hysteresis=0.0)
+        clean = zero_crossing_times(ts, hysteresis=0.3)
+        assert len(clean) <= len(raw)
+        assert len(clean) in (23, 24, 25)
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(StreamError):
+            zero_crossing_times(sine_series(), hysteresis=-1.0)
+
+    def test_short_series(self):
+        assert zero_crossing_times(TimeSeries([0.0], [1.0])) == []
+
+
+class TestEq5InstantRates:
+    def test_paper_calibration(self):
+        """7 buffered crossings = 3 breaths (Section IV-B)."""
+        assert PAPER_BUFFER_M == 7
+
+    def test_exact_rate_for_uniform_crossings(self):
+        # Crossings every 2.5 s = half-cycles of a 12 bpm breath.
+        crossings = [i * 2.5 for i in range(10)]
+        rates = instant_rates_bpm(crossings, buffer_m=7)
+        assert np.allclose(rates.values, 12.0)
+
+    def test_rate_timestamped_at_newest(self):
+        crossings = [i * 2.5 for i in range(8)]
+        rates = instant_rates_bpm(crossings, buffer_m=7)
+        assert rates.times[0] == pytest.approx(crossings[6])
+        assert rates.times[-1] == pytest.approx(crossings[7])
+
+    def test_too_few_crossings(self):
+        with pytest.raises(InsufficientDataError):
+            instant_rates_bpm([1.0, 2.0, 3.0], buffer_m=7)
+
+    def test_bad_buffer(self):
+        with pytest.raises(StreamError):
+            instant_rates_bpm([1.0, 2.0], buffer_m=1)
+
+    @given(st.floats(min_value=5.0, max_value=40.0))
+    @settings(max_examples=30)
+    def test_recovers_any_rate(self, bpm):
+        half_cycle = 30.0 / bpm
+        crossings = [i * half_cycle for i in range(12)]
+        rates = instant_rates_bpm(crossings)
+        assert np.allclose(rates.values, bpm, rtol=1e-9)
+
+    def test_rate_series_end_to_end(self):
+        rates = rate_series_bpm(sine_series(freq_hz=0.25))
+        assert np.median(rates.values) == pytest.approx(15.0, abs=0.5)
+
+
+class TestSpectral:
+    def test_spectrum_peak_at_signal(self):
+        freqs, amps = fft_spectrum(sine_series(freq_hz=0.3))
+        assert freqs[np.argmax(amps)] == pytest.approx(0.3, abs=0.02)
+
+    def test_peak_rate_estimator(self):
+        rate = fft_peak_rate_bpm(sine_series(freq_hz=0.25))
+        assert rate == pytest.approx(15.0, abs=1.0)
+
+    def test_resolution_pitfall(self):
+        """The paper's example: a 25 s window resolves only 2.4 bpm."""
+        assert frequency_resolution_bpm(25.0) == pytest.approx(2.4)
+
+    def test_peak_estimate_quantised_by_resolution(self):
+        # With a 25 s window the peak estimate lands on a 2.4 bpm grid.
+        series = sine_series(freq_hz=13.0 / 60.0, duration=25.0)
+        rate = fft_peak_rate_bpm(series)
+        assert abs(rate - 13.0) <= 2.4
+
+    def test_band_limits(self):
+        series = sine_series(freq_hz=2.0)  # way above breathing band
+        rate = fft_peak_rate_bpm(series, band_bpm=(4.0, 40.0))
+        assert rate <= 40.0
+
+    def test_short_window_rejected(self):
+        series = sine_series(duration=2.0)
+        with pytest.raises(StreamError):
+            fft_peak_rate_bpm(series, band_bpm=(4.0, 8.0))
+
+    def test_resolution_validation(self):
+        with pytest.raises(StreamError):
+            frequency_resolution_bpm(0.0)
+
+    def test_band_validation(self):
+        with pytest.raises(StreamError):
+            fft_peak_rate_bpm(sine_series(), band_bpm=(10.0, 5.0))

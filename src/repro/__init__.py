@@ -26,11 +26,13 @@ from .config import (
     NoiseConfig,
     PipelineConfig,
     ReaderConfig,
+    RobustnessConfig,
     ScenarioDefaults,
     SystemConfig,
     default_config,
 )
 from .core import (
+    DEGRADED_REASONS,
     BreathExtractor,
     BreathingEstimate,
     DopplerBreathEstimator,
@@ -47,6 +49,7 @@ from .core import (
     fuse_streams,
     group_reports_by_user,
     rate_series_bpm,
+    sanitize_reports,
     zero_crossing_times,
 )
 from .body import (
@@ -58,7 +61,24 @@ from .body import (
     Subject,
 )
 from .epc import EPC96, EPCMappingTable
-from .errors import ReproError
+from .errors import DegradedEstimateWarning, FaultInjectionError, ReproError
+from .faults import (
+    ALL_INJECTORS,
+    AntennaOutage,
+    BurstyDrop,
+    DuplicateReports,
+    FaultChain,
+    FaultInjector,
+    InjectionStats,
+    InterferenceBurst,
+    OutOfOrderDelivery,
+    PhaseOutliers,
+    PhasePiFlips,
+    ReportDrop,
+    TagDeath,
+    TagDropout,
+    TimestampJitter,
+)
 from .metrics import (
     AccuracyStats,
     ExperimentRunner,
@@ -73,14 +93,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     # configuration
-    "NoiseConfig", "PipelineConfig", "ReaderConfig", "ScenarioDefaults",
-    "SystemConfig", "default_config",
+    "NoiseConfig", "PipelineConfig", "ReaderConfig", "RobustnessConfig",
+    "ScenarioDefaults", "SystemConfig", "default_config",
     # core pipeline
     "TagBreathe", "UserEstimate", "BreathExtractor", "BreathingEstimate",
     "default_frequencies", "displacement_deltas", "displacement_track",
     "fuse_streams", "group_reports_by_user", "fft_lowpass", "fir_lowpass",
     "zero_crossing_times", "rate_series_bpm", "fft_peak_rate_bpm",
     "RSSIBreathEstimator", "DopplerBreathEstimator", "FFTPeakEstimator",
+    "sanitize_reports", "DEGRADED_REASONS",
+    # fault injection
+    "FaultChain", "FaultInjector", "InjectionStats", "ALL_INJECTORS",
+    "ReportDrop", "BurstyDrop", "InterferenceBurst", "TagDropout",
+    "TagDeath", "AntennaOutage", "PhaseOutliers", "PhasePiFlips",
+    "TimestampJitter", "DuplicateReports", "OutOfOrderDelivery",
     # body models
     "Subject", "BreathingStyle", "SinusoidalBreathing", "AsymmetricBreathing",
     "IrregularBreathing", "MetronomeBreathing",
@@ -96,6 +122,6 @@ __all__ = [
     # streams
     "TimeSeries",
     # errors
-    "ReproError",
+    "ReproError", "FaultInjectionError", "DegradedEstimateWarning",
     "__version__",
 ]

@@ -6,17 +6,33 @@ Four workflows a user reaches for before writing any code:
 * ``record``    — simulate a scenario and save the raw capture to a file.
 * ``analyze``   — run the pipeline over a previously saved capture.
 * ``regions``   — list the built-in regulatory channel plans.
+* ``faults``    — inject delivery faults into a capture and compare the
+  degraded estimates (confidence, reasons) against the clean run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
 from .body import MetronomeBreathing, Subject
 from .config import PipelineConfig
 from .core.pipeline import TagBreathe
+from .errors import DegradedEstimateWarning, FaultInjectionError
+from .faults import (
+    AntennaOutage,
+    BurstyDrop,
+    DuplicateReports,
+    FaultChain,
+    OutOfOrderDelivery,
+    PhaseOutliers,
+    PhasePiFlips,
+    ReportDrop,
+    TagDeath,
+    TimestampJitter,
+)
 from .metrics.accuracy import breathing_rate_accuracy
 from .rf.regional import REGULATIONS
 from .sim.engine import run_scenario
@@ -46,8 +62,65 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--cutoff-hz", type=float, default=0.67,
                          help="low-pass cutoff (default 0.67)")
 
+    faults = sub.add_parser(
+        "faults",
+        help="inject faults into a simulated capture and show degradation")
+    _add_scenario_args(faults)
+    _add_fault_args(faults)
+
     sub.add_parser("regions", help="list regulatory channel plans")
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "faults", "severities in [0, 1]; 0 makes an injector a provable "
+                  "no-op. With no flags at all a representative "
+                  "default chain is used.")
+    group.add_argument("--drop", type=float, default=None,
+                       help="i.i.d. report loss fraction")
+    group.add_argument("--bursty-drop", type=float, default=None,
+                       help="bursty (Gilbert-Elliott) loss fraction")
+    group.add_argument("--tag-death", type=float, default=None,
+                       help="kill one tag for this trailing fraction of the trial")
+    group.add_argument("--antenna-outage", type=float, default=None,
+                       help="silence the busiest antenna port for this "
+                            "fraction of the trial")
+    group.add_argument("--phase-outliers", type=float, default=None,
+                       help="fraction of reads given a large phase offset")
+    group.add_argument("--pi-flips", type=float, default=None,
+                       help="fraction of reads with the pi phase ambiguity")
+    group.add_argument("--jitter", type=float, default=None,
+                       help="fraction of reads with timestamp jitter")
+    group.add_argument("--duplicates", type=float, default=None,
+                       help="fraction of reads delivered twice")
+    group.add_argument("--reorder", type=float, default=None,
+                       help="fraction of reads delivered late / out of order")
+    group.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault chain (default 0)")
+
+
+def _build_fault_chain(args: argparse.Namespace) -> FaultChain:
+    flag_to_injector = (
+        (args.drop, ReportDrop, {}),
+        (args.bursty_drop, BurstyDrop, {}),
+        (args.tag_death, TagDeath, {}),
+        (args.antenna_outage, AntennaOutage, {"align": "end"}),
+        (args.phase_outliers, PhaseOutliers, {}),
+        (args.pi_flips, PhasePiFlips, {}),
+        (args.jitter, TimestampJitter, {}),
+        (args.duplicates, DuplicateReports, {}),
+        (args.reorder, OutOfOrderDelivery, {}),
+    )
+    # An explicit ``--flag 0`` is honoured as a zero-severity (no-op)
+    # stage; only when *no* fault flag is given at all does the demo
+    # fall back to a representative lossy, flaky deployment.
+    stages = [cls(severity, **kwargs)
+              for severity, cls, kwargs in flag_to_injector
+              if severity is not None]
+    if not stages:
+        stages = [BurstyDrop(0.3), TagDeath(0.4), PhasePiFlips(0.02)]
+    return FaultChain(stages, seed=args.fault_seed)
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +179,28 @@ def _print_estimates(reports, user_ids, truths=None,
     return 0 if estimates else 1
 
 
+def _print_degradation(clean_reports, faulted_reports, user_ids, truths) -> int:
+    clean, _ = TagBreathe(user_ids=user_ids).process_detailed(clean_reports)
+    faulted, _ = TagBreathe(user_ids=user_ids).process_detailed(faulted_reports)
+    rows = []
+    for uid in sorted(user_ids):
+        f = faulted.get(uid)
+        c = clean.get(uid)
+        rows.append([
+            uid,
+            f"{truths[uid]:.1f}" if uid in truths else "-",
+            f"{c.rate_bpm:.2f}" if c else "no estimate",
+            f"{f.rate_bpm:.2f}" if f else "no estimate",
+            f"{f.confidence:.2f}" if f else "-",
+            ", ".join(f.degraded_reasons) if f and f.degraded_reasons
+            else ("none" if f else "-"),
+        ])
+    print(render_table(
+        ["user", "truth", "clean bpm", "faulted bpm", "conf", "degraded"],
+        rows))
+    return 0 if faulted else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -129,13 +224,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _print_estimates(reports, user_ids or None,
                                 cutoff_hz=args.cutoff_hz)
 
-    # demo / record share the simulation step.
+    # demo / record / faults share the simulation step.  Validate the
+    # fault chain first: a bad severity must fail before the (much more
+    # expensive) capture simulation, not after it.
+    chain = None
+    if args.command == "faults":
+        try:
+            chain = _build_fault_chain(args)
+        except FaultInjectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     scenario = _build_scenario(args)
     print(f"simulating {args.users} user(s) at {args.distance} m for "
           f"{args.duration:.0f} s ({scenario.total_tag_count()} tags)...")
     result = run_scenario(scenario, duration_s=args.duration, seed=args.seed)
     print(f"captured {len(result.reports)} reads "
           f"({result.aggregate_read_rate_hz():.0f}/s)")
+
+    if args.command == "faults":
+        faulted = chain.apply(result.reports)
+        print(f"injected faults: {len(result.reports)} reads in, "
+              f"{len(faulted)} out")
+        print(chain.describe())
+        truths = {uid: result.ground_truth.rate_bpm(uid, 0, args.duration)
+                  for uid in scenario.monitored_user_ids}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            return _print_degradation(result.reports, faulted,
+                                      set(scenario.monitored_user_ids), truths)
 
     if args.command == "record":
         count = save_trace_csv(result.reports, args.out)

@@ -142,6 +142,65 @@ class PipelineConfig:
 
 
 @dataclass(frozen=True)
+class RobustnessConfig:
+    """Graceful-degradation knobs of the hardened pipeline.
+
+    No analogue in the paper — its captures came from a healthy reader in
+    a quiet office.  These parameters govern how
+    :class:`~repro.core.pipeline.TagBreathe` survives the failure modes
+    :mod:`repro.faults` injects (report loss, dead tags, antenna outages,
+    phase glitches, disordered delivery) while still reporting an estimate
+    with an honest ``confidence``.  All thresholds default so that a clean
+    capture passes through bit-identically: nothing is rejected, demoted,
+    or failed over unless a fault signature is actually present.
+
+    Attributes:
+        outlier_rejection: run Hampel/MAD outlier rejection on each tag's
+            displacement stream before fusion.
+        hampel_window: Hampel neighbourhood half-width in samples (the
+            local median spans ``2 * hampel_window + 1`` samples).
+        hampel_n_sigmas: rejection threshold in MAD-estimated sigmas;
+            breathing displacement is smooth, so clean data sits far
+            inside 6 sigma while a pi-flip (lambda/4 jump) sits far
+            outside.
+        stale_stream_s: a tag stream whose newest report lags the user's
+            newest report by more than this is considered dead and demoted
+            out of fusion (Eq. 6-7 re-weighted over survivors).
+        antenna_stale_s: the best-scoring antenna is skipped (failover to
+            the next-best live port) when it has been silent this long at
+            the end of the analysis window.
+        gap_warn_s: a gap in the user's read times longer than this marks
+            the estimate degraded ("report_gaps") and lowers confidence.
+        outlier_warn_fraction: fraction of rejected displacement samples
+            above which the estimate is marked degraded ("phase_outliers").
+        warn_confidence: emit :class:`~repro.errors.DegradedEstimateWarning`
+            when an estimate's confidence falls below this.
+    """
+
+    outlier_rejection: bool = True
+    hampel_window: int = 3
+    hampel_n_sigmas: float = 6.0
+    stale_stream_s: float = 5.0
+    antenna_stale_s: float = 2.5
+    gap_warn_s: float = 1.0
+    outlier_warn_fraction: float = 0.005
+    warn_confidence: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.hampel_window < 1:
+            raise ConfigError("hampel_window must be >= 1")
+        if self.hampel_n_sigmas <= 0:
+            raise ConfigError("hampel_n_sigmas must be > 0")
+        for name in ("stale_stream_s", "antenna_stale_s", "gap_warn_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be > 0")
+        if not 0 <= self.outlier_warn_fraction < 1:
+            raise ConfigError("outlier_warn_fraction must be in [0, 1)")
+        if not 0 <= self.warn_confidence <= 1:
+            raise ConfigError("warn_confidence must be in [0, 1]")
+
+
+@dataclass(frozen=True)
 class ScenarioDefaults:
     """Default experiment settings (right column of Table I)."""
 
@@ -227,6 +286,7 @@ class SystemConfig:
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     defaults: ScenarioDefaults = field(default_factory=ScenarioDefaults)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
+    robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
 
 
 def default_config() -> SystemConfig:

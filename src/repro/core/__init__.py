@@ -24,6 +24,7 @@ from .preprocess import (
     displacement_deltas,
     displacement_samples,
     displacement_track,
+    hampel_filter,
     phase_segments,
 )
 from .fusion import fuse_streams, fuse_sample_streams, group_reports_by_user, FusedStream
@@ -31,8 +32,17 @@ from .filters import fft_lowpass, fir_lowpass, detrend_series
 from .zerocross import zero_crossing_times, instant_rates_bpm, rate_series_bpm
 from .spectral import fft_spectrum, fft_peak_rate_bpm, frequency_resolution_bpm
 from .extraction import BreathExtractor, BreathingEstimate
-from .quality import antenna_quality_scores, select_best_antenna
-from .pipeline import TagBreathe, UserEstimate
+from .quality import (
+    antenna_quality_scores,
+    select_antenna_with_failover,
+    select_best_antenna,
+)
+from .pipeline import (
+    DEGRADED_REASONS,
+    TagBreathe,
+    UserEstimate,
+    sanitize_reports,
+)
 from .baselines import RSSIBreathEstimator, DopplerBreathEstimator, FFTPeakEstimator
 from .hybrid import HybridBreathEstimator, HybridEstimate, ObservableEstimate
 from .tracking import BreathingRateTracker, TrackedRate, smooth_rate_series
@@ -62,6 +72,10 @@ __all__ = [
     "BreathingEstimate",
     "antenna_quality_scores",
     "select_best_antenna",
+    "select_antenna_with_failover",
+    "hampel_filter",
+    "sanitize_reports",
+    "DEGRADED_REASONS",
     "TagBreathe",
     "UserEstimate",
     "RSSIBreathEstimator",

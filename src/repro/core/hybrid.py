@@ -17,7 +17,7 @@ user read at a very low rate whose RSSI still wiggles visibly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -20,11 +20,17 @@ Two preprocessing representations are supported (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..config import PipelineConfig
-from ..errors import ExtractionError, InsufficientDataError
+from ..config import PipelineConfig, RobustnessConfig
+from ..errors import (
+    DegradedEstimateWarning,
+    EmptyStreamError,
+    ExtractionError,
+    InsufficientDataError,
+)
 from ..reader.tagreport import TagReport
 from ..streams.timeseries import TimeSeries
 from .extraction import BreathExtractor, BreathingEstimate
@@ -42,11 +48,80 @@ from .preprocess import (
     displacement_deltas,
     displacement_samples,
     group_reports_by_stream,
+    hampel_filter,
 )
-from .quality import filter_to_antenna, select_best_antenna
+from .quality import filter_to_antenna, select_antenna_with_failover
 
 #: Supported preprocessing representations.
 MODES = ("samples", "increments")
+
+# ----------------------------------------------------------------------
+# Degradation bookkeeping
+# ----------------------------------------------------------------------
+#: The stream contained late/duplicate deliveries that were re-ordered or
+#: dropped before processing.
+REASON_DISORDERED = "late_or_duplicate_reports"
+#: The user's read times contain gaps longer than the configured warning
+#: threshold (bursty loss, interference, reader stall).
+REASON_GAPS = "report_gaps"
+#: One or more tag streams went permanently silent and were demoted out of
+#: fusion (Eq. 6-7 re-weighted over the survivors).
+REASON_TAG_DEATH = "tag_death"
+#: The best-scoring antenna was dead at the end of the window; the
+#: estimate rides the next-best live port.
+REASON_ANTENNA_FAILOVER = "antenna_failover"
+#: Hampel rejection removed a non-trivial fraction of displacement
+#: samples (phase glitches / pi-ambiguity flips).
+REASON_OUTLIERS = "phase_outliers"
+
+#: Every degradation reason the pipeline can attach to an estimate.
+DEGRADED_REASONS = (
+    REASON_DISORDERED,
+    REASON_GAPS,
+    REASON_TAG_DEATH,
+    REASON_ANTENNA_FAILOVER,
+    REASON_OUTLIERS,
+)
+
+
+def sanitize_reports(
+    reports: Sequence[TagReport],
+) -> Tuple[List[TagReport], int, int]:
+    """Restore timestamp order and drop duplicate deliveries.
+
+    The batch pipeline historically assumed its input was the pristine,
+    timestamp-ordered capture a healthy simulator emits; real LLRP feeds
+    (and :mod:`repro.faults`) deliver reports late, reordered, and twice.
+    This pass makes the stream safe for the differencing stages:
+
+    * out-of-order reports are re-sorted into place (stable, so equal
+      timestamps keep their delivery order) and counted;
+    * byte-identical re-deliveries — same stream, timestamp, antenna, and
+      channel — are dropped and counted.
+
+    Returns:
+        ``(clean, n_disordered, n_duplicates)``.  Already-clean input
+        comes back as the same report objects in the same order.
+    """
+    report_list = list(reports)
+    n_disordered = sum(
+        1 for a, b in zip(report_list, report_list[1:])
+        if b.timestamp_s < a.timestamp_s
+    )
+    if n_disordered:
+        report_list = sorted(report_list, key=lambda r: r.timestamp_s)
+    seen: Set[Tuple] = set()
+    clean: List[TagReport] = []
+    n_duplicates = 0
+    for report in report_list:
+        key = (report.stream_key, report.timestamp_s,
+               report.antenna_port, report.channel_index)
+        if key in seen:
+            n_duplicates += 1
+            continue
+        seen.add(key)
+        clean.append(report)
+    return clean, n_disordered, n_duplicates
 
 
 @dataclass(frozen=True)
@@ -59,6 +134,13 @@ class UserEstimate:
         antenna_port: the antenna whose data was used (None = all fused).
         tags_fused: how many tag streams contributed.
         read_count: how many low-level reads backed the estimate.
+        confidence: 1.0 for a clean, fully-backed estimate; lowered
+            multiplicatively for every degradation the pipeline had to
+            survive (report loss, dead tags, antenna failover, rejected
+            outliers).  Callers gate on this to tell a trustworthy
+            estimate from a best-effort one.
+        degraded_reasons: which degradations occurred, as stable machine
+            names from :data:`DEGRADED_REASONS` (empty = clean).
     """
 
     user_id: int
@@ -66,11 +148,18 @@ class UserEstimate:
     antenna_port: Optional[int]
     tags_fused: int
     read_count: int
+    confidence: float = 1.0
+    degraded_reasons: Tuple[str, ...] = field(default=())
 
     @property
     def rate_bpm(self) -> float:
         """Shortcut to the headline breathing rate."""
         return self.estimate.rate_bpm
+
+    @property
+    def degraded(self) -> bool:
+        """True when the estimate was produced in degraded mode."""
+        return bool(self.degraded_reasons)
 
 
 class TagBreathe:
@@ -92,6 +181,9 @@ class TagBreathe:
         max_gap_s: chain/segment gap limit for the chosen mode (defaults
             to the mode's recommended value).
         smooth_k: phase moving-average window (increments mode only).
+        robustness: graceful-degradation thresholds (Hampel rejection,
+            staleness watchdog, antenna failover); defaults preserve
+            clean-capture output bit for bit.
 
     Raises:
         ExtractionError: on an unknown mode or filter type.
@@ -107,6 +199,7 @@ class TagBreathe:
         mode: str = "samples",
         max_gap_s: Optional[float] = None,
         smooth_k: int = DEFAULT_SMOOTH_K,
+        robustness: Optional[RobustnessConfig] = None,
     ) -> None:
         if mode not in MODES:
             raise ExtractionError(f"mode must be one of {MODES}, got {mode!r}")
@@ -123,15 +216,25 @@ class TagBreathe:
                          else DEFAULT_MAX_GAP_S)
         self._max_gap_s = max_gap_s
         self._smooth_k = smooth_k
+        self._robustness = robustness if robustness is not None else RobustnessConfig()
         # Streaming state: raw reports buffered per (user, tag) stream;
         # estimates re-run the batch path over the trailing window, so
         # streaming and batch results agree by construction.
         self._report_buffers: Dict[StreamKey, List[TagReport]] = {}
+        # Tolerate-and-count accounting of reports feed() had to discard.
+        self._feed_drops: Dict[str, int] = {
+            "late": 0, "duplicate": 0, "invalid_channel": 0,
+        }
 
     @property
     def config(self) -> PipelineConfig:
         """The signal-processing configuration in force."""
         return self._config
+
+    @property
+    def robustness(self) -> RobustnessConfig:
+        """The graceful-degradation thresholds in force."""
+        return self._robustness
 
     @property
     def mode(self) -> str:
@@ -183,69 +286,157 @@ class TagBreathe:
         Raises:
             InsufficientDataError / EmptyStreamError: with too little data.
         """
+        track, _rejected, _total = self._fused_track_counting(user_id, user_reports)
+        return track
+
+    def _fused_track_counting(
+        self, user_id: int, user_reports: Sequence[TagReport],
+    ) -> Tuple[TimeSeries, int, int]:
+        """Fused track plus Hampel accounting: (track, n_rejected, n_samples)."""
         streams = group_reports_by_stream(user_reports)
+        rb = self._robustness
+        n_rejected = 0
+        n_samples = 0
+        per_tag: Dict[StreamKey, TimeSeries] = {}
+        for key, tag_reports in streams.items():
+            if self._mode == "samples":
+                stream = displacement_samples(tag_reports, self._frequencies,
+                                              max_gap_s=self._max_gap_s)
+            else:
+                stream = displacement_deltas(tag_reports, self._frequencies,
+                                             max_gap_s=self._max_gap_s,
+                                             smooth_k=self._smooth_k)
+            if rb.outlier_rejection and stream:
+                stream, rejected = hampel_filter(
+                    stream, window=rb.hampel_window,
+                    n_sigmas=rb.hampel_n_sigmas)
+                n_rejected += rejected
+            per_tag[key] = stream
+        n_samples = sum(len(s) for s in per_tag.values()) + n_rejected
         if self._mode == "samples":
-            sample_streams = {
-                key: displacement_samples(tag_reports, self._frequencies,
-                                          max_gap_s=self._max_gap_s)
-                for key, tag_reports in streams.items()
-            }
-            fused = fuse_sample_streams(user_id, sample_streams,
+            fused = fuse_sample_streams(user_id, per_tag,
                                         bin_s=self._config.fusion_bin_s)
         else:
-            delta_streams = {
-                key: displacement_deltas(tag_reports, self._frequencies,
-                                         max_gap_s=self._max_gap_s,
-                                         smooth_k=self._smooth_k)
-                for key, tag_reports in streams.items()
-            }
-            fused = fuse_streams(user_id, delta_streams,
+            fused = fuse_streams(user_id, per_tag,
                                  bin_s=self._config.fusion_bin_s)
-        return fused.track
+        return fused.track, n_rejected, n_samples
 
     def _process_user(self, user_id: int,
                       user_reports: List[TagReport]) -> UserEstimate:
+        rb = self._robustness
+        reasons: List[str] = []
+        confidence = 1.0
+
+        # 1. Delivery hygiene: re-order late reports, drop duplicates.
+        working, n_disordered, n_duplicates = sanitize_reports(user_reports)
+        n_bad = n_disordered + n_duplicates
+        if n_bad:
+            reasons.append(REASON_DISORDERED)
+            confidence *= max(0.6, 1.0 - n_bad / max(1, len(user_reports)))
+
+        # 2. Antenna selection with failover past dead ports.
         antenna_port: Optional[int] = None
-        working = user_reports
-        ports = {r.antenna_port for r in user_reports}
+        ports = {r.antenna_port for r in working}
         if self._select_antenna and len(ports) > 1:
-            antenna_port = select_best_antenna(user_reports)
-            working = filter_to_antenna(user_reports, antenna_port)
+            antenna_port, failed_over = select_antenna_with_failover(
+                working, stale_s=rb.antenna_stale_s)
+            if failed_over:
+                reasons.append(REASON_ANTENNA_FAILOVER)
+                confidence *= 0.85
+            working = filter_to_antenna(working, antenna_port)
         elif len(ports) == 1:
             antenna_port = next(iter(ports))
 
+        # 3. Staleness watchdog: demote permanently-dead tag streams so
+        #    Eq. (6)-(7) fuse only live survivors.
         streams = group_reports_by_stream(working)
-        track = self.fused_track(user_id, working)
+        if working and len(streams) > 1:
+            t_latest = max(r.timestamp_s for r in working)
+            dead = {
+                key for key, tag_reports in streams.items()
+                if tag_reports[-1].timestamp_s < t_latest - rb.stale_stream_s
+            }
+            if dead and len(dead) < len(streams):
+                reasons.append(REASON_TAG_DEATH)
+                confidence *= max(0.5, (len(streams) - len(dead)) / len(streams))
+                working = [r for r in working if r.stream_key not in dead]
+                streams = group_reports_by_stream(working)
+
+        # 4. Coverage: seconds-long holes in the read times (bursty loss,
+        #    interference) degrade the estimate even when it still lands.
+        if len(working) > 1:
+            times = [r.timestamp_s for r in working]
+            span = max(times[-1] - times[0], 1e-9)
+            excess = sum(
+                gap for gap in (b - a for a, b in zip(times, times[1:]))
+                if gap > rb.gap_warn_s
+            )
+            if excess > 0.0:
+                reasons.append(REASON_GAPS)
+                confidence *= max(0.5, 1.0 - excess / span)
+
+        # 5. Fusion with per-stream Hampel outlier rejection.  Too few
+        # reads to even form a displacement sample is an insufficient-data
+        # failure, not a stream-misuse bug: translate so process_detailed
+        # and estimate_user keep their documented contracts.
+        try:
+            track, n_rejected, n_samples = self._fused_track_counting(
+                user_id, working)
+        except EmptyStreamError as exc:
+            raise InsufficientDataError(str(exc)) from exc
+        if n_samples and n_rejected / n_samples > rb.outlier_warn_fraction:
+            reasons.append(REASON_OUTLIERS)
+            confidence *= max(0.7, 1.0 - 5.0 * n_rejected / n_samples)
+
         estimate = self._extractor.estimate(track)
+        confidence = min(1.0, max(0.0, confidence))
+        if reasons and confidence < rb.warn_confidence:
+            warnings.warn(
+                f"user {user_id}: degraded estimate "
+                f"(confidence {confidence:.2f}; {', '.join(reasons)})",
+                DegradedEstimateWarning,
+                stacklevel=3,
+            )
         return UserEstimate(
             user_id=user_id,
             estimate=estimate,
             antenna_port=antenna_port,
             tags_fused=len(streams),
             read_count=len(working),
+            confidence=confidence,
+            degraded_reasons=tuple(reasons),
         )
 
     # ------------------------------------------------------------------
     # Streaming mode
     # ------------------------------------------------------------------
-    def feed(self, report: TagReport) -> None:
+    def feed(self, report: TagReport) -> bool:
         """Consume one report into the streaming buffers.
 
+        Tolerate-and-count: a public streaming API must never let one bad
+        delivery take down the monitoring loop, so nothing here raises on
+        malformed *streams* (malformed *reports* cannot be constructed —
+        :class:`~repro.reader.tagreport.TagReport` validates itself).
         Reports for unmonitored users (when ``user_ids`` was given) are
-        dropped; out-of-order reports within a stream are ignored rather
-        than corrupting the buffers.
+        silently dropped; late, duplicate, and unknown-channel reports are
+        dropped **and counted** in :attr:`feed_drop_counts`.
+
+        Returns:
+            True when the report was buffered, False when it was dropped.
         """
         if self._user_ids is not None and report.user_id not in self._user_ids:
-            return
+            return False
         if report.channel_index >= len(self._frequencies):
-            raise InsufficientDataError(
-                f"channel index {report.channel_index} outside the "
-                f"{len(self._frequencies)}-channel frequency map"
-            )
+            self._feed_drops["invalid_channel"] += 1
+            return False
         key = report.stream_key
         buffer = self._report_buffers.setdefault(key, [])
         if buffer and report.timestamp_s <= buffer[-1].timestamp_s:
-            return
+            kind = ("duplicate"
+                    if report.timestamp_s == buffer[-1].timestamp_s
+                    else "late")
+            self._feed_drops[kind] += 1
+            return False
         buffer.append(report)
         # Bound memory: keep ~4 analysis windows of raw reports.
         if len(buffer) % 512 == 0:
@@ -254,11 +445,23 @@ class TagBreathe:
                 self._report_buffers[key] = [
                     r for r in buffer if r.timestamp_s >= horizon
                 ]
+        return True
 
-    def feed_many(self, reports: Iterable[TagReport]) -> None:
-        """Feed a batch of reports in order."""
-        for report in reports:
-            self.feed(report)
+    def feed_many(self, reports: Iterable[TagReport]) -> int:
+        """Feed a batch of reports in order; returns how many were buffered."""
+        return sum(1 for report in reports if self.feed(report))
+
+    @property
+    def feed_drop_counts(self) -> Dict[str, int]:
+        """Reports :meth:`feed` discarded, by cause (late / duplicate /
+        invalid_channel).  Monitoring dashboards watch these counters the
+        way they watch packet-loss stats."""
+        return dict(self._feed_drops)
+
+    @property
+    def dropped_report_count(self) -> int:
+        """Total reports :meth:`feed` discarded across all causes."""
+        return sum(self._feed_drops.values())
 
     def estimate_user(self, user_id: int,
                       window_s: Optional[float] = None) -> UserEstimate:
@@ -300,6 +503,7 @@ class TagBreathe:
     def reset_streaming(self) -> None:
         """Drop all streaming state (start a fresh monitoring session)."""
         self._report_buffers.clear()
+        self._feed_drops = {"late": 0, "duplicate": 0, "invalid_channel": 0}
 
     # ------------------------------------------------------------------
     def _window_s(self) -> float:

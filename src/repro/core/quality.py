@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -110,3 +110,53 @@ def select_best_antenna(
 def filter_to_antenna(reports: Iterable[TagReport], port: int) -> List[TagReport]:
     """Keep only reads delivered via ``port``, order preserved."""
     return [r for r in reports if r.antenna_port == port]
+
+
+def select_antenna_with_failover(
+    reports: Iterable[TagReport],
+    stale_s: float,
+    span_s: Optional[float] = None,
+) -> Tuple[int, Tuple[int, ...]]:
+    """Optimal-antenna selection that fails over past dead ports.
+
+    :func:`select_best_antenna` scores ports over the whole window, so a
+    port that delivered excellent data for 55 s and then went dark (cable
+    kicked, port driver crashed) still wins the score — and the estimate
+    would silently ride a dead antenna.  This variant demotes any port
+    whose newest read lags the overall newest read by more than
+    ``stale_s`` and picks the best-scoring *live* port instead.
+
+    Args:
+        reports: one user's reads (all antennas mixed).
+        stale_s: silence at the window end that marks a port dead.
+        span_s: wall-clock span forwarded to the quality scoring.
+
+    Returns:
+        ``(port, failed_over)`` — the chosen live port and the stale ports
+        that outscored it (empty tuple = no failover happened, the result
+        matches :func:`select_best_antenna` exactly).
+
+    Raises:
+        InsufficientDataError: when the user has no reports at all.  (A
+        live port always exists — the port owning the newest read is live
+        by definition — so failover itself cannot fail.)
+    """
+    report_list = list(reports)
+    scores = antenna_quality_scores(report_list, span_s=span_s)
+    if not scores:
+        raise InsufficientDataError("no reports: cannot select an antenna")
+    last_by_port: Dict[int, float] = {}
+    for report in report_list:
+        last_by_port[report.antenna_port] = max(
+            last_by_port.get(report.antenna_port, -np.inf), report.timestamp_s
+        )
+    t_latest = max(last_by_port.values())
+    live = {p for p, t in last_by_port.items() if t >= t_latest - stale_s}
+    chosen = max(
+        (scores[p] for p in live), key=lambda q: q.score
+    ).antenna_port
+    failed_over = tuple(sorted(
+        p for p, q in scores.items()
+        if p not in live and q.score > scores[chosen].score
+    ))
+    return chosen, failed_over

@@ -18,7 +18,7 @@ Implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..errors import EPCError
 

@@ -20,7 +20,7 @@ callback (wired to :class:`repro.rf.LinkBudget` by the simulation engine).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 

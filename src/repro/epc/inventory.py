@@ -8,7 +8,6 @@ event-driven simulator.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError

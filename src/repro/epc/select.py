@@ -17,10 +17,10 @@ a mask-matching predicate usable with :class:`repro.epc.gen2.Gen2Inventory`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Optional
+from typing import Callable, Hashable
 
 from ..errors import EPCError
-from .codec import EPC96, TAG_ID_BITS, USER_ID_BITS
+from .codec import EPC96, USER_ID_BITS
 
 _SELECT_PREFIX = "1010"
 

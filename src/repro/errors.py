@@ -59,6 +59,27 @@ class InsufficientDataError(ExtractionError):
     """Not enough readings (or zero crossings) to estimate a breathing rate."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault injector or chain is misconfigured (bad severity, port, ...).
+
+    Raised at construction/validation time — never while a stream is being
+    perturbed, so a fault campaign either starts clean or not at all.
+    """
+
+
+class DegradedEstimateWarning(UserWarning):
+    """A monitoring estimate was produced in degraded mode.
+
+    Emitted (via :mod:`warnings`) when the pipeline had to drop data to
+    survive — dead tag streams, antenna failover, heavy report loss — and
+    the resulting :class:`~repro.core.pipeline.UserEstimate` carries a
+    ``confidence`` below the configured warning threshold.  This is a
+    :class:`UserWarning` subclass rather than a :class:`ReproError`: the
+    estimate is still delivered, callers opt into strictness with
+    ``warnings.simplefilter("error", DegradedEstimateWarning)``.
+    """
+
+
 class NoLineOfSightError(ReaderError):
     """The tag cannot be read at all (LOS fully blocked, paper Fig. 15).
 

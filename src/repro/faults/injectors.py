@@ -1,0 +1,464 @@
+"""Composable fault injectors over :class:`~repro.reader.tagreport.TagReport` streams.
+
+The paper's evaluation runs against a healthy Impinj R420 in a quiet
+office; its own Figs. 14-16 already show what contention and orientation
+do to the read rate.  A production deployment additionally sees tags die,
+antenna ports fail, reports arrive late or twice, and phase readings
+glitch.  Each injector here models one such failure as a *seeded,
+severity-parameterised transform* over a report stream, so robustness
+experiments are exactly repeatable:
+
+* every injector takes a ``severity`` in ``[0, 1]``;
+* at severity 0 the output is the input, byte for byte (the same report
+  objects in the same order) — a chain of severity-0 injectors is a
+  provable no-op;
+* all randomness comes from the :class:`numpy.random.Generator` passed to
+  :meth:`FaultInjector.apply`, normally owned by a
+  :class:`~repro.faults.chain.FaultChain` that derives one child generator
+  per stage from a single master seed.
+
+Injectors never mutate reports (they are frozen dataclasses); perturbed
+reads are rebuilt with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from ..reader.tagreport import TagReport
+from ..units import TWO_PI
+
+
+def _span(reports: Sequence[TagReport]) -> Tuple[float, float]:
+    """First/last timestamp of a non-empty report sequence."""
+    times = [r.timestamp_s for r in reports]
+    return min(times), max(times)
+
+
+def _in_windows(t: float, windows: Sequence[Tuple[float, float]]) -> bool:
+    return any(lo <= t < hi for lo, hi in windows)
+
+
+def _alternating_outage_windows(
+    rng: np.random.Generator,
+    t0: float,
+    t1: float,
+    loss_fraction: float,
+    mean_outage_s: float,
+) -> List[Tuple[float, float]]:
+    """Gilbert-Elliott style on/off windows over ``[t0, t1]``.
+
+    A two-state continuous-time channel alternates between a good state and
+    a bad (losing) state with exponentially distributed sojourn times.  The
+    mean bad sojourn is ``mean_outage_s`` and the mean good sojourn is
+    chosen so the stationary bad fraction equals ``loss_fraction``.
+    """
+    mean_good_s = mean_outage_s * (1.0 - loss_fraction) / loss_fraction
+    windows: List[Tuple[float, float]] = []
+    bad = bool(rng.random() < loss_fraction)
+    t = t0
+    while t <= t1:
+        duration = float(rng.exponential(mean_outage_s if bad else mean_good_s))
+        if bad:
+            windows.append((t, t + duration))
+        t += duration
+        bad = not bad
+    return windows
+
+
+class FaultInjector(ABC):
+    """One failure mode as a severity-parameterised stream transform.
+
+    Subclasses are frozen dataclasses whose first field is ``severity``;
+    they validate their parameters at construction (raising
+    :class:`~repro.errors.FaultInjectionError`) and implement
+    :meth:`_transform`, which is only invoked for ``severity > 0`` on a
+    non-empty stream.
+    """
+
+    #: Short machine-readable injector name (stats / CLI tables).
+    name: str = "fault"
+
+    severity: float  # supplied by the dataclass subclasses
+
+    def _validate_severity(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise FaultInjectionError(
+                f"{self.name}: severity must be in [0, 1], got {self.severity}"
+            )
+
+    def apply(self, reports: Sequence[TagReport],
+              rng: np.random.Generator) -> List[TagReport]:
+        """Transform a report stream; severity 0 returns it unchanged."""
+        if self.severity == 0.0 or not reports:
+            return list(reports)
+        return self._transform(list(reports), rng)
+
+    @abstractmethod
+    def _transform(self, reports: List[TagReport],
+                   rng: np.random.Generator) -> List[TagReport]:
+        """The actual perturbation (severity > 0, non-empty input)."""
+
+
+# ----------------------------------------------------------------------
+# Report loss
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReportDrop(FaultInjector):
+    """Drop each report independently with probability ``severity``.
+
+    The i.i.d. loss model: thins the stream uniformly, the way generic RF
+    noise or a congested LLRP link loses individual reports.
+    """
+
+    severity: float
+    name = "report_drop"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+
+    def _transform(self, reports, rng):
+        keep = rng.random(len(reports)) >= self.severity
+        return [r for r, k in zip(reports, keep) if k]
+
+
+@dataclass(frozen=True)
+class BurstyDrop(FaultInjector):
+    """Gilbert-Elliott bursty loss: whole stretches of the stream vanish.
+
+    ``severity`` is the long-run fraction of *time* spent in the losing
+    state; ``burst_s`` is the mean loss-burst duration.  Bursty loss is
+    much harsher than i.i.d. loss at equal fraction — it opens seconds-long
+    gaps in every tag's stream at once, the pattern real interference and
+    reader stalls produce.
+    """
+
+    severity: float
+    burst_s: float = 1.0
+    name = "bursty_drop"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.burst_s <= 0:
+            raise FaultInjectionError("bursty_drop: burst_s must be > 0")
+
+    def _transform(self, reports, rng):
+        if self.severity >= 1.0:
+            return []
+        t0, t1 = _span(reports)
+        windows = _alternating_outage_windows(
+            rng, t0, t1, self.severity, self.burst_s)
+        return [r for r in reports if not _in_windows(r.timestamp_s, windows)]
+
+
+@dataclass(frozen=True)
+class InterferenceBurst(FaultInjector):
+    """Discrete interference events that gate whole time windows.
+
+    Models a co-channel jammer / forklift / microwave firing
+    ``~severity * span / burst_s`` times during the capture, each event
+    wiping ``burst_s`` seconds of *every* tag's reports.  Unlike
+    :class:`BurstyDrop` the number of events is deterministic given the
+    span, so campaigns can sweep "k jam events of d seconds".
+    """
+
+    severity: float
+    burst_s: float = 1.0
+    name = "interference_burst"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.burst_s <= 0:
+            raise FaultInjectionError("interference_burst: burst_s must be > 0")
+
+    def _transform(self, reports, rng):
+        t0, t1 = _span(reports)
+        span = max(t1 - t0, self.burst_s)
+        n_bursts = max(1, int(round(self.severity * span / self.burst_s)))
+        starts = rng.uniform(t0, max(t0, t1 - self.burst_s), size=n_bursts)
+        windows = [(s, s + self.burst_s) for s in starts]
+        return [r for r in reports if not _in_windows(r.timestamp_s, windows)]
+
+
+# ----------------------------------------------------------------------
+# Per-tag and per-antenna outages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TagDropout(FaultInjector):
+    """Intermittent per-tag outages (detuning, crumpled clothing, shadowing).
+
+    Each (user, tag) stream gets its own independent Gilbert-Elliott
+    outage process: ``severity`` is the per-stream fraction of time the
+    tag is unreadable, ``outage_s`` the mean outage duration.  Streams are
+    processed in sorted key order so results are seed-deterministic.
+    """
+
+    severity: float
+    outage_s: float = 1.0
+    name = "tag_dropout"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.outage_s <= 0:
+            raise FaultInjectionError("tag_dropout: outage_s must be > 0")
+
+    def _transform(self, reports, rng):
+        if self.severity >= 1.0:
+            return []
+        t0, t1 = _span(reports)
+        streams = sorted({r.stream_key for r in reports})
+        windows = {
+            key: _alternating_outage_windows(rng, t0, t1, self.severity,
+                                             self.outage_s)
+            for key in streams
+        }
+        return [r for r in reports
+                if not _in_windows(r.timestamp_s, windows[r.stream_key])]
+
+
+@dataclass(frozen=True)
+class TagDeath(FaultInjector):
+    """Permanent tag death: a tag stops reporting and never comes back.
+
+    ``num_victims`` streams (chosen by the seeded generator) die at
+    ``t_end - severity * span`` — i.e. ``severity`` is the fraction of the
+    capture each victim spends dead.  severity 1 means the victim never
+    reported at all.
+    """
+
+    severity: float
+    num_victims: int = 1
+    name = "tag_death"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.num_victims < 1:
+            raise FaultInjectionError("tag_death: num_victims must be >= 1")
+
+    def _transform(self, reports, rng):
+        t0, t1 = _span(reports)
+        death_time = t1 - self.severity * (t1 - t0)
+        streams = sorted({r.stream_key for r in reports})
+        n = min(self.num_victims, len(streams))
+        victim_idx = rng.choice(len(streams), size=n, replace=False)
+        victims = {streams[i] for i in victim_idx}
+        return [r for r in reports
+                if r.stream_key not in victims or r.timestamp_s < death_time]
+
+
+@dataclass(frozen=True)
+class AntennaOutage(FaultInjector):
+    """One antenna port goes silent for a contiguous window.
+
+    Models a kicked cable, port driver crash, or RF front-end fault:
+    every report delivered via ``port`` inside the outage window is lost.
+    The window is ``severity * span`` long; ``align`` places it at the
+    ``"start"`` or ``"end"`` of the capture or (default) uniformly at
+    ``"random"``.  ``port=None`` picks the busiest observed port, the
+    worst-case victim.
+    """
+
+    severity: float
+    port: Optional[int] = None
+    align: str = "random"
+    name = "antenna_outage"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.port is not None and self.port < 1:
+            raise FaultInjectionError("antenna_outage: port is 1-based")
+        if self.align not in ("random", "start", "end"):
+            raise FaultInjectionError(
+                f"antenna_outage: align must be random/start/end, got {self.align!r}")
+
+    def _transform(self, reports, rng):
+        t0, t1 = _span(reports)
+        length = self.severity * (t1 - t0)
+        if self.align == "start":
+            lo = t0
+        elif self.align == "end":
+            lo = t1 - length
+        else:
+            lo = float(rng.uniform(t0, max(t0, t1 - length)))
+        hi = lo + length
+        port = self.port
+        if port is None:
+            counts: dict = {}
+            for r in reports:
+                counts[r.antenna_port] = counts.get(r.antenna_port, 0) + 1
+            port = max(sorted(counts), key=lambda p: counts[p])
+        # Half-open on the left so an align="end" window still gates the
+        # final report (whose timestamp equals the span end).
+        return [r for r in reports
+                if r.antenna_port != port
+                or not (lo <= r.timestamp_s <= hi)]
+
+
+# ----------------------------------------------------------------------
+# Measurement corruption
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseOutliers(FaultInjector):
+    """Gross phase glitches on random reads.
+
+    Each report is corrupted with probability ``severity``: its phase is
+    offset by a uniformly signed draw in ``[magnitude_rad / 2,
+    magnitude_rad]`` (wrapped back into ``[0, 2*pi)``) — the single-read
+    garbage a marginal decode produces, far outside thermal phase noise.
+    """
+
+    severity: float
+    magnitude_rad: float = float(np.pi)
+    name = "phase_outliers"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.magnitude_rad <= 0:
+            raise FaultInjectionError("phase_outliers: magnitude_rad must be > 0")
+
+    def _transform(self, reports, rng):
+        hit = rng.random(len(reports)) < self.severity
+        magnitudes = rng.uniform(0.5, 1.0, len(reports)) * self.magnitude_rad
+        signs = rng.choice((-1.0, 1.0), len(reports))
+        out = []
+        for report, h, mag, sign in zip(reports, hit, magnitudes, signs):
+            if h:
+                report = replace(
+                    report,
+                    phase_rad=float((report.phase_rad + sign * mag) % TWO_PI),
+                )
+            out.append(report)
+        return out
+
+
+@dataclass(frozen=True)
+class PhasePiFlips(FaultInjector):
+    """The pi-ambiguity flip of backscatter phase measurement.
+
+    Commodity readers recover phase modulo pi, not 2*pi (the paper's
+    Eq. 1 context; the half-wavelength ambiguity).  A decoder resolving
+    the ambiguity the wrong way shifts a read by exactly pi — injected
+    here on each report with probability ``severity``.
+    """
+
+    severity: float
+    name = "phase_pi_flips"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+
+    def _transform(self, reports, rng):
+        hit = rng.random(len(reports)) < self.severity
+        return [
+            replace(r, phase_rad=float((r.phase_rad + np.pi) % TWO_PI))
+            if h else r
+            for r, h in zip(reports, hit)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Delivery faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimestampJitter(FaultInjector):
+    """Timestamping noise: every report's clock reading wobbles.
+
+    Each timestamp moves by ``severity * uniform(-max_jitter_s,
+    +max_jitter_s)`` while the delivery *order* stays as-is, so at
+    meaningful severities neighbouring reports swap timestamps and the
+    stream stops being monotonic — exactly the brittleness the hardened
+    pipeline must absorb.
+    """
+
+    severity: float
+    max_jitter_s: float = 0.05
+    name = "timestamp_jitter"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.max_jitter_s <= 0:
+            raise FaultInjectionError("timestamp_jitter: max_jitter_s must be > 0")
+
+    def _transform(self, reports, rng):
+        offsets = self.severity * rng.uniform(
+            -self.max_jitter_s, self.max_jitter_s, len(reports))
+        return [
+            replace(r, timestamp_s=float(r.timestamp_s + dt))
+            for r, dt in zip(reports, offsets)
+        ]
+
+
+@dataclass(frozen=True)
+class DuplicateReports(FaultInjector):
+    """Exact duplicate delivery of random reports.
+
+    LLRP readers re-deliver reports after keepalive hiccups; with
+    probability ``severity`` a report is emitted twice back to back,
+    byte-identical both times.
+    """
+
+    severity: float
+    name = "duplicate_reports"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+
+    def _transform(self, reports, rng):
+        dup = rng.random(len(reports)) < self.severity
+        out: List[TagReport] = []
+        for report, d in zip(reports, dup):
+            out.append(report)
+            if d:
+                out.append(report)
+        return out
+
+
+@dataclass(frozen=True)
+class OutOfOrderDelivery(FaultInjector):
+    """Late delivery: reports keep their timestamps but arrive reordered.
+
+    With probability ``severity`` a report's *delivery* is delayed by
+    ``uniform(0, max_delay_s]`` so it lands after younger reports — the
+    network-reordering fault of a buffered LLRP TCP stream.  Timestamps
+    are untouched; only the sequence order changes.
+    """
+
+    severity: float
+    max_delay_s: float = 0.2
+    name = "out_of_order"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.max_delay_s <= 0:
+            raise FaultInjectionError("out_of_order: max_delay_s must be > 0")
+
+    def _transform(self, reports, rng):
+        delayed = rng.random(len(reports)) < self.severity
+        delays = rng.uniform(0.0, self.max_delay_s, len(reports))
+        delivery = [
+            r.timestamp_s + (dt if d else 0.0)
+            for r, d, dt in zip(reports, delayed, delays)
+        ]
+        order = np.argsort(delivery, kind="stable")
+        return [reports[i] for i in order]
+
+
+#: Every concrete injector class, for property tests and CLI listings.
+ALL_INJECTORS = (
+    ReportDrop,
+    BurstyDrop,
+    InterferenceBurst,
+    TagDropout,
+    TagDeath,
+    AntennaOutage,
+    PhaseOutliers,
+    PhasePiFlips,
+    TimestampJitter,
+    DuplicateReports,
+    OutOfOrderDelivery,
+)

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..config import PipelineConfig
 from ..core.pipeline import TagBreathe
-from ..errors import InsufficientDataError, ReproError
+from ..errors import ReproError
 from ..sim.engine import SimulationResult, run_scenario
 from ..sim.scenario import Scenario
 from .accuracy import AccuracyStats, summarize_accuracies

@@ -19,7 +19,7 @@ gestures at — implemented as pure signal analysis so it works on any
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

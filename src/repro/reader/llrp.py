@@ -14,11 +14,14 @@ so swapping in real LTK bindings would touch nothing downstream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from ..errors import ReaderError
 from .reader import Reader, TagEnvironment
 from .tagreport import TagReport
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids an import cycle
+    from ..faults import FaultChain
 
 #: A subscriber receiving each tag report as it is "delivered".
 ReportCallback = Callable[[TagReport], None]
@@ -52,14 +55,27 @@ class LLRPClient:
     Args:
         reader: the reader model to drive.
         environment: the tag environment the reader inventories.
+        faults: optional :class:`~repro.faults.FaultChain` applied to the
+            capture before batching/dispatch, so subscribers see the same
+            degraded stream a flaky deployment would deliver.
     """
 
-    def __init__(self, reader: Reader, environment: TagEnvironment) -> None:
+    def __init__(
+        self,
+        reader: Reader,
+        environment: TagEnvironment,
+        faults: Optional["FaultChain"] = None,
+    ) -> None:
         self._reader = reader
         self._env = environment
         self._rospec: Optional[ROSpec] = None
         self._subscribers: List[ReportCallback] = []
         self._connected = False
+        self._faults = faults
+
+    def set_fault_chain(self, faults: Optional["FaultChain"]) -> None:
+        """Install (or clear, with None) the fault chain used by :meth:`start`."""
+        self._faults = faults
 
     # ------------------------------------------------------------------
     # LTK-flavoured lifecycle
@@ -90,7 +106,8 @@ class LLRPClient:
         """Run the configured ROSpec, dispatching reports to subscribers.
 
         Returns:
-            Every report delivered, in timestamp order (the capture file).
+            Every report delivered (the capture file) — in timestamp order
+            unless an installed fault chain reorders or drops reads.
 
         Raises:
             ReaderError: if not connected or no ROSpec was added.
@@ -101,6 +118,8 @@ class LLRPClient:
         reports = self._reader.run(
             self._env, self._rospec.duration_s, t_start=self._rospec.start_time_s
         )
+        if self._faults is not None:
+            reports = self._faults.apply(reports)
         batch: List[TagReport] = []
         for report in reports:
             batch.append(report)

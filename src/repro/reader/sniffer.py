@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 from ..epc.codec import EPC96
 from ..epc.commands import (
@@ -65,7 +65,9 @@ def classify_reader_frame(bits: str) -> DecodedFrame:
                                 {"session": session, "updn": updn})
         if len(bits) == 18 and bits.startswith("01"):
             return DecodedFrame("reader", "ack", {"rn16": decode_ack(bits)})
-    except EPCError:
+    except (EPCError, ValueError):
+        # ValueError: right-length frame whose payload is not even binary
+        # (int(..., 2) chokes) — still just a garbled capture, not a bug.
         pass
     return DecodedFrame("reader", "unknown", {"bits": bits})
 

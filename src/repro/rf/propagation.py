@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigError
-from ..units import db_to_linear, linear_to_db, wavelength
+from ..units import linear_to_db, wavelength
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ captures the major regimes so the pipeline can be exercised under each:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

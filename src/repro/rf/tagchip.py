@@ -19,12 +19,12 @@ diagnostics (cluster separation, symbol SNR) are testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..errors import ConfigError
-from ..units import TWO_PI, wrap_phase
+from ..units import wrap_phase
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from ..config import ReaderConfig
 from ..epc.gen2 import Gen2Config
 from ..epc.select import SelectCommand
 from ..errors import ScenarioError
+from ..faults import FaultChain
 from ..reader.antenna import Antenna
 from ..reader.reader import Reader
 from ..reader.tagreport import TagReport
@@ -73,6 +74,7 @@ def run_scenario(
     multipath: Optional[DynamicMultipath] = None,
     gen2: Optional[Gen2Config] = None,
     select: Optional[SelectCommand] = None,
+    faults: Optional[FaultChain] = None,
 ) -> SimulationResult:
     """Inventory ``scenario`` for ``duration_s`` seconds and capture reports.
 
@@ -87,6 +89,10 @@ def run_scenario(
             for ablations.
         select: optional Gen2 Select restricting which tags participate
             in the inventory (MAC-level filtering, repro.epc.select).
+        faults: optional :class:`~repro.faults.FaultChain` applied to the
+            capture before it is returned — models delivery-path faults
+            (drops, outages, corruption) the RF substrate does not, while
+            the chain's own seed keeps the trial repeatable.
 
     Returns:
         The full capture plus ground truth.
@@ -107,4 +113,6 @@ def run_scenario(
         rng=rng,
     )
     reports = reader.run(scenario, duration_s, select=select)
+    if faults is not None:
+        reports = faults.apply(reports)
     return SimulationResult(scenario=scenario, reports=reports, duration_s=duration_s)

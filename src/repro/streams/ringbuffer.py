@@ -36,6 +36,7 @@ class RingBuffer:
         self._values = np.zeros(self._capacity, dtype=float)
         self._head = 0  # next write slot
         self._size = 0
+        self._dropped = 0
 
     @property
     def capacity(self) -> int:
@@ -73,6 +74,29 @@ class RingBuffer:
         if self._size < self._capacity:
             self._size += 1
 
+    def offer(self, time: float, value: float) -> bool:
+        """Tolerant :meth:`append`: drop-and-count instead of raising.
+
+        The fault-hardened streaming path uses this so one late or
+        duplicate sample cannot take down a realtime consumer; the drop
+        total is kept in :attr:`dropped`.
+
+        Returns:
+            True when the sample was buffered, False when it was dropped
+            for non-increasing time.
+        """
+        last = self.last_time()
+        if last is not None and time <= last:
+            self._dropped += 1
+            return False
+        self.append(time, value)
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Samples discarded by :meth:`offer` since construction/clear."""
+        return self._dropped
+
     def extend(self, series: TimeSeries) -> None:
         """Append every sample of ``series`` in order."""
         for t, v in series:
@@ -91,9 +115,10 @@ class RingBuffer:
         return TimeSeries(t.copy(), v.copy())
 
     def clear(self) -> None:
-        """Drop all samples."""
+        """Drop all samples and reset the drop counter."""
         self._head = 0
         self._size = 0
+        self._dropped = 0
 
 
 class StreamBuffer:
@@ -106,6 +131,7 @@ class StreamBuffer:
     def __init__(self) -> None:
         self._times: List[float] = []
         self._values: List[float] = []
+        self._dropped = 0
 
     def __len__(self) -> int:
         return len(self._times)
@@ -122,6 +148,20 @@ class StreamBuffer:
             )
         self._times.append(float(time))
         self._values.append(float(value))
+
+    def offer(self, time: float, value: float) -> bool:
+        """Tolerant :meth:`append`: drop non-increasing samples and count
+        them in :attr:`dropped` instead of raising."""
+        if self._times and time <= self._times[-1]:
+            self._dropped += 1
+            return False
+        self.append(time, value)
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Samples discarded by :meth:`offer` since construction."""
+        return self._dropped
 
     def last(self) -> Optional[Tuple[float, float]]:
         """Newest ``(time, value)`` pair, or None when empty."""

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Iterator, List, Tuple
 
-import numpy as np
 
 from ..errors import StreamError
 from .timeseries import TimeSeries

@@ -20,6 +20,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["record"])
 
+    def test_faults_defaults(self):
+        # None (not 0.0): an explicit ``--drop 0`` must be distinguishable
+        # from an absent flag, so zero severities are honoured as no-ops.
+        args = build_parser().parse_args(["faults"])
+        assert args.drop is None
+        assert args.bursty_drop is None
+        assert args.fault_seed == 0
+
+    def test_faults_bad_severity_fails_before_simulation(self, capsys):
+        assert main(["faults", "--bursty-drop", "1.5"]) == 2
+        captured = capsys.readouterr()
+        assert "severity must be in [0, 1]" in captured.err
+        assert "simulating" not in captured.out
+
+    def test_faults_explicit_zero_severity_is_noop(self, capsys):
+        code = main(["faults", "--duration", "30", "--seed", "3",
+                     "--drop", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "severity=0" in out
+        # The zero-severity chain is a no-op: the data row shows the same
+        # bpm for the clean and the faulted run.
+        row = [ln for ln in out.splitlines() if ln.startswith("1 ")][0]
+        _, _, clean_bpm, faulted_bpm = row.split()[:4]
+        assert clean_bpm == faulted_bpm
+
 
 class TestCommands:
     def test_regions(self, capsys):
@@ -36,6 +62,24 @@ class TestCommands:
         assert "estimate" in out
         assert "bpm" in out
         assert "accuracy" in out
+
+    def test_faults_explicit_chain(self, capsys):
+        code = main(["faults", "--duration", "30", "--rate", "12",
+                     "--distance", "2", "--seed", "3",
+                     "--bursty-drop", "0.3", "--tag-death", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injected faults" in out
+        assert "bursty_drop" in out and "tag_death" in out
+        assert "clean bpm" in out and "faulted bpm" in out
+        assert "conf" in out
+
+    def test_faults_default_chain(self, capsys):
+        code = main(["faults", "--duration", "45", "--distance", "2",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bursty_drop" in out  # the representative default chain
 
     def test_demo_multi_user(self, capsys):
         code = main(["demo", "--users", "2", "--duration", "30",

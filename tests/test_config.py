@@ -6,6 +6,7 @@ from repro.config import (
     NoiseConfig,
     PipelineConfig,
     ReaderConfig,
+    RobustnessConfig,
     ScenarioDefaults,
     SystemConfig,
     default_config,
@@ -105,9 +106,33 @@ class TestNoiseConfig:
             NoiseConfig(body_sway_amplitude_m=-0.1)
 
 
+class TestRobustnessConfig:
+    def test_defaults_valid(self):
+        rb = RobustnessConfig()
+        assert rb.outlier_rejection is True
+        assert rb.warn_confidence == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RobustnessConfig(hampel_window=0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(hampel_n_sigmas=0.0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(stale_stream_s=-1.0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(antenna_stale_s=0.0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(gap_warn_s=0.0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(outlier_warn_fraction=1.0)
+        with pytest.raises(ConfigError):
+            RobustnessConfig(warn_confidence=1.5)
+
+
 class TestSystemConfig:
     def test_default_bundle(self):
         config = default_config()
         assert isinstance(config, SystemConfig)
         assert config.reader.tx_power_dbm == 30.0
         assert config.pipeline.cutoff_hz == pytest.approx(0.67)
+        assert config.robustness == RobustnessConfig()

@@ -23,7 +23,7 @@ from repro.body import (
     MetronomeBreathing,
     Subject,
 )
-from repro.epc import EPC96, EPCMappingTable
+from repro.epc import EPCMappingTable
 
 
 class TestSingleUserEndToEnd:

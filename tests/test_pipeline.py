@@ -1,19 +1,27 @@
 """Tests for the end-to-end TagBreathe engine (batch + streaming)."""
 
-import numpy as np
+from dataclasses import replace
+
 import pytest
 
-from repro import (
-    PipelineConfig,
-    Scenario,
-    TagBreathe,
-    breathing_rate_accuracy,
-    run_scenario,
-)
+from repro import PipelineConfig, Scenario, TagBreathe, run_scenario
 from repro.body import MetronomeBreathing, Subject
-from repro.errors import ExtractionError, InsufficientDataError
-from repro.reader import Antenna
-from repro.config import ReaderConfig
+from repro.core.pipeline import (
+    REASON_DISORDERED,
+    REASON_GAPS,
+    REASON_TAG_DEATH,
+    sanitize_reports,
+)
+from repro.core.quality import select_antenna_with_failover, select_best_antenna
+from repro.epc import EPC96
+from repro.errors import (
+    DegradedEstimateWarning,
+    ExtractionError,
+    InsufficientDataError,
+)
+from repro.faults import BurstyDrop, FaultChain, OutOfOrderDelivery, TagDeath
+from repro.reader import Antenna, TagReport
+from repro.config import ReaderConfig, RobustnessConfig
 
 
 @pytest.fixture(scope="module")
@@ -217,3 +225,166 @@ class TestMultiUser:
         )
         assert 1 in estimates
         assert 2 in failures  # paper: no report for a fully blocked user
+
+
+def _report(t, phase=1.0, port=1, tag_id=1, rssi=-55.0):
+    return TagReport(
+        epc=EPC96.from_user_tag(1, tag_id), timestamp_s=t, phase_rad=phase,
+        rssi_dbm=rssi, doppler_hz=0.0, channel_index=0, antenna_port=port,
+    )
+
+
+class TestSanitizeReports:
+    def test_clean_stream_untouched(self, capture):
+        clean, n_dis, n_dup = sanitize_reports(capture.reports)
+        assert clean == list(capture.reports)
+        assert (n_dis, n_dup) == (0, 0)
+
+    def test_sorts_and_counts_disorder(self):
+        reports = [_report(0.0), _report(2.0), _report(1.0)]
+        clean, n_dis, n_dup = sanitize_reports(reports)
+        assert [r.timestamp_s for r in clean] == [0.0, 1.0, 2.0]
+        assert n_dis == 1
+        assert n_dup == 0
+
+    def test_drops_and_counts_duplicates(self):
+        reports = [_report(0.0), _report(0.0), _report(1.0)]
+        clean, _, n_dup = sanitize_reports(reports)
+        assert len(clean) == 2
+        assert n_dup == 1
+
+    def test_same_time_different_stream_not_duplicate(self):
+        reports = [_report(0.0, tag_id=1), _report(0.0, tag_id=2)]
+        clean, _, n_dup = sanitize_reports(reports)
+        assert len(clean) == 2
+        assert n_dup == 0
+
+
+class TestAntennaFailover:
+    def make_two_port_reports(self, dead_after=None):
+        reports = []
+        for i in range(200):
+            t = i * 0.1
+            # port 1: strong and fast; port 2: weaker, slower.
+            if dead_after is None or t < dead_after:
+                reports.append(_report(t, port=1, rssi=-45.0))
+            if i % 2 == 0:
+                reports.append(_report(t + 0.01, port=2, rssi=-65.0))
+        return reports
+
+    def test_healthy_matches_plain_selection(self):
+        reports = self.make_two_port_reports()
+        port, failed = select_antenna_with_failover(reports, stale_s=2.5)
+        assert failed == ()
+        assert port == select_best_antenna(reports)
+
+    def test_dead_port_demoted(self):
+        reports = self.make_two_port_reports(dead_after=10.0)
+        assert select_best_antenna(reports) == 1  # score still favours port 1
+        port, failed = select_antenna_with_failover(reports, stale_s=2.5)
+        assert port == 2
+        assert failed == (1,)
+
+    def test_no_reports_raises(self):
+        with pytest.raises(InsufficientDataError):
+            select_antenna_with_failover([], stale_s=2.5)
+
+
+class TestGracefulDegradation:
+    def test_clean_estimate_full_confidence(self, capture):
+        estimate = TagBreathe(user_ids={1}).process(capture.reports)[1]
+        assert estimate.confidence == 1.0
+        assert estimate.degraded_reasons == ()
+        assert not estimate.degraded
+
+    def test_disordered_batch_still_estimates(self, capture):
+        faulted = FaultChain([OutOfOrderDelivery(0.3)], seed=1).apply(
+            capture.reports)
+        estimate = TagBreathe(user_ids={1}).process(faulted)[1]
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+        assert REASON_DISORDERED in estimate.degraded_reasons
+        assert estimate.confidence < 1.0
+
+    def test_bursty_loss_flags_gaps(self, capture):
+        faulted = FaultChain([BurstyDrop(0.35, burst_s=2.0)], seed=5).apply(
+            capture.reports)
+        estimate = TagBreathe(user_ids={1}).process(faulted)[1]
+        assert REASON_GAPS in estimate.degraded_reasons
+        assert estimate.confidence < 1.0
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.2)
+
+    def test_tag_death_demotes_stream(self, capture):
+        faulted = FaultChain([TagDeath(0.6, num_victims=1)], seed=2).apply(
+            capture.reports)
+        estimate = TagBreathe(user_ids={1}).process(faulted)[1]
+        assert REASON_TAG_DEATH in estimate.degraded_reasons
+        assert estimate.tags_fused == 2  # the dead tag is out of the fusion
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+    def test_warning_below_confidence_threshold(self, capture):
+        chain = FaultChain([BurstyDrop(0.35, burst_s=2.0),
+                            TagDeath(0.6, num_victims=1)], seed=5)
+        faulted = chain.apply(capture.reports)
+        with pytest.warns(DegradedEstimateWarning):
+            TagBreathe(user_ids={1}).process(faulted)
+
+    def test_custom_robustness_config(self, capture):
+        rb = RobustnessConfig(outlier_rejection=False, gap_warn_s=100.0,
+                              stale_stream_s=100.0)
+        pipeline = TagBreathe(user_ids={1}, robustness=rb)
+        assert pipeline.robustness.gap_warn_s == 100.0
+        faulted = FaultChain([BurstyDrop(0.3, burst_s=2.0)], seed=5).apply(
+            capture.reports)
+        estimate = pipeline.process(faulted)[1]
+        # Thresholds too loose to trip: the estimate is not flagged.
+        assert REASON_GAPS not in estimate.degraded_reasons
+
+
+class TestFeedTolerance:
+    def test_single_report_is_insufficient_data_not_a_crash(self, capture):
+        # One read cannot form a displacement sample; both entry points
+        # must surface that as the documented insufficient-data failure,
+        # not leak EmptyStreamError from the fusion internals.
+        estimates, failures = TagBreathe(user_ids={1}).process_detailed(
+            capture.reports[:1])
+        assert estimates == {}
+        assert 1 in failures
+        pipeline = TagBreathe(user_ids={1})
+        assert pipeline.feed(capture.reports[0]) is True
+        with pytest.raises(InsufficientDataError):
+            pipeline.estimate_user(1)
+
+    def test_counts_duplicate_and_late(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        assert pipeline.feed_many(capture.reports) == len(capture.reports)
+        assert pipeline.feed(capture.reports[-1]) is False  # same timestamp
+        assert pipeline.feed(capture.reports[0]) is False   # older
+        counts = pipeline.feed_drop_counts
+        assert counts["duplicate"] == 1
+        assert counts["late"] == 1
+        assert pipeline.dropped_report_count == 2
+        estimate = pipeline.estimate_user(1, window_s=40.0)
+        assert estimate.rate_bpm == pytest.approx(12.0, rel=0.1)
+
+    def test_counts_invalid_channel(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        bad = replace(capture.reports[0], channel_index=499)
+        assert pipeline.feed(bad) is False
+        assert pipeline.feed_drop_counts["invalid_channel"] == 1
+
+    def test_reversed_stream_never_raises(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        buffered = pipeline.feed_many(reversed(capture.reports))
+        assert buffered + pipeline.dropped_report_count == len(capture.reports)
+
+    def test_unmonitored_user_not_counted(self, capture):
+        pipeline = TagBreathe(user_ids={99})
+        assert pipeline.feed(capture.reports[0]) is False
+        assert pipeline.dropped_report_count == 0
+
+    def test_reset_clears_counters(self, capture):
+        pipeline = TagBreathe(user_ids={1})
+        pipeline.feed_many(capture.reports)
+        pipeline.feed(capture.reports[0])
+        pipeline.reset_streaming()
+        assert pipeline.dropped_report_count == 0

@@ -7,7 +7,6 @@ from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
 from repro.body import (
     ADULT,
     CHILD,
-    ELDERLY,
     NEWBORN,
     PROFILES,
     DemographicProfile,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.preprocess import (
-    DEFAULT_MAX_GAP_S,
+    hampel_filter,
     DeltaChain,
     default_frequencies,
     displacement_deltas,
@@ -19,6 +19,7 @@ from repro.epc import EPC96
 from repro.errors import StreamError
 from repro.reader import TagReport
 from repro.rf.phase import backscatter_phase
+from repro.streams import TimeSeries
 from repro.units import SPEED_OF_LIGHT
 
 
@@ -251,3 +252,45 @@ class TestDisplacementSamples:
     def test_validation(self):
         with pytest.raises(StreamError):
             displacement_samples([make_report(0.0, 1.0)], FREQS, min_segment_len=0)
+
+
+class TestHampelFilter:
+    def make_smooth(self, n=100):
+        times = np.arange(n) * 0.05
+        values = 0.005 * np.sin(2 * np.pi * 0.2 * times)
+        return TimeSeries(times, values)
+
+    def test_clean_series_passes_bit_identical(self):
+        series = self.make_smooth()
+        filtered, n_rejected = hampel_filter(series)
+        assert n_rejected == 0
+        assert filtered is series
+
+    def test_rejects_injected_spike(self):
+        series = self.make_smooth()
+        values = series.values.copy()
+        values[40] += 0.08  # a pi-flip-scale (lambda/4) jump
+        spiked = TimeSeries(series.times, values)
+        filtered, n_rejected = hampel_filter(spiked)
+        assert n_rejected == 1
+        assert len(filtered) == len(series) - 1
+        assert series.times[40] not in filtered.times
+
+    def test_constant_series_never_flags(self):
+        series = TimeSeries(np.arange(50) * 0.1, np.full(50, 0.003))
+        filtered, n_rejected = hampel_filter(series)
+        assert n_rejected == 0
+        assert filtered is series
+
+    def test_short_series_unchanged(self):
+        series = TimeSeries([0.0, 0.1, 0.2], [1.0, 2.0, 3.0])
+        filtered, n_rejected = hampel_filter(series, window=3)
+        assert n_rejected == 0
+        assert filtered is series
+
+    def test_validation(self):
+        series = self.make_smooth()
+        with pytest.raises(StreamError):
+            hampel_filter(series, window=0)
+        with pytest.raises(StreamError):
+            hampel_filter(series, n_sigmas=0.0)

@@ -6,7 +6,6 @@ interaction of distance with read success.
 """
 
 import numpy as np
-import pytest
 
 from repro import Reader, Scenario
 from repro.body import MetronomeBreathing, Subject

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
+from repro import Scenario, TagBreathe, breathing_rate_accuracy
 from repro.body import MetronomeBreathing, Subject
 from repro.config import ReaderConfig
 from repro.errors import ConfigError
-from repro.reader import HopSchedule
 from repro.rf import REGULATIONS, RegionalRegulation, regulation
-from repro.rf.regional import CHINA, ETSI, FCC, HONG_KONG, JAPAN
+from repro.rf.regional import ETSI, FCC, HONG_KONG, JAPAN
 
 
 class TestRegulationCatalog:

@@ -11,7 +11,7 @@ from repro.metrics import (
     detect_apneas,
     detect_breath_cycles,
 )
-from repro.metrics.respiratory import Apnea, BreathCycle
+from repro.metrics.respiratory import Apnea
 from repro.streams import TimeSeries
 
 

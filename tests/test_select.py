@@ -1,11 +1,10 @@
 """Tests for the Gen2 Select command and MAC-level filtering."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Scenario, TagBreathe, breathing_rate_accuracy, run_scenario
-from repro.body import MetronomeBreathing, Subject
+from repro.body import MetronomeBreathing
 from repro.epc import (
     EPC96,
     SelectCommand,

@@ -6,7 +6,7 @@ import pytest
 from repro.body import MetronomeBreathing, Subject
 from repro.errors import ScenarioError
 from repro.reader import Antenna
-from repro.sim import ContendingTag, GroundTruth, Scenario, run_scenario
+from repro.sim import GroundTruth, Scenario, run_scenario
 from repro.epc import EPC96
 
 

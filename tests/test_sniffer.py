@@ -51,6 +51,61 @@ class TestFrameClassification:
         assert classify_tag_frame(bytes(reply)).kind == "unknown"
 
 
+class TestGarbledFrames:
+    """A sniffer must classify, never crash, on corrupted air frames."""
+
+    @pytest.mark.parametrize("bits", [
+        "",                       # empty frame
+        "1",                      # single bit
+        "10" * 50,                # overlong garbage
+        "1000" + "2" * 18,        # query-length but non-binary payload
+        "00" + "xy",              # query_rep-length with garbage tail
+        "1001" + "abcde",         # query_adjust-length garbage
+        "01" + "z" * 16,          # ack-length garbage
+    ])
+    def test_garbled_reader_frames_are_unknown(self, bits):
+        frame = classify_reader_frame(bits)
+        assert frame.kind == "unknown"
+        assert frame.fields["bits"] == bits
+
+    def test_truncated_query_is_unknown(self):
+        bits = QueryCommand(q=6, session=2).encode()
+        assert classify_reader_frame(bits[:-3]).kind == "unknown"
+
+    @pytest.mark.parametrize("payload", [
+        b"",                       # empty
+        b"\x01",                   # 1 byte: neither RN16 nor reply
+        b"\x00" * 7,               # mid-length garbage
+        bytes(range(100)),         # overlong garbage
+    ])
+    def test_garbled_tag_frames_are_unknown(self, payload):
+        frame = classify_tag_frame(payload)
+        assert frame.kind == "unknown"
+        assert frame.fields["bytes"] == payload
+
+    def test_sniffer_survives_garbled_session(self):
+        """Garbled frames interleaved with a good round: the good reads
+        still count, the garbage is tallied as unknown."""
+        sniffer = ProtocolSniffer()
+        sniffer.feed_reader_frame("11111")
+        sniffer.feed_tag_frame(b"\x00" * 5)
+        builder = TranscriptBuilder(rng=np.random.default_rng(3))
+        sniffer.feed_transcript(
+            builder.build_round(1, [("read", EPC96.from_user_tag(2, 1))])
+        )
+        sniffer.feed_reader_frame("")
+        report = sniffer.report
+        assert report.rounds == 1
+        assert report.identified == [EPC96.from_user_tag(2, 1)]
+        assert report.frame_counts["unknown"] == 3
+        assert "unknown=3" in report.summary()
+
+    def test_all_zero_ack_length_frame_decodes_or_unknown(self):
+        # 18 zero bits: right length for an ack but wrong prefix ("01").
+        frame = classify_reader_frame("0" * 18)
+        assert frame.kind == "unknown"
+
+
 class TestSnifferSession:
     def test_transcript_roundtrip(self):
         """Frames built by TranscriptBuilder decode back losslessly."""

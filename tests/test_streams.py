@@ -228,6 +228,54 @@ class TestRingBuffer:
         if n:
             assert snap.times[-1] == float(n - 1)
 
+    def test_eviction_at_exact_capacity(self):
+        """Wrap-around with an exactly-full buffer: the next append must
+        evict precisely the oldest sample and keep snapshot order."""
+        rb = RingBuffer(4)
+        for i in range(4):
+            rb.append(float(i), float(i * 10))
+        assert rb.full and len(rb) == 4
+        rb.append(4.0, 40.0)  # first eviction: head wraps to slot 1
+        assert rb.full and len(rb) == 4
+        snap = rb.snapshot()
+        assert list(snap.times) == [1.0, 2.0, 3.0, 4.0]
+        assert list(snap.values) == [10.0, 20.0, 30.0, 40.0]
+
+    def test_eviction_full_wraparound_cycle(self):
+        """Appending capacity more samples into a full buffer replaces
+        every slot; the snapshot stays sorted across the wrap point."""
+        rb = RingBuffer(3)
+        for i in range(3):
+            rb.append(float(i), float(i))
+        for i in range(3, 6):
+            rb.append(float(i), float(i))
+        snap = rb.snapshot()
+        assert list(snap.times) == [3.0, 4.0, 5.0]
+        assert rb.last_time() == 5.0
+
+    def test_capacity_one_always_newest(self):
+        rb = RingBuffer(1)
+        for i in range(5):
+            rb.append(float(i), float(i))
+        assert len(rb) == 1
+        assert list(rb.snapshot().times) == [4.0]
+
+    def test_offer_drops_and_counts(self):
+        rb = RingBuffer(4)
+        assert rb.offer(1.0, 0.0) is True
+        assert rb.offer(1.0, 0.0) is False  # duplicate time
+        assert rb.offer(0.5, 0.0) is False  # late
+        assert rb.offer(2.0, 0.0) is True
+        assert rb.dropped == 2
+        assert len(rb) == 2
+
+    def test_clear_resets_dropped(self):
+        rb = RingBuffer(2)
+        rb.offer(1.0, 0.0)
+        rb.offer(0.5, 0.0)
+        rb.clear()
+        assert rb.dropped == 0
+
 
 class TestStreamBuffer:
     def test_append_and_window(self):
@@ -256,6 +304,15 @@ class TestStreamBuffer:
         sb.append(1.0, 0.0)
         with pytest.raises(NonMonotonicTimeError):
             sb.append(0.5, 0.0)
+
+    def test_offer_drops_and_counts(self):
+        sb = StreamBuffer()
+        assert sb.offer(1.0, 0.0) is True
+        assert sb.offer(1.0, 0.0) is False
+        assert sb.offer(0.5, 0.0) is False
+        assert sb.offer(2.0, 1.0) is True
+        assert sb.dropped == 2
+        assert len(sb) == 2
 
 
 class TestBinning:

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.rf import ConstellationSnapshot, TagChipModel
-from repro.units import TWO_PI, wrap_phase
+from repro.rf import TagChipModel
+from repro.units import TWO_PI
 
 
 class TestTagChipModel:

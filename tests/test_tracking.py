@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.tracking import (
-    BreathingRateTracker,
-    TrackedRate,
-    smooth_rate_series,
-)
+from repro.core.tracking import BreathingRateTracker, smooth_rate_series
 from repro.errors import ReproError
 from repro.streams import TimeSeries
 

@@ -7,7 +7,6 @@ from repro.epc import (
     EPC96,
     Gen2Config,
     QueryCommand,
-    RoundTranscript,
     TranscriptBuilder,
     airtime_of_successful_slot,
     decode_ack,

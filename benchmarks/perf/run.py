@@ -1,0 +1,19 @@
+"""Standalone entry point for the perf benchmark suite.
+
+Equivalent to ``python -m repro bench``; kept here so the perf harness is
+discoverable next to the figure benchmarks::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--quick]
+
+Writes ``BENCH_simulation.json`` and ``BENCH_pipeline.json`` to the
+repository root (the current directory).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,54 @@
+"""CI smoke test for the perf harness.
+
+Runs the abbreviated benchmark grid and checks the *harness* — schema,
+consistency between the two synthesis paths, JSON serialisability.  It
+deliberately asserts nothing about absolute times or speedup ratios:
+CI machines are noisy and shared, so performance regressions are judged
+from the uploaded ``BENCH_*.json`` artifacts, not pass/fail here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import QUICK_GRID, run_benchmarks
+
+
+@pytest.fixture(scope="module")
+def bench_results(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    results = run_benchmarks(quick=True, seed=0, out_dir=str(out))
+    return results, out
+
+
+def test_simulation_suite_schema(bench_results):
+    results, _out = bench_results
+    sim = results["simulation"]
+    assert sim["quick"] is True
+    assert len(sim["cases"]) == len(QUICK_GRID)
+    for case in sim["cases"]:
+        assert case["reports"] > 0
+        assert case["scalar"]["seconds"] > 0
+        assert case["vectorized"]["seconds"] > 0
+        assert case["speedup"] > 0
+    assert sim["headline"]["users"] == max(u for u, _ in QUICK_GRID)
+
+
+def test_pipeline_suite_schema(bench_results):
+    results, _out = bench_results
+    pipe = results["pipeline"]
+    assert len(pipe["cases"]) == len(QUICK_GRID)
+    for case in pipe["cases"]:
+        assert case["reports"] > 0
+        assert case["process_s"] > 0
+        assert case["users_estimated"] >= 1
+
+
+def test_bench_files_written_and_json_clean(bench_results):
+    _results, out = bench_results
+    for name in ("BENCH_simulation.json", "BENCH_pipeline.json"):
+        payload = json.loads((out / name).read_text())
+        assert payload["cases"]
+        assert payload["machine"]["cpus"] >= 1

@@ -1,0 +1,197 @@
+"""The perf-benchmark harness behind ``repro bench``.
+
+Times the end-to-end reproduction at paper scale — 1/5/15 users for the
+25 s characterisation and 120 s accuracy trial lengths — on both report
+synthesis paths (legacy scalar vs batched vectorized), then times the
+TagBreathe pipeline over the captured reports.  Results land in two
+JSON files at the output directory root:
+
+* ``BENCH_simulation.json`` — per-case wall-clock for scalar and
+  vectorized capture synthesis, with the speedup ratio measured in the
+  same run, same seed, same machine.
+* ``BENCH_pipeline.json`` — TagBreathe batch-processing throughput over
+  each capture (reports/s, users estimated).
+
+Both paths consume identical MAC randomness, so each case's scalar and
+vectorized timings cover the *same* read-event stream — the ratio is a
+pure synthesis-path comparison, not a workload difference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import perf
+from .body import MetronomeBreathing, Subject
+from .config import ReaderConfig
+from .core.pipeline import TagBreathe
+from .errors import DegradedEstimateWarning
+from .sim.engine import SimulationResult, run_scenario
+from .sim.scenario import Scenario
+
+#: (users, duration_s) grid of the full benchmark — the paper's trial
+#: lengths (25 s characterisation, 120 s accuracy) at growing population.
+FULL_GRID = [(1, 25.0), (1, 120.0), (5, 25.0), (5, 120.0),
+             (15, 25.0), (15, 120.0)]
+
+#: Abbreviated grid for CI smoke runs.  The paper's 25 s characterisation
+#: length is the shortest trial that reliably yields estimates for every
+#: user (the zero-crossing buffer needs ~3.5 breaths).
+QUICK_GRID = [(1, 25.0), (5, 25.0)]
+
+#: Contending item tags present in every benchmark scenario.
+CONTENDING_TAGS = 10
+
+
+def benchmark_scenario(users: int, seed: int = 0) -> Scenario:
+    """A deterministic multi-user scenario for benchmarking.
+
+    Users sit side by side at staggered distances with individual
+    metronome rates, plus a fixed population of contending item tags —
+    the busy-room shape of the paper's Fig. 13/14 experiments.
+    """
+    subjects = [
+        Subject(
+            user_id=uid,
+            distance_m=2.0 + 0.2 * (uid - 1),
+            lateral_offset_m=(uid - (users + 1) / 2) * 0.5,
+            breathing=MetronomeBreathing(8.0 + (uid % 5) * 2.0),
+            sway_seed=seed * 100 + uid,
+        )
+        for uid in range(1, users + 1)
+    ]
+    return Scenario(subjects).with_contending_tags(CONTENDING_TAGS, seed=seed)
+
+
+def _time_capture(scenario: Scenario, duration_s: float, seed: int,
+                  vectorized: bool) -> Dict:
+    """Run one capture and return (seconds, result) style timing info."""
+    perf.reset()
+    t0 = time.perf_counter()
+    result = run_scenario(
+        scenario, duration_s=duration_s, seed=seed,
+        reader_config=ReaderConfig(vectorized=vectorized),
+    )
+    elapsed = time.perf_counter() - t0
+    stages = perf.snapshot()["stages"]
+    return {
+        "seconds": elapsed,
+        "reports": len(result.reports),
+        "mac_s": stages.get("reader.mac", {}).get("seconds"),
+        "synthesize_s": stages.get("reader.synthesize", {}).get("seconds"),
+        "result": result,
+    }
+
+
+def run_simulation_benchmark(grid: List, seed: int = 0
+                             ) -> "tuple[Dict, Dict[tuple, SimulationResult]]":
+    """Time scalar vs vectorized capture synthesis over the grid.
+
+    Returns:
+        (summary dict, captured results keyed by (users, duration_s)) —
+        the captures feed :func:`run_pipeline_benchmark` so both suites
+        share one simulation pass.
+    """
+    cases = []
+    captures: Dict[tuple, SimulationResult] = {}
+    for users, duration_s in grid:
+        scenario = benchmark_scenario(users, seed=seed)
+        scalar = _time_capture(scenario, duration_s, seed, vectorized=False)
+        vector = _time_capture(scenario, duration_s, seed, vectorized=True)
+        captures[(users, duration_s)] = vector.pop("result")
+        scalar.pop("result")
+        speedup = (scalar["seconds"] / vector["seconds"]
+                   if vector["seconds"] > 0 else float("inf"))
+        cases.append({
+            "users": users,
+            "duration_s": duration_s,
+            "tags": scenario.total_tag_count(),
+            "reports": vector["reports"],
+            "scalar": {k: v for k, v in scalar.items() if k != "reports"},
+            "vectorized": {k: v for k, v in vector.items() if k != "reports"},
+            "speedup": speedup,
+        })
+    headline = max(cases, key=lambda c: (c["users"], c["duration_s"]))
+    summary = {
+        "suite": "simulation",
+        "machine": _machine_info(),
+        "seed": seed,
+        "cases": cases,
+        "headline": {
+            "users": headline["users"],
+            "duration_s": headline["duration_s"],
+            "speedup": headline["speedup"],
+        },
+    }
+    return summary, captures
+
+
+def run_pipeline_benchmark(captures: Dict[tuple, SimulationResult],
+                           seed: int = 0) -> Dict:
+    """Time TagBreathe batch processing over benchmark captures."""
+    cases = []
+    for (users, duration_s), result in sorted(captures.items()):
+        pipeline = TagBreathe(
+            user_ids=set(result.scenario.monitored_user_ids)
+        )
+        perf.reset()
+        t0 = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            estimates = pipeline.process(result.reports)
+        elapsed = time.perf_counter() - t0
+        counters = perf.snapshot()["counters"]
+        cases.append({
+            "users": users,
+            "duration_s": duration_s,
+            "reports": len(result.reports),
+            "process_s": elapsed,
+            "reports_per_s": (len(result.reports) / elapsed
+                              if elapsed > 0 else float("inf")),
+            "users_estimated": len(estimates),
+            "counters": counters,
+        })
+    return {
+        "suite": "pipeline",
+        "machine": _machine_info(),
+        "seed": seed,
+        "cases": cases,
+    }
+
+
+def _machine_info() -> Dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def run_benchmarks(quick: bool = False, seed: int = 0,
+                   out_dir: Optional[str] = None) -> Dict[str, Dict]:
+    """Run both suites; write ``BENCH_*.json`` when ``out_dir`` is given.
+
+    Returns:
+        ``{"simulation": ..., "pipeline": ...}`` summaries (also what the
+        JSON files contain).
+    """
+    grid = QUICK_GRID if quick else FULL_GRID
+    simulation, captures = run_simulation_benchmark(grid, seed=seed)
+    pipeline = run_pipeline_benchmark(captures, seed=seed)
+    simulation["quick"] = pipeline["quick"] = quick
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, payload in (("BENCH_simulation.json", simulation),
+                              ("BENCH_pipeline.json", pipeline)):
+            (out / name).write_text(json.dumps(payload, indent=2) + "\n")
+    return {"simulation": simulation, "pipeline": pipeline}

@@ -143,6 +143,16 @@ class Subject:
         else:
             self._breath_axis = self._facing
             self._breath_lateral = self._lateral
+        # Precomputed per-call invariants of tag_position_m: the combined
+        # breathing direction and each tag's static mounting point.  The
+        # arithmetic matches the per-call expressions exactly, so cached
+        # and uncached evaluation give bit-identical positions.
+        self._motion_axis = self._breath_axis + LATERAL_MOTION_SHARE * self._breath_lateral
+        self._base_by_tag: Dict[int, np.ndarray] = {
+            tag.tag_id: self.torso_reference_m()
+            + np.array([0.0, 0.0, tag.placement.height_offset_m])
+            for tag in self.tags
+        }
 
     # ------------------------------------------------------------------
     # Geometry
@@ -176,13 +186,27 @@ class Subject:
         shared postural sway.
         """
         tag = self.tag_by_id(tag_id)
-        base = self.torso_reference_m() + np.array(
-            [0.0, 0.0, tag.placement.height_offset_m]
-        )
+        base = self._base_by_tag[tag_id]
         breath = self.breathing.displacement(t) * tag.placement.motion_share
         sway = self._sway.displacement(t)
-        motion = breath * (self._breath_axis + LATERAL_MOTION_SHARE * self._breath_lateral)
+        motion = breath * self._motion_axis
         return base + motion + sway * self._facing
+
+    def tag_position_m_array(self, tag_id: int, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`tag_position_m`: ``(len(times), 3)`` positions.
+
+        One waveform/sway evaluation over the whole time vector instead of
+        a Python call per instant — the trajectory fast path the batched
+        reader synthesis rides on.
+        """
+        tag = self.tag_by_id(tag_id)
+        times = np.asarray(times, dtype=float)
+        base = self._base_by_tag[tag_id]
+        breath = self.breathing.displacement_array(times) * tag.placement.motion_share
+        sway = self._sway.displacement_array(times)
+        return (base
+                + np.outer(breath, self._motion_axis)
+                + np.outer(sway, self._facing))
 
     # ------------------------------------------------------------------
     # Situational RF loss

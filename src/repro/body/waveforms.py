@@ -129,6 +129,16 @@ class AsymmetricBreathing(BreathingWaveform):
         x = (u - self._frac) / (1.0 - self._frac)  # exhaling: amplitude -> 0
         return self._amp * 0.5 * (1.0 + math.cos(math.pi * x))
 
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        u = (np.asarray(times, dtype=float) % self._period) / self._period
+        x_in = u / self._frac
+        x_out = (u - self._frac) / (1.0 - self._frac)
+        return np.where(
+            u < self._frac,
+            self._amp * 0.5 * (1.0 - np.cos(np.pi * x_in)),
+            self._amp * 0.5 * (1.0 + np.cos(np.pi * x_out)),
+        )
+
     def true_rate_bpm(self, t_start: float, t_end: float) -> float:
         return self._rate_bpm
 
@@ -201,6 +211,19 @@ class IrregularBreathing(BreathingWaveform):
             return 0.0
         return self._amp * 0.5 * (1.0 - math.cos(TWO_PI * u / duration))
 
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        if times.size and (times.min() < 0 or times.max() > self._horizon):
+            raise BodyModelError(
+                f"times outside schedule horizon [0, {self._horizon}]"
+            )
+        idx = np.maximum(0, np.searchsorted(self._starts, times, side="right") - 1)
+        starts = self._starts[idx]
+        durations = np.array([self._cycles[i][1] for i in idx])
+        u = times - starts
+        disp = self._amp * 0.5 * (1.0 - np.cos(TWO_PI * u / durations))
+        return np.where(u >= durations, 0.0, disp)
+
     def true_rate_bpm(self, t_start: float, t_end: float) -> float:
         """Cycles completed per minute within the window.
 
@@ -258,6 +281,13 @@ class MetronomeBreathing(AsymmetricBreathing):
             1.0 - math.cos(TWO_PI * self._wander_hz * t)
         )
         return super().displacement(warp)
+
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        warp = times + self._jitter / (TWO_PI * self._wander_hz) * (
+            1.0 - np.cos(TWO_PI * self._wander_hz * times)
+        )
+        return super().displacement_array(warp)
 
     def true_rate_bpm(self, t_start: float, t_end: float) -> float:
         # The wander integrates to (almost) zero over a window; ground

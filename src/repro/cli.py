@@ -8,6 +8,8 @@ Four workflows a user reaches for before writing any code:
 * ``regions``   — list the built-in regulatory channel plans.
 * ``faults``    — inject delivery faults into a capture and compare the
   degraded estimates (confidence, reasons) against the clean run.
+* ``bench``     — run the perf-benchmark suite (scalar vs vectorized
+  synthesis, pipeline throughput) and write ``BENCH_*.json``.
 """
 
 from __future__ import annotations
@@ -69,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(faults)
 
     sub.add_parser("regions", help="list regulatory channel plans")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time scalar vs vectorized synthesis and pipeline throughput")
+    bench.add_argument("--quick", action="store_true",
+                       help="abbreviated grid for CI smoke runs")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_*.json (default: cwd); "
+                            "'-' skips writing")
+    bench.add_argument("--seed", type=int, default=0, help="master seed")
     return parser
 
 
@@ -215,6 +227,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ]
         print(render_table(
             ["region", "band", "channels", "mode", "max EIRP"], rows))
+        return 0
+
+    if args.command == "bench":
+        from .bench import run_benchmarks
+        out_dir = None if args.out_dir == "-" else args.out_dir
+        grid_name = "quick" if args.quick else "full"
+        print(f"running {grid_name} perf benchmark grid "
+              f"(seed {args.seed})...")
+        results = run_benchmarks(quick=args.quick, seed=args.seed,
+                                 out_dir=out_dir)
+        rows = [
+            [c["users"], f"{c['duration_s']:.0f} s", c["reports"],
+             f"{c['scalar']['seconds']:.2f} s",
+             f"{c['vectorized']['seconds']:.2f} s",
+             f"{c['speedup']:.1f}x"]
+            for c in results["simulation"]["cases"]
+        ]
+        print(render_table(
+            ["users", "trial", "reports", "scalar", "vectorized", "speedup"],
+            rows))
+        pipe_rows = [
+            [c["users"], f"{c['duration_s']:.0f} s", c["reports"],
+             f"{c['process_s']:.2f} s", f"{c['reports_per_s']:.0f}/s"]
+            for c in results["pipeline"]["cases"]
+        ]
+        print(render_table(
+            ["users", "trial", "reports", "process", "throughput"],
+            pipe_rows))
+        if out_dir is not None:
+            print(f"wrote BENCH_simulation.json and BENCH_pipeline.json "
+                  f"to {out_dir}")
         return 0
 
     if args.command == "analyze":

@@ -24,6 +24,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import perf
 from ..config import PipelineConfig, RobustnessConfig
 from ..errors import (
     DegradedEstimateWarning,
@@ -263,17 +264,21 @@ class TagBreathe:
         self, reports: Iterable[TagReport]
     ) -> Tuple[Dict[int, UserEstimate], Dict[int, str]]:
         """Like :meth:`process`, also returning per-user failure reasons."""
-        by_user = group_reports_by_user(reports, user_ids=self._user_ids)
-        estimates: Dict[int, UserEstimate] = {}
-        failures: Dict[int, str] = {}
-        for user_id, user_reports in sorted(by_user.items()):
-            try:
-                estimates[user_id] = self._process_user(user_id, user_reports)
-            except InsufficientDataError as exc:
-                failures[user_id] = str(exc)
-        if self._user_ids is not None:
-            for user_id in self._user_ids - set(by_user):
-                failures[user_id] = "no reads received (tag unreadable?)"
+        with perf.stage("pipeline.process"):
+            by_user = group_reports_by_user(reports, user_ids=self._user_ids)
+            perf.count("pipeline.reports_processed",
+                       sum(len(v) for v in by_user.values()))
+            estimates: Dict[int, UserEstimate] = {}
+            failures: Dict[int, str] = {}
+            for user_id, user_reports in sorted(by_user.items()):
+                try:
+                    estimates[user_id] = self._process_user(user_id, user_reports)
+                except InsufficientDataError as exc:
+                    failures[user_id] = str(exc)
+            if self._user_ids is not None:
+                for user_id in self._user_ids - set(by_user):
+                    failures[user_id] = "no reads received (tag unreadable?)"
+            perf.count("pipeline.users_estimated", len(estimates))
         return estimates, failures
 
     def fused_track(self, user_id: int,

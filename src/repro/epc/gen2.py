@@ -180,8 +180,13 @@ class Gen2Inventory:
         t = t_start + cfg.t_round_overhead_s
 
         active = [k for k in self._tags if self._energized(k, t_start)]
+        # One batched draw for the whole population.  For a power-of-two
+        # upper bound (n_slots = 2**q always is) the generator's masked
+        # rejection never rejects, so the batch is bit-identical to the
+        # per-tag draws it replaces — seeded captures are unchanged.
+        slots = self._rng.integers(0, n_slots, size=len(active))
         slot_of: Dict[Hashable, int] = {
-            k: int(self._rng.integers(0, n_slots)) for k in active
+            k: int(s) for k, s in zip(active, slots)
         }
         occupancy: Dict[int, List[Hashable]] = {}
         for key, slot in slot_of.items():

@@ -1,0 +1,104 @@
+"""Lightweight performance instrumentation for the simulator and pipeline.
+
+No analogue in the paper — this is engineering substrate.  A
+:class:`PerfRecorder` accumulates wall-clock time per named stage
+(context-manager timers) and named event counters, so a benchmark or a
+``--perf`` CLI run can report where time went and at what throughput
+(e.g. reads synthesized per second) without profiler overhead.
+
+The module keeps one process-global recorder that the reader and the
+TagBreathe pipeline feed by default; :func:`reset` starts a fresh
+measurement window.  Instrumentation is a few dict updates per *stage*
+(not per read), so it stays on permanently.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PerfRecorder:
+    """Accumulates per-stage wall-clock time and named counters.
+
+    Attributes:
+        stage_s: total seconds spent inside each named stage.
+        stage_calls: number of times each stage ran.
+        counters: named event tallies (reads synthesized, reports fused...).
+    """
+
+    def __init__(self) -> None:
+        self.stage_s: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a stage: ``with recorder.stage("reader.mac"): ...``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.stage_s[name] = self.stage_s.get(name, 0.0) + elapsed
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a named counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def rate_hz(self, counter: str, stage: str) -> float:
+        """Counter events per second of stage time (0.0 when unmeasured)."""
+        elapsed = self.stage_s.get(stage, 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return self.counters.get(counter, 0) / elapsed
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of everything recorded so far."""
+        return {
+            "stages": {
+                name: {
+                    "seconds": self.stage_s[name],
+                    "calls": self.stage_calls.get(name, 0),
+                }
+                for name in sorted(self.stage_s)
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded stages and counters."""
+        self.stage_s.clear()
+        self.stage_calls.clear()
+        self.counters.clear()
+
+
+#: The process-global recorder the reader and pipeline feed by default.
+_GLOBAL = PerfRecorder()
+
+
+def get_recorder() -> PerfRecorder:
+    """The process-global recorder."""
+    return _GLOBAL
+
+
+def stage(name: str):
+    """Time a stage on the global recorder (context manager)."""
+    return _GLOBAL.stage(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add to a counter on the global recorder."""
+    _GLOBAL.count(name, n)
+
+
+def snapshot() -> dict:
+    """Snapshot the global recorder."""
+    return _GLOBAL.snapshot()
+
+
+def reset() -> None:
+    """Reset the global recorder (start a fresh measurement window)."""
+    _GLOBAL.reset()

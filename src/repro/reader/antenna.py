@@ -10,6 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -80,6 +81,62 @@ class Antenna:
         """Euclidean distance [m] from the antenna to ``point_m``."""
         return float(np.linalg.norm(_as_vec(point_m) - _as_vec(self.position_m)))
 
+    # ------------------------------------------------------------------
+    # Cached geometry + vectorised pattern evaluation.  cached_property
+    # writes straight into the instance __dict__, which sidesteps the
+    # frozen-dataclass __setattr__ guard, so these are safe on Antenna.
+    # ------------------------------------------------------------------
+    @cached_property
+    def _position_vec(self) -> np.ndarray:
+        return _as_vec(self.position_m)
+
+    @cached_property
+    def _boresight_vec(self) -> np.ndarray:
+        return _as_vec(self.boresight)
+
+    @cached_property
+    def _boresight_norm(self) -> float:
+        return float(np.linalg.norm(self._boresight_vec))
+
+    @cached_property
+    def _rolloff_exponent(self) -> float:
+        half_bw = np.radians(self.beamwidth_deg / 2.0)
+        return float(np.log(0.5) / np.log(np.cos(half_bw) ** 2))
+
+    def distances_to(self, points_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_to` over an ``(n, 3)`` point array."""
+        deltas = np.asarray(points_m, dtype=float) - self._position_vec
+        return np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+
+    def gain_dbi_toward_array(self, points_m: np.ndarray,
+                              distances_m: np.ndarray = None) -> np.ndarray:
+        """Vectorised :meth:`gain_dbi_toward` over an ``(n, 3)`` point array.
+
+        Args:
+            points_m: target points, one row per query.
+            distances_m: precomputed :meth:`distances_to` result, to avoid
+                recomputing when the caller already has it.
+        """
+        points = np.asarray(points_m, dtype=float)
+        directions = points - self._position_vec
+        if distances_m is None:
+            distances_m = np.sqrt(np.einsum("ij,ij->i", directions, directions))
+        dist = np.asarray(distances_m, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_angle = (directions @ self._boresight_vec) / (
+                dist * self._boresight_norm
+            )
+        cos_angle = np.clip(np.nan_to_num(cos_angle, nan=1.0), -1.0, 1.0)
+        front = cos_angle > 0.0
+        # Back lobe / coincident points get the flat values; the cos^k
+        # rolloff only ever sees strictly positive cosines.
+        safe_cos = np.where(front, cos_angle, 1.0)
+        with np.errstate(divide="ignore"):
+            rolloff_db = 10.0 * self._rolloff_exponent * np.log10(safe_cos ** 2)
+        gains = self.peak_gain_dbi + np.maximum(rolloff_db, -20.0)
+        gains = np.where(front, gains, self.peak_gain_dbi - 20.0)
+        return np.where(dist == 0.0, self.peak_gain_dbi, gains)
+
 
 class RoundRobinScheduler:
     """Round-robin antenna activation, one antenna powered at a time.
@@ -125,6 +182,21 @@ class RoundRobinScheduler:
             raise AntennaError("schedule time must be >= 0")
         slot = int(t / self._period)
         return self._antennas[slot % len(self._antennas)]
+
+    def antenna_indices_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`active_at`, returning activation-order indices.
+
+        Indices address :attr:`antennas`; callers that need the Antenna
+        objects gather them once per distinct index instead of calling
+        :meth:`active_at` per read.
+
+        Raises:
+            AntennaError: for negative times.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size and times.min() < 0:
+            raise AntennaError("schedule time must be >= 0")
+        return (times / self._period).astype(int) % len(self._antennas)
 
     def duty_cycle(self) -> float:
         """Fraction of time each antenna is powered (1/N round-robin)."""

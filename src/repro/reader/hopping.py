@@ -77,6 +77,25 @@ class HopSchedule:
         """Active :class:`Channel` at time ``t``."""
         return self._plan[self.channel_index_at(t)]
 
+    def channel_indices_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`channel_index_at` over a time vector.
+
+        Materialises the hop sequence once up to the latest hop, then
+        answers every lookup with one fancy-index — same values as the
+        scalar method, without a Python call per read.
+
+        Raises:
+            ConfigError: for negative times.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return np.zeros(0, dtype=int)
+        if times.min() < 0:
+            raise ConfigError("schedule time must be >= 0")
+        hops = (times / self._dwell).astype(int)
+        self._extend_to(int(hops.max()))
+        return np.asarray(self._sequence, dtype=int)[hops]
+
     def hop_boundaries(self, t_start: float, t_end: float) -> List[float]:
         """Hop instants within ``(t_start, t_end)``.
 

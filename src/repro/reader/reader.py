@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from .. import perf
 from ..config import ReaderConfig
 from ..epc.codec import EPC96
 from ..epc.gen2 import Gen2Config, Gen2Inventory
@@ -143,6 +144,14 @@ class Reader:
     #: Per-read RSSI jitter sigma [dB] before 0.5 dB quantisation.
     RSSI_JITTER_DB = 0.15
 
+    #: Sigma [dB] of the static per-(tag, antenna, channel) fading level in
+    #: *reported* RSSI.  Zero disables the draw entirely, which keeps
+    #: RNG-free configurations RNG-free on both synthesis paths.
+    RSSI_FADE_SIGMA_DB = 2.0
+
+    #: Half-width [s] of the central difference behind Doppler velocity.
+    VELOCITY_EPS_S = 0.01
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -199,9 +208,16 @@ class Reader:
             keys = [k for k in keys if select.matches(env.epc(k))]
             if not keys:
                 return []
+        if self._config.vectorized:
+            return self._run_vectorized(env, keys, duration_s, t_start)
+        return self._run_scalar(env, keys, duration_s, t_start)
 
-        def total_extra_loss(key: Hashable, t: float, antenna: Antenna) -> float:
-            pos = env.position_m(key, t)
+    def _run_scalar(self, env: TagEnvironment, keys: List[Hashable],
+                    duration_s: float, t_start: float) -> List[TagReport]:
+        """The legacy per-read path: one physics evaluation per probe/read."""
+
+        def situational_and_pattern(key: Hashable, t: float, antenna: Antenna,
+                                    pos: np.ndarray) -> float:
             situational = env.extra_loss_db(key, t, antenna)
             if math.isinf(situational):
                 return math.inf
@@ -210,15 +226,18 @@ class Reader:
 
         def energized(key: Hashable, t: float) -> bool:
             antenna = self._scheduler.active_at(t)
-            return not math.isinf(total_extra_loss(key, t, antenna))
+            pos = env.position_m(key, t)
+            return not math.isinf(situational_and_pattern(key, t, antenna, pos))
 
         def link_ok(key: Hashable, t: float) -> bool:
             antenna = self._scheduler.active_at(t)
-            loss = total_extra_loss(key, t, antenna)
+            # One position evaluation threaded through loss *and* distance.
+            pos = env.position_m(key, t)
+            loss = situational_and_pattern(key, t, antenna, pos)
             if math.isinf(loss):
                 return False
             channel = self._hops.channel_at(t)
-            distance = antenna.distance_to(env.position_m(key, t))
+            distance = antenna.distance_to(pos)
             rssi = self._budget.sample_read(
                 distance, channel.frequency_hz, self._rng, extra_loss_db=loss
             )
@@ -228,11 +247,85 @@ class Reader:
             keys, config=self._gen2_config, rng=self._rng,
             link_ok=link_ok, energized=energized,
         )
-        events = inventory.run_for(duration_s, t_start=t_start)
+        with perf.stage("reader.mac"):
+            events = inventory.run_for(duration_s, t_start=t_start)
 
-        reports = [
-            self._build_report(env, key, t_read) for t_read, key in events
-        ]
+        with perf.stage("reader.synthesize"):
+            reports = [
+                self._build_report(env, key, t_read) for t_read, key in events
+            ]
+        perf.count("reader.reads_synthesized", len(reports))
+        reports.sort(key=lambda r: r.timestamp_s)
+        return reports
+
+    def _run_vectorized(self, env: TagEnvironment, keys: List[Hashable],
+                        duration_s: float, t_start: float) -> List[TagReport]:
+        """The batched path: cheap MAC probes + per-tag report synthesis.
+
+        The MAC arbitration consumes the *same* RNG draws as the scalar
+        path (only `sample_read` draws there, with identical arguments), so
+        both paths produce the same read-event stream for a given seed.
+        Report synthesis then runs in per-tag batches; see DESIGN.md,
+        "Performance architecture", for the determinism contract.
+
+        Raises:
+            ReaderError: on a negative start time.
+        """
+        if t_start < 0:
+            raise ReaderError("t_start must be >= 0")
+        antennas = self._scheduler.antennas
+        n_ant = len(antennas)
+        period = self._scheduler.switch_period_s
+
+        # Situational loss is often time-invariant (declared through the
+        # optional situational_loss_db_static protocol method); memoising
+        # it turns the energized probe — the single hottest call of the
+        # scalar path — into a dict lookup.  The antenna-pattern term is
+        # always finite, so `energized` reduces to `situational < inf`.
+        static_getter = getattr(env, "situational_loss_db_static", None)
+        static_loss: Dict[Tuple[Hashable, int], Optional[float]] = {}
+        for key in keys:
+            for ai, antenna in enumerate(antennas):
+                value = (static_getter(key, antenna)
+                         if static_getter is not None else None)
+                static_loss[(key, ai)] = value
+
+        def energized(key: Hashable, t: float) -> bool:
+            ai = int(t / period) % n_ant
+            situational = static_loss[(key, ai)]
+            if situational is None:
+                situational = env.extra_loss_db(key, t, antennas[ai])
+            return not math.isinf(situational)
+
+        def link_ok(key: Hashable, t: float) -> bool:
+            ai = int(t / period) % n_ant
+            antenna = antennas[ai]
+            situational = static_loss[(key, ai)]
+            if situational is None:
+                situational = env.extra_loss_db(key, t, antenna)
+            if math.isinf(situational):
+                return False
+            pos = env.position_m(key, t)
+            loss = situational + (
+                antenna.peak_gain_dbi - antenna.gain_dbi_toward(pos)
+            )
+            channel = self._hops.channel_at(t)
+            distance = antenna.distance_to(pos)
+            rssi = self._budget.sample_read(
+                distance, channel.frequency_hz, self._rng, extra_loss_db=loss
+            )
+            return rssi is not None
+
+        inventory = Gen2Inventory(
+            keys, config=self._gen2_config, rng=self._rng,
+            link_ok=link_ok, energized=energized,
+        )
+        with perf.stage("reader.mac"):
+            events = inventory.run_for(duration_s, t_start=t_start)
+
+        with perf.stage("reader.synthesize"):
+            reports = self._build_reports_batched(env, events)
+        perf.count("reader.reads_synthesized", len(reports))
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
 
@@ -248,12 +341,22 @@ class Reader:
         return model
 
     def _radial_velocity(self, env: TagEnvironment, key: Hashable,
-                         antenna: Antenna, t: float, eps: float = 0.01) -> float:
-        """Radial velocity toward/away from the antenna by central difference."""
+                         antenna: Antenna, t: float,
+                         eps: Optional[float] = None) -> float:
+        """Radial velocity toward/away from the antenna by central difference.
+
+        The difference window is clamped into non-negative time while
+        keeping its full ``2 * eps`` width, so estimates near ``t = 0`` use
+        the same symmetric quotient as everywhere else instead of a
+        shrunken, asymmetric one.
+        """
+        if eps is None:
+            eps = self.VELOCITY_EPS_S
         t_lo = max(0.0, t - eps)
+        t_hi = t_lo + 2.0 * eps
         d_lo = antenna.distance_to(env.position_m(key, t_lo))
-        d_hi = antenna.distance_to(env.position_m(key, t + eps))
-        return (d_hi - d_lo) / (t + eps - t_lo)
+        d_hi = antenna.distance_to(env.position_m(key, t_hi))
+        return (d_hi - d_lo) / (2.0 * eps)
 
     def _reported_rssi(self, key: Hashable, antenna: Antenna, channel,
                        distance: float, loss_db: float) -> float:
@@ -263,23 +366,43 @@ class Reader:
         standing-wave ripple that moves with the tag's displacement (the
         source of Fig. 2's breathing oscillation) + small per-read jitter.
         """
-        link = (key, antenna.port, channel.index)
-        fade = self._static_fades.get(link)
-        if fade is None:
-            fade = float(self._rng.normal(0.0, 2.0))
-            self._static_fades[link] = fade
-        ripple_phase = self._ripple_phases.get(link)
-        if ripple_phase is None:
-            ripple_phase = float(self._rng.uniform(0.0, 2.0 * math.pi))
-            self._ripple_phases[link] = ripple_phase
+        fade, ripple_phase = self._rssi_link_state(key, antenna.port, channel.index)
         base = self._budget.rx_power_dbm(
             distance, channel.frequency_hz, extra_loss_db=loss_db
         )
         ripple = self.RSSI_RIPPLE_DB * math.sin(
             4.0 * math.pi * distance / channel.wavelength_m + ripple_phase
         )
-        jitter = float(self._rng.normal(0.0, self.RSSI_JITTER_DB))
+        if self.RSSI_JITTER_DB == 0.0:
+            jitter = 0.0
+        else:
+            jitter = float(self._rng.normal(0.0, self.RSSI_JITTER_DB))
         return base + fade + ripple + jitter
+
+    def _rssi_link_state(self, key: Hashable, port: int,
+                         channel_index: int) -> Tuple[float, float]:
+        """The (fade, ripple phase) pair for one RSSI link, drawn lazily.
+
+        Zero-amplitude fades/ripples short-circuit without consuming
+        randomness, so RNG-free configurations stay RNG-free — the
+        precondition for exact scalar-vs-vectorized equivalence.
+        """
+        link = (key, port, channel_index)
+        fade = self._static_fades.get(link)
+        if fade is None:
+            if self.RSSI_FADE_SIGMA_DB == 0.0:
+                fade = 0.0
+            else:
+                fade = float(self._rng.normal(0.0, self.RSSI_FADE_SIGMA_DB))
+            self._static_fades[link] = fade
+        ripple_phase = self._ripple_phases.get(link)
+        if ripple_phase is None:
+            if self.RSSI_RIPPLE_DB == 0.0:
+                ripple_phase = 0.0
+            else:
+                ripple_phase = float(self._rng.uniform(0.0, 2.0 * math.pi))
+            self._ripple_phases[link] = ripple_phase
+        return fade, ripple_phase
 
     def _build_report(self, env: TagEnvironment, key: Hashable,
                       t: float) -> TagReport:
@@ -313,3 +436,133 @@ class Reader:
             channel_index=channel.index,
             antenna_port=antenna.port,
         )
+
+    def _build_reports_batched(self, env: TagEnvironment,
+                               events: Sequence[Tuple[float, Hashable]]
+                               ) -> List[TagReport]:
+        """Synthesize all reports of a run in per-tag vectorized batches.
+
+        Determinism contract (see DESIGN.md, "Performance architecture"):
+
+        * A *pre-pass in exact event order* materialises every lazy
+          per-link state — hop-sequence extension, multipath tone sets,
+          circuit phase offsets, static fades, ripple phases — through the
+          very same draws, in the very same order, as the per-read scalar
+          path.  With per-read noise disabled this makes the two paths
+          consume identical RNG streams and emit identical reports.
+        * Per-read noise (phase noise, Doppler noise, RSSI jitter) is then
+          drawn in whole-run batches, in event order — deterministic for a
+          given seed, though interleaved differently than the scalar path.
+        """
+        if not events:
+            return []
+        n = len(events)
+        ts = np.array([t for t, _ in events], dtype=float)
+        keys_seq = [key for _, key in events]
+
+        antennas = self._scheduler.antennas
+        ant_idx = (ts / self._scheduler.switch_period_s).astype(int) % len(antennas)
+        ports = np.array([a.port for a in antennas], dtype=int)[ant_idx]
+
+        # --- Pre-pass: lazy per-link state, in exact event order --------
+        chan_idx = np.empty(n, dtype=int)
+        fades = np.empty(n, dtype=float)
+        ripple_phases = np.empty(n, dtype=float)
+        for i, (t, key) in enumerate(events):
+            ci = self._hops.channel_index_at(t)  # may extend the hop sequence
+            chan_idx[i] = ci
+            port = int(ports[i])
+            self._multipath.ensure_link((key, ci, port))
+            self._phase_model_for(key, port)
+            fades[i], ripple_phases[i] = self._rssi_link_state(key, port, ci)
+
+        plan = self._hops.plan
+        channels = [plan[i] for i in range(len(plan))]
+        freqs = np.array([c.frequency_hz for c in channels])[chan_idx]
+        lams = np.array([c.wavelength_m for c in channels])[chan_idx]
+
+        # --- Geometry: one trajectory evaluation per tag ----------------
+        by_key: Dict[Hashable, List[int]] = {}
+        for i, key in enumerate(keys_seq):
+            by_key.setdefault(key, []).append(i)
+
+        position_array = getattr(env, "position_m_array", None)
+        loss_array = getattr(env, "extra_loss_db_array", None)
+        eps = self.VELOCITY_EPS_S
+        dist = np.empty(n, dtype=float)
+        d_lo = np.empty(n, dtype=float)
+        d_hi = np.empty(n, dtype=float)
+        situational = np.empty(n, dtype=float)
+        for key, idx_list in by_key.items():
+            idx = np.asarray(idx_list, dtype=int)
+            t_read = ts[idx]
+            t_lo = np.maximum(0.0, t_read - eps)
+            t_hi = t_lo + 2.0 * eps
+            times = np.concatenate([t_read, t_lo, t_hi])
+            if position_array is not None:
+                pos = position_array(key, times)
+            else:
+                pos = np.array([env.position_m(key, float(t)) for t in times])
+            m = idx.size
+            for ai in np.unique(ant_idx[idx]):
+                antenna = antennas[int(ai)]
+                sub = idx[ant_idx[idx] == ai]
+                sel = np.flatnonzero(ant_idx[idx] == ai)
+                dist[sub] = antenna.distances_to(pos[:m][sel])
+                d_lo[sub] = antenna.distances_to(pos[m:2 * m][sel])
+                d_hi[sub] = antenna.distances_to(pos[2 * m:][sel])
+                if loss_array is not None:
+                    situational[sub] = loss_array(key, ts[sub], antenna)
+                else:
+                    situational[sub] = [
+                        env.extra_loss_db(key, float(t), antenna) for t in ts[sub]
+                    ]
+        velocity = (d_hi - d_lo) / (2.0 * eps)
+        loss = np.where(np.isinf(situational), 0.0, situational)
+
+        # --- Signal synthesis, one pass over all reads ------------------
+        snr = self._budget.snr_db(dist, freqs, extra_loss_db=loss)
+        noise = self._phase_noise.sample_array(snr, self._rng)
+
+        phases = np.empty(n, dtype=float)
+        by_link: Dict[Tuple[Hashable, int, int], List[int]] = {}
+        for i, key in enumerate(keys_seq):
+            by_link.setdefault((key, int(chan_idx[i]), int(ports[i])), []).append(i)
+        for (key, ci, port), idx_list in by_link.items():
+            idx = np.asarray(idx_list, dtype=int)
+            offsets = self._multipath.phase_offset_array(
+                (key, ci, port), ts[idx], dist[idx]
+            )
+            model = self._phase_models[(key, port)]
+            phases[idx] = model.phase(dist[idx], channels[ci], noise[idx] + offsets)
+
+        doppler = doppler_report(
+            velocity, lams, self._rng,
+            phase_noise_rad=self._phase_noise.sigma(snr),
+        )
+
+        base = self._budget.rx_power_dbm(dist, freqs, extra_loss_db=loss)
+        ripple = self.RSSI_RIPPLE_DB * np.sin(
+            4.0 * np.pi * dist / lams + ripple_phases
+        )
+        if self.RSSI_JITTER_DB == 0.0:
+            jitter = np.zeros(n)
+        else:
+            jitter = self._rng.normal(0.0, self.RSSI_JITTER_DB, size=n)
+        rssi = quantize_rssi(
+            base + fades + ripple + jitter, self._config.rssi_resolution_db
+        )
+
+        epc_by_key = {key: env.epc(key) for key in by_key}
+        return [
+            TagReport(
+                epc=epc_by_key[keys_seq[i]],
+                timestamp_s=float(ts[i]),
+                phase_rad=float(phases[i]),
+                rssi_dbm=float(rssi[i]),
+                doppler_hz=float(doppler[i]),
+                channel_index=int(chan_idx[i]),
+                antenna_port=int(ports[i]),
+            )
+            for i in range(n)
+        ]

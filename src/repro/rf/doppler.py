@@ -21,31 +21,39 @@ from ..units import TWO_PI
 DEFAULT_PACKET_DURATION_S = 1.5e-3
 
 
-def doppler_shift_from_velocity(velocity_mps: float, wavelength_m: float) -> float:
+def doppler_shift_from_velocity(velocity_mps, wavelength_m):
     """Noise-free Doppler shift [Hz] under the paper's Eq. (2) convention.
 
     With ``theta = 4*pi*d/lambda``, a radial velocity ``v`` rotates the phase
     by ``delta_theta = 4*pi*v*delta_T/lambda`` during a packet, so Eq. (2)
     reports ``f = v / lambda``.  Positive velocity = moving away.
+    Broadcasts over arrays of velocities and/or wavelengths.
 
     Raises:
         ValueError: on non-positive wavelength.
     """
-    if wavelength_m <= 0:
-        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    if np.ndim(wavelength_m) == 0:
+        if wavelength_m <= 0:
+            raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    elif np.any(np.asarray(wavelength_m) <= 0):
+        raise ValueError("wavelength must be > 0")
     return velocity_mps / wavelength_m
 
 
-def doppler_report(velocity_mps: float, wavelength_m: float,
+def doppler_report(velocity_mps, wavelength_m,
                    rng: np.random.Generator,
-                   phase_noise_rad: float,
-                   packet_duration_s: float = DEFAULT_PACKET_DURATION_S) -> float:
-    """One raw Doppler-shift report [Hz] as a commodity reader would emit.
+                   phase_noise_rad,
+                   packet_duration_s: float = DEFAULT_PACKET_DURATION_S):
+    """Raw Doppler-shift report(s) [Hz] as a commodity reader would emit.
 
     The reader differences two noisy phase estimates ``packet_duration_s``
     apart (Eq. 2), so the per-report noise is two independent phase-noise
     draws divided by a very small ``4*pi*delta_T`` — which is why raw
     Doppler is so noisy (Fig. 3).
+
+    Broadcasts: arrays of velocities/wavelengths/noise sigmas produce one
+    report per element, each with its own noise draw.  Zero noise sigma
+    consumes no randomness.
 
     Args:
         velocity_mps: true radial velocity of the tag.
@@ -59,6 +67,27 @@ def doppler_report(velocity_mps: float, wavelength_m: float,
     """
     if packet_duration_s <= 0:
         raise ValueError(f"packet duration must be > 0, got {packet_duration_s}")
-    true_delta = 2.0 * TWO_PI * velocity_mps * packet_duration_s / wavelength_m
-    noisy_delta = true_delta + rng.normal(0.0, phase_noise_rad * np.sqrt(2.0))
+    scalar = (np.ndim(velocity_mps) == 0 and np.ndim(wavelength_m) == 0
+              and np.ndim(phase_noise_rad) == 0)
+    if scalar:
+        if wavelength_m <= 0:
+            raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+        true_delta = 2.0 * TWO_PI * velocity_mps * packet_duration_s / wavelength_m
+        if phase_noise_rad == 0.0:
+            noisy_delta = true_delta
+        else:
+            noisy_delta = true_delta + rng.normal(0.0, phase_noise_rad * np.sqrt(2.0))
+        return noisy_delta / (2.0 * TWO_PI * packet_duration_s)
+    lam = np.asarray(wavelength_m, dtype=float)
+    if np.any(lam <= 0):
+        raise ValueError("wavelength must be > 0")
+    true_delta = 2.0 * TWO_PI * np.asarray(velocity_mps, dtype=float) \
+        * packet_duration_s / lam
+    sigmas = np.broadcast_to(
+        np.asarray(phase_noise_rad, dtype=float) * np.sqrt(2.0), true_delta.shape
+    )
+    if np.any(sigmas):
+        noisy_delta = true_delta + rng.normal(0.0, sigmas)
+    else:
+        noisy_delta = true_delta
     return noisy_delta / (2.0 * TWO_PI * packet_duration_s)

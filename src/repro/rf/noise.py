@@ -39,13 +39,32 @@ class PhaseNoiseModel:
         if self.floor_rad < 0 or self.ref_rad < 0:
             raise ConfigError("noise sigmas must be >= 0")
 
-    def sigma(self, snr_db: float) -> float:
-        """Phase-noise sigma [rad] at the given SNR."""
-        return self.floor_rad + self.ref_rad * 10.0 ** ((self.reference_snr_db - snr_db) / 20.0)
+    def sigma(self, snr_db):
+        """Phase-noise sigma [rad] at the given SNR (broadcasts)."""
+        if np.ndim(snr_db) == 0:
+            return self.floor_rad + self.ref_rad * 10.0 ** ((self.reference_snr_db - snr_db) / 20.0)
+        snr = np.asarray(snr_db, dtype=float)
+        return self.floor_rad + self.ref_rad * 10.0 ** ((self.reference_snr_db - snr) / 20.0)
 
     def sample(self, snr_db: float, rng: np.random.Generator) -> float:
-        """One phase-noise draw [rad]."""
-        return float(rng.normal(0.0, self.sigma(snr_db)))
+        """One phase-noise draw [rad].  Zero sigma consumes no randomness."""
+        sigma = self.sigma(snr_db)
+        if sigma == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, sigma))
+
+    def sample_array(self, snr_db: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Independent phase-noise draws, one per SNR value.
+
+        The vectorised twin of :meth:`sample`: each element gets its own
+        sigma.  An all-zero sigma vector consumes no randomness, matching
+        the scalar gate so RNG-free configurations stay RNG-free.
+        """
+        sigmas = np.asarray(self.sigma(snr_db), dtype=float)
+        if not np.any(sigmas):
+            return np.zeros_like(sigmas)
+        return rng.normal(0.0, sigmas)
 
 
 class DynamicMultipath:
@@ -118,35 +137,74 @@ class DynamicMultipath:
             self._links[link_key] = entry
         return entry
 
-    def amplitude_rad(self, distance_m: float) -> float:
+    def amplitude_rad(self, distance_m):
         """Distortion amplitude [rad] for a link at ``distance_m``.
+
+        Broadcasts over distance arrays.
 
         Raises:
             ConfigError: on non-positive distance.
         """
-        if distance_m <= 0:
+        if np.ndim(distance_m) == 0:
+            if distance_m <= 0:
+                raise ConfigError("distance must be > 0")
+            return min(self._a_max,
+                       self._a_ref * (distance_m / self._d_ref) ** self._exp)
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
             raise ConfigError("distance must be > 0")
-        return min(self._a_max,
-                   self._a_ref * (distance_m / self._d_ref) ** self._exp)
+        return np.minimum(self._a_max, self._a_ref * (d / self._d_ref) ** self._exp)
 
     def phase_offset(self, link_key, t: float, distance_m: float) -> float:
-        """The link's clutter phase distortion [rad] at time ``t``."""
+        """The link's clutter phase distortion [rad] at time ``t``.
+
+        A zero reference amplitude short-circuits to 0 without drawing the
+        link's tone set, so amplitude-free configurations consume no
+        randomness.
+        """
+        if self._a_ref == 0.0:
+            return 0.0
         freqs, phases, weights = self._components_for(link_key)
         amp = self.amplitude_rad(distance_m)
         return float(amp * np.sum(
             weights * np.sin(2.0 * np.pi * freqs * t + phases)
         ))
 
+    def ensure_link(self, link_key) -> None:
+        """Materialise a link's tone set (no-op at zero reference amplitude).
 
-def quantize_rssi(rssi_dbm: float, resolution_db: float = 0.5) -> float:
+        The batched reader synthesis calls this in exact event order during
+        its pre-pass so lazy per-link draws land in the same RNG sequence
+        the per-read scalar path would produce.
+        """
+        if self._a_ref == 0.0:
+            return
+        self._components_for(link_key)
+
+    def phase_offset_array(self, link_key, t: np.ndarray,
+                           distance_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`phase_offset` for one link over a time vector."""
+        t = np.asarray(t, dtype=float)
+        if self._a_ref == 0.0:
+            return np.zeros_like(t)
+        freqs, phases, weights = self._components_for(link_key)
+        amp = self.amplitude_rad(distance_m)
+        tones = np.sin(2.0 * np.pi * np.outer(t, freqs) + phases)
+        return amp * (tones @ weights)
+
+
+def quantize_rssi(rssi_dbm, resolution_db: float = 0.5):
     """Quantise an RSSI value to the reader's reporting resolution.
 
     The paper calls out the 0.5 dBm resolution as the reason RSSI cannot
     resolve subtle chest motion in challenging scenarios (Section IV-A-1).
+    Broadcasts over arrays (both paths round half-to-even).
 
     Raises:
         ValueError: on non-positive resolution.
     """
     if resolution_db <= 0:
         raise ValueError(f"resolution must be > 0, got {resolution_db}")
-    return round(rssi_dbm / resolution_db) * resolution_db
+    if np.ndim(rssi_dbm) == 0:
+        return round(rssi_dbm / resolution_db) * resolution_db
+    return np.round(np.asarray(rssi_dbm, dtype=float) / resolution_db) * resolution_db

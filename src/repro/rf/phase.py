@@ -23,33 +23,47 @@ from ..units import TWO_PI, wrap_phase, wrap_phase_delta
 from .channel import Channel
 
 
-def backscatter_phase(distance_m: float, wavelength_m: float,
-                      offset_rad: float = 0.0) -> float:
+def backscatter_phase(distance_m, wavelength_m, offset_rad=0.0):
     """Eq. (1): reader-reported phase for a tag at ``distance_m``.
 
     The radio wave traverses ``2 * distance_m`` (reader -> tag -> reader).
+    Broadcasts over arrays of distances, wavelengths, and offsets; scalar
+    inputs return a plain ``float``.
 
     Raises:
         ValueError: on non-positive wavelength or negative distance.
     """
-    if wavelength_m <= 0:
-        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
-    if distance_m < 0:
-        raise ValueError(f"distance must be >= 0, got {distance_m}")
-    return wrap_phase(TWO_PI / wavelength_m * 2.0 * distance_m + offset_rad)
+    scalar = (np.ndim(distance_m) == 0 and np.ndim(wavelength_m) == 0
+              and np.ndim(offset_rad) == 0)
+    if scalar:
+        if wavelength_m <= 0:
+            raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+        if distance_m < 0:
+            raise ValueError(f"distance must be >= 0, got {distance_m}")
+        return wrap_phase(TWO_PI / wavelength_m * 2.0 * distance_m + offset_rad)
+    d = np.asarray(distance_m, dtype=float)
+    lam = np.asarray(wavelength_m, dtype=float)
+    if np.any(lam <= 0):
+        raise ValueError("wavelength must be > 0")
+    if np.any(d < 0):
+        raise ValueError("distance must be >= 0")
+    return wrap_phase(TWO_PI / lam * 2.0 * d + np.asarray(offset_rad, dtype=float))
 
 
-def phase_to_distance_delta(theta_prev: float, theta_next: float,
-                            wavelength_m: float) -> float:
+def phase_to_distance_delta(theta_prev, theta_next, wavelength_m):
     """Eq. (3): displacement between two same-channel phase readings.
 
-    Positive result = tag moved *away* from the antenna.
+    Positive result = tag moved *away* from the antenna.  Broadcasts over
+    arrays of phase pairs.
 
     Raises:
         ValueError: on non-positive wavelength.
     """
-    if wavelength_m <= 0:
-        raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    if np.ndim(wavelength_m) == 0:
+        if wavelength_m <= 0:
+            raise ValueError(f"wavelength must be > 0, got {wavelength_m}")
+    elif np.any(np.asarray(wavelength_m) <= 0):
+        raise ValueError("wavelength must be > 0")
     return wavelength_m / (4.0 * np.pi) * wrap_phase_delta(theta_next - theta_prev)
 
 
@@ -88,12 +102,14 @@ class PhaseModel:
         """This link's fixed circuit phase offset."""
         return self._link_offset
 
-    def phase(self, distance_m: float, channel: Channel,
-              noise_rad: float = 0.0) -> float:
+    def phase(self, distance_m, channel: Channel, noise_rad=0.0):
         """Reader-reported phase for this link on ``channel``.
 
+        Broadcasts: pass an array of distances (and optionally noises) to
+        evaluate the whole link trace in one call.
+
         Args:
-            distance_m: one-way antenna–tag distance.
+            distance_m: one-way antenna–tag distance(s).
             channel: active hop channel (supplies wavelength and channel offset).
             noise_rad: additive phase noise to inject before wrapping.
         """

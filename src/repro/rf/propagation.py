@@ -48,26 +48,42 @@ class PathLossModel:
         if self.reference_m <= 0:
             raise ConfigError("reference_m must be > 0")
 
-    def one_way_loss_db(self, distance_m: float, frequency_hz: float) -> float:
+    def one_way_loss_db(self, distance_m, frequency_hz):
         """Deterministic one-way path loss [dB] at ``distance_m``.
 
         Free-space loss at the reference distance plus log-distance rolloff.
+        Broadcasts over arrays of distances and/or frequencies; scalar
+        inputs return a plain ``float``.
 
         Raises:
-            ValueError: if ``distance_m`` is not strictly positive.
+            ValueError: if any ``distance_m`` is not strictly positive.
         """
-        if distance_m <= 0:
-            raise ValueError(f"distance must be > 0, got {distance_m}")
+        if np.ndim(distance_m) == 0 and np.ndim(frequency_hz) == 0:
+            if distance_m <= 0:
+                raise ValueError(f"distance must be > 0, got {distance_m}")
+            lam = wavelength(frequency_hz)
+            fspl_ref = 2.0 * linear_to_db(4.0 * np.pi * self.reference_m / lam)
+            rolloff = 10.0 * self.exponent * np.log10(distance_m / self.reference_m)
+            return fspl_ref + rolloff
+        d = np.asarray(distance_m, dtype=float)
+        if np.any(d <= 0):
+            raise ValueError("distance must be > 0")
         lam = wavelength(frequency_hz)
         fspl_ref = 2.0 * linear_to_db(4.0 * np.pi * self.reference_m / lam)
-        rolloff = 10.0 * self.exponent * np.log10(distance_m / self.reference_m)
+        rolloff = 10.0 * self.exponent * np.log10(d / self.reference_m)
         return fspl_ref + rolloff
 
-    def sample_fading_db(self, rng: np.random.Generator) -> float:
-        """One draw of the small-scale fading term [dB]."""
+    def sample_fading_db(self, rng: np.random.Generator, size=None):
+        """Draw(s) of the small-scale fading term [dB].
+
+        With ``size=None`` returns one ``float`` draw; otherwise an array
+        of independent draws.  Zero sigma consumes no randomness.
+        """
         if self.fading_sigma_db == 0.0:
-            return 0.0
-        return float(rng.normal(0.0, self.fading_sigma_db))
+            return 0.0 if size is None else np.zeros(size)
+        if size is None:
+            return float(rng.normal(0.0, self.fading_sigma_db))
+        return rng.normal(0.0, self.fading_sigma_db, size=size)
 
 
 @dataclass(frozen=True)
@@ -113,13 +129,41 @@ class LinkBudget:
     # ------------------------------------------------------------------
     # Deterministic budget terms
     # ------------------------------------------------------------------
-    def tag_power_dbm(self, distance_m: float, frequency_hz: float,
-                      extra_loss_db: float = 0.0) -> float:
-        """Power harvested by the tag chip [dBm].
+    def link_powers_dbm(self, distance_m, frequency_hz, extra_loss_db=0.0):
+        """``(tag_power_dbm, rx_power_dbm)`` with path loss evaluated once.
+
+        The hot paths (per-slot interrogation, batched report synthesis)
+        need both ends of the budget; computing the one-way loss a single
+        time here keeps the arithmetic — and the resulting floats —
+        identical to calling :meth:`tag_power_dbm` then :meth:`rx_power_dbm`
+        at roughly half the cost.  Broadcasts over arrays.
+        """
+        loss = self.path_loss.one_way_loss_db(distance_m, frequency_hz)
+        tag_p = (
+            self.tx_power_dbm
+            + self.reader_gain_dbi
+            + self.tag_gain_dbi
+            - loss
+            - self.on_body_loss_db
+            - self.polarization_loss_db
+            - extra_loss_db
+        )
+        rx_p = (
+            tag_p
+            - self.modulation_loss_db
+            + self.tag_gain_dbi
+            + self.reader_gain_dbi
+            - loss
+            - self.polarization_loss_db
+        )
+        return tag_p, rx_p
+
+    def tag_power_dbm(self, distance_m, frequency_hz, extra_loss_db=0.0):
+        """Power harvested by the tag chip [dBm] (broadcasts).
 
         Args:
-            distance_m: one-way antenna–tag distance.
-            frequency_hz: active channel frequency.
+            distance_m: one-way antenna–tag distance(s).
+            frequency_hz: active channel frequency (scalar or array).
             extra_loss_db: scenario-dependent loss (orientation gain
                 reduction, body blockage, ...) applied on the forward link.
         """
@@ -133,9 +177,8 @@ class LinkBudget:
             - extra_loss_db
         )
 
-    def rx_power_dbm(self, distance_m: float, frequency_hz: float,
-                     extra_loss_db: float = 0.0) -> float:
-        """Backscatter power arriving at the reader [dBm].
+    def rx_power_dbm(self, distance_m, frequency_hz, extra_loss_db=0.0):
+        """Backscatter power arriving at the reader [dBm] (broadcasts).
 
         ``extra_loss_db`` is applied on the *forward* link only (via
         :meth:`tag_power_dbm`).  Situational losses — orientation, partial
@@ -154,28 +197,26 @@ class LinkBudget:
             - self.polarization_loss_db
         )
 
-    def snr_db(self, distance_m: float, frequency_hz: float,
-               extra_loss_db: float = 0.0) -> float:
-        """Receive SNR [dB] of the backscatter signal."""
+    def snr_db(self, distance_m, frequency_hz, extra_loss_db=0.0):
+        """Receive SNR [dB] of the backscatter signal (broadcasts)."""
         return self.rx_power_dbm(distance_m, frequency_hz, extra_loss_db) - self.noise_floor_dbm
 
     # ------------------------------------------------------------------
     # Stochastic per-attempt outcome
     # ------------------------------------------------------------------
-    def read_success_probability(self, distance_m: float, frequency_hz: float,
-                                 extra_loss_db: float = 0.0) -> float:
+    def read_success_probability(self, distance_m, frequency_hz,
+                                 extra_loss_db=0.0):
         """Probability one interrogation attempt yields a successful read.
 
         An attempt succeeds when the faded tag power clears the chip
         sensitivity AND the faded backscatter clears reader sensitivity.
         With Gaussian dB fading both margins give Q-function tails; the
-        forward link dominates for passive tags.
+        forward link dominates for passive tags.  Broadcasts over arrays.
         """
         sigma = self.path_loss.fading_sigma_db
-        fwd_margin = self.tag_power_dbm(distance_m, frequency_hz, extra_loss_db) \
-            - self.tag_sensitivity_dbm
-        rev_margin = self.rx_power_dbm(distance_m, frequency_hz, extra_loss_db) \
-            - self.reader_sensitivity_dbm
+        tag_p, rx_p = self.link_powers_dbm(distance_m, frequency_hz, extra_loss_db)
+        fwd_margin = tag_p - self.tag_sensitivity_dbm
+        rev_margin = rx_p - self.reader_sensitivity_dbm
         p_fwd = _gaussian_clear_probability(fwd_margin, sigma)
         p_rev = _gaussian_clear_probability(rev_margin, sigma)
         return p_fwd * p_rev
@@ -192,19 +233,29 @@ class LinkBudget:
             keeps observed RSSI flat while the success rate collapses.
         """
         fade = self.path_loss.sample_fading_db(rng)
-        tag_p = self.tag_power_dbm(distance_m, frequency_hz, extra_loss_db) + fade
-        if tag_p < self.tag_sensitivity_dbm:
+        tag_p, rx_p = self.link_powers_dbm(distance_m, frequency_hz, extra_loss_db)
+        if tag_p + fade < self.tag_sensitivity_dbm:
             return None
-        rx_p = self.rx_power_dbm(distance_m, frequency_hz, extra_loss_db) + fade
-        if rx_p < self.reader_sensitivity_dbm:
+        if rx_p + fade < self.reader_sensitivity_dbm:
             return None
-        return rx_p
+        return rx_p + fade
 
 
-def _gaussian_clear_probability(margin_db: float, sigma_db: float) -> float:
-    """P(margin + N(0, sigma) > 0)."""
+def _gaussian_clear_probability(margin_db, sigma_db):
+    """P(margin + N(0, sigma) > 0), broadcasting over ``margin_db``."""
+    if np.ndim(margin_db) == 0:
+        if sigma_db == 0.0:
+            return 1.0 if margin_db > 0 else 0.0
+        from math import erf, sqrt
+
+        return 0.5 * (1.0 + erf(margin_db / (sigma_db * sqrt(2.0))))
+    margin = np.asarray(margin_db, dtype=float)
     if sigma_db == 0.0:
-        return 1.0 if margin_db > 0 else 0.0
-    from math import erf, sqrt
+        return (margin > 0).astype(float)
+    try:
+        from scipy.special import erf as _erf
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        from math import erf as _math_erf
 
-    return 0.5 * (1.0 + erf(margin_db / (sigma_db * sqrt(2.0))))
+        _erf = np.vectorize(_math_erf)
+    return 0.5 * (1.0 + _erf(margin / (sigma_db * np.sqrt(2.0))))

@@ -7,6 +7,7 @@ tags scattered around as contention, a reader on a tripod 1 m up.
 
 from .scenario import Scenario, ContendingTag
 from .engine import SimulationResult, run_scenario
+from .sweep import run_scenarios
 from .ground_truth import GroundTruth
 from .environments import ENVIRONMENTS, Environment, environment
 from .trace_io import (
@@ -23,6 +24,7 @@ __all__ = [
     "ContendingTag",
     "SimulationResult",
     "run_scenario",
+    "run_scenarios",
     "GroundTruth",
     "TraceFormatError",
     "save_trace_csv",

@@ -9,6 +9,7 @@ generator.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -46,16 +47,24 @@ class SimulationResult:
 
     def __post_init__(self) -> None:
         self.ground_truth = GroundTruth(self.scenario)
+        self._reports_by_user: Optional[Dict[int, List[TagReport]]] = None
 
     def reports_for_user(self, user_id: int) -> List[TagReport]:
-        """Reads whose EPC carries ``user_id`` in its high 64 bits."""
-        return [r for r in self.reports if r.user_id == user_id]
+        """Reads whose EPC carries ``user_id`` in its high 64 bits.
+
+        The capture is indexed by user on first call, so per-user access
+        across N users costs one pass over the reports instead of N.
+        """
+        if self._reports_by_user is None:
+            index: Dict[int, List[TagReport]] = {}
+            for report in self.reports:
+                index.setdefault(report.user_id, []).append(report)
+            self._reports_by_user = index
+        return list(self._reports_by_user.get(user_id, ()))
 
     def per_tag_read_rate_hz(self) -> Dict[tuple, float]:
         """Average successful-read rate per (user_id, tag_id) stream."""
-        counts: Dict[tuple, int] = {}
-        for report in self.reports:
-            counts[report.stream_key] = counts.get(report.stream_key, 0) + 1
+        counts = Counter(report.stream_key for report in self.reports)
         return {k: c / self.duration_s for k, c in counts.items()}
 
     def aggregate_read_rate_hz(self) -> float:

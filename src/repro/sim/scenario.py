@@ -79,6 +79,11 @@ class Scenario:
         }
         if len(self._items_by_key) != len(self.contending_tags):
             raise ScenarioError("duplicate contending-tag indices")
+        # Situational loss in this environment is time-invariant (item
+        # losses are fixed; a subject's orientation loss depends only on
+        # static geometry), so probes can be answered from a cache — see
+        # situational_loss_db_static.
+        self._static_loss_cache: Dict[Tuple[Hashable, Antenna], float] = {}
 
     # ------------------------------------------------------------------
     # Builders
@@ -171,6 +176,22 @@ class Scenario:
         user_id, tag_id = self._split_subject_key(key)
         return self._subject_by_user[user_id].tag_position_m(tag_id, t)
 
+    def position_m_array(self, key: Hashable, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`position_m`: ``(len(times), 3)`` positions.
+
+        Static item tags broadcast their fixed position; worn tags ride
+        the vectorised trajectory of
+        :meth:`~repro.body.subject.Subject.tag_position_m_array`.
+        """
+        times = np.asarray(times, dtype=float)
+        item = self._items_by_key.get(key)
+        if item is not None:
+            return np.broadcast_to(
+                np.asarray(item.position_m, dtype=float), (times.size, 3)
+            ).copy()
+        user_id, tag_id = self._split_subject_key(key)
+        return self._subject_by_user[user_id].tag_position_m_array(tag_id, times)
+
     def extra_loss_db(self, key: Hashable, t: float, antenna: Antenna) -> float:
         """Situational loss (orientation/blockage for worn tags)."""
         item = self._items_by_key.get(key)
@@ -178,6 +199,40 @@ class Scenario:
             return item.extra_loss_db
         user_id, tag_id = self._split_subject_key(key)
         return self._subject_by_user[user_id].extra_loss_db(tag_id, t, antenna)
+
+    def extra_loss_db_array(self, key: Hashable, times: np.ndarray,
+                            antenna: Antenna) -> np.ndarray:
+        """Vectorised :meth:`extra_loss_db` over a time vector.
+
+        Situational loss in this environment is time-invariant, so this is
+        the static per-link value broadcast across ``times``.
+        """
+        times = np.asarray(times, dtype=float)
+        return np.full(times.shape, self.situational_loss_db_static(key, antenna))
+
+    def situational_loss_db_static(self, key: Hashable,
+                                   antenna: Antenna) -> Optional[float]:
+        """The time-invariant situational loss for a (tag, antenna) link.
+
+        This environment's losses depend only on static geometry
+        (item placement, subject orientation relative to the antenna), so
+        a constant per link is exact.  Environments whose loss genuinely
+        varies with time return ``None`` here (the default when the method
+        is absent), which makes the reader fall back to per-probe
+        :meth:`extra_loss_db` calls.
+        """
+        cached = self._static_loss_cache.get((key, antenna))
+        if cached is None:
+            item = self._items_by_key.get(key)
+            if item is not None:
+                cached = item.extra_loss_db
+            else:
+                user_id, tag_id = self._split_subject_key(key)
+                cached = self._subject_by_user[user_id].extra_loss_db(
+                    tag_id, 0.0, antenna
+                )
+            self._static_loss_cache[(key, antenna)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _split_subject_key(self, key: Hashable) -> Tuple[int, int]:

@@ -1,0 +1,96 @@
+"""The perf instrumentation layer and its wiring into reader + pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.pipeline import TagBreathe
+from repro.perf import PerfRecorder
+from repro.reader.reader import Reader
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_recorder():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestPerfRecorder:
+    def test_stage_accumulates_time_and_calls(self):
+        rec = PerfRecorder()
+        for _ in range(3):
+            with rec.stage("work"):
+                pass
+        assert rec.stage_calls["work"] == 3
+        assert rec.stage_s["work"] >= 0.0
+
+    def test_stage_records_on_exception(self):
+        rec = PerfRecorder()
+        with pytest.raises(ValueError):
+            with rec.stage("boom"):
+                raise ValueError("x")
+        assert rec.stage_calls["boom"] == 1
+
+    def test_counters_and_rate(self):
+        rec = PerfRecorder()
+        with rec.stage("synth"):
+            rec.count("reads", 10)
+            rec.count("reads", 5)
+        assert rec.counters["reads"] == 15
+        assert rec.rate_hz("reads", "synth") > 0.0
+        assert rec.rate_hz("reads", "missing") == 0.0
+
+    def test_snapshot_shape(self):
+        rec = PerfRecorder()
+        with rec.stage("a"):
+            rec.count("n", 2)
+        snap = rec.snapshot()
+        assert snap["stages"]["a"]["calls"] == 1
+        assert snap["stages"]["a"]["seconds"] >= 0.0
+        assert snap["counters"] == {"n": 2}
+
+    def test_reset(self):
+        rec = PerfRecorder()
+        with rec.stage("a"):
+            rec.count("n")
+        rec.reset()
+        assert rec.snapshot() == {"stages": {}, "counters": {}}
+
+
+class TestGlobalRecorder:
+    def test_module_helpers_feed_global(self):
+        with perf.stage("g"):
+            perf.count("events", 4)
+        snap = perf.snapshot()
+        assert snap["stages"]["g"]["calls"] == 1
+        assert snap["counters"]["events"] == 4
+        perf.reset()
+        assert perf.snapshot() == {"stages": {}, "counters": {}}
+
+
+class TestWiring:
+    def test_reader_run_records_stages(self):
+        scenario = Scenario.single_user(2.0, sway_seed=1)
+        reader = Reader(rng=np.random.default_rng(0))
+        reports = reader.run(scenario, duration_s=2.0)
+        snap = perf.snapshot()
+        assert snap["stages"]["reader.mac"]["calls"] == 1
+        assert snap["stages"]["reader.synthesize"]["calls"] == 1
+        assert snap["counters"]["reader.reads_synthesized"] == len(reports)
+        assert perf.get_recorder().rate_hz(
+            "reader.reads_synthesized", "reader.synthesize") > 0.0
+
+    def test_pipeline_process_records_stages(self):
+        scenario = Scenario.single_user(2.0, sway_seed=1)
+        reader = Reader(rng=np.random.default_rng(0))
+        reports = reader.run(scenario, duration_s=12.0)
+        perf.reset()
+        TagBreathe(user_ids={1}).process_detailed(reports)
+        snap = perf.snapshot()
+        assert snap["stages"]["pipeline.process"]["calls"] == 1
+        assert snap["counters"]["pipeline.reports_processed"] == len(reports)
+        assert "pipeline.users_estimated" in snap["counters"]

@@ -1,0 +1,79 @@
+"""The parallel scenario-sweep runner: ordering and seed guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReaderConfig
+from repro.errors import ScenarioError
+from repro.sim import Scenario, run_scenarios
+from repro.sim.sweep import _run_one
+
+
+def _scenarios(n: int = 3):
+    return [Scenario.single_user(2.0 + i, sway_seed=i) for i in range(n)]
+
+
+class TestOrdering:
+    def test_results_in_input_order(self):
+        scenarios = _scenarios()
+        results = run_scenarios(scenarios, duration_s=3.0)
+        assert len(results) == len(scenarios)
+        for scenario, result in zip(scenarios, results):
+            # Each result carries the scenario it ran — input order holds
+            # regardless of which worker finished first.
+            assert result.scenario.subjects[0].distance_m == \
+                scenario.subjects[0].distance_m
+
+    def test_empty_sweep(self):
+        assert run_scenarios([]) == []
+
+
+class TestSeeding:
+    def test_parallel_matches_serial(self):
+        scenarios = _scenarios()
+        parallel = run_scenarios(scenarios, duration_s=3.0, base_seed=7)
+        serial = run_scenarios(scenarios, duration_s=3.0, base_seed=7,
+                               parallel=False)
+        for a, b in zip(parallel, serial):
+            assert a.reports == b.reports
+
+    def test_explicit_seeds_reproduce_slice(self):
+        scenarios = _scenarios(2)
+        full = run_scenarios(scenarios, duration_s=3.0, base_seed=20,
+                             parallel=False)
+        # Re-running just the second trial with its explicit seed gives
+        # the same capture: trials are scheduling-independent.
+        redo = run_scenarios([scenarios[1]], duration_s=3.0, seeds=[21],
+                             parallel=False)
+        assert redo[0].reports == full[1].reports
+
+    def test_seed_count_mismatch_raises(self):
+        with pytest.raises(ScenarioError):
+            run_scenarios(_scenarios(2), seeds=[1])
+
+
+class TestKwargsForwarding:
+    def test_reader_config_forwarded(self):
+        scenarios = _scenarios(2)
+        vec = run_scenarios(scenarios, duration_s=3.0, parallel=False,
+                            reader_config=ReaderConfig(vectorized=True))
+        scal = run_scenarios(scenarios, duration_s=3.0, parallel=False,
+                             reader_config=ReaderConfig(vectorized=False))
+        # Both paths see the same MAC stream: same report skeletons.
+        for a, b in zip(vec, scal):
+            assert [r.timestamp_s for r in a.reports] == \
+                [r.timestamp_s for r in b.reports]
+
+
+class TestWorkerFunction:
+    def test_run_one_is_picklable_module_level(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(_run_one)) is _run_one
+
+    def test_run_one_returns_index(self):
+        job = (4, _scenarios(1)[0], 2.0, 11, {})
+        index, result = _run_one(job)
+        assert index == 4
+        assert result.duration_s == 2.0

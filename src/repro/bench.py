@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from . import perf
+from . import obs, perf
 from .body import MetronomeBreathing, Subject
 from .config import ReaderConfig
 from .core.pipeline import TagBreathe
@@ -167,6 +167,51 @@ def run_pipeline_benchmark(captures: Dict[tuple, SimulationResult],
     }
 
 
+def run_obs_overhead_benchmark(users: int, duration_s: float,
+                               seed: int = 0, repeats: int = 5) -> Dict:
+    """Measure what round-level tracing costs on one headline case.
+
+    Runs the same seeded capture with observability off (perf counters
+    only, the pre-§10 baseline) and inside
+    ``obs.capture(detail="round")``, and reports the wall-clock overhead
+    fraction plus the number of events one traced run emits.  Single
+    runs on a shared machine jitter by tens of percent — far above the
+    few-percent effect being measured — so the two configurations are
+    timed as *interleaved* pairs (slow drift lands on both sides) and
+    compared best-of-``repeats``.  The acceptance budget is <5 % on the
+    15-user / 120 s headline.
+    """
+    scenario = benchmark_scenario(users, seed=seed)
+    config = ReaderConfig(vectorized=True)
+
+    def one_run() -> float:
+        t0 = time.perf_counter()
+        run_scenario(scenario, duration_s=duration_s, seed=seed,
+                     reader_config=config)
+        return time.perf_counter() - t0
+
+    one_run()  # warm-up: page in code paths and allocator state
+    baseline_times: List[float] = []
+    traced_times: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        baseline_times.append(one_run())
+        with obs.capture(detail="round") as (tracer, _registry):
+            traced_times.append(one_run())
+            events = len(tracer.events)
+    baseline_s = min(baseline_times)
+    traced_s = min(traced_times)
+    return {
+        "users": users,
+        "duration_s": duration_s,
+        "baseline_s": baseline_s,
+        "traced_s": traced_s,
+        "events": events,
+        "overhead_fraction": (traced_s / baseline_s - 1.0
+                              if baseline_s > 0 else float("inf")),
+    }
+
+
 def _machine_info() -> Dict:
     return {
         "python": platform.python_version(),
@@ -187,6 +232,9 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     grid = QUICK_GRID if quick else FULL_GRID
     simulation, captures = run_simulation_benchmark(grid, seed=seed)
     pipeline = run_pipeline_benchmark(captures, seed=seed)
+    obs_users, obs_duration = max(grid)
+    simulation["observability"] = run_obs_overhead_benchmark(
+        obs_users, obs_duration, seed=seed)
     simulation["quick"] = pipeline["quick"] = quick
     if out_dir is not None:
         out = Path(out_dir)

@@ -10,11 +10,15 @@ Four workflows a user reaches for before writing any code:
   degraded estimates (confidence, reasons) against the clean run.
 * ``bench``     — run the perf-benchmark suite (scalar vs vectorized
   synthesis, pipeline throughput) and write ``BENCH_*.json``.
+* ``obs``       — run an *observed* scenario: capture the trace and
+  metrics of one end-to-end run and write ``trace.jsonl`` /
+  ``metrics.prom`` / ``manifest.json`` (DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import warnings
 from typing import Optional, Sequence
@@ -81,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for BENCH_*.json (default: cwd); "
                             "'-' skips writing")
     bench.add_argument("--seed", type=int, default=0, help="master seed")
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="run an observed scenario and export trace/metrics/manifest")
+    _add_scenario_args(obs_cmd)
+    obs_cmd.add_argument("--out-dir", default="obs-out",
+                         help="directory for trace.jsonl, metrics.prom, "
+                              "manifest.json (default: obs-out); '-' prints "
+                              "the summary without writing files")
+    obs_cmd.add_argument("--detail", choices=["round", "slot"],
+                         default="round",
+                         help="trace granularity: one event per MAC round "
+                              "(default) or additionally per ALOHA slot")
+    obs_cmd.add_argument("--wall-clock", action="store_true",
+                         help="stamp wall_s durations onto span ends "
+                              "(makes the trace non-reproducible)")
     return parser
 
 
@@ -213,6 +233,54 @@ def _print_degradation(clean_reports, faulted_reports, user_ids, truths) -> int:
     return 0 if faulted else 1
 
 
+def _run_observed(args: argparse.Namespace) -> int:
+    """The ``obs`` command: one fully observed scenario + pipeline run."""
+    from . import obs
+    from .viz.dashboard import render_obs_summary
+
+    scenario = _build_scenario(args)
+    print(f"observing {args.users} user(s) at {args.distance} m for "
+          f"{args.duration:.0f} s (detail={args.detail})...")
+    with obs.capture(detail=args.detail, wall_clock=args.wall_clock) \
+            as (tracer, registry):
+        result = run_scenario(scenario, duration_s=args.duration,
+                              seed=args.seed)
+        pipeline = TagBreathe(user_ids=set(scenario.monitored_user_ids))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            estimates, failures = pipeline.process_detailed(result.reports)
+        events = list(tracer.events)
+        metrics = registry.snapshot()
+
+    print(render_obs_summary(events, metrics))
+    rows = [[uid, f"{est.rate_bpm:.2f} bpm", f"{est.confidence:.2f}"]
+            for uid, est in sorted(estimates.items())]
+    rows += [[uid, f"failed: {reason}", "-"]
+             for uid, reason in sorted(failures.items())]
+    print(render_table(["user", "estimate", "confidence"], rows))
+
+    if args.out_dir != "-":
+        os.makedirs(args.out_dir, exist_ok=True)
+        from .obs import write_events_jsonl, write_manifest, write_prometheus
+
+        trace_path = os.path.join(args.out_dir, "trace.jsonl")
+        n_lines = write_events_jsonl(events, trace_path)
+        write_prometheus(registry, os.path.join(args.out_dir, "metrics.prom"))
+        write_manifest(
+            os.path.join(args.out_dir, "manifest.json"),
+            config=pipeline.config,
+            seeds=[args.seed],
+            extra={"scenario": {
+                "users": args.users, "distance_m": args.distance,
+                "rate_bpm": args.rate, "duration_s": args.duration,
+                "contending": args.contending, "detail": args.detail,
+            }},
+        )
+        print(f"wrote trace.jsonl ({n_lines} events), metrics.prom, "
+              f"manifest.json to {args.out_dir}")
+    return 0 if estimates else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -255,10 +323,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_table(
             ["users", "trial", "reports", "process", "throughput"],
             pipe_rows))
+        overhead = results["simulation"].get("observability")
+        if overhead:
+            print(f"observability overhead ({overhead['users']} users, "
+                  f"{overhead['duration_s']:.0f} s): "
+                  f"{overhead['overhead_fraction'] * 100:+.1f}% "
+                  f"({overhead['baseline_s']:.2f} s -> "
+                  f"{overhead['traced_s']:.2f} s, "
+                  f"{overhead['events']} events)")
         if out_dir is not None:
             print(f"wrote BENCH_simulation.json and BENCH_pipeline.json "
                   f"to {out_dir}")
         return 0
+
+    if args.command == "obs":
+        return _run_observed(args)
 
     if args.command == "analyze":
         reports = load_trace_csv(args.trace)

@@ -24,7 +24,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .. import perf
+from .. import obs, perf
 from ..config import PipelineConfig, RobustnessConfig
 from ..errors import (
     DegradedEstimateWarning,
@@ -264,7 +264,7 @@ class TagBreathe:
         self, reports: Iterable[TagReport]
     ) -> Tuple[Dict[int, UserEstimate], Dict[int, str]]:
         """Like :meth:`process`, also returning per-user failure reasons."""
-        with perf.stage("pipeline.process"):
+        with obs.span("pipeline.process"), perf.stage("pipeline.process"):
             by_user = group_reports_by_user(reports, user_ids=self._user_ids)
             perf.count("pipeline.reports_processed",
                        sum(len(v) for v in by_user.values()))
@@ -272,7 +272,14 @@ class TagBreathe:
             failures: Dict[int, str] = {}
             for user_id, user_reports in sorted(by_user.items()):
                 try:
-                    estimates[user_id] = self._process_user(user_id, user_reports)
+                    with obs.span("pipeline.user", user_id=user_id) as span:
+                        est = self._process_user(user_id, user_reports)
+                        span.set(rate_bpm=est.rate_bpm,
+                                 confidence=est.confidence,
+                                 tags_fused=est.tags_fused,
+                                 reads=est.read_count,
+                                 degraded=list(est.degraded_reasons))
+                    estimates[user_id] = est
                 except InsufficientDataError as exc:
                     failures[user_id] = str(exc)
             if self._user_ids is not None:
@@ -395,6 +402,17 @@ class TagBreathe:
 
         estimate = self._extractor.estimate(track)
         confidence = min(1.0, max(0.0, confidence))
+        if obs.enabled():
+            registry = obs.get_registry()
+            registry.counter("repro_pipeline_estimates_total").inc()
+            if n_rejected:
+                registry.counter(
+                    "repro_pipeline_hampel_rejected_total").inc(n_rejected)
+            for reason in reasons:
+                registry.counter("repro_pipeline_degraded_total",
+                                 reason=reason).inc()
+            registry.histogram("repro_pipeline_confidence",
+                               bounds=obs.UNIT_BUCKETS).observe(confidence)
         if reasons and confidence < rb.warn_confidence:
             warnings.warn(
                 f"user {user_id}: degraded estimate "

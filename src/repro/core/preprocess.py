@@ -33,6 +33,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import StreamError
 from ..rf.constants import fcc_channel_frequencies
 from ..reader.tagreport import TagReport
@@ -256,6 +257,8 @@ def phase_segments(
         raise StreamError(
             f"phase_segments expects one tag's reports, got streams {sorted(keys)}"
         )
+    count_corrections = obs.enabled()
+    n_corrections = 0
     chains: Dict[GroupKey, List[List[Tuple[float, float]]]] = defaultdict(list)
     state: Dict[GroupKey, Tuple[float, float, float]] = {}  # t, phase, unwrapped
     for report in ordered:
@@ -272,11 +275,17 @@ def phase_segments(
             unwrapped = report.phase_rad
             chains[group].append([])
         else:
-            unwrapped = prev[2] + wrap_phase_delta(report.phase_rad - prev[1])
+            raw = report.phase_rad - prev[1]
+            unwrapped = prev[2] + wrap_phase_delta(raw)
+            if count_corrections and not (-np.pi <= raw < np.pi):
+                n_corrections += 1
         state[group] = (report.timestamp_s, report.phase_rad, unwrapped)
         chains[group][-1].append(
             (report.timestamp_s, lam / (4.0 * np.pi) * unwrapped)
         )
+    if n_corrections:
+        obs.counter(
+            "repro_pipeline_phase_unwrap_corrections_total").inc(n_corrections)
     return {
         group: [TimeSeries.from_pairs(seg) for seg in segments]
         for group, segments in chains.items()

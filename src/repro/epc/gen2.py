@@ -26,6 +26,7 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigError
 
 
@@ -146,6 +147,11 @@ class Gen2Inventory:
         self._energized = energized
         self._qfp = float(self._cfg.q_initial)
         self._round_log: List[RoundStats] = []
+        # Cached (registry, counters..., gauge) for the per-round metric
+        # updates — instrument lookup costs a name-validation and a label
+        # sort, which at thousands of rounds per run would dominate the
+        # observability overhead budget.
+        self._obs_cache: Optional[tuple] = None
 
     @property
     def config(self) -> Gen2Config:
@@ -192,29 +198,80 @@ class Gen2Inventory:
         for key, slot in slot_of.items():
             occupancy.setdefault(slot, []).append(key)
 
+        tracer = obs.get_tracer()
+        slot_detail = tracer.slot_detail
+
         events: List[ReadEvent] = []
         for slot in range(n_slots):
             holders = occupancy.get(slot, [])
             if not holders:
                 stats.empties += 1
                 t += cfg.t_empty_s
+                if slot_detail:
+                    tracer.event("gen2.slot", slot=slot, outcome="empty")
             elif len(holders) > 1:
                 stats.collisions += 1
                 t += cfg.t_collision_s
+                if slot_detail:
+                    tracer.event("gen2.slot", slot=slot, outcome="collision",
+                                 contenders=len(holders))
             else:
                 tag = holders[0]
                 if self._link_ok(tag, t):
                     stats.reads += 1
                     t += cfg.t_success_s
                     events.append((t, tag))
+                    if slot_detail:
+                        tracer.event("gen2.slot", slot=slot, outcome="read",
+                                     tag=str(tag), t=t)
                 else:
                     stats.link_failures += 1
                     t += cfg.t_collision_s
+                    if slot_detail:
+                        tracer.event("gen2.slot", slot=slot,
+                                     outcome="link_fail", tag=str(tag))
 
         self._adapt_q(stats)
         stats.duration_s = t - t_start
         self._round_log.append(stats)
+
+        if tracer.enabled:
+            tracer.event(
+                "gen2.round", t=t_start, q=q, slots=n_slots,
+                empties=stats.empties, collisions=stats.collisions,
+                reads=stats.reads, link_failures=stats.link_failures,
+                duration_s=stats.duration_s,
+            )
+            rounds, empty, collision, read, link_fail, q_gauge = \
+                self._obs_instruments()
+            rounds.inc()
+            if stats.empties:
+                empty.inc(stats.empties)
+            if stats.collisions:
+                collision.inc(stats.collisions)
+            if stats.reads:
+                read.inc(stats.reads)
+            if stats.link_failures:
+                link_fail.inc(stats.link_failures)
+            q_gauge.set(self.current_q)
         return events, stats
+
+    def _obs_instruments(self) -> tuple:
+        """The per-round MAC instruments, cached against the live registry."""
+        registry = obs.get_registry()
+        cached = self._obs_cache
+        if cached is None or cached[0] is not registry:
+            cached = (
+                registry,
+                registry.counter("repro_gen2_rounds_total"),
+                registry.counter("repro_gen2_slots_total", outcome="empty"),
+                registry.counter("repro_gen2_slots_total", outcome="collision"),
+                registry.counter("repro_gen2_slots_total", outcome="read"),
+                registry.counter("repro_gen2_slots_total", outcome="link_fail"),
+                registry.gauge("repro_gen2_q"),
+            )
+            self._obs_cache = cached
+        return cached[1:]
 
     def run_for(self, duration_s: float, t_start: float = 0.0) -> List[ReadEvent]:
         """Run rounds back-to-back until ``duration_s`` of MAC time elapses.

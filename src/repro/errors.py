@@ -59,6 +59,15 @@ class InsufficientDataError(ExtractionError):
     """Not enough readings (or zero crossings) to estimate a breathing rate."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer is misused (bad metric name, label clash,
+    incompatible histogram buckets, malformed snapshot to merge).
+
+    Raised at instrument registration/merge time — never from the hot
+    recording path, so instrumentation cannot take down a capture.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A fault injector or chain is misconfigured (bad severity, port, ...).
 

@@ -1,0 +1,153 @@
+"""``repro.obs`` — structured observability: traces, metrics, exporters.
+
+The runtime-visibility substrate of the reproduction (DESIGN.md §10):
+
+* :mod:`repro.obs.trace` — hierarchical spans and point events with
+  deterministic IDs (scenario → reader round → inventory slot →
+  pipeline stage → per-user estimate);
+* :mod:`repro.obs.metrics` — a labelled counter/gauge/histogram
+  registry that also backs :mod:`repro.perf`;
+* :mod:`repro.obs.export` — JSONL event sink, Prometheus text
+  exposition, and run manifests.
+
+This module holds the **process-global session**: one tracer + one
+registry that the reader, Gen2 MAC, pipeline, and simulation engine feed
+through the helpers below.  Tracing is *off* by default — instrumented
+call sites cost one attribute check until :func:`configure` (or the
+``repro obs`` CLI) switches it on.  Sweep workers get their own scoped
+session via :func:`repro.perf.telemetry_scope` and ship snapshots back
+to the parent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from .export import (
+    events_to_jsonl,
+    read_events_jsonl,
+    run_manifest,
+    strip_volatile,
+    to_prometheus,
+    write_events_jsonl,
+    write_manifest,
+    write_prometheus,
+)
+from .metrics import (
+    DURATION_BUCKETS,
+    UNIT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import DETAIL_LEVELS, SpanHandle, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Tracer", "SpanHandle", "DETAIL_LEVELS",
+    "DURATION_BUCKETS", "UNIT_BUCKETS",
+    "events_to_jsonl", "read_events_jsonl", "strip_volatile",
+    "to_prometheus", "write_events_jsonl", "write_prometheus",
+    "run_manifest", "write_manifest",
+    "get_tracer", "get_registry", "configure", "enabled", "reset",
+    "span", "event", "counter", "gauge", "histogram", "snapshot",
+    "capture", "install_session",
+]
+
+_TRACER = Tracer()
+_REGISTRY = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def install_session(tracer: Tracer, registry: MetricsRegistry
+                    ) -> Tuple[Tracer, MetricsRegistry]:
+    """Swap in a new global (tracer, registry); returns the old pair.
+
+    Used by :func:`repro.perf.telemetry_scope` to give sweep workers an
+    isolated session.  Most code should never call this directly.
+    """
+    global _TRACER, _REGISTRY
+    old = (_TRACER, _REGISTRY)
+    _TRACER, _REGISTRY = tracer, registry
+    return old
+
+
+def configure(enabled: Optional[bool] = None, detail: Optional[str] = None,
+              wall_clock: Optional[bool] = None) -> None:
+    """Reconfigure the global tracer (any subset of its knobs)."""
+    _TRACER.configure(enabled=enabled, detail=detail, wall_clock=wall_clock)
+
+
+def enabled() -> bool:
+    """True when the global tracer is recording."""
+    return _TRACER.enabled
+
+
+def reset() -> None:
+    """Clear all recorded events and metrics (settings are kept)."""
+    _TRACER.clear()
+    _REGISTRY.reset()
+
+
+def span(name: str, **attrs):
+    """Open a span on the global tracer (context manager)."""
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record a point event on the global tracer."""
+    _TRACER.event(name, **attrs)
+
+
+def counter(name: str, **labels) -> Counter:
+    """A counter on the global registry."""
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    """A gauge on the global registry."""
+    return _REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, bounds=DURATION_BUCKETS, **labels) -> Histogram:
+    """A histogram on the global registry."""
+    return _REGISTRY.histogram(name, bounds=bounds, **labels)
+
+
+def snapshot(include_volatile: bool = True) -> dict:
+    """``{"events": [...], "metrics": {...}}`` for the global session."""
+    events = (_TRACER.events if include_volatile
+              else strip_volatile(_TRACER.events))
+    return {
+        "events": list(events),
+        "metrics": _REGISTRY.snapshot(include_volatile=include_volatile),
+    }
+
+
+@contextmanager
+def capture(detail: str = "round", wall_clock: bool = False
+            ) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Record one observed session: fresh state, tracing on, then restore.
+
+    ``with obs.capture() as (tracer, registry): run_scenario(...)`` is
+    the test/tooling idiom — the previous global session (events,
+    metrics, and settings) is untouched afterwards.
+    """
+    tracer = Tracer(enabled=True, detail=detail, wall_clock=wall_clock)
+    registry = MetricsRegistry()
+    old = install_session(tracer, registry)
+    try:
+        yield tracer, registry
+    finally:
+        install_session(*old)

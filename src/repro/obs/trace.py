@@ -1,0 +1,242 @@
+"""Hierarchical trace spans with deterministic IDs and JSONL-ready events.
+
+The span taxonomy (DESIGN.md §10) follows the simulation's own nesting:
+
+    scenario                       one run_scenario call
+      sweep.trial                  (under sweep.run_scenarios in sweeps)
+      reader.run                   one inventory session
+        reader.mac                 MAC arbitration
+          gen2.round               one ALOHA round (point event)
+            gen2.slot              one slot (point event, detail="slot")
+        reader.synthesize          report synthesis
+      pipeline.process             one batch-processing call
+        pipeline.user              per-user fusion + estimate
+
+Span IDs are sequential integers assigned in emission order, so the
+event stream of a seeded run is fully deterministic — the property the
+golden-trace and determinism tests lock down.  Wall-clock durations are
+*opt-in* (``wall_clock=True`` adds ``wall_s`` to span-end events); with
+the default off, two runs of the same seed produce byte-identical
+streams with no stripping required.
+
+The tracer is intentionally not thread-safe: one tracer per process (or
+per sweep worker via :func:`repro.perf.telemetry_scope`), matching the
+single-threaded simulation engine.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+#: Trace detail levels, coarse to fine.  "round" (default) emits one
+#: point event per MAC round; "slot" additionally emits one per ALOHA
+#: slot — an order of magnitude more events, for protocol debugging.
+DETAIL_LEVELS = ("round", "slot")
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and tuples) into JSON-serialisable values."""
+    # Exact-type fast path first: virtually every attr is a builtin, and
+    # the numpy ABC isinstance checks below are what tracing overhead is
+    # made of at tens of thousands of attrs per run.
+    kind = type(value)
+    if kind is int or kind is float or kind is str or kind is bool:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _jsonable(v) for k, v in attrs.items()}
+
+
+class SpanHandle:
+    """Live handle to an open span; lets the body attach result attrs.
+
+    Attributes added via :meth:`set` are emitted on the span-end event —
+    the natural home for values only known at the end (estimate bpm,
+    report counts, confidence).
+    """
+
+    __slots__ = ("span_id", "name", "attrs")
+
+    def __init__(self, span_id: int, name: str) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span's end event."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """The no-op handle a disabled tracer yields (zero allocation)."""
+
+    __slots__ = ()
+    span_id = 0
+    name = ""
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span and point events with deterministic ordering.
+
+    Args:
+        enabled: record events (default off — instrumented call sites
+            stay near-free until observability is switched on).
+        detail: trace granularity, one of :data:`DETAIL_LEVELS`.
+        wall_clock: add ``wall_s`` (monotonic duration) to span ends.
+    """
+
+    def __init__(self, enabled: bool = False, detail: str = "round",
+                 wall_clock: bool = False) -> None:
+        self.events: List[dict] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+        self._enabled = enabled
+        self.wall_clock = wall_clock
+        self.detail = detail
+
+    @property
+    def enabled(self) -> bool:
+        """True when events are being recorded."""
+        return self._enabled
+
+    @property
+    def detail(self) -> str:
+        """The granularity level in force."""
+        return self._detail
+
+    @detail.setter
+    def detail(self, level: str) -> None:
+        if level not in DETAIL_LEVELS:
+            raise ValueError(
+                f"detail must be one of {DETAIL_LEVELS}, got {level!r}")
+        self._detail = level
+
+    def configure(self, enabled: Optional[bool] = None,
+                  detail: Optional[str] = None,
+                  wall_clock: Optional[bool] = None) -> None:
+        """Update any subset of (enabled, detail, wall_clock)."""
+        if enabled is not None:
+            self._enabled = enabled
+        if detail is not None:
+            self.detail = detail
+        if wall_clock is not None:
+            self.wall_clock = wall_clock
+
+    @property
+    def slot_detail(self) -> bool:
+        """True when slot-level MAC events should be emitted."""
+        return self._enabled and self._detail == "slot"
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanHandle]:
+        """Open a span around a block: ``with tracer.span("reader.run"): ...``.
+
+        Yields a :class:`SpanHandle`; attributes set on it land on the
+        span-end event.  An exception inside the block still closes the
+        span and stamps it with the exception type under ``error``.
+        """
+        if not self._enabled:
+            yield _NULL_SPAN
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        start = {"event": "span_start", "span": span_id, "name": name}
+        if self._stack:
+            start["parent"] = self._stack[-1]
+        if attrs:
+            start["attrs"] = _clean_attrs(attrs)
+        self.events.append(start)
+        self._stack.append(span_id)
+        handle = SpanHandle(span_id, name)
+        t0 = time.perf_counter() if self.wall_clock else 0.0
+        error: Optional[str] = None
+        try:
+            yield handle
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            self._stack.pop()
+            end = {"event": "span_end", "span": span_id, "name": name}
+            if handle.attrs:
+                end["attrs"] = _clean_attrs(handle.attrs)
+            if error is not None:
+                end["error"] = error
+            if self.wall_clock:
+                end["wall_s"] = time.perf_counter() - t0
+            self.events.append(end)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant (point) event under the current span."""
+        if not self._enabled:
+            return
+        event_id = self._next_id
+        self._next_id += 1
+        record = {"event": "point", "span": event_id, "name": name}
+        if self._stack:
+            record["parent"] = self._stack[-1]
+        if attrs:
+            record["attrs"] = _clean_attrs(attrs)
+        self.events.append(record)
+
+    # ------------------------------------------------------------------
+    # Merging (sweep workers) / lifecycle
+    # ------------------------------------------------------------------
+    def absorb(self, events: Sequence[dict], **extra_attrs: Any) -> None:
+        """Fold a worker tracer's event list into this one.
+
+        Span/parent IDs are re-based past this tracer's counter so merged
+        streams never collide; events with no parent are re-parented
+        under the currently open span (the sweep span).  ``extra_attrs``
+        (e.g. ``trial=3``) are stamped onto every absorbed event's attrs.
+        Merging in input order keeps the combined stream deterministic
+        regardless of worker completion order.
+        """
+        if not self._enabled or not events:
+            return
+        offset = self._next_id - 1
+        top = self._stack[-1] if self._stack else None
+        max_id = 0
+        clean_extra = _clean_attrs(extra_attrs)
+        for src in events:
+            record = dict(src)
+            span_id = record["span"] + offset
+            max_id = max(max_id, span_id)
+            record["span"] = span_id
+            if "parent" in record:
+                record["parent"] = record["parent"] + offset
+            elif top is not None:
+                record["parent"] = top
+            if clean_extra:
+                merged = dict(record.get("attrs", {}))
+                merged.update(clean_extra)
+                record["attrs"] = merged
+            self.events.append(record)
+        self._next_id = max_id + 1
+
+    def clear(self) -> None:
+        """Drop all recorded events and reset the ID counter."""
+        self.events.clear()
+        self._stack.clear()
+        self._next_id = 1

@@ -6,6 +6,15 @@ No analogue in the paper — this is engineering substrate.  A
 ``--perf`` CLI run can report where time went and at what throughput
 (e.g. reads synthesized per second) without profiler overhead.
 
+Since the observability layer landed (:mod:`repro.obs`, DESIGN.md §10),
+the recorder is a *facade*: stages and counters are stored in a
+:class:`~repro.obs.metrics.MetricsRegistry` — the global recorder writes
+into the global obs registry, so everything perf records is also visible
+to the Prometheus exporter and travels inside metric snapshots (which is
+how sweep workers ship their perf data back to the parent).  The public
+API (``stage``/``count``/``rate_hz``/``snapshot``/``reset``) is
+unchanged.
+
 The module keeps one process-global recorder that the reader and the
 TagBreathe pipeline feed by default; :func:`reset` starts a fresh
 measurement window.  Instrumentation is a few dict updates per *stage*
@@ -16,22 +25,70 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+from . import obs
+from .obs.metrics import Histogram, MetricsRegistry
+
+#: Histogram family holding per-stage durations (label: ``stage``).
+STAGE_METRIC = "repro_stage_seconds"
+
+#: Counter family holding named event tallies (label: ``name``).
+COUNTER_METRIC = "repro_events_total"
+
+#: Sentinel: a recorder that always writes to the *current* global obs
+#: registry (so sweep/telemetry scopes redirect it automatically).
+_FOLLOW_OBS = object()
 
 
 class PerfRecorder:
     """Accumulates per-stage wall-clock time and named counters.
 
-    Attributes:
+    Attributes (all derived live from the backing registry):
         stage_s: total seconds spent inside each named stage.
         stage_calls: number of times each stage ran.
         counters: named event tallies (reads synthesized, reports fused...).
     """
 
-    def __init__(self) -> None:
-        self.stage_s: Dict[str, float] = {}
-        self.stage_calls: Dict[str, int] = {}
-        self.counters: Dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this recorder writes into."""
+        if self._registry is _FOLLOW_OBS:
+            return obs.get_registry()
+        return self._registry
+
+    def _stage_hist(self, name: str) -> Histogram:
+        return self.registry.histogram(STAGE_METRIC, volatile=True, stage=name)
+
+    @property
+    def stage_s(self) -> Dict[str, float]:
+        """Total seconds per stage (derived view)."""
+        return {
+            labels["stage"]: inst.sum
+            for kind, metric, labels, inst in self.registry.instruments()
+            if metric == STAGE_METRIC
+        }
+
+    @property
+    def stage_calls(self) -> Dict[str, int]:
+        """Run count per stage (derived view)."""
+        return {
+            labels["stage"]: inst.count
+            for kind, metric, labels, inst in self.registry.instruments()
+            if metric == STAGE_METRIC
+        }
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Named event tallies (derived view; integral values stay ints)."""
+        return {
+            labels["name"]: _as_int(inst.value)
+            for kind, metric, labels, inst in self.registry.instruments()
+            if metric == COUNTER_METRIC
+        }
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -40,13 +97,11 @@ class PerfRecorder:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - t0
-            self.stage_s[name] = self.stage_s.get(name, 0.0) + elapsed
-            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+            self._stage_hist(name).observe(time.perf_counter() - t0)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to a named counter."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        self.registry.counter(COUNTER_METRIC, name=name).inc(n)
 
     def rate_hz(self, counter: str, stage: str) -> float:
         """Counter events per second of stage time (0.0 when unmeasured)."""
@@ -57,26 +112,41 @@ class PerfRecorder:
 
     def snapshot(self) -> dict:
         """A JSON-ready view of everything recorded so far."""
+        calls = self.stage_calls
         return {
             "stages": {
-                name: {
-                    "seconds": self.stage_s[name],
-                    "calls": self.stage_calls.get(name, 0),
-                }
-                for name in sorted(self.stage_s)
+                name: {"seconds": seconds, "calls": calls.get(name, 0)}
+                for name, seconds in sorted(self.stage_s.items())
             },
             "counters": dict(sorted(self.counters.items())),
         }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        This is how a sweep parent absorbs worker perf data: stage
+        seconds and call counts add, counters add.
+        """
+        for name, data in snapshot.get("stages", {}).items():
+            self._stage_hist(name).add(data["seconds"], data["calls"])
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+
     def reset(self) -> None:
         """Drop all recorded stages and counters."""
-        self.stage_s.clear()
-        self.stage_calls.clear()
-        self.counters.clear()
+        registry = self.registry
+        registry.remove(STAGE_METRIC)
+        registry.remove(COUNTER_METRIC)
+
+
+def _as_int(value: float):
+    return int(value) if float(value).is_integer() else value
 
 
 #: The process-global recorder the reader and pipeline feed by default.
-_GLOBAL = PerfRecorder()
+#: It follows the global obs registry, so telemetry scopes (sweep
+#: workers) redirect it without touching this module.
+_GLOBAL = PerfRecorder(registry=_FOLLOW_OBS)  # type: ignore[arg-type]
 
 
 def get_recorder() -> PerfRecorder:
@@ -102,3 +172,55 @@ def snapshot() -> dict:
 def reset() -> None:
     """Reset the global recorder (start a fresh measurement window)."""
     _GLOBAL.reset()
+
+
+class TelemetryScope:
+    """Handle yielded by :func:`telemetry_scope`; collects the session."""
+
+    def __init__(self, tracer: obs.Tracer, registry: MetricsRegistry) -> None:
+        self.tracer = tracer
+        self.registry = registry
+
+    def collect(self) -> dict:
+        """``{"events": [...], "metrics": {...}}`` for the scoped session.
+
+        Both halves are plain JSON-ready structures, picklable across
+        process boundaries; the parent folds them back with
+        ``obs.get_registry().merge(...)`` and ``tracer.absorb(...)``.
+        """
+        return {
+            "events": list(self.tracer.events),
+            "metrics": self.registry.snapshot(),
+        }
+
+
+@contextmanager
+def telemetry_scope(enabled: Optional[bool] = None,
+                    detail: Optional[str] = None,
+                    wall_clock: Optional[bool] = None
+                    ) -> Iterator[TelemetryScope]:
+    """An isolated telemetry session: fresh tracer + registry, restored after.
+
+    Everything recorded inside — obs events, obs metrics, *and* perf
+    stages/counters (the global recorder follows the swap) — lands in the
+    scoped session only.  Sweep workers run each trial inside one of
+    these so per-trial telemetry can be returned and merged into the
+    parent instead of being silently discarded.
+
+    Args:
+        enabled / detail / wall_clock: tracer settings; default to the
+            current global tracer's (so a scope inherits whether tracing
+            is on).
+    """
+    current = obs.get_tracer()
+    tracer = obs.Tracer(
+        enabled=current.enabled if enabled is None else enabled,
+        detail=current.detail if detail is None else detail,
+        wall_clock=current.wall_clock if wall_clock is None else wall_clock,
+    )
+    registry = MetricsRegistry()
+    old = obs.install_session(tracer, registry)
+    try:
+        yield TelemetryScope(tracer, registry)
+    finally:
+        obs.install_session(*old)

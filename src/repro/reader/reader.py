@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from .. import perf
+from .. import obs, perf
 from ..config import ReaderConfig
 from ..epc.codec import EPC96
 from ..epc.gen2 import Gen2Config, Gen2Inventory
@@ -135,6 +135,10 @@ class Reader:
         # tag displacement — the mechanism behind the visible breathing
         # oscillation of the paper's Fig. 2.
         self._ripple_phases: Dict[Tuple[Hashable, int, int], float] = {}
+        # (antenna port, SNR dB) pairs accumulated per run when the
+        # observability layer is on; None keeps the scalar hot path free
+        # of per-read appends otherwise.
+        self._snr_obs: Optional[List[Tuple[int, float]]] = None
 
     #: Peak-to-mid amplitude [dB] of the standing-wave RSSI ripple.  A
     #: breathing displacement of ~1 cm sweeps ~0.4 rad of round-trip phase,
@@ -208,9 +212,14 @@ class Reader:
             keys = [k for k in keys if select.matches(env.epc(k))]
             if not keys:
                 return []
-        if self._config.vectorized:
-            return self._run_vectorized(env, keys, duration_s, t_start)
-        return self._run_scalar(env, keys, duration_s, t_start)
+        with obs.span("reader.run", tags=len(keys), duration_s=duration_s,
+                      vectorized=self._config.vectorized) as span:
+            if self._config.vectorized:
+                reports = self._run_vectorized(env, keys, duration_s, t_start)
+            else:
+                reports = self._run_scalar(env, keys, duration_s, t_start)
+            span.set(reports=len(reports))
+        return reports
 
     def _run_scalar(self, env: TagEnvironment, keys: List[Hashable],
                     duration_s: float, t_start: float) -> List[TagReport]:
@@ -247,14 +256,20 @@ class Reader:
             keys, config=self._gen2_config, rng=self._rng,
             link_ok=link_ok, energized=energized,
         )
-        with perf.stage("reader.mac"):
+        with obs.span("reader.mac"), perf.stage("reader.mac"):
             events = inventory.run_for(duration_s, t_start=t_start)
 
-        with perf.stage("reader.synthesize"):
+        self._snr_obs = [] if obs.enabled() else None
+        with obs.span("reader.synthesize"), perf.stage("reader.synthesize"):
             reports = [
                 self._build_report(env, key, t_read) for t_read, key in events
             ]
         perf.count("reader.reads_synthesized", len(reports))
+        if self._snr_obs is not None:
+            ports = np.array([p for p, _ in self._snr_obs], dtype=int)
+            snr = np.array([s for _, s in self._snr_obs], dtype=float)
+            self._snr_obs = None
+            self._flush_obs_metrics(events, ports, snr)
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
 
@@ -320,14 +335,36 @@ class Reader:
             keys, config=self._gen2_config, rng=self._rng,
             link_ok=link_ok, energized=energized,
         )
-        with perf.stage("reader.mac"):
+        with obs.span("reader.mac"), perf.stage("reader.mac"):
             events = inventory.run_for(duration_s, t_start=t_start)
 
-        with perf.stage("reader.synthesize"):
+        with obs.span("reader.synthesize"), perf.stage("reader.synthesize"):
             reports = self._build_reports_batched(env, events)
         perf.count("reader.reads_synthesized", len(reports))
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
+
+    def _flush_obs_metrics(self, events: Sequence[Tuple[float, Hashable]],
+                           ports: np.ndarray, snr: np.ndarray) -> None:
+        """Record per-tag read counters and per-antenna mean SNR gauges.
+
+        ``ports``/``snr`` are aligned with ``events`` (one entry per
+        successful read).  Only called when the observability layer is on.
+        """
+        registry = obs.get_registry()
+        # Count on the raw keys and stringify once per unique tag — a
+        # str() per read event is measurable at paper scale.
+        counts: Dict[Hashable, int] = {}
+        for _, key in events:
+            counts[key] = counts.get(key, 0) + 1
+        for label, n in sorted((str(k), n) for k, n in counts.items()):
+            registry.counter("repro_reader_tag_reads_total",
+                             tag=label).inc(n)
+        if snr.size:
+            for port in sorted(set(int(p) for p in ports)):
+                mean = float(snr[ports == port].mean())
+                registry.gauge("repro_reader_snr_db_mean",
+                               antenna=str(port)).set(mean)
 
     # ------------------------------------------------------------------
     # Report construction
@@ -413,6 +450,8 @@ class Reader:
         loss = env.extra_loss_db(key, t, antenna)
         loss = 0.0 if math.isinf(loss) else loss
         snr_db = self._budget.snr_db(distance, channel.frequency_hz, extra_loss_db=loss)
+        if self._snr_obs is not None:
+            self._snr_obs.append((antenna.port, snr_db))
 
         noise = self._phase_noise.sample(snr_db, self._rng)
         noise += self._multipath.phase_offset(
@@ -552,6 +591,9 @@ class Reader:
         rssi = quantize_rssi(
             base + fades + ripple + jitter, self._config.rssi_resolution_db
         )
+
+        if obs.enabled():
+            self._flush_obs_metrics(events, ports, snr)
 
         epc_by_key = {key: env.epc(key) for key in by_key}
         return [

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import ReaderConfig
 from ..epc.gen2 import Gen2Config
 from ..epc.select import SelectCommand
@@ -111,17 +112,25 @@ def run_scenario(
     """
     if duration_s <= 0:
         raise ScenarioError("duration_s must be > 0")
-    rng = np.random.default_rng(seed)
-    reader = Reader(
-        config=reader_config,
-        antennas=antennas,
-        link_budget=link_budget,
-        phase_noise=phase_noise,
-        multipath=multipath,
-        gen2=gen2,
-        rng=rng,
-    )
-    reports = reader.run(scenario, duration_s, select=select)
-    if faults is not None:
-        reports = faults.apply(reports)
+    with obs.span("scenario", users=len(scenario.monitored_user_ids),
+                  tags=scenario.total_tag_count(), duration_s=duration_s,
+                  seed=seed) as span:
+        rng = np.random.default_rng(seed)
+        reader = Reader(
+            config=reader_config,
+            antennas=antennas,
+            link_budget=link_budget,
+            phase_noise=phase_noise,
+            multipath=multipath,
+            gen2=gen2,
+            rng=rng,
+        )
+        reports = reader.run(scenario, duration_s, select=select)
+        if faults is not None:
+            n_before = len(reports)
+            reports = faults.apply(reports)
+            if obs.enabled():
+                obs.event("faults.apply", reports_in=n_before,
+                          reports_out=len(reports))
+        span.set(reports=len(reports))
     return SimulationResult(scenario=scenario, reports=reports, duration_s=duration_s)

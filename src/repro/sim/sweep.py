@@ -12,6 +12,12 @@ input order, with guarantees that make sweeps reproducible:
   trial's capture does not depend on worker scheduling, pool size, or
   whether the sweep ran in parallel at all — ``parallel=False`` produces
   the identical result list.
+* **Telemetry round-trip**: each trial runs inside an isolated
+  :func:`repro.perf.telemetry_scope`, and its collected events/metrics
+  travel back with the result.  The parent merges them *in input order*
+  (deterministic regardless of worker completion order), so perf stages,
+  counters, and trace events recorded inside worker processes are no
+  longer silently lost.
 """
 
 from __future__ import annotations
@@ -20,17 +26,31 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .. import perf
+from .. import obs, perf
 from ..errors import ScenarioError
 from .engine import SimulationResult, run_scenario
 from .scenario import Scenario
 
+#: One sweep job: (index, scenario, duration, seed, run_scenario kwargs,
+#: tracer settings to reproduce inside the worker process).
+_Job = Tuple[int, Scenario, float, Optional[int], Dict[str, Any],
+             Dict[str, Any]]
 
-def _run_one(job: Tuple[int, Scenario, float, Optional[int], Dict[str, Any]]
-             ) -> Tuple[int, SimulationResult]:
-    """Run one sweep trial (module-level so it pickles to workers)."""
-    index, scenario, duration_s, seed, kwargs = job
-    return index, run_scenario(scenario, duration_s=duration_s, seed=seed, **kwargs)
+
+def _run_one(job: _Job) -> Tuple[int, SimulationResult, dict]:
+    """Run one sweep trial (module-level so it pickles to workers).
+
+    Returns ``(index, result, telemetry)`` where ``telemetry`` is the
+    trial's ``{"events", "metrics"}`` collected from an isolated
+    telemetry scope — global tracer settings do not survive into spawned
+    worker processes, so the parent's settings ride along in the job.
+    """
+    index, scenario, duration_s, seed, kwargs, obs_settings = job
+    with perf.telemetry_scope(**obs_settings) as scope:
+        result = run_scenario(scenario, duration_s=duration_s, seed=seed,
+                              **kwargs)
+        telemetry = scope.collect()
+    return index, result, telemetry
 
 
 def run_scenarios(
@@ -76,21 +96,27 @@ def run_scenarios(
             raise ScenarioError(
                 f"{len(seeds)} seeds for {len(scenarios)} scenarios"
             )
-    jobs = [
-        (i, scenario, duration_s, seeds[i], dict(run_kwargs))
+    tracer = obs.get_tracer()
+    obs_settings = {"enabled": tracer.enabled, "detail": tracer.detail,
+                    "wall_clock": tracer.wall_clock}
+    jobs: List[_Job] = [
+        (i, scenario, duration_s, seeds[i], dict(run_kwargs), obs_settings)
         for i, scenario in enumerate(scenarios)
     ]
 
-    with perf.stage("sweep.run_scenarios"):
+    with obs.span("sweep.run_scenarios", trials=len(jobs)), \
+            perf.stage("sweep.run_scenarios"):
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        telemetries: List[Optional[dict]] = [None] * len(jobs)
         use_pool = parallel and len(jobs) > 1 and max_workers != 1
         if use_pool:
             try:
                 with ProcessPoolExecutor(max_workers=max_workers) as pool:
                     futures = [pool.submit(_run_one, job) for job in jobs]
                     for future in as_completed(futures):
-                        index, result = future.result()
+                        index, result, telemetry = future.result()
                         results[index] = result
+                        telemetries[index] = telemetry
             except (OSError, PermissionError) as exc:
                 # Sandboxes without working process spawning fall back to
                 # the serial path — identical results by construction.
@@ -102,7 +128,19 @@ def run_scenarios(
                 use_pool = False
         if not use_pool:
             for job in jobs:
-                index, result = _run_one(job)
+                index, result, telemetry = _run_one(job)
                 results[index] = result
+                telemetries[index] = telemetry
+        # Fold worker telemetry back in *input order*: metric merges are
+        # commutative-enough (counters/histograms add), but event absorb
+        # assigns fresh span IDs, so a fixed order keeps the parent's
+        # stream deterministic however the pool scheduled the trials.
+        registry = obs.get_registry()
+        for i, telemetry in enumerate(telemetries):
+            if telemetry is None:
+                continue
+            registry.merge(telemetry["metrics"])
+            if telemetry["events"]:
+                tracer.absorb(telemetry["events"], trial=i)
         perf.count("sweep.trials", len(jobs))
     return results  # type: ignore[return-value]

@@ -1,7 +1,7 @@
 """Terminal visualisation helpers used by the runnable examples."""
 
 from .ascii import sparkline, render_series, render_table, render_bar_chart
-from .dashboard import UserPanel, render_dashboard
+from .dashboard import UserPanel, render_dashboard, render_obs_summary
 
 __all__ = [
     "sparkline",
@@ -10,4 +10,5 @@ __all__ = [
     "render_bar_chart",
     "UserPanel",
     "render_dashboard",
+    "render_obs_summary",
 ]

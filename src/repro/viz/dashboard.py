@@ -4,12 +4,16 @@ The paper's prototype shows each user's extracted breathing signal and
 live rate on a laptop screen.  This renderer produces the equivalent as
 a monospace panel per user: name, current rate with trend arrow, a
 sparkline of the recent breathing signal, and status flags.
+
+:func:`render_obs_summary` adds the operator view of the observability
+layer (DESIGN.md §10): trace-event counts by name and the headline
+metrics a deployment dashboard would chart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..streams.timeseries import TimeSeries
 from .ascii import sparkline
@@ -72,4 +76,57 @@ def render_dashboard(panels: Sequence[UserPanel], width: int = 76,
         else:
             lines.append("  " + "." * (width - 4))
         lines.append("-" * width)
+    return "\n".join(lines)
+
+
+def render_obs_summary(events: Sequence[dict], metrics: dict,
+                       width: int = 76,
+                       title: str = "observability summary") -> str:
+    """Render one telemetry session as a compact operator panel.
+
+    Args:
+        events: trace events (``Tracer.events`` or a parsed JSONL file).
+        metrics: a ``MetricsRegistry.snapshot()`` dict.
+        width: total panel width in characters.
+        title: header line.
+    """
+    bar = "=" * width
+    lines: List[str] = [bar, title.center(width), bar]
+
+    span_counts: Dict[str, int] = {}
+    point_counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("event") == "span_start":
+            span_counts[event["name"]] = span_counts.get(event["name"], 0) + 1
+        elif event.get("event") == "point":
+            point_counts[event["name"]] = point_counts.get(event["name"], 0) + 1
+    lines.append(f" trace: {len(events)} events")
+    for name, count in sorted(span_counts.items()):
+        lines.append(f"   span  {name:<38} x{count}")
+    for name, count in sorted(point_counts.items()):
+        lines.append(f"   point {name:<38} x{count}")
+
+    counters = metrics.get("counters", [])
+    gauges = metrics.get("gauges", [])
+    histograms = metrics.get("histograms", [])
+    lines.append(f" metrics: {len(counters)} counters, {len(gauges)} gauges, "
+                 f"{len(histograms)} histograms")
+    for row in counters:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        label_part = f"{{{labels}}}" if labels else ""
+        name = f"{row['name']}{label_part}"
+        lines.append(f"   {name:<56} {row['value']:.10g}"[:width])
+    for row in gauges:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        label_part = f"{{{labels}}}" if labels else ""
+        name = f"{row['name']}{label_part}"
+        lines.append(f"   {name:<56} {row['value']:.10g}"[:width])
+    for row in histograms:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        label_part = f"{{{labels}}}" if labels else ""
+        name = f"{row['name']}{label_part}"
+        mean = row["sum"] / row["count"] if row["count"] else 0.0
+        lines.append(f"   {name:<46} n={row['count']} "
+                     f"mean={mean:.4g}"[:width])
+    lines.append(bar)
     return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Golden-trace regression: a seeded end-to-end run must keep emitting
+exactly the trace (and breathing estimates) committed under ``tests/data``.
+
+The scenario is one user breathing at a metronomic 24 bpm for 12 s —
+the shortest capture that clears both pipeline floors (>= 10 s of track,
+>= 7 zero crossings) with margin on both reader paths.  Scalar and
+vectorized synthesis consume identical MAC randomness but interleave
+per-read noise draws differently, so each path has its own golden file.
+
+Comparison is on parsed JSON with floats rounded to 6 decimals —
+byte-exactness across platforms/BLAS builds is not promised by the
+substrate, but the event structure, ordering, IDs, and values to a
+micro-unit are.  (Same-process byte determinism is asserted separately
+in ``test_determinism.py``.)
+
+Regenerate after an intentional trace-schema or estimator change::
+
+    PYTHONPATH=src python tests/test_golden_trace.py
+
+then review the diff like any other behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.body import MetronomeBreathing, Subject
+from repro.config import ReaderConfig
+from repro.core.pipeline import TagBreathe
+from repro.errors import DegradedEstimateWarning
+from repro.obs.export import events_to_jsonl
+from repro.sim.engine import run_scenario
+from repro.sim.scenario import Scenario
+
+DATA_DIR = Path(__file__).parent / "data"
+EXPECTED_PATH = DATA_DIR / "golden_trace_expected.json"
+
+SEED = 7
+DURATION_S = 12.0
+RATE_BPM = 24.0
+
+
+def _golden_scenario() -> Scenario:
+    subject = Subject(user_id=1, distance_m=2.0,
+                      breathing=MetronomeBreathing(RATE_BPM),
+                      sway_seed=SEED)
+    return Scenario([subject])
+
+
+def _run(vectorized: bool):
+    """One traced end-to-end run; returns (events, estimates, failures)."""
+    with obs.capture(detail="round") as (tracer, _registry):
+        result = run_scenario(
+            _golden_scenario(), duration_s=DURATION_S, seed=SEED,
+            reader_config=ReaderConfig(vectorized=vectorized),
+        )
+        pipeline = TagBreathe(user_ids={1})
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            estimates, failures = pipeline.process_detailed(result.reports)
+        events = list(tracer.events)
+    return events, estimates, failures
+
+
+def _canonical(jsonl_text: str):
+    """Parse a JSONL trace into comparable rows with floats rounded."""
+
+    def rounded(value):
+        if isinstance(value, float):
+            return round(value, 6)
+        if isinstance(value, list):
+            return [rounded(v) for v in value]
+        if isinstance(value, dict):
+            return {k: rounded(v) for k, v in value.items()}
+        return value
+
+    return [rounded(json.loads(line))
+            for line in jsonl_text.splitlines() if line]
+
+
+def _golden_path(vectorized: bool) -> Path:
+    name = "vectorized" if vectorized else "scalar"
+    return DATA_DIR / f"golden_trace_{name}.jsonl"
+
+
+@pytest.mark.parametrize("vectorized", [True, False],
+                         ids=["vectorized", "scalar"])
+class TestGoldenTrace:
+    def test_trace_matches_committed_golden(self, vectorized):
+        events, _estimates, _failures = _run(vectorized)
+        actual = _canonical(events_to_jsonl(events))
+        golden = _canonical(_golden_path(vectorized).read_text())
+        assert len(actual) == len(golden), (
+            f"event count drifted: {len(actual)} != {len(golden)} — if the "
+            "trace schema changed intentionally, regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_trace.py`"
+        )
+        for i, (a, g) in enumerate(zip(actual, golden)):
+            assert a == g, f"trace diverges at event {i}: {a!r} != {g!r}"
+
+    def test_estimates_match_committed_golden(self, vectorized):
+        _events, estimates, failures = _run(vectorized)
+        expected = json.loads(EXPECTED_PATH.read_text())
+        key = "vectorized" if vectorized else "scalar"
+        assert failures == {}
+        assert set(estimates) == {1}
+        est = estimates[1]
+        assert est.rate_bpm == pytest.approx(expected[key]["rate_bpm"],
+                                             abs=1e-6)
+        assert est.confidence == pytest.approx(expected[key]["confidence"],
+                                               abs=1e-6)
+        # The estimate must also be *right*: within the paper's ~0.5 bpm
+        # error envelope of the metronome truth.
+        assert est.rate_bpm == pytest.approx(RATE_BPM, abs=1.0)
+
+
+def regenerate() -> None:
+    """Rewrite the golden files from the current implementation."""
+    DATA_DIR.mkdir(exist_ok=True)
+    expected = {}
+    for vectorized in (True, False):
+        key = "vectorized" if vectorized else "scalar"
+        events, estimates, failures = _run(vectorized)
+        assert failures == {}, failures
+        _golden_path(vectorized).write_text(events_to_jsonl(events))
+        est = estimates[1]
+        expected[key] = {"rate_bpm": est.rate_bpm,
+                         "confidence": est.confidence}
+        print(f"{_golden_path(vectorized).name}: {len(events)} events, "
+              f"rate={est.rate_bpm:.4f} bpm conf={est.confidence:.4f}")
+    EXPECTED_PATH.write_text(json.dumps(expected, indent=2, sort_keys=True)
+                             + "\n")
+    print(f"{EXPECTED_PATH.name}: written")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs, perf
 from repro.config import ReaderConfig
 from repro.errors import ScenarioError
 from repro.sim import Scenario, run_scenarios
@@ -73,7 +74,53 @@ class TestWorkerFunction:
         assert pickle.loads(pickle.dumps(_run_one)) is _run_one
 
     def test_run_one_returns_index(self):
-        job = (4, _scenarios(1)[0], 2.0, 11, {})
-        index, result = _run_one(job)
+        job = (4, _scenarios(1)[0], 2.0, 11, {}, {})
+        index, result, telemetry = _run_one(job)
         assert index == 4
         assert result.duration_s == 2.0
+        assert set(telemetry) == {"events", "metrics"}
+
+
+class TestTelemetryRoundTrip:
+    """Regression: worker perf/trace data must reach the parent session.
+
+    Before the observability layer, ``run_scenarios`` discarded
+    everything the worker processes recorded — sweep perf stages and
+    counters silently vanished whenever the pool was used.
+    """
+
+    def test_worker_perf_counters_merged_into_parent(self):
+        with obs.capture():
+            perf.reset()
+            run_scenarios(_scenarios(2), duration_s=3.0, parallel=True)
+            counters = perf.get_recorder().counters
+            stage_s = perf.get_recorder().stage_s
+        # Reads were synthesized inside workers, yet the parent sees them.
+        assert counters.get("reader.reads_synthesized", 0) > 0
+        assert counters["sweep.trials"] == 2
+        assert stage_s.get("reader.mac", 0.0) > 0.0
+
+    def test_parallel_and_serial_merge_same_counters(self):
+        with obs.capture():
+            par = run_scenarios(_scenarios(2), duration_s=3.0,
+                                base_seed=3, parallel=True)
+            par_counters = perf.get_recorder().counters
+        with obs.capture():
+            ser = run_scenarios(_scenarios(2), duration_s=3.0,
+                                base_seed=3, parallel=False)
+            ser_counters = perf.get_recorder().counters
+        assert par[0].reports == ser[0].reports
+        assert par_counters == ser_counters
+
+    def test_worker_trace_events_absorbed_with_trial_attr(self):
+        with obs.capture() as (tracer, _registry):
+            run_scenarios(_scenarios(2), duration_s=3.0, parallel=True)
+            events = list(tracer.events)
+        scenario_starts = [e for e in events
+                          if e.get("name") == "scenario"
+                          and e["event"] == "span_start"]
+        assert sorted(e["attrs"]["trial"] for e in scenario_starts) == [0, 1]
+        # Worker spans are re-parented under the sweep span, and IDs stay
+        # unique after the offset re-basing.
+        ids = [e["span"] for e in events if e["event"] == "span_start"]
+        assert len(ids) == len(set(ids))

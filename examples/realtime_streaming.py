@@ -1,62 +1,82 @@
 #!/usr/bin/env python3
-"""Realtime streaming: the paper's prototype architecture (Section V).
+"""Realtime streaming: the paper's prototype architecture, as a service.
 
 The prototype configures an Impinj reader through the LLRP Toolkit,
 subscribes to tag reports, and shows extracted breathing signals "in
-realtime".  This example mirrors that wiring exactly: an LLRP-style
-client delivers reports one at a time into the streaming pipeline, and a
-rate estimate is printed for every 5-second tick of the monitoring
-session, like the paper's live visualisation (Fig. 11).
+realtime" (Section V).  This example runs the modern equivalent end to
+end with the real ``repro.serve`` service — no hand-rolled feed loop:
+
+1. record a 90 s capture of one irregular breather (the LLRP session);
+2. start a :class:`repro.serve.BreathServer` on an ephemeral local port;
+3. stream the capture into it with the replay client at 20x real time,
+   exactly as ``repro replay --speed 20`` would;
+4. subscribe to the estimate stream (``repro watch``) and print each
+   tick with the metronome truth and a sparkline of the served signal.
 
 Run:  python examples/realtime_streaming.py
 """
 
+import asyncio
+
 import numpy as np
 
-from repro import LLRPClient, Reader, ROSpec, Scenario, TagBreathe
+from repro import LLRPClient, Reader, ROSpec, Scenario
 from repro.body import IrregularBreathing, Subject
-from repro.errors import InsufficientDataError
+from repro.serve import BreathServer, IngestClient, SessionConfig, watch_estimates
 from repro.viz import sparkline
+
+#: Replay acceleration: 90 s of capture in ~4.5 s of wall time.
+SPEED = 20.0
+
+
+def record_capture(waveform) -> list:
+    """The LLRP session: subscribe to a simulated reader, keep reports."""
+    subject = Subject(user_id=1, distance_m=3.0, breathing=waveform,
+                      sway_seed=3)
+    client = LLRPClient(Reader(rng=np.random.default_rng(99)),
+                        Scenario([subject]))
+    client.connect()
+    client.add_rospec(ROSpec(duration_s=90.0))
+    reports = client.start()
+    client.disconnect()
+    return reports
+
+
+async def monitor(reports, waveform) -> None:
+    """Serve the capture and print the live estimate stream."""
+    server = BreathServer(port=0, config=SessionConfig(
+        estimate_interval_s=5.0, warmup_s=30.0, include_signal=True))
+    await server.start()
+    print(f"service on 127.0.0.1:{server.port}; streaming at {SPEED:.0f}x")
+
+    async def consume() -> None:
+        async for est in watch_estimates("127.0.0.1", server.port, user_id=1):
+            t = est["t"]
+            truth = waveform.true_rate_bpm(max(0.0, t - 25.0), t)
+            trace = sparkline(est["signal"]["values"], width=30)
+            tag = "  (final)" if est.get("final") else ""
+            print(f"  t={t:5.1f}s   estimate {est['rate_bpm']:5.2f} bpm   "
+                  f"truth {truth:5.2f} bpm   {trace}{tag}")
+
+    consumer = asyncio.ensure_future(consume())
+    ingest = IngestClient("127.0.0.1", server.port, client_id="example")
+    await ingest.connect()
+    stats = await ingest.replay(reports, speed=SPEED)
+    await ingest.close()
+    await server.drain()
+    await consumer
+    print(f"session drained: {stats.sent} reports streamed in "
+          f"{stats.wall_s:.1f}s, {stats.shed_total} shed")
 
 
 def main() -> None:
     # A user whose breathing is NOT metronome-steady: cycle-to-cycle
     # jitter around 13 bpm, the realistic realtime-monitoring case.
     waveform = IrregularBreathing(13.0, rate_jitter=0.08, seed=3)
-    subject = Subject(user_id=1, distance_m=3.0, breathing=waveform, sway_seed=3)
-    scenario = Scenario([subject])
-
-    reader = Reader(rng=np.random.default_rng(99))
-    client = LLRPClient(reader, scenario)
-    pipeline = TagBreathe(user_ids={1})
-
-    # Tick state: print an estimate whenever 5 s of stream time passes.
-    next_tick = [30.0]  # first estimate after the pipeline has a window
-
-    def on_report(report) -> None:
-        pipeline.feed(report)
-        if report.timestamp_s < next_tick[0]:
-            return
-        next_tick[0] += 5.0
-        try:
-            estimate = pipeline.estimate_user(1, window_s=25.0)
-        except InsufficientDataError as exc:
-            print(f"  t={report.timestamp_s:5.1f}s   (no estimate: {exc})")
-            return
-        window = (report.timestamp_s - 25.0, report.timestamp_s)
-        truth = waveform.true_rate_bpm(*window)
-        trace = sparkline(estimate.estimate.signal.values[::6], width=30)
-        print(f"  t={report.timestamp_s:5.1f}s   "
-              f"estimate {estimate.rate_bpm:5.2f} bpm   "
-              f"truth {truth:5.2f} bpm   {trace}")
-
-    print("Connecting to reader (simulated LLRP session), 90 s run:")
-    client.connect()
-    client.add_rospec(ROSpec(duration_s=90.0))
-    client.subscribe(on_report)
-    reports = client.start()
-    client.disconnect()
-    print(f"session closed: {len(reports)} reports delivered")
+    print("Recording 90 s LLRP capture (simulated reader session)...")
+    reports = record_capture(waveform)
+    print(f"captured {len(reports)} reports; starting the service:")
+    asyncio.run(monitor(reports, waveform))
 
 
 if __name__ == "__main__":

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""A live ward dashboard: the Fig. 11 realtime UI, in the terminal.
+"""A live ward dashboard fed by the streaming service (Fig. 11 UI).
 
-Combines the whole extension stack: four patients with different
-demographics and restlessness levels, streaming LLRP ingestion, Kalman
-rate tracking with outlier gating, and a periodically re-rendered
-multi-user dashboard.
+Four patients with different demographics and restlessness levels are
+recorded once, then monitored through the full serving stack: a local
+:class:`repro.serve.BreathServer` ingests the replayed capture, and the
+dashboard is just another *watch* subscriber — it renders whatever the
+estimate stream says, including the Kalman-tracked rate, trend arrows,
+the served signal sparkline, and per-stream drop counters.  Kill the
+dashboard and reconnect and the ward keeps monitoring; that separation
+is the point of the service.
 
 Run:  python examples/ward_dashboard.py
 """
 
+import asyncio
+
 import numpy as np
 
-from repro import LLRPClient, Reader, ROSpec, Scenario, TagBreathe
+from repro import LLRPClient, Reader, ROSpec, Scenario
 from repro.body import (
     MetronomeBreathing,
     RestlessBreathing,
@@ -19,7 +25,8 @@ from repro.body import (
     TransientMotion,
 )
 from repro.core.tracking import BreathingRateTracker
-from repro.errors import InsufficientDataError
+from repro.serve import BreathServer, IngestClient, SessionConfig, watch_estimates
+from repro.streams import TimeSeries
 from repro.viz import UserPanel, render_dashboard
 
 PATIENTS = {
@@ -28,6 +35,9 @@ PATIENTS = {
     3: ("Chen", 16.0, 0.5),
     4: ("Dana", 19.0, 1.0),
 }
+
+#: Replay acceleration: 95 s of ward time in ~5 s.
+SPEED = 20.0
 
 
 def build_scenario() -> Scenario:
@@ -48,44 +58,82 @@ def build_scenario() -> Scenario:
     return Scenario(subjects)
 
 
-def main() -> None:
-    scenario = build_scenario()
-    reader = Reader(rng=np.random.default_rng(2024))
-    client = LLRPClient(reader, scenario)
-    pipeline = TagBreathe(user_ids=set(PATIENTS))
-    trackers = {uid: BreathingRateTracker() for uid in PATIENTS}
-    next_render = [35.0]
-
-    def render(now: float) -> None:
-        panels = []
-        for uid, (name, rate, _) in PATIENTS.items():
-            try:
-                estimate = pipeline.estimate_user(uid, window_s=30.0)
-                tracked = trackers[uid].update(now, estimate.rate_bpm)
-                panels.append(UserPanel(
-                    label=f"{name} (truth {rate:.0f})",
-                    rate_bpm=tracked.rate_bpm,
-                    trend_bpm_per_min=tracked.trend_bpm_per_min,
-                    signal=estimate.estimate.signal,
-                    status="gated" if tracked.gated else "ok",
-                ))
-            except InsufficientDataError:
-                panels.append(UserPanel(label=name, rate_bpm=None,
-                                        status="no data"))
-        print(render_dashboard(panels, title=f"Ward A — t={now:5.1f}s"))
-        print()
-
-    def on_report(report) -> None:
-        pipeline.feed(report)
-        if report.timestamp_s >= next_render[0]:
-            next_render[0] += 30.0
-            render(report.timestamp_s)
-
+def record_capture(scenario: Scenario) -> list:
+    client = LLRPClient(Reader(rng=np.random.default_rng(2024)), scenario)
     client.connect()
     client.add_rospec(ROSpec(duration_s=95.0))
-    client.subscribe(on_report)
-    client.start()
+    reports = client.start()
     client.disconnect()
+    return reports
+
+
+def panel_from_estimate(name: str, truth: float, est, tracked) -> UserPanel:
+    signal = None
+    if est.get("signal"):
+        signal = TimeSeries(est["signal"]["times"], est["signal"]["values"])
+    dropped = sum(est.get("drop_counts", {}).values())
+    status = "ok"
+    if tracked.gated:
+        status = "gated"
+    elif est.get("degraded_reasons"):
+        status = "degraded"
+    if dropped:
+        status += f" ({dropped} drops)"
+    return UserPanel(
+        label=f"{name} (truth {truth:.0f})",
+        rate_bpm=tracked.rate_bpm,
+        trend_bpm_per_min=tracked.trend_bpm_per_min,
+        signal=signal,
+        status=status,
+    )
+
+
+async def run_ward(reports) -> None:
+    server = BreathServer(port=0, n_shards=2, config=SessionConfig(
+        window_s=30.0, estimate_interval_s=5.0, warmup_s=35.0,
+        include_signal=True))
+    await server.start()
+    print(f"ward service on 127.0.0.1:{server.port}; "
+          f"replaying at {SPEED:.0f}x")
+
+    trackers = {uid: BreathingRateTracker() for uid in PATIENTS}
+    latest = {}
+    next_render = [35.0]
+
+    async def dashboard() -> None:
+        async for est in watch_estimates("127.0.0.1", server.port):
+            uid = est["user_id"]
+            if uid not in PATIENTS:
+                continue
+            tracked = trackers[uid].update(est["t"], est["rate_bpm"])
+            name, truth, _ = PATIENTS[uid]
+            latest[uid] = panel_from_estimate(name, truth, est, tracked)
+            if est["t"] >= next_render[0] and len(latest) == len(PATIENTS):
+                next_render[0] = est["t"] + 30.0
+                panels = [latest[uid] for uid in sorted(PATIENTS)]
+                print(render_dashboard(
+                    panels, title=f"Ward A — t={est['t']:5.1f}s"))
+                print()
+
+    consumer = asyncio.ensure_future(dashboard())
+    ingest = IngestClient("127.0.0.1", server.port, client_id="ward-reader")
+    await ingest.connect()
+    await ingest.replay(reports, speed=SPEED)
+    await ingest.close()
+    await server.drain()
+    await consumer
+
+    # The drain pushed one final estimate per patient; show the farewell.
+    panels = [latest[uid] for uid in sorted(PATIENTS) if uid in latest]
+    print(render_dashboard(panels, title="Ward A — final (drained)"))
+
+
+def main() -> None:
+    scenario = build_scenario()
+    print("Recording 95 s ward capture (4 patients)...")
+    reports = record_capture(scenario)
+    print(f"captured {len(reports)} reports; starting the ward service:")
+    asyncio.run(run_ward(reports))
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from .config import (
 )
 from .core import (
     DEGRADED_REASONS,
+    FEED_DROP_KEYS,
     BreathExtractor,
     BreathingEstimate,
     DopplerBreathEstimator,
@@ -101,7 +102,7 @@ __all__ = [
     "fuse_streams", "group_reports_by_user", "fft_lowpass", "fir_lowpass",
     "zero_crossing_times", "rate_series_bpm", "fft_peak_rate_bpm",
     "RSSIBreathEstimator", "DopplerBreathEstimator", "FFTPeakEstimator",
-    "sanitize_reports", "DEGRADED_REASONS",
+    "sanitize_reports", "DEGRADED_REASONS", "FEED_DROP_KEYS",
     # fault injection
     "FaultChain", "FaultInjector", "InjectionStats", "ALL_INJECTORS",
     "ReportDrop", "BurstyDrop", "InterferenceBurst", "TagDropout",

@@ -13,6 +13,13 @@ Four workflows a user reaches for before writing any code:
 * ``obs``       — run an *observed* scenario: capture the trace and
   metrics of one end-to-end run and write ``trace.jsonl`` /
   ``metrics.prom`` / ``manifest.json`` (DESIGN.md §10).
+* ``serve``     — run the streaming ingest service: a framed TCP server
+  that turns live tag-report streams into per-user breathing estimates
+  (docs/SERVING.md); Ctrl-C drains gracefully.
+* ``replay``    — stream a recorded capture into a running server at
+  1x–Nx real time (the load generator).
+* ``watch``     — subscribe to a running server's estimate stream and
+  print it as JSONL.
 """
 
 from __future__ import annotations
@@ -101,6 +108,56 @@ def build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument("--wall-clock", action="store_true",
                          help="stamp wall_s durations onto span ends "
                               "(makes the trace non-reproducible)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming ingest service (Ctrl-C drains gracefully)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (default 7421; 0 = ephemeral)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="session worker shards (default 4)")
+    serve.add_argument("--window", type=float, default=None,
+                       help="trailing analysis window in seconds "
+                            "(default: the engine's 25 s)")
+    serve.add_argument("--interval", type=float, default=5.0,
+                       help="estimate cadence in stream seconds (default 5)")
+    serve.add_argument("--warmup", type=float, default=25.0,
+                       help="stream seconds before a session's first "
+                            "estimate (default 25)")
+    serve.add_argument("--queue-capacity", type=int, default=4096,
+                       help="per-shard ingest queue bound; overflow sheds "
+                            "the oldest queued report (default 4096)")
+    serve.add_argument("--checkpoint", default=None,
+                       help="checkpoint file: saved periodically and on "
+                            "drain, resumed on start when present")
+    serve.add_argument("--checkpoint-every", type=float, default=30.0,
+                       help="periodic checkpoint cadence in wall seconds "
+                            "(default 30; 0 = only on drain)")
+    serve.add_argument("--signal", action="store_true",
+                       help="embed a downsampled breathing-signal trace "
+                            "in estimate messages (for dashboards)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="stream a recorded capture into a running server")
+    replay.add_argument("trace", help="capture file (.csv or .jsonl)")
+    replay.add_argument("--host", default="127.0.0.1", help="server address")
+    replay.add_argument("--port", type=int, default=7421, help="server port")
+    replay.add_argument("--speed", type=float, default=1.0,
+                        help="time acceleration: 1 = real time, 4 = 4x, "
+                             "0 = as fast as backpressure admits")
+    replay.add_argument("--client-id", default=None,
+                        help="stable client identity (reconnects under the "
+                             "same id are counted by the server)")
+
+    watch = sub.add_parser(
+        "watch",
+        help="print a running server's estimate stream as JSONL")
+    watch.add_argument("user", nargs="?", type=int, default=None,
+                       help="user id to watch (default: all users)")
+    watch.add_argument("--host", default="127.0.0.1", help="server address")
+    watch.add_argument("--port", type=int, default=7421, help="server port")
     return parser
 
 
@@ -281,6 +338,108 @@ def _run_observed(args: argparse.Namespace) -> int:
     return 0 if estimates else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run the service until a signal drains it."""
+    import asyncio
+    import signal
+
+    from .serve import BreathServer, SessionConfig
+
+    config = SessionConfig(
+        window_s=args.window,
+        estimate_interval_s=args.interval,
+        warmup_s=args.warmup,
+        queue_capacity=args.queue_capacity,
+        include_signal=args.signal,
+    )
+    server = BreathServer(
+        host=args.host, port=args.port, n_shards=args.shards, config=config,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval_s=args.checkpoint_every,
+    )
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix loop: KeyboardInterrupt still drains below
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"({args.shards} shards, interval {args.interval:.0f}s"
+              + (f", checkpoint {args.checkpoint}" if args.checkpoint else "")
+              + ") — Ctrl-C to drain")
+        if server.counters["resumed_reports"]:
+            print(f"resumed {server.session_count()} session(s), "
+                  f"{server.counters['resumed_reports']} buffered reports "
+                  f"from {args.checkpoint}")
+        try:
+            await server.serve_until(stop)
+        except KeyboardInterrupt:  # pragma: no cover - signal-handler path
+            await server.drain()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    summary = server.summary()
+    print("drained: " + ", ".join(
+        f"{key}={summary[key]}"
+        for key in ("reports_total", "sessions", "shed_total",
+                    "reconnects_total", "protocol_errors_total")))
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """The ``replay`` command: stream a capture into a running server."""
+    from .serve import replay_trace
+    from .sim.trace_io import load_trace
+
+    reports = load_trace(args.trace)
+    print(trace_summary(reports))
+    pace = "max speed" if args.speed <= 0 else f"{args.speed:g}x real time"
+    print(f"replaying to {args.host}:{args.port} at {pace}...")
+    try:
+        stats = replay_trace(reports, args.host, args.port,
+                             speed=args.speed, client_id=args.client_id)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"sent {stats.sent} reports in {stats.wall_s:.1f}s "
+          f"({stats.sent / max(stats.wall_s, 1e-9):.0f}/s), "
+          f"server acked {stats.acked}, shed {stats.shed_total}")
+    for error in stats.errors:
+        print(f"server error: {error}", file=sys.stderr)
+    return 1 if stats.errors else 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    """The ``watch`` command: print the estimate stream as JSONL."""
+    import asyncio
+    import json
+
+    from .serve import watch_estimates
+
+    async def _run() -> int:
+        try:
+            async for message in watch_estimates(args.host, args.port,
+                                                 args.user):
+                print(json.dumps(message, sort_keys=True), flush=True)
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -338,6 +497,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "obs":
         return _run_observed(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "replay":
+        return _run_replay(args)
+
+    if args.command == "watch":
+        return _run_watch(args)
 
     if args.command == "analyze":
         reports = load_trace_csv(args.trace)

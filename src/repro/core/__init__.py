@@ -39,6 +39,7 @@ from .quality import (
 )
 from .pipeline import (
     DEGRADED_REASONS,
+    FEED_DROP_KEYS,
     TagBreathe,
     UserEstimate,
     sanitize_reports,
@@ -75,7 +76,7 @@ __all__ = [
     "select_antenna_with_failover",
     "hampel_filter",
     "sanitize_reports",
-    "DEGRADED_REASONS",
+    "DEGRADED_REASONS", "FEED_DROP_KEYS",
     "TagBreathe",
     "UserEstimate",
     "RSSIBreathEstimator",

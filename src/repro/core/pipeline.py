@@ -84,6 +84,16 @@ DEGRADED_REASONS = (
     REASON_OUTLIERS,
 )
 
+#: The stable key set of :attr:`TagBreathe.feed_drop_counts` — the
+#: per-cause accounting of reports the streaming entry point discarded.
+#: ``late``: older than the newest buffered report of the same tag
+#: stream; ``duplicate``: identical timestamp on the same stream (a
+#: re-delivery); ``invalid_channel``: channel index outside the
+#: configured hop table.  :mod:`repro.serve` forwards these counters in
+#: its ``estimate`` messages so dashboards can watch them like
+#: packet-loss stats.
+FEED_DROP_KEYS = ("late", "duplicate", "invalid_channel")
+
 
 def sanitize_reports(
     reports: Sequence[TagReport],
@@ -223,9 +233,7 @@ class TagBreathe:
         # streaming and batch results agree by construction.
         self._report_buffers: Dict[StreamKey, List[TagReport]] = {}
         # Tolerate-and-count accounting of reports feed() had to discard.
-        self._feed_drops: Dict[str, int] = {
-            "late": 0, "duplicate": 0, "invalid_channel": 0,
-        }
+        self._feed_drops: Dict[str, int] = dict.fromkeys(FEED_DROP_KEYS, 0)
 
     @property
     def config(self) -> PipelineConfig:
@@ -476,9 +484,28 @@ class TagBreathe:
 
     @property
     def feed_drop_counts(self) -> Dict[str, int]:
-        """Reports :meth:`feed` discarded, by cause (late / duplicate /
-        invalid_channel).  Monitoring dashboards watch these counters the
-        way they watch packet-loss stats."""
+        """Reports :meth:`feed` discarded, by cause.
+
+        The key set is stable and exactly :data:`FEED_DROP_KEYS`:
+
+        * ``"late"`` — the report is older than the newest buffered
+          report of its tag stream (out-of-order delivery after the
+          per-stream cursor already advanced);
+        * ``"duplicate"`` — same stream, same timestamp as the newest
+          buffered report (an LLRP re-delivery);
+        * ``"invalid_channel"`` — channel index outside the configured
+          hop table, so Eq. (1) has no carrier frequency for it.
+
+        All three are *tolerated* faults: the report is discarded, the
+        counter ticks, and the monitoring loop continues — one bad
+        delivery never raises.  Note the difference from batch mode:
+        :meth:`process` re-sorts late reports and keeps them (surfacing
+        ``late_or_duplicate_reports`` in ``degraded_reasons`` instead),
+        while streaming mode must drop them because the per-stream
+        buffers are append-only.  Monitoring dashboards — and the
+        ``estimate`` messages of :mod:`repro.serve`, which embed these
+        counters — watch them the way they watch packet-loss stats.
+        """
         return dict(self._feed_drops)
 
     @property
@@ -523,10 +550,60 @@ class TagBreathe:
         """Users with at least one buffered report."""
         return sorted({key[0] for key, buf in self._report_buffers.items() if buf})
 
+    def buffered_reports(self, user_id: Optional[int] = None) -> List[TagReport]:
+        """The streamed reports currently buffered, timestamp-ordered.
+
+        Args:
+            user_id: restrict to one user (default: all users).
+
+        This is the engine's whole recoverable streaming state: feeding
+        the returned reports into a fresh engine (see
+        :meth:`restore_streaming`) reproduces every subsequent
+        :meth:`estimate_user` result, which is how :mod:`repro.serve`
+        checkpoints a live monitoring session.  Reports older than the
+        bounded-memory horizon (~4 analysis windows) have already been
+        pruned and are not part of the state.
+        """
+        reports: List[TagReport] = []
+        for key, buffer in self._report_buffers.items():
+            if user_id is None or key[0] == user_id:
+                reports.extend(buffer)
+        reports.sort(key=lambda r: r.timestamp_s)
+        return reports
+
+    def restore_streaming(self, reports: Iterable[TagReport],
+                          drop_counts: Optional[Dict[str, int]] = None) -> int:
+        """Replace the streaming state with a saved snapshot.
+
+        The inverse of :meth:`buffered_reports` + :attr:`feed_drop_counts`:
+        clears current state, re-feeds ``reports`` (which must be
+        timestamp-ordered, as :meth:`buffered_reports` returns them), and
+        restores the drop counters so monitoring dashboards do not see
+        loss statistics reset to zero after a checkpoint resume.
+
+        Returns:
+            The number of reports buffered.
+        """
+        self.reset_streaming()
+        buffered = self.feed_many(reports)
+        if drop_counts:
+            for key in FEED_DROP_KEYS:
+                self._feed_drops[key] = int(drop_counts.get(key, 0))
+        return buffered
+
     def reset_streaming(self) -> None:
-        """Drop all streaming state (start a fresh monitoring session)."""
+        """Drop all streaming state (start a fresh monitoring session).
+
+        Clears the per-stream report buffers *and* zeroes every
+        :attr:`feed_drop_counts` counter — after a reset the engine is
+        indistinguishable from a newly constructed one as far as
+        streaming is concerned.  Batch mode (:meth:`process`) is
+        stateless and unaffected.  Robustness thresholds, the analysis
+        window, and all signal-processing configuration survive the
+        reset; only data does not.
+        """
         self._report_buffers.clear()
-        self._feed_drops = {"late": 0, "duplicate": 0, "invalid_channel": 0}
+        self._feed_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
 
     # ------------------------------------------------------------------
     def _window_s(self) -> float:

@@ -76,6 +76,21 @@ class FaultInjectionError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Streaming-service error (:mod:`repro.serve`): server lifecycle
+    misuse, checkpoint format problems, or client-side failures."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violates the ``repro.serve`` protocol (bad length
+    prefix, oversized frame, undecodable payload, unknown message type).
+
+    Raised by the codec/decoder; the server catches it per connection and
+    answers with an ``error`` frame instead of dying, so one malformed
+    client cannot take down the monitoring service.
+    """
+
+
 class DegradedEstimateWarning(UserWarning):
     """A monitoring estimate was produced in degraded mode.
 

@@ -22,6 +22,7 @@ bit for bit across runs.
 from __future__ import annotations
 
 import re
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
@@ -91,6 +92,25 @@ class Gauge:
     def inc(self, n: float = 1.0) -> None:
         """Adjust the gauge by ``n`` (may be negative)."""
         self.value += n
+
+    @contextmanager
+    def track(self, n: float = 1.0) -> Iterator["Gauge"]:
+        """Hold the gauge ``n`` higher for the duration of a block.
+
+        The in-flight/occupancy idiom (active connections, live
+        sessions, concurrent workers)::
+
+            with registry.gauge("repro_serve_active_connections").track():
+                handle(connection)
+
+        The decrement runs even when the block raises, so a crashed
+        handler never leaks occupancy.
+        """
+        self.inc(n)
+        try:
+            yield self
+        finally:
+            self.inc(-n)
 
 
 class Histogram:

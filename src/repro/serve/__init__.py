@@ -1,0 +1,62 @@
+"""``repro.serve`` — the streaming ingest service.
+
+Turns the reproduction from a batch library into a long-running monitor:
+a framed TCP server ingests LLRP-shaped tag reports, sharded per-user
+sessions drive the incremental pipeline (``TagBreathe.feed`` /
+``estimate_user``), and per-user breathing estimates fan out to
+subscribers as a JSONL stream — with service-grade backpressure,
+load shedding, checkpoint/resume, and graceful drain.
+
+Layout:
+
+* :mod:`repro.serve.protocol` — length-prefixed msgpack/JSON framing,
+  report and estimate wire shapes;
+* :mod:`repro.serve.session` — per-user sessions, sharded workers,
+  watermark backpressure and shed-oldest queues;
+* :mod:`repro.serve.checkpoint` — atomic session-state save/load;
+* :mod:`repro.serve.server` — the asyncio TCP server;
+* :mod:`repro.serve.client` — replay (load generator) and watch clients.
+
+See docs/SERVING.md for the wire grammar and operational semantics, and
+``repro serve`` / ``repro replay`` / ``repro watch`` for the CLI faces.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .client import (
+    IngestClient,
+    ReplayStats,
+    collect_estimates,
+    replay_trace,
+    watch_estimates,
+)
+from .protocol import (
+    CODECS,
+    HAVE_MSGPACK,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    estimate_to_wire,
+    negotiate_codec,
+    report_to_wire,
+    wire_to_report,
+)
+from .server import ACK_EVERY, BreathServer
+from .session import SessionConfig, SessionShard, UserSession
+
+__all__ = [
+    "BreathServer", "ACK_EVERY",
+    "SessionConfig", "SessionShard", "UserSession",
+    "IngestClient", "ReplayStats", "replay_trace", "watch_estimates",
+    "collect_estimates",
+    "FrameDecoder", "encode_frame", "report_to_wire", "wire_to_report",
+    "estimate_to_wire", "negotiate_codec",
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "CODECS", "HAVE_MSGPACK",
+    "save_checkpoint", "load_checkpoint",
+    "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION",
+]

@@ -1,0 +1,105 @@
+"""Checkpoint/resume of live monitoring sessions.
+
+A serving checkpoint is one JSON document holding, per user, the raw
+reports still inside the engine's bounded streaming window plus the
+session's cadence clock and drop counters.  Raw reports — not derived
+signal state — are the checkpointed representation on purpose: the
+streaming engine recomputes estimates from its trailing report window,
+so restoring the window restores every subsequent estimate bit for bit
+(``tests/test_serve.py`` asserts resume continuity against an
+uninterrupted run).  The cost is modest: the window is bounded (~4
+analysis windows per tag stream), so a checkpoint is O(users), not
+O(session lifetime).
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-checkpoint
+leaves the previous checkpoint intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..errors import ServeError
+from ..reader.tagreport import TagReport
+from .protocol import report_to_wire, wire_to_report
+
+#: Checkpoint document magic / schema version.
+CHECKPOINT_FORMAT = "repro-serve-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def _session_to_doc(state: Dict[str, Any]) -> Dict[str, Any]:
+    doc = dict(state)
+    reports: List[TagReport] = doc.pop("reports")
+    doc["reports"] = [report_to_wire(r) for r in reports]
+    return doc
+
+
+def save_checkpoint(path: Union[str, Path],
+                    sessions: List[Dict[str, Any]],
+                    counters: Dict[str, int]) -> int:
+    """Write a checkpoint atomically; returns total reports captured.
+
+    Args:
+        path: destination file (parent directory must exist).
+        sessions: per-session state dicts from ``UserSession.state()``.
+        counters: server-level totals (frames, sheds, connections) so a
+            restarted server's metrics keep counting instead of lying
+            back to zero.
+    """
+    path = Path(path)
+    doc = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "counters": {k: int(v) for k, v in sorted(counters.items())},
+        "sessions": [_session_to_doc(s)
+                     for s in sorted(sessions, key=lambda s: s["user_id"])],
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return sum(len(s["reports"]) for s in doc["sessions"])
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a checkpoint back; reports are decoded into TagReports.
+
+    Returns:
+        ``{"counters": {...}, "sessions": [state, ...]}`` where each
+        session state carries a ``reports`` list of TagReport objects,
+        ready for ``UserSession.restore``.
+
+    Raises:
+        ServeError: when the file is missing, not a checkpoint, or a
+            newer schema version than this code understands.
+    """
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise ServeError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"corrupt checkpoint {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != CHECKPOINT_FORMAT:
+        raise ServeError(f"{path} is not a repro-serve checkpoint")
+    if doc.get("version", 0) > CHECKPOINT_VERSION:
+        raise ServeError(
+            f"checkpoint {path} is version {doc.get('version')}, "
+            f"newer than supported version {CHECKPOINT_VERSION}")
+    sessions = []
+    try:
+        for state in doc.get("sessions", []):
+            state = dict(state)
+            state["reports"] = [wire_to_report(m) for m in state["reports"]]
+            sessions.append(state)
+        counters = {k: int(v)
+                    for k, v in doc.get("counters", {}).items()}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServeError(f"malformed checkpoint {path}: {exc}") from exc
+    return {"counters": counters, "sessions": sessions}

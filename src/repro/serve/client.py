@@ -1,0 +1,333 @@
+"""Clients for the streaming ingest service: replay (load) and watch.
+
+:class:`IngestClient` speaks the framed side of the protocol and doubles
+as the **load generator**: :meth:`IngestClient.replay` streams a recorded
+capture — simulated via :func:`repro.sim.trace_io.save_trace_csv` or
+recorded from hardware — at 1x wall-clock real time, Nx accelerated, or
+``speed=0`` (as fast as the server's backpressure admits).  Inter-report
+gaps are honoured relative to the capture's own timestamps, so a 5-user
+60 s capture at ``speed=4`` takes ~15 s and arrives with realistic
+burst structure instead of a single blast.
+
+:func:`watch_estimates` is the subscription side: an async iterator over
+the server's JSONL estimate stream for one user (or all users).
+
+Synchronous convenience wrappers (:func:`replay_trace`,
+:func:`collect_estimates`) run the event loop internally for scripts,
+examples, and the ``repro replay`` / ``repro watch`` CLI commands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import (
+    AsyncIterator,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..errors import ProtocolError, ServeError
+from ..reader.tagreport import TagReport
+from .protocol import FrameDecoder, encode_frame, report_to_wire
+
+#: How many report frames to pack into one socket write.
+_WRITE_BATCH = 64
+
+
+@dataclass
+class ReplayStats:
+    """What one replay run delivered.
+
+    Attributes:
+        sent: reports written to the wire.
+        acked: reports the server acknowledged (from its last ack).
+        shed_total: server-side shed counter at the last ack/flush.
+        wall_s: wall-clock seconds the replay took.
+    """
+
+    sent: int = 0
+    acked: int = 0
+    shed_total: int = 0
+    wall_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+
+class IngestClient:
+    """A framed ingest connection to a :class:`~repro.serve.server.BreathServer`.
+
+    Args:
+        host / port: server address.
+        codec: wire codec to request ("json" always works; "msgpack"
+            falls back to json when either side lacks the library).
+        client_id: stable identity string; reconnects under the same id
+            tick the server's ``repro_serve_reconnects_total`` counter.
+    """
+
+    def __init__(self, host: str, port: int, codec: str = "json",
+                 client_id: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.requested_codec = codec
+        self.codec = codec
+        self.client_id = client_id
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._decoder = FrameDecoder("json")
+        self._inbox: List[Dict] = []
+
+    async def connect(self) -> Dict:
+        """Open the connection and complete the hello/welcome handshake.
+
+        Returns:
+            The server's ``welcome`` message.
+
+        Raises:
+            ServeError: when the server rejects the handshake.
+        """
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        hello = {"type": "hello", "role": "ingest",
+                 "codec": self.requested_codec}
+        if self.client_id is not None:
+            hello["client_id"] = self.client_id
+        self._writer.write(encode_frame(hello, "json"))
+        await self._writer.drain()
+        welcome = await self._read_message()
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ServeError(f"handshake failed: {welcome!r}")
+        self.codec = welcome.get("codec", "json")
+        self._decoder.codec = self.codec
+        return welcome
+
+    async def _read_message(self) -> Optional[Dict]:
+        if self._inbox:
+            return self._inbox.pop(0)
+        while True:
+            data = await self._reader.read(1 << 16)
+            if not data:
+                return None
+            messages = self._decoder.feed(data)
+            if messages:
+                self._inbox.extend(messages[1:])
+                return messages[0]
+
+    def _drain_inbox_nowait(self) -> List[Dict]:
+        """Decode any already-received frames without blocking."""
+        messages = list(self._inbox)
+        self._inbox.clear()
+        return messages
+
+    async def send_report(self, report: TagReport) -> None:
+        """Send one tag report (buffered; flushed by the transport)."""
+        self._writer.write(encode_frame(report_to_wire(report), self.codec))
+        await self._writer.drain()
+
+    async def replay(self, reports: Iterable[TagReport],
+                     speed: float = 1.0,
+                     progress: Optional[Callable[[int], None]] = None,
+                     ) -> ReplayStats:
+        """Stream a capture, pacing inter-report gaps by ``speed``.
+
+        Args:
+            reports: timestamp-ordered reports (a recorded capture).
+            speed: time acceleration; 1.0 = real time, 4.0 = 4x, 0 = no
+                pacing (as fast as backpressure admits).
+            progress: optional callback invoked with the running sent
+                count after every write batch.
+
+        Returns:
+            ReplayStats (the server's shed counter is read back from the
+            terminating ``flushed`` barrier, so `shed_total` is exact).
+
+        Raises:
+            ServeError: when the connection was never opened.
+        """
+        if self._writer is None:
+            raise ServeError("connect() before replay()")
+        loop = asyncio.get_event_loop()
+        t_start = loop.time()
+        stats = ReplayStats()
+        prev_t: Optional[float] = None
+        batch = 0
+        for report in reports:
+            if speed > 0 and prev_t is not None:
+                gap = (report.timestamp_s - prev_t) / speed
+                if gap > 0:
+                    await asyncio.sleep(gap)
+            prev_t = report.timestamp_s
+            self._writer.write(
+                encode_frame(report_to_wire(report), self.codec))
+            stats.sent += 1
+            batch += 1
+            if batch >= _WRITE_BATCH:
+                await self._writer.drain()
+                batch = 0
+                if progress is not None:
+                    progress(stats.sent)
+                for message in self._drain_inbox_nowait():
+                    self._absorb(message, stats)
+        await self._writer.drain()
+        flushed = await self.flush()
+        if flushed is not None:
+            self._absorb(flushed, stats)
+        stats.wall_s = loop.time() - t_start
+        return stats
+
+    def _absorb(self, message: Dict, stats: ReplayStats) -> None:
+        mtype = message.get("type")
+        if mtype in ("ack", "flushed"):
+            stats.acked = max(stats.acked, int(message.get("received", 0)))
+            stats.shed_total = int(message.get("shed_total", 0))
+        elif mtype == "error":
+            stats.errors.append(str(message.get("message")))
+
+    async def flush(self) -> Optional[Dict]:
+        """Barrier: wait until the server has ingested everything sent.
+
+        Returns:
+            The server's ``flushed`` message (None on connection loss).
+        """
+        self._writer.write(encode_frame({"type": "flush"}, self.codec))
+        await self._writer.drain()
+        while True:
+            message = await self._read_message()
+            if message is None:
+                return None
+            if message.get("type") == "flushed":
+                return message
+            if message.get("type") == "error":
+                raise ProtocolError(str(message.get("message")))
+            # acks racing the flush barrier are absorbed silently
+
+    async def close(self, polite: bool = True) -> None:
+        """Close the connection (``polite`` sends ``bye`` first)."""
+        if self._writer is None:
+            return
+        if polite:
+            try:
+                self._writer.write(encode_frame({"type": "bye"}, self.codec))
+                await self._writer.drain()
+            except ConnectionError:
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        self._writer = None
+        self._reader = None
+
+
+async def watch_estimates(host: str, port: int,
+                          user_id: Optional[int] = None,
+                          codec: str = "json",
+                          ) -> AsyncIterator[Dict]:
+    """Subscribe to a server's estimate stream; yields estimate dicts.
+
+    The iterator ends when the server drains (a ``draining`` message) or
+    the connection closes.  ``user_id=None`` subscribes to every user.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    decoder = FrameDecoder("json")
+    try:
+        writer.write(encode_frame(
+            {"type": "hello", "role": "watch", "codec": codec}, "json"))
+        watch: Dict = {"type": "watch"}
+        if user_id is not None:
+            watch["user_id"] = int(user_id)
+        # Wait for welcome (framed), then subscribe; everything after
+        # arrives as JSONL text lines.
+        welcome = None
+        while welcome is None:
+            data = await reader.read(1 << 16)
+            if not data:
+                return
+            messages = decoder.feed(data)
+            if messages:
+                welcome = messages[0]
+        if welcome.get("type") != "welcome":
+            raise ServeError(f"handshake failed: {welcome!r}")
+        writer.write(encode_frame(watch, welcome.get("codec", "json")))
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            message = json.loads(line)
+            if message.get("type") == "draining":
+                return
+            if message.get("type") == "estimate":
+                yield message
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Synchronous conveniences (scripts, examples, CLI)
+# ----------------------------------------------------------------------
+def replay_trace(source: Union[str, Sequence[TagReport]],
+                 host: str, port: int, speed: float = 1.0,
+                 client_id: Optional[str] = None,
+                 codec: str = "json") -> ReplayStats:
+    """Replay a capture file (CSV/JSONL) or report list synchronously.
+
+    The blocking face of :meth:`IngestClient.replay` for scripts and the
+    ``repro replay`` CLI command.
+    """
+    if isinstance(source, str):
+        from ..sim.trace_io import load_trace
+
+        reports: Sequence[TagReport] = load_trace(source)
+    else:
+        reports = source
+
+    async def _run() -> ReplayStats:
+        client = IngestClient(host, port, codec=codec, client_id=client_id)
+        await client.connect()
+        try:
+            return await client.replay(reports, speed=speed)
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
+def collect_estimates(host: str, port: int, user_id: Optional[int] = None,
+                      limit: Optional[int] = None,
+                      timeout_s: Optional[float] = None) -> List[Dict]:
+    """Gather estimate messages synchronously (testing/scripting aid).
+
+    Stops after ``limit`` estimates, at server drain, or after
+    ``timeout_s`` of total wall time, whichever comes first.
+    """
+
+    async def _run() -> List[Dict]:
+        collected: List[Dict] = []
+
+        async def _consume() -> None:
+            async for message in watch_estimates(host, port, user_id):
+                collected.append(message)
+                if limit is not None and len(collected) >= limit:
+                    return
+
+        try:
+            if timeout_s is not None:
+                await asyncio.wait_for(_consume(), timeout=timeout_s)
+            else:
+                await _consume()
+        except asyncio.TimeoutError:
+            pass
+        return collected
+
+    return asyncio.run(_run())

@@ -1,0 +1,227 @@
+"""Wire protocol for the streaming ingest service.
+
+Framing is length-prefixed: every message is a 4-byte big-endian payload
+length followed by the encoded payload.  Payloads are JSON objects by
+default; a client whose ``hello`` asks for ``codec="msgpack"`` switches
+both directions to msgpack *if* the library is available on the server
+(it is optional — the container may not ship it), otherwise the server's
+``welcome`` answers with the codec actually in force and the client must
+follow it.  The ``hello``/``welcome`` handshake itself is always JSON so
+the negotiation can never deadlock on an unknown codec.
+
+Report messages mirror the LLRP low-level report shape of
+:class:`repro.reader.tagreport.TagReport` — the same seven fields
+``repro.sim.trace_io`` persists, so a recorded capture replays over the
+wire without translation:
+
+    {"type": "report", "epc": "…24 hex…", "timestamp_s": …,
+     "phase_rad": …, "rssi_dbm": …, "doppler_hz": …,
+     "channel_index": …, "antenna_port": …}
+
+Message types (client → server): ``hello``, ``report``, ``watch``,
+``unwatch``, ``flush``, ``bye``.  Server → client: ``welcome``, ``ack``,
+``estimate``, ``flushed``, ``draining``, ``error``.  Estimates on *watch* connections
+are additionally available as plain JSONL text (one JSON object per
+line) so ``nc`` / ``tail``-style tooling can consume them; see
+docs/SERVING.md for the full grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..epc.codec import EPC96
+from ..errors import ProtocolError, ReproError
+from ..reader.tagreport import TagReport
+
+try:  # optional accelerated codec; the image may not carry it
+    import msgpack  # type: ignore
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - depends on environment
+    msgpack = None
+    HAVE_MSGPACK = False
+
+#: Protocol version spoken by this module (bumped on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload size.  A report frame is ~200
+#: bytes; anything near this limit is a corrupt length prefix, not data.
+MAX_FRAME_BYTES = 1 << 20
+
+#: The 4-byte big-endian unsigned length prefix.
+_HEADER = struct.Struct("!I")
+
+#: Codecs a connection may negotiate.  "json" is always available.
+CODECS = ("json",) + (("msgpack",) if HAVE_MSGPACK else ())
+
+#: Message types accepted from clients / emitted by the server.
+#: ``flush`` is the ingest barrier: the server answers ``flushed`` only
+#: after every queued report has been ingested, giving replay clients a
+#: happens-before edge between "bytes sent" and "estimates reflect them".
+CLIENT_TYPES = ("hello", "report", "watch", "unwatch", "flush", "bye")
+SERVER_TYPES = ("welcome", "ack", "estimate", "flushed", "draining", "error")
+
+
+def negotiate_codec(requested: Optional[str]) -> str:
+    """The codec the server will speak given a client's request."""
+    if requested in CODECS:
+        return requested
+    return "json"
+
+
+def _encode_payload(message: Dict[str, Any], codec: str) -> bytes:
+    if codec == "json":
+        return json.dumps(message, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+    if codec == "msgpack" and HAVE_MSGPACK:
+        return msgpack.packb(message, use_bin_type=True)
+    raise ProtocolError(f"unknown codec {codec!r} (available: {CODECS})")
+
+
+def _decode_payload(payload: bytes, codec: str) -> Dict[str, Any]:
+    try:
+        if codec == "json":
+            message = json.loads(payload.decode("utf-8"))
+        elif codec == "msgpack" and HAVE_MSGPACK:
+            message = msgpack.unpackb(payload, raw=False)
+        else:
+            raise ProtocolError(
+                f"unknown codec {codec!r} (available: {CODECS})")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable {codec} payload: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(
+            f"frame payload must be an object with a 'type', got {message!r}")
+    return message
+
+
+def encode_frame(message: Dict[str, Any], codec: str = "json") -> bytes:
+    """One message as a length-prefixed wire frame.
+
+    Raises:
+        ProtocolError: on an unknown codec or an oversized payload.
+    """
+    payload = _encode_payload(message, codec)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed raw socket bytes, get complete messages.
+
+    Tolerates arbitrary fragmentation — a frame may arrive one byte at a
+    time or many frames in one read.  The codec can be switched between
+    frames (after the hello/welcome handshake settles negotiation).
+
+    Raises:
+        ProtocolError: on an oversized length prefix or a payload the
+            active codec cannot decode.  The decoder is unusable after —
+            framing has lost sync, the connection must be dropped.
+    """
+
+    def __init__(self, codec: str = "json") -> None:
+        self.codec = codec
+        self._buffer = bytearray()
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Consume bytes; return every complete message they finish."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds {MAX_FRAME_BYTES} "
+                    "(corrupt stream?)")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            messages.append(_decode_payload(payload, self.codec))
+
+
+# ----------------------------------------------------------------------
+# Report <-> wire translation
+# ----------------------------------------------------------------------
+def report_to_wire(report: TagReport) -> Dict[str, Any]:
+    """A ``report`` message for one tag read (trace_io JSONL shape)."""
+    return {
+        "type": "report",
+        "epc": report.epc.to_hex(),
+        "timestamp_s": report.timestamp_s,
+        "phase_rad": report.phase_rad,
+        "rssi_dbm": report.rssi_dbm,
+        "doppler_hz": report.doppler_hz,
+        "channel_index": report.channel_index,
+        "antenna_port": report.antenna_port,
+    }
+
+
+def wire_to_report(message: Dict[str, Any]) -> TagReport:
+    """Decode a ``report`` message back into a validated TagReport.
+
+    Raises:
+        ProtocolError: on missing fields or values TagReport rejects.
+    """
+    try:
+        return TagReport(
+            epc=EPC96.from_hex(message["epc"]),
+            timestamp_s=float(message["timestamp_s"]),
+            phase_rad=float(message["phase_rad"]),
+            rssi_dbm=float(message["rssi_dbm"]),
+            doppler_hz=float(message["doppler_hz"]),
+            channel_index=int(message["channel_index"]),
+            antenna_port=int(message["antenna_port"]),
+        )
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise ProtocolError(f"bad report message: {exc}") from exc
+
+
+def estimate_to_wire(user_id: int, stream_t: float, estimate: Any,
+                     drop_counts: Optional[Dict[str, int]] = None,
+                     signal: Optional[Tuple[List[float], List[float]]] = None,
+                     final: bool = False) -> Dict[str, Any]:
+    """An ``estimate`` message from a pipeline UserEstimate.
+
+    Args:
+        user_id: the monitored user.
+        stream_t: stream time the estimate was computed at.
+        estimate: a :class:`repro.core.pipeline.UserEstimate`.
+        drop_counts: the session engine's feed drop counters (stable keys,
+            see ``TagBreathe.feed_drop_counts``), surfaced so dashboards
+            can tell a clean stream from a lossy one.
+        signal: optional ``(times, values)`` downsample of the extracted
+            breathing signal for UI sparklines.
+        final: True on the last estimate before a drain completes.
+    """
+    message: Dict[str, Any] = {
+        "type": "estimate",
+        "user_id": user_id,
+        "t": stream_t,
+        "rate_bpm": estimate.rate_bpm,
+        "confidence": estimate.confidence,
+        "degraded_reasons": list(estimate.degraded_reasons),
+        "tags_fused": estimate.tags_fused,
+        "read_count": estimate.read_count,
+        "antenna_port": estimate.antenna_port,
+    }
+    if drop_counts:
+        message["drop_counts"] = dict(drop_counts)
+    if signal is not None:
+        message["signal"] = {"times": list(signal[0]),
+                             "values": list(signal[1])}
+    if final:
+        message["final"] = True
+    return message

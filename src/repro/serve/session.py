@@ -1,0 +1,319 @@
+"""Per-user monitoring sessions and the sharded workers that drive them.
+
+One :class:`UserSession` wraps one :class:`~repro.core.pipeline.TagBreathe`
+engine restricted to a single user and drives the existing incremental
+path — ``feed()`` per report, ``estimate_user()`` on a stream-time
+cadence — so a served estimate is *by construction* the same number the
+batch pipeline computes over the same trailing window (the property
+``tests/test_serve.py`` pins to 0.1 bpm).
+
+Sessions are grouped into :class:`SessionShard` workers (user_id modulo
+shard count), each with its own bounded ingest queue.  The shard is the
+unit of backpressure:
+
+* **shed-oldest** — when the queue is full, the *oldest* queued report
+  is discarded to make room (a monitor wants the freshest breath, not a
+  faithful archive), counted in ``repro_serve_shed_total``;
+* **watermarks** — connection handlers stop reading their socket while a
+  shard's backlog sits above the high watermark and resume below the low
+  watermark, pushing backpressure into the kernel's TCP window so a
+  well-behaved sender slows down instead of being shed.
+
+Everything here is asyncio-single-threaded: sessions mutate only inside
+their shard's worker task, which is what makes the checkpoint snapshot
+(:mod:`repro.serve.checkpoint`) consistent without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import obs
+from ..core.pipeline import TagBreathe
+from ..errors import InsufficientDataError
+from ..reader.tagreport import TagReport
+from .protocol import estimate_to_wire
+
+#: Default per-shard ingest queue capacity (reports).
+DEFAULT_QUEUE_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tuning knobs for served monitoring sessions.
+
+    Attributes:
+        window_s: trailing analysis window passed to ``estimate_user``
+            (None = the engine's 25 s paper default).
+        estimate_interval_s: stream-time cadence between published
+            estimates per user.
+        warmup_s: stream time that must elapse after a session's first
+            report before its first estimate is attempted (the paper's
+            window must fill before Eq. 5 has enough crossings).
+        queue_capacity: per-shard ingest queue bound; overflow sheds the
+            oldest queued report.
+        high_watermark: backlog at which connection handlers pause
+            reading (defaults to 3/4 of capacity).
+        low_watermark: backlog at which paused handlers resume
+            (defaults to 1/4 of capacity).
+        include_signal: embed a downsampled breathing-signal trace in
+            estimate messages (for dashboard sparklines).
+        signal_points: ~how many signal samples to embed when enabled.
+    """
+
+    window_s: Optional[float] = None
+    estimate_interval_s: float = 5.0
+    warmup_s: float = 25.0
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY
+    high_watermark: Optional[int] = None
+    low_watermark: Optional[int] = None
+    include_signal: bool = False
+    signal_points: int = 60
+
+    @property
+    def high(self) -> int:
+        """The effective high watermark."""
+        return (self.high_watermark if self.high_watermark is not None
+                else max(1, (3 * self.queue_capacity) // 4))
+
+    @property
+    def low(self) -> int:
+        """The effective low watermark."""
+        return (self.low_watermark if self.low_watermark is not None
+                else max(0, self.queue_capacity // 4))
+
+
+class UserSession:
+    """One user's live monitoring state inside a shard.
+
+    Args:
+        user_id: the monitored user.
+        config: serving knobs (cadence, window, signal embedding).
+        engine_factory: builds the per-user TagBreathe engine; the
+            default constructs one with ``user_ids={user_id}`` so stray
+            reports can never pollute the session.
+    """
+
+    def __init__(self, user_id: int, config: SessionConfig,
+                 engine_factory: Optional[Callable[[int], TagBreathe]] = None,
+                 ) -> None:
+        self.user_id = user_id
+        self.config = config
+        factory = engine_factory or (lambda uid: TagBreathe(user_ids={uid}))
+        self.engine = factory(user_id)
+        self.first_t: Optional[float] = None
+        self.latest_t: Optional[float] = None
+        self.next_due_t: Optional[float] = None
+        self.reports_in = 0
+        self.estimates_out = 0
+
+    # ------------------------------------------------------------------
+    def ingest(self, report: TagReport) -> bool:
+        """Feed one report; returns True when the engine buffered it."""
+        self.reports_in += 1
+        t = report.timestamp_s
+        if self.first_t is None:
+            self.first_t = t
+            self.next_due_t = t + self.config.warmup_s
+        self.latest_t = t if self.latest_t is None else max(self.latest_t, t)
+        return self.engine.feed(report)
+
+    def estimate_due(self) -> bool:
+        """True when stream time has advanced past the next cadence tick."""
+        return (self.next_due_t is not None and self.latest_t is not None
+                and self.latest_t >= self.next_due_t)
+
+    def maybe_estimate(self) -> Optional[Dict[str, Any]]:
+        """Publish-worthy estimate message if one is due, else None.
+
+        Advances the cadence clock even when the window holds too little
+        signal (the user walked away mid-session): the session keeps
+        quietly retrying every interval rather than spinning on every
+        report.
+        """
+        if not self.estimate_due():
+            return None
+        self.next_due_t += self.config.estimate_interval_s
+        # A stalled stream could leave the due time many intervals in the
+        # past; re-anchor so recovery does not burst-publish stale ticks.
+        if self.next_due_t <= self.latest_t:
+            self.next_due_t = self.latest_t + self.config.estimate_interval_s
+        return self.estimate_now()
+
+    def estimate_now(self, final: bool = False) -> Optional[Dict[str, Any]]:
+        """Compute an estimate message right now (None if not possible)."""
+        with obs.span("serve.session.estimate", user_id=self.user_id):
+            try:
+                estimate = self.engine.estimate_user(
+                    self.user_id, window_s=self.config.window_s)
+            except InsufficientDataError:
+                return None
+        self.estimates_out += 1
+        signal = None
+        if self.config.include_signal:
+            series = estimate.estimate.signal
+            stride = max(1, len(series) // max(1, self.config.signal_points))
+            signal = (series.times[::stride].tolist(),
+                      series.values[::stride].tolist())
+        return estimate_to_wire(
+            self.user_id, self.latest_t if self.latest_t is not None else 0.0,
+            estimate, drop_counts=self.engine.feed_drop_counts,
+            signal=signal, final=final)
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The session's checkpointable state (JSON-ready except reports)."""
+        return {
+            "user_id": self.user_id,
+            "first_t": self.first_t,
+            "latest_t": self.latest_t,
+            "next_due_t": self.next_due_t,
+            "reports_in": self.reports_in,
+            "estimates_out": self.estimates_out,
+            "drop_counts": self.engine.feed_drop_counts,
+            "reports": self.engine.buffered_reports(self.user_id),
+        }
+
+    def restore(self, state: Dict[str, Any],
+                reports: List[TagReport]) -> None:
+        """Load a checkpointed state (inverse of :meth:`state`)."""
+        self.first_t = state.get("first_t")
+        self.latest_t = state.get("latest_t")
+        self.next_due_t = state.get("next_due_t")
+        self.reports_in = int(state.get("reports_in", 0))
+        self.estimates_out = int(state.get("estimates_out", 0))
+        self.engine.restore_streaming(reports, state.get("drop_counts"))
+
+
+class SessionShard:
+    """One ingest worker: a bounded queue feeding its users' sessions.
+
+    Args:
+        index: shard number (labels the shard's metrics).
+        config: serving knobs shared by every session in the shard.
+        publish: called with each estimate message to fan out.
+        engine_factory: forwarded to :class:`UserSession`.
+    """
+
+    def __init__(self, index: int, config: SessionConfig,
+                 publish: Callable[[Dict[str, Any]], None],
+                 engine_factory: Optional[Callable[[int], TagBreathe]] = None,
+                 ) -> None:
+        self.index = index
+        self.config = config
+        self.sessions: Dict[int, UserSession] = {}
+        self.shed_count = 0
+        self.frames_in = 0
+        self._publish = publish
+        self._engine_factory = engine_factory
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=max(1, config.queue_capacity))
+        self._below_low = asyncio.Event()
+        self._below_low.set()
+        self._task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Producer side (connection handlers)
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Reports queued but not yet ingested."""
+        return self._queue.qsize()
+
+    def submit(self, report: TagReport) -> None:
+        """Enqueue one report, shedding the oldest queued one on overflow.
+
+        Never blocks and never raises: under sustained overload the
+        freshest data wins and ``repro_serve_shed_total`` counts the
+        loss, mirroring the tolerate-and-count contract of
+        ``TagBreathe.feed``.
+        """
+        self.frames_in += 1
+        while True:
+            try:
+                self._queue.put_nowait(report)
+                break
+            except asyncio.QueueFull:
+                try:
+                    self._queue.get_nowait()
+                    self._queue.task_done()
+                except asyncio.QueueEmpty:  # pragma: no cover - race-free loop
+                    continue
+                self.shed_count += 1
+                obs.counter("repro_serve_shed_total",
+                            shard=str(self.index)).inc()
+        if self._queue.qsize() >= self.config.high:
+            self._below_low.clear()
+
+    async def wait_below_low(self) -> None:
+        """Block while the backlog is above the low watermark.
+
+        Connection handlers await this after submitting whenever the
+        backlog crossed the high watermark; not reading the socket is
+        what turns shard congestion into TCP backpressure.
+        """
+        await self._below_low.wait()
+
+    @property
+    def over_high(self) -> bool:
+        """True when the backlog is at or above the high watermark."""
+        return self._queue.qsize() >= self.config.high
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the shard worker task on the running loop."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the worker task (drain first for a graceful stop)."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def drain(self) -> None:
+        """Wait until every queued report has been ingested."""
+        await self._queue.join()
+
+    def session_for(self, user_id: int) -> UserSession:
+        """Get or lazily create the session for ``user_id``."""
+        session = self.sessions.get(user_id)
+        if session is None:
+            session = UserSession(user_id, self.config,
+                                  engine_factory=self._engine_factory)
+            self.sessions[user_id] = session
+            obs.event("serve.session.open", user_id=user_id,
+                      shard=self.index)
+            obs.gauge("repro_serve_active_sessions").inc()
+        return session
+
+    async def _run(self) -> None:
+        while True:
+            report = await self._queue.get()
+            try:
+                session = self.session_for(report.user_id)
+                session.ingest(report)
+                message = session.maybe_estimate()
+                if message is not None:
+                    self._publish(message)
+            finally:
+                self._queue.task_done()
+            if self._queue.qsize() <= self.config.low:
+                self._below_low.set()
+
+    def final_estimates(self) -> List[Dict[str, Any]]:
+        """One last estimate per live session (the drain farewell)."""
+        messages = []
+        for user_id in sorted(self.sessions):
+            message = self.sessions[user_id].estimate_now(final=True)
+            if message is not None:
+                messages.append(message)
+        return messages

@@ -11,6 +11,9 @@ from .sweep import run_scenarios
 from .ground_truth import GroundTruth
 from .environments import ENVIRONMENTS, Environment, environment
 from .trace_io import (
+    iter_trace_csv,
+    iter_trace_jsonl,
+    load_trace,
     TraceFormatError,
     load_trace_csv,
     load_trace_jsonl,
@@ -28,6 +31,9 @@ __all__ = [
     "GroundTruth",
     "TraceFormatError",
     "save_trace_csv",
+    "iter_trace_csv",
+    "iter_trace_jsonl",
+    "load_trace",
     "load_trace_csv",
     "save_trace_jsonl",
     "load_trace_jsonl",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, Iterator, List, Sequence, Union
 
 from ..epc.codec import EPC96
 from ..errors import ReproError
@@ -143,6 +143,84 @@ def load_trace_jsonl(path: Union[str, Path]) -> List[TagReport]:
                 ) from exc
     reports.sort(key=lambda r: r.timestamp_s)
     return reports
+
+
+def iter_trace_csv(path: Union[str, Path]) -> Iterator[TagReport]:
+    """Stream a CSV capture report by report, in file order.
+
+    Unlike :func:`load_trace_csv` this neither materialises the capture
+    nor re-sorts it — the replay client (:mod:`repro.serve.client`) uses
+    it to feed arbitrarily long recordings with bounded memory.  Recorded
+    captures are written timestamp-ordered, so file order *is* stream
+    order for them.
+
+    Raises:
+        TraceFormatError: on a missing/incorrect header or malformed rows.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceFormatError("empty trace file") from None
+        if tuple(header) != CSV_COLUMNS:
+            raise TraceFormatError(
+                f"unexpected header {header!r}; expected {list(CSV_COLUMNS)}"
+            )
+        for row in reader:
+            if row:
+                yield _row_to_report(row)
+
+
+def iter_trace_jsonl(path: Union[str, Path]) -> Iterator[TagReport]:
+    """Stream a JSON-lines capture report by report, in file order.
+
+    The bounded-memory sibling of :func:`load_trace_jsonl`; see
+    :func:`iter_trace_csv` for the ordering contract.
+
+    Raises:
+        TraceFormatError: on malformed lines or missing fields.
+    """
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                yield TagReport(
+                    epc=EPC96.from_hex(record["epc"]),
+                    timestamp_s=float(record["timestamp_s"]),
+                    phase_rad=float(record["phase_rad"]),
+                    rssi_dbm=float(record["rssi_dbm"]),
+                    doppler_hz=float(record["doppler_hz"]),
+                    channel_index=int(record["channel_index"]),
+                    antenna_port=int(record["antenna_port"]),
+                )
+            except (json.JSONDecodeError, KeyError, ValueError, ReproError) as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: bad trace line: {exc}"
+                ) from exc
+
+
+def load_trace(path: Union[str, Path]) -> List[TagReport]:
+    """Load a capture, dispatching on the file extension.
+
+    ``.csv`` goes through :func:`load_trace_csv`; ``.jsonl``/``.json``
+    through :func:`load_trace_jsonl`.  Used by the CLI commands that
+    accept either recording format (``analyze``, ``replay``).
+
+    Raises:
+        TraceFormatError: on an unrecognised extension or bad contents.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return load_trace_csv(path)
+    if suffix in (".jsonl", ".json"):
+        return load_trace_jsonl(path)
+    raise TraceFormatError(
+        f"unrecognised trace extension {suffix!r} for {path} "
+        "(expected .csv, .jsonl, or .json)")
 
 
 def trace_summary(reports: Sequence[TagReport]) -> str:

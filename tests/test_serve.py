@@ -1,0 +1,523 @@
+"""Tests for the streaming ingest service (repro.serve).
+
+Covers the wire protocol, shard backpressure/shed accounting, the
+checkpoint → resume continuity contract, graceful drain, and the
+end-to-end acceptance property: estimates streamed through the real TCP
+service agree with batch ``TagBreathe.process()`` to within 0.1 bpm.
+"""
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.errors import DegradedEstimateWarning, ProtocolError, ServeError
+from repro.serve import (
+    BreathServer,
+    FrameDecoder,
+    IngestClient,
+    SessionConfig,
+    SessionShard,
+    UserSession,
+    encode_frame,
+    load_checkpoint,
+    negotiate_codec,
+    report_to_wire,
+    save_checkpoint,
+    watch_estimates,
+)
+from repro.serve.protocol import MAX_FRAME_BYTES, wire_to_report
+from repro.sim.trace_io import load_trace_csv, save_trace_csv
+
+
+def run(coro):
+    """Run one coroutine to completion (the suite has no asyncio plugin)."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture(autouse=True)
+def _quiet_degraded():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstimateWarning)
+        yield
+
+
+def make_capture(users=2, duration_s=40.0, seed=7):
+    scenario = Scenario([
+        Subject(user_id=uid, distance_m=3.0,
+                lateral_offset_m=(uid - (users + 1) / 2) * 0.8,
+                breathing=MetronomeBreathing(10.0 + 2.0 * uid),
+                sway_seed=uid)
+        for uid in range(1, users + 1)
+    ])
+    return run_scenario(scenario, duration_s=duration_s, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        message = {"type": "hello", "role": "ingest", "n": 3, "x": 1.5}
+        decoder = FrameDecoder("json")
+        assert decoder.feed(encode_frame(message)) == [message]
+
+    def test_decoder_handles_byte_at_a_time(self):
+        frame = encode_frame({"type": "bye"})
+        decoder = FrameDecoder()
+        messages = []
+        for i in range(len(frame)):
+            messages.extend(decoder.feed(frame[i:i + 1]))
+        assert messages == [{"type": "bye"}]
+        assert decoder.pending_bytes() == 0
+
+    def test_decoder_handles_many_frames_per_feed(self):
+        data = b"".join(encode_frame({"type": "report", "i": i})
+                        for i in range(5))
+        decoder = FrameDecoder()
+        messages = decoder.feed(data)
+        assert [m["i"] for m in messages] == [0, 1, 2, 3, 4]
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack("!I", MAX_FRAME_BYTES + 1) + b"x")
+
+    def test_non_object_payload_rejected(self):
+        import struct
+        payload = b"[1,2,3]"
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(struct.pack("!I", len(payload)) + payload)
+
+    def test_report_wire_roundtrip(self):
+        result = make_capture(users=1, duration_s=2.0)
+        for report in result.reports[:20]:
+            back = wire_to_report(report_to_wire(report))
+            assert back == report
+
+    def test_wire_to_report_validates(self):
+        message = report_to_wire(make_capture(1, 2.0).reports[0])
+        message["antenna_port"] = 0  # LLRP ports are 1-based
+        with pytest.raises(ProtocolError):
+            wire_to_report(message)
+        with pytest.raises(ProtocolError):
+            wire_to_report({"type": "report"})
+
+    def test_negotiate_codec_falls_back_to_json(self):
+        assert negotiate_codec("json") == "json"
+        assert negotiate_codec("no-such-codec") == "json"
+        assert negotiate_codec(None) == "json"
+
+
+# ----------------------------------------------------------------------
+# Streaming-state snapshot on the engine (serves the checkpoint layer)
+# ----------------------------------------------------------------------
+class TestEngineStreamingState:
+    def test_buffered_reports_roundtrip(self):
+        result = make_capture(users=2, duration_s=30.0)
+        engine = TagBreathe(user_ids={1, 2})
+        engine.feed_many(result.reports)
+        snapshot = engine.buffered_reports()
+        assert len(snapshot) == len(result.reports)
+        restored = TagBreathe(user_ids={1, 2})
+        restored.restore_streaming(snapshot,
+                                   {"late": 3, "duplicate": 1})
+        assert restored.feed_drop_counts["late"] == 3
+        a = engine.estimate_user(1, window_s=30.0)
+        b = restored.estimate_user(1, window_s=30.0)
+        assert a.rate_bpm == pytest.approx(b.rate_bpm, abs=1e-12)
+
+    def test_buffered_reports_per_user_filter(self):
+        result = make_capture(users=2, duration_s=10.0)
+        engine = TagBreathe(user_ids={1, 2})
+        engine.feed_many(result.reports)
+        only_one = engine.buffered_reports(1)
+        assert only_one and all(r.user_id == 1 for r in only_one)
+
+    def test_reset_streaming_zeroes_drop_counts(self):
+        engine = TagBreathe()
+        engine.restore_streaming([], {"late": 5})
+        assert engine.feed_drop_counts["late"] == 5
+        engine.reset_streaming()
+        assert engine.dropped_report_count == 0
+
+
+# ----------------------------------------------------------------------
+# Backpressure and shedding
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_shed_oldest_first(self):
+        result = make_capture(users=1, duration_s=10.0)
+        reports = result.reports[:32]
+        config = SessionConfig(queue_capacity=8)
+        published = []
+
+        async def scenario():
+            shard = SessionShard(0, config, published.append)
+            for report in reports:
+                shard.submit(report)
+            assert shard.backlog == 8
+            return shard
+
+        shard = run(scenario())
+        assert shard.shed_count == len(reports) - 8
+        assert shard.frames_in == len(reports)
+
+    def test_shed_keeps_newest_reports(self):
+        result = make_capture(users=1, duration_s=10.0)
+        reports = result.reports[:20]
+        config = SessionConfig(queue_capacity=4)
+
+        async def scenario():
+            shard = SessionShard(0, config, lambda m: None)
+            for report in reports:
+                shard.submit(report)
+            kept = []
+            while shard.backlog:
+                kept.append(shard._queue.get_nowait())
+            return kept
+
+        kept = run(scenario())
+        assert kept == reports[-4:]
+
+    def test_watermarks(self):
+        config = SessionConfig(queue_capacity=100,
+                               high_watermark=10, low_watermark=2)
+        assert config.high == 10 and config.low == 2
+        result = make_capture(users=1, duration_s=10.0)
+
+        async def scenario():
+            shard = SessionShard(0, config, lambda m: None)
+            for report in result.reports[:10]:
+                shard.submit(report)
+            assert shard.over_high
+            shard.start()
+            await asyncio.wait_for(shard.wait_below_low(), timeout=5.0)
+            assert shard.backlog <= config.high
+            await shard.drain()
+            await shard.stop()
+            return shard.sessions
+
+        sessions = run(scenario())
+        assert 1 in sessions and sessions[1].reports_in == 10
+
+    def test_default_watermarks_derive_from_capacity(self):
+        config = SessionConfig(queue_capacity=100)
+        assert config.high == 75
+        assert config.low == 25
+
+    def test_shed_counted_in_obs_metrics(self):
+        from repro import obs
+        result = make_capture(users=1, duration_s=5.0)
+        config = SessionConfig(queue_capacity=2)
+
+        async def scenario():
+            shard = SessionShard(0, config, lambda m: None)
+            for report in result.reports[:10]:
+                shard.submit(report)
+
+        with obs.capture() as (_tracer, registry):
+            run(scenario())
+            values = registry.values("repro_serve_shed_total")
+        assert sum(values.values()) == 8
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+class TestUserSession:
+    def test_cadence_and_warmup(self):
+        result = make_capture(users=1, duration_s=40.0)
+        config = SessionConfig(window_s=25.0, estimate_interval_s=5.0,
+                               warmup_s=25.0)
+        session = UserSession(1, config)
+        estimates = []
+        for report in result.reports:
+            session.ingest(report)
+            message = session.maybe_estimate()
+            if message:
+                estimates.append(message)
+        # 40 s of stream, first estimate ~25 s, then every 5 s: 25/30/35/40
+        assert 3 <= len(estimates) <= 5
+        assert estimates[0]["t"] >= 25.0
+        assert all(m["type"] == "estimate" for m in estimates)
+        assert all(m["user_id"] == 1 for m in estimates)
+        assert "drop_counts" in estimates[0]
+
+    def test_signal_embedding(self):
+        result = make_capture(users=1, duration_s=30.0)
+        session = UserSession(1, SessionConfig(include_signal=True,
+                                               signal_points=40))
+        for report in result.reports:
+            session.ingest(report)
+        message = session.estimate_now()
+        assert message is not None
+        assert len(message["signal"]["values"]) >= 20
+        assert len(message["signal"]["times"]) == len(message["signal"]["values"])
+
+    def test_insufficient_data_returns_none(self):
+        session = UserSession(1, SessionConfig())
+        assert session.estimate_now() is None
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpoint:
+    def test_save_load_roundtrip(self, tmp_path):
+        result = make_capture(users=2, duration_s=20.0)
+        session = UserSession(1, SessionConfig())
+        for report in result.reports:
+            session.ingest(report)
+        path = tmp_path / "serve.ckpt"
+        n = save_checkpoint(path, [session.state()], {"frames_total": 99})
+        assert n == len(session.engine.buffered_reports(1))
+        saved = load_checkpoint(path)
+        assert saved["counters"]["frames_total"] == 99
+        [state] = saved["sessions"]
+        assert state["user_id"] == 1
+        assert state["reports"] == session.engine.buffered_reports(1)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("not json")
+        with pytest.raises(ServeError):
+            load_checkpoint(path)
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ServeError):
+            load_checkpoint(path)
+        with pytest.raises(ServeError):
+            load_checkpoint(tmp_path / "missing.ckpt")
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text('{"format": "repro-serve-checkpoint", "version": 99}')
+        with pytest.raises(ServeError):
+            load_checkpoint(path)
+
+    def test_restore_into_session_is_lossless(self):
+        result = make_capture(users=1, duration_s=30.0)
+        config = SessionConfig(window_s=30.0)
+        original = UserSession(1, config)
+        for report in result.reports:
+            original.ingest(report)
+        state = original.state()
+        clone = UserSession(1, config)
+        clone.restore(state, state["reports"])
+        a = original.estimate_now()
+        b = clone.estimate_now()
+        assert a["rate_bpm"] == pytest.approx(b["rate_bpm"], abs=1e-12)
+        assert clone.reports_in == original.reports_in
+
+
+# ----------------------------------------------------------------------
+# The server, end to end over real TCP
+# ----------------------------------------------------------------------
+class TestServerEndToEnd:
+    def test_replay_estimates_match_batch(self):
+        """Acceptance: 5 users / 60 s streamed vs batch, within 0.1 bpm."""
+        result = make_capture(users=5, duration_s=60.0, seed=11)
+        reports = result.reports
+
+        async def scenario():
+            server = BreathServer(port=0, n_shards=3, config=SessionConfig(
+                window_s=60.0, estimate_interval_s=10.0, warmup_s=30.0))
+            await server.start()
+            collected = []
+
+            async def consume():
+                async for message in watch_estimates(
+                        "127.0.0.1", server.port):
+                    collected.append(message)
+
+            consumer = asyncio.ensure_future(consume())
+            await asyncio.sleep(0.05)
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            stats = await client.replay(reports, speed=0)
+            await client.close()
+            await server.drain()
+            await consumer
+            return server, stats, collected
+
+        server, stats, collected = run(scenario())
+        assert stats.sent == len(reports)
+        assert stats.acked == len(reports)
+        assert server.counters["reports_total"] == len(reports)
+
+        batch = TagBreathe(user_ids=set(range(1, 6))).process(reports)
+        finals = {m["user_id"]: m for m in collected if m.get("final")}
+        assert set(finals) == set(batch)
+        for uid, estimate in batch.items():
+            assert finals[uid]["rate_bpm"] == pytest.approx(
+                estimate.rate_bpm, abs=0.1)
+        # Interim estimates were streamed too, not just finals.
+        assert len(collected) > len(finals)
+
+    def test_kill_and_checkpoint_resume_continuity(self, tmp_path):
+        """A restarted server picks up mid-breath from its checkpoint."""
+        result = make_capture(users=2, duration_s=40.0)
+        reports = result.reports
+        half = len(reports) // 2
+        path = str(tmp_path / "serve.ckpt")
+
+        async def run_server(batch, expect_resumed):
+            server = BreathServer(
+                port=0, n_shards=2, checkpoint_path=path,
+                checkpoint_interval_s=0,  # checkpoint on drain only
+                config=SessionConfig(window_s=40.0))
+            await server.start()
+            assert (server.counters["resumed_reports"] > 0) == expect_resumed
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(batch, speed=0)
+            await client.close()
+            finals = {s.user_id: s.estimate_now() for s in server.sessions()}
+            await server.drain()  # kill point: writes the checkpoint
+            return finals
+
+        run(run_server(reports[:half], expect_resumed=False))
+        finals = run(run_server(reports[half:], expect_resumed=True))
+
+        uninterrupted = TagBreathe(user_ids={1, 2})
+        uninterrupted.feed_many(reports)
+        for uid in (1, 2):
+            expected = uninterrupted.estimate_user(uid, window_s=40.0)
+            assert finals[uid]["rate_bpm"] == pytest.approx(
+                expected.rate_bpm, abs=0.1)
+
+    def test_graceful_drain_notifies_watchers(self):
+        result = make_capture(users=1, duration_s=30.0)
+
+        async def scenario():
+            server = BreathServer(port=0, config=SessionConfig(
+                window_s=30.0, warmup_s=35.0))  # warmup > capture: no ticks
+            await server.start()
+            seen = []
+
+            async def consume():
+                async for message in watch_estimates(
+                        "127.0.0.1", server.port, user_id=1):
+                    seen.append(message)
+
+            consumer = asyncio.ensure_future(consume())
+            await asyncio.sleep(0.05)
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(result.reports, speed=0)
+            await client.close()
+            await server.drain()
+            # The iterator must terminate on its own (draining message).
+            await asyncio.wait_for(consumer, timeout=5.0)
+            return seen
+
+        seen = run(scenario())
+        # No cadence ticks fired, so everything seen is the drain farewell.
+        assert len(seen) == 1
+        assert seen[0]["final"] is True
+
+    def test_protocol_error_answered_not_fatal(self):
+        async def scenario():
+            server = BreathServer(port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(encode_frame({"type": "report"}))  # no hello
+            await writer.drain()
+            decoder = FrameDecoder()
+            data = await asyncio.wait_for(reader.read(1 << 16), timeout=5.0)
+            messages = decoder.feed(data)
+            writer.close()
+            await server.drain()
+            return server, messages
+
+        server, messages = run(scenario())
+        assert messages and messages[0]["type"] == "error"
+        assert server.counters["protocol_errors_total"] == 1
+
+    def test_reconnects_counted(self):
+        async def scenario():
+            server = BreathServer(port=0)
+            await server.start()
+            for _ in range(3):
+                client = IngestClient("127.0.0.1", server.port,
+                                      client_id="flaky-reader")
+                await client.connect()
+                await client.close()
+            await server.drain()
+            return server.counters
+
+        counters = run(scenario())
+        assert counters["connections_total"] == 3
+        assert counters["reconnects_total"] == 2
+
+    def test_serve_metrics_in_obs_registry(self):
+        from repro import obs
+        result = make_capture(users=1, duration_s=10.0)
+
+        async def scenario():
+            server = BreathServer(port=0)
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(result.reports, speed=0)
+            await client.close()
+            await server.drain()
+
+        with obs.capture() as (_tracer, registry):
+            run(scenario())
+            frames = registry.values("repro_serve_frames_total")
+            conns = registry.values("repro_serve_connections_total")
+            active = registry.values("repro_serve_active_connections")
+        assert sum(frames.values()) >= len(result.reports)
+        assert sum(conns.values()) == 1
+        assert sum(active.values()) == 0  # gauge returned to zero
+
+    def test_flush_is_an_ingest_barrier(self):
+        result = make_capture(users=1, duration_s=20.0)
+
+        async def scenario():
+            server = BreathServer(port=0, config=SessionConfig(
+                window_s=20.0))
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            stats = await client.replay(result.reports, speed=0)
+            # replay() ends with a flush barrier, so ingestion is done:
+            sessions = server.sessions()
+            await client.close()
+            await server.drain()
+            return stats, sessions
+
+        stats, sessions = run(scenario())
+        assert stats.acked == len(result.reports)
+        assert sessions and sessions[0].reports_in == len(result.reports)
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_parser_accepts_serve_replay_watch(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--shards", "2"])
+        assert args.command == "serve" and args.shards == 2
+        args = parser.parse_args(["replay", "cap.csv", "--speed", "4"])
+        assert args.command == "replay" and args.speed == 4.0
+        args = parser.parse_args(["watch", "3"])
+        assert args.command == "watch" and args.user == 3
+
+    def test_replay_against_dead_server_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+        result = make_capture(users=1, duration_s=5.0)
+        trace = tmp_path / "cap.csv"
+        save_trace_csv(result.reports, trace)
+        assert load_trace_csv(trace)  # sanity: the capture round-trips
+        code = main(["replay", str(trace), "--port", "1",
+                     "--speed", "0"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans the given markdown files (or the default doc set) for inline links
+and images — ``[text](target)`` — and verifies every *relative* target
+exists on disk, resolving each against the file that references it.
+``http(s)``/``mailto`` links are skipped (CI must not depend on the
+network), as are pure in-page anchors (``#section``); an anchor suffix
+on a file target (``FILE.md#section``) is stripped before the existence
+check, but the file itself must exist.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link
+is reported as ``file:line: broken link -> target``).
+
+Usage:
+    python tools/check_docs_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link or image: [text](target) / ![alt](target).
+#: Targets with spaces are not used in this repo and keep the regex sane.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that are deliberately not checked.
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+#: The default corpus when no files are passed.
+DEFAULT_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                "CHANGES.md", "PAPER.md")
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, target) for every inline link in a file."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    """All broken-link complaints for one markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = [root / name for name in DEFAULT_DOCS]
+        files += sorted((root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"error: no such file: {f}", file=sys.stderr)
+        return 1
+    problems = []
+    for f in files:
+        problems.extend(check_file(f))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs link check: {checked} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,11 +10,19 @@ JSON files at the output directory root:
   vectorized capture synthesis, with the speedup ratio measured in the
   same run, same seed, same machine.
 * ``BENCH_pipeline.json`` — TagBreathe batch-processing throughput over
-  each capture (reports/s, users estimated).
+  each capture (reports/s, users estimated), plus the ``streaming``
+  suite: serve-shaped replay of the same captures comparing the
+  incremental O(new-samples) cadence tick against the from-scratch
+  recompute tick, with memoized (no-new-data) tick latency and the
+  derived per-core serve capacity.
 
 Both paths consume identical MAC randomness, so each case's scalar and
 vectorized timings cover the *same* read-event stream — the ratio is a
-pure synthesis-path comparison, not a workload difference.
+pure synthesis-path comparison, not a workload difference.  The
+streaming suite replays the identical report stream through both tick
+engines interleaved, so its speedup ratios are also same-workload,
+same-machine comparisons (which is what lets CI compare *ratios* across
+machines; see ``tools/check_bench_regression.py``).
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from . import obs, perf
 from .body import MetronomeBreathing, Subject
 from .config import ReaderConfig
 from .core.pipeline import TagBreathe
-from .errors import DegradedEstimateWarning
+from .errors import DegradedEstimateWarning, InsufficientDataError
 from .sim.engine import SimulationResult, run_scenario
 from .sim.scenario import Scenario
 
@@ -167,6 +175,133 @@ def run_pipeline_benchmark(captures: Dict[tuple, SimulationResult],
     }
 
 
+#: Stream time fed before the first streaming-benchmark cadence tick
+#: (the analysis window must partially fill before ticks mean anything).
+STREAM_WARMUP_S = 12.0
+
+#: Stream-time interval between streaming-benchmark cadence ticks —
+#: matches the serve layer's default ``estimate_interval_s``.
+STREAM_CADENCE_S = 5.0
+
+
+def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
+                            seed: int = 0) -> Dict:
+    """Serve-shaped replay: incremental vs recompute cadence ticks.
+
+    Each capture is replayed report-by-report through two engines fed in
+    lockstep — the default incremental engine and a
+    ``incremental=False`` reference that recomputes every tick from the
+    buffered window — and every ``STREAM_CADENCE_S`` of stream time each
+    monitored user is ticked on both, timing the ticks separately.  A
+    third timing re-ticks the incremental engine immediately (no new
+    data), measuring the memoized-tick latency a serve deployment pays
+    whenever a user's stream was quiet between cadences.
+
+    Every tick's estimate is cross-checked between the two engines;
+    ``max_rate_diff_bpm`` is expected to be exactly 0.0 — the
+    incremental path is bit-equivalent by construction (DESIGN.md §12) —
+    so a nonzero value in a committed benchmark is a correctness alarm,
+    not noise.
+
+    ``serve_capacity_users`` is the derived headline: how many users one
+    core can tick per cadence interval, charging each user its share of
+    feed cost plus one computed incremental tick.
+    """
+    cases = []
+    for (users, duration_s), result in sorted(captures.items()):
+        user_ids = sorted(result.scenario.monitored_user_ids)
+        inc = TagBreathe(user_ids=set(user_ids))
+        rec = TagBreathe(user_ids=set(user_ids), incremental=False)
+        reports = result.reports
+        feed_s = inc_s = rec_s = hit_s = 0.0
+        ticks = insufficient = 0
+        max_diff = 0.0
+        next_tick = (reports[0].timestamp_s + STREAM_WARMUP_S
+                     if reports else None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            for report in reports:
+                t0 = time.perf_counter()
+                inc.feed(report)
+                feed_s += time.perf_counter() - t0
+                rec.feed(report)
+                if next_tick is None or report.timestamp_s < next_tick:
+                    continue
+                next_tick += STREAM_CADENCE_S
+                for uid in user_ids:
+                    ticks += 1
+                    t0 = time.perf_counter()
+                    try:
+                        a = inc.estimate_user(uid)
+                    except InsufficientDataError:
+                        a = None
+                    inc_s += time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    try:
+                        b = rec.estimate_user(uid)
+                    except InsufficientDataError:
+                        b = None
+                    rec_s += time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    try:
+                        inc.estimate_user(uid)
+                    except InsufficientDataError:
+                        pass
+                    hit_s += time.perf_counter() - t0
+                    if a is None or b is None:
+                        insufficient += 1
+                        if (a is None) != (b is None):
+                            max_diff = float("inf")
+                    else:
+                        max_diff = max(max_diff,
+                                       abs(a.rate_bpm - b.rate_bpm))
+        inc_tick = inc_s / ticks if ticks else float("nan")
+        rec_tick = rec_s / ticks if ticks else float("nan")
+        hit_tick = hit_s / ticks if ticks else float("nan")
+        # Per-user feed cost over one cadence interval: this user's
+        # share of the stream's reports in STREAM_CADENCE_S of time.
+        feed_per_report = feed_s / len(reports) if reports else 0.0
+        reports_per_user_cadence = (len(reports) / duration_s / users
+                                    * STREAM_CADENCE_S)
+        user_cadence_cost = (inc_tick
+                             + feed_per_report * reports_per_user_cadence)
+        cases.append({
+            "users": users,
+            "duration_s": duration_s,
+            "reports": len(reports),
+            "ticks": ticks,
+            "insufficient_ticks": insufficient,
+            "feed_s": feed_s,
+            "feed_reports_per_s": (len(reports) / feed_s
+                                   if feed_s > 0 else float("inf")),
+            "incremental_tick_s": inc_tick,
+            "recompute_tick_s": rec_tick,
+            "cached_tick_s": hit_tick,
+            "tick_speedup": (rec_tick / inc_tick
+                             if inc_tick > 0 else float("inf")),
+            "cached_tick_speedup": (rec_tick / hit_tick
+                                    if hit_tick > 0 else float("inf")),
+            "serve_capacity_users": (STREAM_CADENCE_S / user_cadence_cost
+                                     if user_cadence_cost > 0
+                                     else float("inf")),
+            "max_rate_diff_bpm": max_diff,
+        })
+    headline = max(cases, key=lambda c: (c["users"], c["duration_s"]))
+    return {
+        "warmup_s": STREAM_WARMUP_S,
+        "cadence_s": STREAM_CADENCE_S,
+        "cases": cases,
+        "headline": {
+            "users": headline["users"],
+            "duration_s": headline["duration_s"],
+            "tick_speedup": headline["tick_speedup"],
+            "cached_tick_speedup": headline["cached_tick_speedup"],
+            "serve_capacity_users": headline["serve_capacity_users"],
+            "max_rate_diff_bpm": headline["max_rate_diff_bpm"],
+        },
+    }
+
+
 def run_obs_overhead_benchmark(users: int, duration_s: float,
                                seed: int = 0, repeats: int = 5) -> Dict:
     """Measure what round-level tracing costs on one headline case.
@@ -232,6 +367,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     grid = QUICK_GRID if quick else FULL_GRID
     simulation, captures = run_simulation_benchmark(grid, seed=seed)
     pipeline = run_pipeline_benchmark(captures, seed=seed)
+    pipeline["streaming"] = run_streaming_benchmark(captures, seed=seed)
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(
         obs_users, obs_duration, seed=seed)

@@ -113,7 +113,8 @@ def fuse_streams(
         if fused is None:
             fused = binned
         else:
-            fused = TimeSeries(fused.times, fused.values + binned.values)
+            fused = TimeSeries.from_trusted(
+                fused.times, fused.values + binned.values)
     assert fused is not None
     return FusedStream(
         user_id=user_id,
@@ -169,7 +170,8 @@ def fuse_sample_streams(
         if fused is None:
             fused = binned
         else:
-            fused = TimeSeries(fused.times, fused.values + binned.values)
+            fused = TimeSeries.from_trusted(
+                fused.times, fused.values + binned.values)
     assert fused is not None
     return FusedStream(
         user_id=user_id,

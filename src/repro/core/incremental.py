@@ -1,0 +1,340 @@
+"""O(new-samples) streaming estimation — the incremental tick path.
+
+The batch reference (:meth:`repro.core.pipeline.TagBreathe._process_user`)
+re-gathers, re-sorts, re-differences, re-fuses, and re-filters the whole
+trailing window on every cadence tick.  This module maintains, per user,
+state that is updated once per ``feed()``:
+
+* a :class:`~repro.streams.windowindex.WindowIndex` of timestamp-ordered
+  scalar columns (antenna port, RSSI, stream id), so a trailing window is
+  two binary searches plus contiguous slices instead of a gather + sort;
+* one :class:`~repro.core.preprocess.PhaseChainCursor` per tag stream,
+  holding the Eq. (3) wrapped phase deltas computed once at ingest time.
+
+:meth:`IncrementalEstimator.estimate` then replays the *same* six-stage
+algorithm as the batch path — delivery hygiene, antenna failover,
+staleness demotion, gap scoring, Hampel + Eq. (6)/(7) fusion, Eq. (5)
+extraction — over those columns.  Each stage's arithmetic is arranged to
+perform the identical float64 operations on the identical values in the
+identical order, so the result is **bit-for-bit equal** to the recompute
+path (``tests/test_incremental.py`` and the hypothesis property in
+``tests/test_property.py`` pin this).  Two deliberate, measure-zero
+deviations from the recompute path are documented in DESIGN.md §12:
+exact cross-stream timestamp ties order by arrival rather than by buffer
+creation, and exact antenna-score ties break toward the lowest port.
+
+What stays out: ``mode="increments"`` cannot tick incrementally — its
+:class:`~repro.core.preprocess.DeltaChain` smoothing window spans the
+analysis-window boundary, so windowed results are not a function of
+windowed reports — and falls back to the recompute path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import perf
+from ..config import PipelineConfig, RobustnessConfig
+from ..errors import EmptyStreamError, InsufficientDataError
+from ..reader.tagreport import TagReport
+from ..streams.timeseries import TimeSeries
+from ..streams.windowindex import WindowIndex
+from ..streams.windows import trailing_window_bounds
+from .degradation import (
+    REASON_ANTENNA_FAILOVER,
+    REASON_GAPS,
+    REASON_OUTLIERS,
+    REASON_TAG_DEATH,
+)
+from .extraction import BreathExtractor, BreathingEstimate
+from .fusion import fuse_sample_streams
+from .preprocess import (
+    DEFAULT_MIN_SEGMENT_LEN,
+    PhaseChainCursor,
+    StreamKey,
+    hampel_filter,
+)
+from .quality import quality_score
+
+
+@dataclass
+class TickOutcome:
+    """Everything one incremental tick computed, pre-finalisation.
+
+    The pipeline turns this into a ``UserEstimate`` via the same
+    finalisation (obs counters, degradation warning, confidence clamp)
+    the batch path uses, so the two paths cannot drift there either.
+    """
+
+    estimate: BreathingEstimate
+    antenna_port: Optional[int]
+    tags_fused: int
+    read_count: int
+    confidence: float
+    reasons: List[str]
+    n_rejected: int
+    n_samples: int
+
+
+class UserStreamState:
+    """One user's feed-time incremental state.
+
+    ``version`` increments on every mutation (accepted feed, prune) and
+    is what the pipeline's estimate memo keys on: a tick at an unchanged
+    version returns the cached ``UserEstimate`` without touching any of
+    this.
+    """
+
+    __slots__ = ("index", "cursors", "keys", "sid_of", "version")
+
+    def __init__(self) -> None:
+        self.index = WindowIndex({
+            "port": np.int64, "rssi": np.float64, "sid": np.int64,
+        })
+        self.cursors: List[PhaseChainCursor] = []
+        self.keys: List[StreamKey] = []
+        self.sid_of: Dict[StreamKey, int] = {}
+        self.version = 0
+
+
+class IncrementalEstimator:
+    """Per-user incremental window state + the O(window-slice) tick.
+
+    Owned by :class:`~repro.core.pipeline.TagBreathe` (samples mode);
+    fed from ``feed()``, queried from ``estimate_user()``.
+
+    Args:
+        frequencies_hz: channel-index -> carrier frequency map.
+        config: signal-processing parameters (fusion bin width).
+        robustness: graceful-degradation thresholds.
+        extractor: the shared extraction stage.
+        select_antenna: mirror of the engine's antenna-selection flag.
+        max_gap_s: segment-splitting gap limit (samples mode).
+    """
+
+    def __init__(
+        self,
+        frequencies_hz: List[float],
+        config: PipelineConfig,
+        robustness: RobustnessConfig,
+        extractor: BreathExtractor,
+        select_antenna: bool,
+        max_gap_s: float,
+    ) -> None:
+        self._frequencies = frequencies_hz
+        self._config = config
+        self._robustness = robustness
+        self._extractor = extractor
+        self._select_antenna = select_antenna
+        self._max_gap_s = max_gap_s
+        self._states: Dict[int, UserStreamState] = {}
+
+    # ------------------------------------------------------------------
+    # Feed-side maintenance
+    # ------------------------------------------------------------------
+    def state_for(self, user_id: int) -> Optional[UserStreamState]:
+        """The user's live state, or None before their first report."""
+        return self._states.get(user_id)
+
+    def version(self, user_id: int) -> int:
+        """The user's state version (-1 before their first report)."""
+        state = self._states.get(user_id)
+        return -1 if state is None else state.version
+
+    def ingest(self, report: TagReport) -> None:
+        """Index one accepted report and difference it at its cursor.
+
+        The caller (``TagBreathe.feed``) has already enforced the stream
+        contract: per-stream strictly-increasing timestamps, valid
+        channel index, monitored user.
+        """
+        state = self._states.get(report.user_id)
+        if state is None:
+            state = UserStreamState()
+            self._states[report.user_id] = state
+        key = report.stream_key
+        sid = state.sid_of.get(key)
+        if sid is None:
+            sid = len(state.keys)
+            state.sid_of[key] = sid
+            state.keys.append(key)
+            state.cursors.append(PhaseChainCursor(
+                self._frequencies, max_gap_s=self._max_gap_s))
+        state.index.add(report.timestamp_s, port=report.antenna_port,
+                        rssi=report.rssi_dbm, sid=sid)
+        state.cursors[sid].push(report)
+        state.version += 1
+
+    def prune_stream(self, user_id: int, key: StreamKey,
+                     horizon_s: float) -> None:
+        """Mirror the engine's bounded-memory prune for one stream."""
+        state = self._states.get(user_id)
+        if state is None:
+            return
+        sid = state.sid_of.get(key)
+        if sid is None:
+            return
+        where = state.index.column("sid") == sid
+        dropped = state.index.prune_before(horizon_s, where=where)
+        state.cursors[sid].prune_before(horizon_s)
+        if dropped:
+            state.version += 1
+
+    def reset(self) -> None:
+        """Forget every user's state (streaming reset / restore)."""
+        self._states.clear()
+
+    # ------------------------------------------------------------------
+    # Tick side
+    # ------------------------------------------------------------------
+    def estimate(self, user_id: int, window_s: float) -> TickOutcome:
+        """One incremental tick over the trailing ``window_s`` seconds.
+
+        Raises:
+            InsufficientDataError: no streamed data for the user, or the
+                window holds too little signal (same contract and wording
+                as the recompute path).
+        """
+        state = self._states.get(user_id)
+        if state is None or not len(state.index):
+            raise InsufficientDataError(
+                f"no streamed data for user {user_id}")
+        rb = self._robustness
+        reasons: List[str] = []
+        confidence = 1.0
+
+        with perf.stage("pipeline.tick.window"):
+            index = state.index
+            all_times = index.times
+            t_latest = float(all_times[-1])
+            lo, hi = trailing_window_bounds(t_latest, window_s)
+            a, b = index.window_bounds(lo, hi)
+            times = all_times[a:b]
+            ports = index.column("port")[a:b]
+            rssis = index.column("rssi")[a:b]
+            sids = index.column("sid")[a:b]
+            # Stage 1 (delivery hygiene) is a no-op here by construction:
+            # feed() enforces per-stream order and dedup and the index
+            # keeps global time order, so sanitize_reports would find
+            # nothing to count.
+
+            # Stage 2: antenna selection with failover past dead ports.
+            antenna_port: Optional[int] = None
+            unique_ports = np.unique(ports)
+            if self._select_antenna and unique_ports.size > 1:
+                antenna_port, failed_over = _select_port(
+                    times, ports, rssis, unique_ports, rb.antenna_stale_s)
+                if failed_over:
+                    reasons.append(REASON_ANTENNA_FAILOVER)
+                    confidence *= 0.85
+                keep = ports == antenna_port
+                times = times[keep]
+                sids = sids[keep]
+            elif unique_ports.size == 1:
+                antenna_port = int(unique_ports[0])
+
+            # Stage 3: staleness watchdog — demote dead tag streams.
+            unique_sids = np.unique(sids)
+            if times.shape[0] and unique_sids.size > 1:
+                t_lat = float(times[-1])
+                dead = [
+                    s for s in unique_sids
+                    if float(times[sids == s][-1]) < t_lat - rb.stale_stream_s
+                ]
+                if dead and len(dead) < unique_sids.size:
+                    reasons.append(REASON_TAG_DEATH)
+                    confidence *= max(
+                        0.5,
+                        (unique_sids.size - len(dead)) / unique_sids.size)
+                    keep = ~np.isin(sids, dead)
+                    times = times[keep]
+                    sids = sids[keep]
+
+            # Stage 4: coverage — long holes in the read times.
+            if times.shape[0] > 1:
+                span = max(float(times[-1]) - float(times[0]), 1e-9)
+                gaps = np.diff(times)
+                # Sequential python sum, matching the batch path's
+                # generator sum float for float (np.sum is pairwise).
+                excess = sum(gaps[gaps > rb.gap_warn_s].tolist())
+                if excess > 0.0:
+                    reasons.append(REASON_GAPS)
+                    confidence *= max(0.5, 1.0 - excess / span)
+
+        with perf.stage("pipeline.tick.fuse"):
+            # Stage 5: per-tag windowed displacement (from the feed-time
+            # chains) + Hampel + Eq. (6)/(7) fusion.  Stream order is the
+            # first appearance in the surviving windowed reports, exactly
+            # like group_reports_by_stream on the batch side.
+            _, first_pos = np.unique(sids, return_index=True)
+            order = sids[np.sort(first_pos)]
+            per_tag: Dict[StreamKey, TimeSeries] = {}
+            n_rejected = 0
+            for s in order:
+                sid = int(s)
+                stream = state.cursors[sid].window_displacement(
+                    lo, hi, antenna_port=antenna_port,
+                    min_segment_len=DEFAULT_MIN_SEGMENT_LEN)
+                if rb.outlier_rejection and stream:
+                    stream, rejected = hampel_filter(
+                        stream, window=rb.hampel_window,
+                        n_sigmas=rb.hampel_n_sigmas)
+                    n_rejected += rejected
+                per_tag[state.keys[sid]] = stream
+            n_samples = sum(len(s) for s in per_tag.values()) + n_rejected
+            try:
+                fused = fuse_sample_streams(
+                    user_id, per_tag, bin_s=self._config.fusion_bin_s)
+            except EmptyStreamError as exc:
+                raise InsufficientDataError(str(exc)) from exc
+            if n_samples and n_rejected / n_samples > rb.outlier_warn_fraction:
+                reasons.append(REASON_OUTLIERS)
+                confidence *= max(0.7, 1.0 - 5.0 * n_rejected / n_samples)
+
+        with perf.stage("pipeline.tick.extract"):
+            estimate = self._extractor.estimate(fused.track)
+
+        return TickOutcome(
+            estimate=estimate,
+            antenna_port=antenna_port,
+            tags_fused=len(per_tag),
+            read_count=int(times.shape[0]),
+            confidence=confidence,
+            reasons=reasons,
+            n_rejected=n_rejected,
+            n_samples=n_samples,
+        )
+
+
+def _select_port(times: np.ndarray, ports: np.ndarray, rssis: np.ndarray,
+                 unique_ports: np.ndarray,
+                 stale_s: float) -> Tuple[int, Tuple[int, ...]]:
+    """Column-store twin of ``select_antenna_with_failover``.
+
+    Same score (via the shared :func:`~repro.core.quality.quality_score`),
+    same span and liveness definitions; exact score ties break toward the
+    lowest live port (the batch path's small-int set iteration does the
+    same in practice — a documented measure-zero deviation otherwise).
+    """
+    span = max(float(times[-1]) - float(times[0]), 1e-9)
+    t_latest = float(times[-1])
+    scores: Dict[int, float] = {}
+    last_seen: Dict[int, float] = {}
+    for p in unique_ports:
+        port = int(p)
+        selected = ports == p
+        port_times = times[selected]
+        scores[port] = quality_score(
+            int(selected.sum()), span, float(np.mean(rssis[selected])))
+        last_seen[port] = float(port_times[-1])
+    live = [p for p in sorted(last_seen)
+            if last_seen[p] >= t_latest - stale_s]
+    chosen = max(live, key=lambda p: scores[p])
+    failed_over = tuple(sorted(
+        p for p in scores
+        if p not in live and scores[p] > scores[chosen]
+    ))
+    return chosen, failed_over

@@ -7,6 +7,16 @@ returns per-user estimates; streaming mode (:meth:`TagBreathe.feed` +
 :meth:`TagBreathe.estimate_user`) consumes reports one at a time, the way
 the paper's prototype visualised breathing "in realtime" (Section V).
 
+Batch mode is the *reference implementation*; the streaming tick is
+O(new-samples) — ``feed()`` differences each report once into per-stream
+phase chains and a timestamp-ordered window index, ``estimate_user``
+slices the trailing window out of that state (bit-for-bit equal to the
+from-scratch :meth:`TagBreathe.estimate_user_recompute`), and a tick with
+no new reports returns the memoized ``UserEstimate`` without touching the
+filter (DESIGN.md §12).  All three paths share one trailing-window
+definition: ``(t_latest - window_s, t_latest]``
+(:func:`repro.streams.windows.trailing_window_bounds`).
+
 Two preprocessing representations are supported (see DESIGN.md):
 
 * ``mode="samples"`` (default, production): per-channel unwrapped phase
@@ -34,12 +44,22 @@ from ..errors import (
 )
 from ..reader.tagreport import TagReport
 from ..streams.timeseries import TimeSeries
+from ..streams.windows import trailing_window_bounds
+from .degradation import (
+    DEGRADED_REASONS,
+    REASON_ANTENNA_FAILOVER,
+    REASON_DISORDERED,
+    REASON_GAPS,
+    REASON_OUTLIERS,
+    REASON_TAG_DEATH,
+)
 from .extraction import BreathExtractor, BreathingEstimate
 from .fusion import (
     fuse_sample_streams,
     fuse_streams,
     group_reports_by_user,
 )
+from .incremental import IncrementalEstimator
 from .preprocess import (
     DEFAULT_MAX_GAP_S,
     DEFAULT_SEGMENT_GAP_S,
@@ -53,36 +73,15 @@ from .preprocess import (
 )
 from .quality import filter_to_antenna, select_antenna_with_failover
 
+__all__ = [
+    "MODES", "FEED_DROP_KEYS", "DEGRADED_REASONS",
+    "REASON_DISORDERED", "REASON_GAPS", "REASON_TAG_DEATH",
+    "REASON_ANTENNA_FAILOVER", "REASON_OUTLIERS",
+    "sanitize_reports", "UserEstimate", "TagBreathe",
+]
+
 #: Supported preprocessing representations.
 MODES = ("samples", "increments")
-
-# ----------------------------------------------------------------------
-# Degradation bookkeeping
-# ----------------------------------------------------------------------
-#: The stream contained late/duplicate deliveries that were re-ordered or
-#: dropped before processing.
-REASON_DISORDERED = "late_or_duplicate_reports"
-#: The user's read times contain gaps longer than the configured warning
-#: threshold (bursty loss, interference, reader stall).
-REASON_GAPS = "report_gaps"
-#: One or more tag streams went permanently silent and were demoted out of
-#: fusion (Eq. 6-7 re-weighted over the survivors).
-REASON_TAG_DEATH = "tag_death"
-#: The best-scoring antenna was dead at the end of the window; the
-#: estimate rides the next-best live port.
-REASON_ANTENNA_FAILOVER = "antenna_failover"
-#: Hampel rejection removed a non-trivial fraction of displacement
-#: samples (phase glitches / pi-ambiguity flips).
-REASON_OUTLIERS = "phase_outliers"
-
-#: Every degradation reason the pipeline can attach to an estimate.
-DEGRADED_REASONS = (
-    REASON_DISORDERED,
-    REASON_GAPS,
-    REASON_TAG_DEATH,
-    REASON_ANTENNA_FAILOVER,
-    REASON_OUTLIERS,
-)
 
 #: The stable key set of :attr:`TagBreathe.feed_drop_counts` — the
 #: per-cause accounting of reports the streaming entry point discarded.
@@ -133,6 +132,14 @@ def sanitize_reports(
         seen.add(key)
         clean.append(report)
     return clean, n_disordered, n_duplicates
+
+
+def _trailing_reports(reports: List[TagReport],
+                      window_s: float) -> List[TagReport]:
+    """One user's reports inside the pinned trailing window, order kept."""
+    t_latest = max(r.timestamp_s for r in reports)
+    lo, hi = trailing_window_bounds(t_latest, window_s)
+    return [r for r in reports if lo < r.timestamp_s <= hi]
 
 
 @dataclass(frozen=True)
@@ -195,6 +202,12 @@ class TagBreathe:
         robustness: graceful-degradation thresholds (Hampel rejection,
             staleness watchdog, antenna failover); defaults preserve
             clean-capture output bit for bit.
+        incremental: maintain feed-time incremental state so streaming
+            ticks are O(new-samples) (samples mode only; increments mode
+            always recomputes — see :mod:`repro.core.incremental`).
+            Disable to benchmark against, or fall back to, the
+            from-scratch recompute path; results are identical either
+            way.
 
     Raises:
         ExtractionError: on an unknown mode or filter type.
@@ -211,6 +224,7 @@ class TagBreathe:
         max_gap_s: Optional[float] = None,
         smooth_k: int = DEFAULT_SMOOTH_K,
         robustness: Optional[RobustnessConfig] = None,
+        incremental: bool = True,
     ) -> None:
         if mode not in MODES:
             raise ExtractionError(f"mode must be one of {MODES}, got {mode!r}")
@@ -228,12 +242,25 @@ class TagBreathe:
         self._max_gap_s = max_gap_s
         self._smooth_k = smooth_k
         self._robustness = robustness if robustness is not None else RobustnessConfig()
-        # Streaming state: raw reports buffered per (user, tag) stream;
-        # estimates re-run the batch path over the trailing window, so
-        # streaming and batch results agree by construction.
+        # Streaming state: raw reports buffered per (user, tag) stream.
+        # The buffers are the checkpointable source of truth; the
+        # incremental estimator below is derived state, rebuilt
+        # deterministically by re-feeding them (restore_streaming).
         self._report_buffers: Dict[StreamKey, List[TagReport]] = {}
         # Tolerate-and-count accounting of reports feed() had to discard.
         self._feed_drops: Dict[str, int] = dict.fromkeys(FEED_DROP_KEYS, 0)
+        # Drops incurred while restore_streaming replayed a snapshot —
+        # kept apart from live-traffic counters (see last_restore_drop_counts).
+        self._last_restore_drops: Dict[str, int] = dict.fromkeys(FEED_DROP_KEYS, 0)
+        # Incremental streaming state (samples mode): per-user window
+        # index + feed-time phase chains, plus the per-(user, window)
+        # estimate memo keyed by state version.
+        self._inc: Optional[IncrementalEstimator] = None
+        if incremental and mode == "samples":
+            self._inc = IncrementalEstimator(
+                self._frequencies, self._config, self._robustness,
+                self._extractor, self._select_antenna, self._max_gap_s)
+        self._tick_memo: Dict[Tuple[int, float], Tuple[int, str, object]] = {}
 
     @property
     def config(self) -> PipelineConfig:
@@ -258,22 +285,39 @@ class TagBreathe:
     # ------------------------------------------------------------------
     # Batch mode
     # ------------------------------------------------------------------
-    def process(self, reports: Iterable[TagReport]) -> Dict[int, UserEstimate]:
+    def process(self, reports: Iterable[TagReport],
+                window_s: Optional[float] = None) -> Dict[int, UserEstimate]:
         """Process a full capture; estimates for every estimable user.
 
         Users without enough data (fully blocked LOS, too few crossings)
         are silently absent — the paper's "does not report" behaviour.
         Use :meth:`process_detailed` to see why a user is missing.
+
+        Args:
+            reports: the capture to process.
+            window_s: when given, restrict each user to their trailing
+                ``(t_latest - window_s, t_latest]`` window — the same
+                pinned boundary semantics :meth:`estimate_user` applies
+                (:func:`repro.streams.windows.trailing_window_bounds`),
+                so batch and streamed results over identical reports are
+                directly comparable.  Default: the whole capture.
         """
-        estimates, _failures = self.process_detailed(reports)
+        estimates, _failures = self.process_detailed(reports,
+                                                     window_s=window_s)
         return estimates
 
     def process_detailed(
-        self, reports: Iterable[TagReport]
+        self, reports: Iterable[TagReport],
+        window_s: Optional[float] = None,
     ) -> Tuple[Dict[int, UserEstimate], Dict[int, str]]:
         """Like :meth:`process`, also returning per-user failure reasons."""
         with obs.span("pipeline.process"), perf.stage("pipeline.process"):
             by_user = group_reports_by_user(reports, user_ids=self._user_ids)
+            if window_s is not None:
+                by_user = {
+                    uid: _trailing_reports(urs, window_s)
+                    for uid, urs in by_user.items()
+                }
             perf.count("pipeline.reports_processed",
                        sum(len(v) for v in by_user.values()))
             estimates: Dict[int, UserEstimate] = {}
@@ -409,6 +453,29 @@ class TagBreathe:
             confidence *= max(0.7, 1.0 - 5.0 * n_rejected / n_samples)
 
         estimate = self._extractor.estimate(track)
+        return self._finalize_estimate(
+            user_id, estimate, antenna_port, len(streams), len(working),
+            confidence, reasons, n_rejected, warn_stacklevel=4)
+
+    def _finalize_estimate(
+        self,
+        user_id: int,
+        estimate: BreathingEstimate,
+        antenna_port: Optional[int],
+        tags_fused: int,
+        read_count: int,
+        confidence: float,
+        reasons: List[str],
+        n_rejected: int,
+        warn_stacklevel: int,
+    ) -> UserEstimate:
+        """Shared tail of both estimate paths: clamp, count, warn, build.
+
+        Factoring this out of :meth:`_process_user` is what guarantees the
+        incremental tick cannot drift from the batch reference in the
+        bookkeeping: obs counters, the confidence clamp, and the degraded
+        warning all run through this single implementation.
+        """
         confidence = min(1.0, max(0.0, confidence))
         if obs.enabled():
             registry = obs.get_registry()
@@ -421,19 +488,19 @@ class TagBreathe:
                                  reason=reason).inc()
             registry.histogram("repro_pipeline_confidence",
                                bounds=obs.UNIT_BUCKETS).observe(confidence)
-        if reasons and confidence < rb.warn_confidence:
+        if reasons and confidence < self._robustness.warn_confidence:
             warnings.warn(
                 f"user {user_id}: degraded estimate "
                 f"(confidence {confidence:.2f}; {', '.join(reasons)})",
                 DegradedEstimateWarning,
-                stacklevel=3,
+                stacklevel=warn_stacklevel,
             )
         return UserEstimate(
             user_id=user_id,
             estimate=estimate,
             antenna_port=antenna_port,
-            tags_fused=len(streams),
-            read_count=len(working),
+            tags_fused=tags_fused,
+            read_count=read_count,
             confidence=confidence,
             degraded_reasons=tuple(reasons),
         )
@@ -469,6 +536,11 @@ class TagBreathe:
             self._feed_drops[kind] += 1
             return False
         buffer.append(report)
+        if self._inc is not None:
+            # Incremental maintenance: index the report and difference it
+            # against its (channel, antenna) chain — Eq. (3) runs once,
+            # here, instead of on every subsequent tick.
+            self._inc.ingest(report)
         # Bound memory: keep ~4 analysis windows of raw reports.
         if len(buffer) % 512 == 0:
             horizon = report.timestamp_s - 4.0 * self._window_s()
@@ -476,6 +548,8 @@ class TagBreathe:
                 self._report_buffers[key] = [
                     r for r in buffer if r.timestamp_s >= horizon
                 ]
+                if self._inc is not None:
+                    self._inc.prune_stream(report.user_id, key, horizon)
         return True
 
     def feed_many(self, reports: Iterable[TagReport]) -> int:
@@ -517,6 +591,19 @@ class TagBreathe:
                       window_s: Optional[float] = None) -> UserEstimate:
         """Estimate from the trailing window of streamed data.
 
+        With incremental state enabled (the default in samples mode) this
+        is an O(new-samples) tick: the trailing window
+        ``(t_latest - window_s, t_latest]`` is sliced out of the per-user
+        window index, the feed-time phase chains supply the Eq. (3)
+        deltas, and the result is **memoized** — calling again before any
+        new report is accepted returns the same ``UserEstimate`` object
+        (and cached insufficient-data failures re-raise) without touching
+        the filter.  Cache traffic is counted in
+        ``repro_pipeline_tick_cache_total{result=hit|miss}``; the
+        degraded-estimate warning fires when the estimate is *computed*,
+        not on cache hits.  Results are bit-for-bit identical to
+        :meth:`estimate_user_recompute`.
+
         Args:
             user_id: the user to estimate.
             window_s: analysis window length (default: 25 s, the paper's
@@ -526,8 +613,49 @@ class TagBreathe:
             InsufficientDataError: when no streamed data covers the user
                 or the window holds too little signal.
         """
+        if self._inc is None:
+            return self.estimate_user_recompute(user_id, window_s=window_s)
         window = window_s if window_s is not None else self._window_s()
-        user_reports: List[TagReport] = []
+        version = self._inc.version(user_id)
+        if version < 0:
+            raise InsufficientDataError(f"no streamed data for user {user_id}")
+        memo_key = (user_id, window)
+        cached = self._tick_memo.get(memo_key)
+        if cached is not None and cached[0] == version:
+            obs.counter("repro_pipeline_tick_cache_total",
+                        result="hit").inc()
+            if cached[1] == "ok":
+                return cached[2]
+            raise InsufficientDataError(cached[2])
+        obs.counter("repro_pipeline_tick_cache_total", result="miss").inc()
+        with obs.span("pipeline.tick", user_id=user_id), \
+                perf.stage("pipeline.tick"):
+            try:
+                outcome = self._inc.estimate(user_id, window)
+            except InsufficientDataError as exc:
+                self._tick_memo[memo_key] = (version, "err", str(exc))
+                raise
+            result = self._finalize_estimate(
+                user_id, outcome.estimate, outcome.antenna_port,
+                outcome.tags_fused, outcome.read_count, outcome.confidence,
+                outcome.reasons, outcome.n_rejected, warn_stacklevel=3)
+        self._tick_memo[memo_key] = (version, "ok", result)
+        return result
+
+    def estimate_user_recompute(self, user_id: int,
+                                window_s: Optional[float] = None
+                                ) -> UserEstimate:
+        """The from-scratch reference tick over the streamed buffers.
+
+        Gathers the user's buffered reports inside the pinned trailing
+        window (:func:`repro.streams.windows.trailing_window_bounds`) and
+        runs them through the batch per-user path — O(window) per call.
+        This is the oracle :meth:`estimate_user`'s incremental state is
+        validated against, the fallback for ``mode="increments"`` and
+        engines built with ``incremental=False``, and the baseline the
+        serve-capacity benchmark measures against.
+        """
+        window = window_s if window_s is not None else self._window_s()
         t_latest = None
         for key, buffer in self._report_buffers.items():
             if key[0] != user_id or not buffer:
@@ -536,11 +664,14 @@ class TagBreathe:
             t_latest = last if t_latest is None else max(t_latest, last)
         if t_latest is None:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
-        cutoff = t_latest - window
+        # Buffered reports never exceed t_latest, so only the half-open
+        # lower bound needs filtering.
+        lo, _hi = trailing_window_bounds(t_latest, window)
+        user_reports: List[TagReport] = []
         for key, buffer in self._report_buffers.items():
             if key[0] != user_id:
                 continue
-            user_reports.extend(r for r in buffer if r.timestamp_s >= cutoff)
+            user_reports.extend(r for r in buffer if r.timestamp_s > lo)
         user_reports.sort(key=lambda r: r.timestamp_s)
         if not user_reports:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
@@ -571,24 +702,54 @@ class TagBreathe:
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
 
+    @property
+    def last_restore_drop_counts(self) -> Dict[str, int]:
+        """Reports the most recent :meth:`restore_streaming` replay dropped.
+
+        Replaying a snapshot runs every report back through :meth:`feed`,
+        so a corrupted or hand-assembled snapshot (duplicate timestamps,
+        out-of-order streams, unknown channels) can incur drops *during
+        the replay itself*.  Those are a property of the restore, not of
+        live traffic, and are therefore kept out of
+        :attr:`feed_drop_counts` — this side channel (and the
+        ``repro_pipeline_restore_replay_drops_total`` counter) is where
+        they land instead.  All zeros after a clean restore.
+        """
+        return dict(self._last_restore_drops)
+
     def restore_streaming(self, reports: Iterable[TagReport],
                           drop_counts: Optional[Dict[str, int]] = None) -> int:
         """Replace the streaming state with a saved snapshot.
 
         The inverse of :meth:`buffered_reports` + :attr:`feed_drop_counts`:
         clears current state, re-feeds ``reports`` (which must be
-        timestamp-ordered, as :meth:`buffered_reports` returns them), and
-        restores the drop counters so monitoring dashboards do not see
-        loss statistics reset to zero after a checkpoint resume.
+        timestamp-ordered, as :meth:`buffered_reports` returns them) —
+        deterministically rebuilding the derived incremental state, so a
+        restored engine's subsequent :meth:`estimate_user` results are
+        bit-identical to an uninterrupted session's — and restores the
+        drop counters so monitoring dashboards do not see loss statistics
+        reset to zero after a checkpoint resume.
+
+        Drops incurred *while replaying the snapshot* are never conflated
+        with the restored counters: :attr:`feed_drop_counts` afterwards
+        holds exactly ``drop_counts`` (or all zeros when None), and the
+        replay's own drops are reported via
+        :attr:`last_restore_drop_counts`.
 
         Returns:
             The number of reports buffered.
         """
         self.reset_streaming()
         buffered = self.feed_many(reports)
+        self._last_restore_drops = dict(self._feed_drops)
+        self._feed_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
         if drop_counts:
             for key in FEED_DROP_KEYS:
                 self._feed_drops[key] = int(drop_counts.get(key, 0))
+        replayed = sum(self._last_restore_drops.values())
+        if replayed:
+            obs.counter(
+                "repro_pipeline_restore_replay_drops_total").inc(replayed)
         return buffered
 
     def reset_streaming(self) -> None:
@@ -604,6 +765,10 @@ class TagBreathe:
         """
         self._report_buffers.clear()
         self._feed_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
+        self._last_restore_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
+        self._tick_memo.clear()
+        if self._inc is not None:
+            self._inc.reset()
 
     # ------------------------------------------------------------------
     def _window_s(self) -> float:

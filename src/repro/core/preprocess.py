@@ -38,6 +38,7 @@ from ..errors import StreamError
 from ..rf.constants import fcc_channel_frequencies
 from ..reader.tagreport import TagReport
 from ..streams.timeseries import TimeSeries
+from ..streams.windowindex import GrowableArray
 from ..units import SPEED_OF_LIGHT, wrap_phase_delta
 
 #: Reject same-group differences across gaps longer than this by default.
@@ -332,6 +333,202 @@ def displacement_samples(
     return TimeSeries.merge(kept)
 
 
+class _ChainColumns:
+    """Flat per-(channel, antenna) chain storage of one tag stream.
+
+    Four parallel growable columns per group — timestamps, raw phases,
+    the Eq. (3) wrapped deltas, and new-segment flags — plus the chain
+    tail cached as plain floats so the hot push path never touches numpy.
+
+    ``base`` + ``segcache`` implement the across-tick segment reuse of
+    :meth:`PhaseChainCursor.window_displacement`: a demeaned segment is a
+    pure function of an absolute sample range of this append-only chain,
+    so between cadence ticks only the window-truncated first segment and
+    the still-growing last segment ever change — interior segments are
+    served from the cache verbatim.  ``base`` is the absolute position of
+    column index 0 (it advances when ``prune_before`` drops from the
+    front), keeping cache keys stable across pruning.
+    """
+
+    __slots__ = ("coef", "times", "phases", "wdeltas", "segstart",
+                 "last_t", "last_phase", "base", "segcache")
+
+    def __init__(self, coef: float) -> None:
+        self.coef = coef
+        self.times = GrowableArray(np.float64)
+        self.phases = GrowableArray(np.float64)
+        self.wdeltas = GrowableArray(np.float64)
+        self.segstart = GrowableArray(np.bool_)
+        self.last_t: Optional[float] = None
+        self.last_phase: Optional[float] = None
+        self.base = 0
+        self.segcache: Dict[Tuple[int, int], TimeSeries] = {}
+
+
+class PhaseChainCursor:
+    """Feed-time Eq. (3) differencing state for ONE tag's stream.
+
+    The batch path (:func:`phase_segments`) re-differences every windowed
+    report on every call; this cursor computes each report's wrapped
+    phase delta exactly **once**, when :meth:`push` ingests it, and
+    stores it alongside the raw phase in per-(channel, antenna) columns.
+    A trailing-window query then re-anchors the Eq. (4) accumulation at
+    the first in-window sample of each chain:
+
+        ``u = cumsum([phase[s0], wd[s0+1], ..., wd[s1-1]])``
+
+    which performs the *same sequence of float64 additions* the batch
+    chain walk performs over the same windowed reports (``np.cumsum`` is
+    a strict left-to-right accumulation), so the demeaned segments — the
+    anchor constant cancels in the Fig. 6 normalisation — are
+    bit-identical to :func:`displacement_samples` over the window.  That
+    exactness is what makes horizon pruning trivially safe: stored
+    deltas never need rebasing when old samples are dropped.
+
+    Args:
+        frequencies_hz: channel-index -> carrier frequency map.
+        max_gap_s: segment-splitting gap limit (same default as the
+            batch segment builder).
+
+    Raises:
+        StreamError: on a non-positive gap limit.
+    """
+
+    __slots__ = ("_frequencies", "_max_gap", "_groups")
+
+    def __init__(self, frequencies_hz: Sequence[float],
+                 max_gap_s: float = DEFAULT_SEGMENT_GAP_S) -> None:
+        if max_gap_s <= 0:
+            raise StreamError("max_gap_s must be > 0")
+        self._frequencies = frequencies_hz
+        self._max_gap = float(max_gap_s)
+        self._groups: Dict[GroupKey, _ChainColumns] = {}
+
+    def __len__(self) -> int:
+        return sum(len(cols.times) for cols in self._groups.values())
+
+    def push(self, report: TagReport) -> None:
+        """Ingest one report (caller guarantees per-stream time order).
+
+        The wrapped delta and segment-start flag are computed here, once;
+        the channel index must already be validated against the frequency
+        map (``TagBreathe.feed`` drops invalid channels before pushing).
+        """
+        group: GroupKey = (report.channel_index, report.antenna_port)
+        cols = self._groups.get(group)
+        if cols is None:
+            lam = SPEED_OF_LIGHT / self._frequencies[report.channel_index]
+            cols = _ChainColumns(lam / (4.0 * np.pi))
+            self._groups[group] = cols
+        t = report.timestamp_s
+        phase = report.phase_rad
+        if (cols.last_t is None or t - cols.last_t > self._max_gap
+                or t <= cols.last_t):
+            cols.wdeltas.append(0.0)
+            cols.segstart.append(True)
+        else:
+            cols.wdeltas.append(wrap_phase_delta(phase - cols.last_phase))
+            cols.segstart.append(False)
+        cols.times.append(t)
+        cols.phases.append(phase)
+        cols.last_t = t
+        cols.last_phase = phase
+
+    def prune_before(self, horizon_s: float) -> None:
+        """Drop samples older than ``horizon_s`` from every chain.
+
+        Safe at any cut: window queries re-anchor at the first in-window
+        sample, so retained deltas stay valid verbatim.  The chain tail
+        (``last_t``/``last_phase``) is unaffected — pruning only ever
+        removes from the front.
+        """
+        for cols in self._groups.values():
+            t = cols.times.view()
+            if not t.shape[0] or t[0] >= horizon_s:
+                continue
+            drop = int(np.searchsorted(t, horizon_s, side="left"))
+            for arr in (cols.times, cols.phases, cols.wdeltas,
+                        cols.segstart):
+                arr.drop_front(drop)
+            cols.base += drop
+
+    def window_displacement(
+        self,
+        t_low: float,
+        t_high: float,
+        antenna_port: Optional[int] = None,
+        min_segment_len: int = DEFAULT_MIN_SEGMENT_LEN,
+    ) -> TimeSeries:
+        """The :func:`displacement_samples` result over ``(t_low, t_high]``.
+
+        Bit-identical to running the batch builder on this stream's
+        reports inside the pinned trailing window (see
+        :func:`repro.streams.windows.trailing_window_bounds`), restricted
+        to ``antenna_port`` when given.
+
+        Args:
+            t_low / t_high: half-open-below window bounds.
+            antenna_port: keep only this port's groups (None = all).
+            min_segment_len: drop shorter segments, as the batch path does.
+        """
+        kept: List[TimeSeries] = []
+        for group, cols in self._groups.items():
+            if antenna_port is not None and group[1] != antenna_port:
+                continue
+            t = cols.times.view()
+            a = int(t.searchsorted(t_low, side="right"))
+            b = int(t.searchsorted(t_high, side="right"))
+            if b - a < min_segment_len:
+                continue
+            # The window cut re-anchors mid-chain: position 0 always
+            # starts a segment, exactly as the batch builder's fresh
+            # chain state does for the first windowed report.
+            bounds = np.flatnonzero(cols.segstart.view()[a:b]).tolist()
+            if not bounds or bounds[0] != 0:
+                bounds.insert(0, 0)
+            bounds.append(b - a)
+            wd = cols.wdeltas.view()
+            phases = cols.phases.view()
+            coef = cols.coef
+            base = cols.base
+            cache = cols.segcache
+            fresh: Dict[Tuple[int, int], TimeSeries] = {}
+            for s0, s1 in zip(bounds[:-1], bounds[1:]):
+                length = s1 - s0
+                if length < min_segment_len:
+                    continue
+                # A demeaned segment depends only on its absolute sample
+                # range of this append-only chain, so between cadence
+                # ticks only the window-truncated first segment and the
+                # growing last segment miss — interior segments are
+                # reused from the previous tick.
+                span = (base + a + s0, base + a + s1)
+                segment = cache.get(span)
+                if segment is None:
+                    acc = np.empty(length)
+                    acc[0] = phases[a + s0]
+                    acc[1:] = wd[a + s0 + 1: a + s1]
+                    values = coef * acc.cumsum()
+                    # values.sum()/n is bitwise the same float as
+                    # values.mean() (both reduce with np.add.reduce),
+                    # minus the np.mean wrapper overhead on this
+                    # per-segment path.
+                    values -= values.sum() / length
+                    # Segment times are a contiguous slice of a
+                    # per-stream strictly-increasing chain — trusted by
+                    # construction.
+                    segment = TimeSeries.from_trusted(
+                        t[a + s0: a + s1].copy(), values)
+                fresh[span] = segment
+                kept.append(segment)
+            # Keep only this window's segments: the cache stays bounded
+            # by the number of in-window segments.
+            cols.segcache = fresh
+        if not kept:
+            return TimeSeries.empty()
+        return TimeSeries.merge(kept)
+
+
 def hampel_filter(series: TimeSeries, window: int = 3,
                   n_sigmas: float = 6.0) -> Tuple[TimeSeries, int]:
     """Hampel/MAD outlier rejection over a displacement stream.
@@ -372,16 +569,28 @@ def hampel_filter(series: TimeSeries, window: int = 3,
     if n < k:
         return series, 0
     values = series.values
-    padded = np.pad(values, int(window), mode="edge")
+    # Edge padding, spelled as a concatenate: identical content to
+    # np.pad(..., mode="edge") without its dispatch overhead — this runs
+    # per stream on every streaming tick.
+    w = int(window)
+    padded = np.concatenate(
+        [np.full(w, values[0]), values, np.full(w, values[-1])])
     neighbourhoods = np.lib.stride_tricks.sliding_window_view(padded, k)
-    med = np.median(neighbourhoods, axis=1)
-    sigma = 1.4826 * np.median(np.abs(neighbourhoods - med[:, None]), axis=1)
+    # The neighbourhood width k = 2w + 1 is always odd, so the median is
+    # the single order statistic at rank w: np.partition places exactly
+    # the element np.median would return (np.median partitions at the
+    # same rank and means over the one-element middle), minus np.median's
+    # reduction machinery — this runs per stream on every streaming tick.
+    med = np.partition(neighbourhoods, w, axis=1)[:, w]
+    sigma = 1.4826 * np.partition(
+        np.abs(neighbourhoods - med[:, None]), w, axis=1)[:, w]
     residual = np.abs(values - med)
     flagged = (sigma > 0) & (residual > n_sigmas * sigma)
     if not flagged.any():
         return series, 0
     keep = ~flagged
-    return TimeSeries(series.times[keep], values[keep]), int(flagged.sum())
+    return (TimeSeries.from_trusted(series.times[keep], values[keep]),
+            int(flagged.sum()))
 
 
 def displacement_track(deltas: TimeSeries) -> TimeSeries:

@@ -48,6 +48,24 @@ _RSSI_FLOOR = -80.0
 _RSSI_CEIL = -30.0
 
 
+def quality_score(read_count: int, span_s: float,
+                  mean_rssi_dbm: float) -> float:
+    """The Section IV-D-3 quality score from its three raw ingredients.
+
+    Pure and stateless so every antenna-selection path — the batch
+    report-list scoring below and the incremental column-store scoring in
+    :mod:`repro.core.incremental` — computes the *same float* from the
+    same measurements.
+    """
+    rate = read_count / span_s
+    rssi_norm = (mean_rssi_dbm - _RSSI_FLOOR) / (_RSSI_CEIL - _RSSI_FLOOR)
+    rssi_norm = min(1.0, max(0.0, rssi_norm))
+    # Rate term saturates at 50 Hz: beyond that, extra reads add
+    # nothing for a sub-1 Hz signal.
+    rate_norm = min(1.0, rate / 50.0)
+    return _RATE_WEIGHT * rate_norm + _RSSI_WEIGHT * rssi_norm
+
+
 def antenna_quality_scores(
     reports: Iterable[TagReport],
     span_s: Optional[float] = None,
@@ -74,20 +92,13 @@ def antenna_quality_scores(
 
     out: Dict[int, AntennaQuality] = {}
     for port, port_reports in by_port.items():
-        rate = len(port_reports) / span
         rssi = float(np.mean([r.rssi_dbm for r in port_reports]))
-        rssi_norm = (rssi - _RSSI_FLOOR) / (_RSSI_CEIL - _RSSI_FLOOR)
-        rssi_norm = min(1.0, max(0.0, rssi_norm))
-        # Rate term saturates at 50 Hz: beyond that, extra reads add
-        # nothing for a sub-1 Hz signal.
-        rate_norm = min(1.0, rate / 50.0)
-        score = _RATE_WEIGHT * rate_norm + _RSSI_WEIGHT * rssi_norm
         out[port] = AntennaQuality(
             antenna_port=port,
             read_count=len(port_reports),
-            sampling_rate_hz=rate,
+            sampling_rate_hz=len(port_reports) / span,
             mean_rssi_dbm=rssi,
-            score=score,
+            score=quality_score(len(port_reports), span, rssi),
         )
     return out
 

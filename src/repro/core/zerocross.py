@@ -50,14 +50,20 @@ def zero_crossing_times(series: TimeSeries, hysteresis: float = 0.0) -> List[flo
     v = series.values
     t = series.times
     sign = np.sign(v)
-    # Treat exact zeros as belonging to the previous sign to avoid double
-    # counting a sample that lands exactly on zero.
-    for i in range(1, len(sign)):
-        if sign[i] == 0:
-            sign[i] = sign[i - 1]
-    if sign[0] == 0:
-        first_nonzero = np.nonzero(sign)[0]
-        sign[0] = sign[first_nonzero[0]] if len(first_nonzero) else 1
+    # Exact zeros carry no side information: an interior zero belongs to
+    # the *previous* sign (so a sample landing exactly on zero is not
+    # double-counted), and a run of leading zeros belongs to the *first*
+    # nonzero sign (so the flat lead-in never manufactures a crossing).
+    # An identically-zero signal has no crossings at all.  Propagation is
+    # a vectorized forward-fill of last-nonzero indices — this sits on
+    # the per-tick streaming hot path.
+    nonzero = np.flatnonzero(sign)
+    if nonzero.size == 0:
+        return []
+    carry = np.where(sign != 0, np.arange(sign.size), -1)
+    np.maximum.accumulate(carry, out=carry)
+    carry[carry < 0] = nonzero[0]
+    sign = sign[carry]
 
     crossings: List[float] = []
     idx = np.nonzero(sign[1:] != sign[:-1])[0]
@@ -75,10 +81,13 @@ def zero_crossing_times(series: TimeSeries, hysteresis: float = 0.0) -> List[flo
     # Hysteresis: between two kept crossings, the excursion must exceed
     # the threshold; merge chattery crossing pairs that it doesn't.
     kept: List[float] = [crossings[0]]
+    abs_v = np.abs(v)
     for i in range(1, len(crossings)):
         lo, hi = kept[-1], crossings[i]
-        mask = (t >= lo) & (t <= hi)
-        excursion = float(np.abs(v[mask]).max()) if mask.any() else 0.0
+        # Samples with lo <= t <= hi, located by bisection (t is sorted).
+        i0 = int(t.searchsorted(lo, side="left"))
+        i1 = int(t.searchsorted(hi, side="right"))
+        excursion = float(abs_v[i0:i1].max()) if i1 > i0 else 0.0
         if excursion >= hysteresis:
             kept.append(crossings[i])
         else:

@@ -1,11 +1,16 @@
 """Per-user monitoring sessions and the sharded workers that drive them.
 
 One :class:`UserSession` wraps one :class:`~repro.core.pipeline.TagBreathe`
-engine restricted to a single user and drives the existing incremental
-path — ``feed()`` per report, ``estimate_user()`` on a stream-time
-cadence — so a served estimate is *by construction* the same number the
-batch pipeline computes over the same trailing window (the property
-``tests/test_serve.py`` pins to 0.1 bpm).
+engine restricted to a single user and drives the incremental streaming
+path — ``feed()`` per report (which folds the report into the engine's
+Eq. 3 differencing cursors and window index as it arrives), and
+``estimate_user()`` on a stream-time cadence, which slices the
+maintained state instead of recomputing from scratch and returns a
+memoized estimate when no new reports landed since the last tick — so a
+served estimate is *by construction* the same number the batch pipeline
+computes over the same trailing window (the property
+``tests/test_serve.py`` pins to 0.1 bpm; DESIGN.md §12 explains why the
+streamed and batch numbers are in fact bit-identical).
 
 Sessions are grouped into :class:`SessionShard` workers (user_id modulo
 shard count), each with its own bounded ingest queue.  The shard is the
@@ -178,13 +183,27 @@ class UserSession:
 
     def restore(self, state: Dict[str, Any],
                 reports: List[TagReport]) -> None:
-        """Load a checkpointed state (inverse of :meth:`state`)."""
+        """Load a checkpointed state (inverse of :meth:`state`).
+
+        Replaying the checkpointed reports rebuilds the engine's
+        incremental state (differencing cursors, window index)
+        deterministically; the engine keeps replay-time drops separate
+        from the restored production counters, and any replay drops —
+        normally zero, since the checkpoint holds an already-deduplicated
+        buffer — are surfaced on
+        ``repro_serve_restore_replay_drops_total`` rather than silently
+        folded into the session's drop statistics.
+        """
         self.first_t = state.get("first_t")
         self.latest_t = state.get("latest_t")
         self.next_due_t = state.get("next_due_t")
         self.reports_in = int(state.get("reports_in", 0))
         self.estimates_out = int(state.get("estimates_out", 0))
         self.engine.restore_streaming(reports, state.get("drop_counts"))
+        replayed = sum(self.engine.last_restore_drop_counts.values())
+        if replayed:
+            obs.counter("repro_serve_restore_replay_drops_total",
+                        user_id=str(self.user_id)).inc(replayed)
 
 
 class SessionShard:

@@ -24,12 +24,50 @@ def _bin_edges(t_start: float, t_end: float, bin_s: float) -> np.ndarray:
     return t_start + np.arange(n_bins + 1) * bin_s
 
 
+#: np.histogram's internal block size; inputs at most this long are
+#: processed by it in a single block, which is the case the fast path
+#: below replicates.
+_HISTOGRAM_BLOCK = 65536
+
+
+def _sorted_histogram(times: np.ndarray, edges: np.ndarray,
+                      weights: np.ndarray = None) -> np.ndarray:
+    """``np.histogram(times, bins=edges[, weights])`` for sorted ``times``.
+
+    ``TimeSeries`` guarantees strictly increasing times, so the sort /
+    argsort np.histogram performs per block is the identity permutation
+    and its algorithm collapses to two ``searchsorted`` calls over the
+    edges (the last edge closing right-inclusively) plus, for weighted
+    sums, differences of the zero-prefixed weight cumsum.  This helper
+    performs those *same float64 operations in the same order*, so the
+    result is bit-for-bit what np.histogram returns — minus its
+    validation and block machinery, which dominate on the per-tick
+    streaming hot path.  Inputs longer than np.histogram's block size
+    fall back to np.histogram (its per-block accumulation order would
+    have to be replicated block-for-block).
+    """
+    if times.shape[0] > _HISTOGRAM_BLOCK:
+        counts_or_sums, _ = np.histogram(times, bins=edges, weights=weights)
+        return counts_or_sums
+    idx = np.concatenate((times.searchsorted(edges[:-1], side="left"),
+                          times.searchsorted(edges[-1:], side="right")))
+    if weights is None:
+        return np.diff(idx)
+    cw = np.concatenate((np.zeros(1), weights.cumsum()))
+    return np.diff(cw[idx])
+
+
 def bin_sum(series: TimeSeries, bin_s: float,
             t_start: float = None, t_end: float = None) -> TimeSeries:
     """Sum values falling into each ``bin_s``-wide time bin (paper Eq. 6).
 
-    Empty bins contribute 0 — physically, no reads means no *observed*
-    displacement increment, which is the conservative choice Eq. 6 makes.
+    Empty bins *inside a covered range* contribute 0 — physically, no
+    reads means no *observed* displacement increment, which is the
+    conservative choice Eq. 6 makes.  A range that contains **no samples
+    at all** is an error, not an all-zero series: both binning functions
+    share this contract (see :func:`bin_mean`), so callers cannot be
+    surprised by one of them silently inventing a flat signal where the
+    other raises.
 
     Args:
         series: input samples.
@@ -41,16 +79,20 @@ def bin_sum(series: TimeSeries, bin_s: float,
         Regular series timestamped at bin centres.
 
     Raises:
-        EmptyStreamError: if ``series`` is empty and no explicit range given.
+        EmptyStreamError: if ``series`` is empty and no explicit range is
+            given, or if no sample falls inside the requested range.
     """
     if not series and (t_start is None or t_end is None):
         raise EmptyStreamError("bin_sum of empty series needs explicit t_start/t_end")
     lo = series.start if t_start is None else t_start
     hi = (series.end + 1e-9) if t_end is None else t_end
     edges = _bin_edges(lo, hi, bin_s)
-    sums, _ = np.histogram(series.times, bins=edges, weights=series.values)
+    counts = _sorted_histogram(series.times, edges)
+    if not counts.any():
+        raise EmptyStreamError("no samples fall inside the requested bin range")
+    sums = _sorted_histogram(series.times, edges, weights=series.values)
     centers = (edges[:-1] + edges[1:]) / 2.0
-    return TimeSeries(centers, sums)
+    return TimeSeries.from_trusted(centers, sums)
 
 
 def bin_mean(series: TimeSeries, bin_s: float,
@@ -58,14 +100,22 @@ def bin_mean(series: TimeSeries, bin_s: float,
     """Average values within each bin; empty bins are linearly interpolated.
 
     Used for RSSI / quality tracks where a mean (not a sum) is meaningful.
+    Shares :func:`bin_sum`'s empty-range contract: a requested range that
+    contains no samples raises ``EmptyStreamError`` (interpolation with
+    zero anchors would be meaningless), while empty bins inside a covered
+    range are filled by interpolating between the covered neighbours.
+
+    Raises:
+        EmptyStreamError: if ``series`` is empty and no explicit range is
+            given, or if no sample falls inside the requested range.
     """
     if not series and (t_start is None or t_end is None):
         raise EmptyStreamError("bin_mean of empty series needs explicit t_start/t_end")
     lo = series.start if t_start is None else t_start
     hi = (series.end + 1e-9) if t_end is None else t_end
     edges = _bin_edges(lo, hi, bin_s)
-    sums, _ = np.histogram(series.times, bins=edges, weights=series.values)
-    counts, _ = np.histogram(series.times, bins=edges)
+    sums = _sorted_histogram(series.times, edges, weights=series.values)
+    counts = _sorted_histogram(series.times, edges)
     centers = (edges[:-1] + edges[1:]) / 2.0
     filled = counts > 0
     if not filled.any():
@@ -74,7 +124,7 @@ def bin_mean(series: TimeSeries, bin_s: float,
     means[filled] = sums[filled] / counts[filled]
     if not filled.all():
         means[~filled] = np.interp(centers[~filled], centers[filled], means[filled])
-    return TimeSeries(centers, means)
+    return TimeSeries.from_trusted(centers, means)
 
 
 def resample_linear(series: TimeSeries, rate_hz: float) -> TimeSeries:

@@ -51,6 +51,26 @@ class TimeSeries:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def from_trusted(cls, times: np.ndarray, values: np.ndarray) -> "TimeSeries":
+        """Wrap arrays the caller *guarantees* already satisfy the invariants.
+
+        The validating constructor pays an ``np.diff`` + ``np.all`` pass
+        per instance, which dominates the per-tick cost of the streaming
+        hot path where thousands of short segments are built from slices
+        of arrays that are strictly increasing by construction.  This
+        fast path skips validation entirely; the caller owns the
+        contract: both arguments must be 1-D float64 ``np.ndarray`` of
+        equal length with strictly increasing times.  Anything arriving
+        from outside the library must go through ``TimeSeries(...)``.
+        """
+        ts = object.__new__(cls)
+        times.setflags(write=False)
+        values.setflags(write=False)
+        ts._times = times
+        ts._values = values
+        return ts
+
+    @classmethod
     def empty(cls) -> "TimeSeries":
         """A series with no samples."""
         return cls(np.empty(0), np.empty(0))
@@ -171,7 +191,8 @@ class TimeSeries:
         """Subtract the mean value (no-op on an empty series)."""
         if not self:
             return self
-        return TimeSeries(self._times, self._values - self._values.mean())
+        return TimeSeries.from_trusted(
+            self._times, self._values - self._values.mean())
 
     def normalize(self) -> "TimeSeries":
         """Scale to zero mean and unit peak amplitude.
@@ -189,13 +210,13 @@ class TimeSeries:
 
     def cumsum(self) -> "TimeSeries":
         """Cumulative sum of values (Eq. 4 / Eq. 7 accumulation)."""
-        return TimeSeries(self._times, np.cumsum(self._values))
+        return TimeSeries.from_trusted(self._times, np.cumsum(self._values))
 
     def diff(self) -> "TimeSeries":
         """First difference of values, timestamped at the later sample."""
         if len(self) < 2:
             return TimeSeries.empty()
-        return TimeSeries(self._times[1:], np.diff(self._values))
+        return TimeSeries.from_trusted(self._times[1:], np.diff(self._values))
 
     def concat(self, other: "TimeSeries") -> "TimeSeries":
         """Append ``other`` (which must start strictly after this series ends)."""
@@ -222,12 +243,14 @@ class TimeSeries:
         nonempty = [s for s in series if s]
         if not nonempty:
             return TimeSeries.empty()
+        if len(nonempty) == 1:
+            return nonempty[0]
         t = np.concatenate([s.times for s in nonempty])
         v = np.concatenate([s.values for s in nonempty])
         order = np.argsort(t, kind="stable")
         t, v = t[order], v[order]
         keep = np.concatenate([[True], np.diff(t) > 0])
-        return TimeSeries(t[keep], v[keep])
+        return TimeSeries.from_trusted(t[keep], v[keep])
 
     # ------------------------------------------------------------------
     # Internals

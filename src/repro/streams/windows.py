@@ -14,6 +14,33 @@ from ..errors import StreamError
 from .timeseries import TimeSeries
 
 
+def trailing_window_bounds(t_latest: float,
+                           window_s: float) -> Tuple[float, float]:
+    """The pinned trailing analysis window ``(t_latest - window_s, t_latest]``.
+
+    This is THE definition of "the last ``window_s`` seconds" everywhere
+    in the pipeline — batch windowing (``TagBreathe.process(window_s=...)``),
+    the streaming recompute path (``estimate_user_recompute``), and the
+    incremental window index all share it so their report sets are
+    identical by construction:
+
+    * the newest report (``t == t_latest``) is **included** — it anchors
+      the window;
+    * a report exactly ``window_s`` old (``t == t_latest - window_s``) is
+      **excluded** — the window is half-open below, so its span never
+      exceeds ``window_s``.
+
+    Returns:
+        ``(t_low, t_high)`` — keep reports with ``t_low < t <= t_high``.
+
+    Raises:
+        StreamError: on a non-positive window.
+    """
+    if window_s <= 0:
+        raise StreamError(f"window_s must be > 0, got {window_s}")
+    return t_latest - window_s, t_latest
+
+
 def window_slices(t_start: float, t_end: float, window_s: float,
                   step_s: float) -> List[Tuple[float, float]]:
     """Window boundaries ``[(w_start, w_end), ...]`` covering a span.

@@ -1,0 +1,94 @@
+"""Tests for tools/check_bench_regression.py (the CI perf guard)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" \
+    / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _TOOL)
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+
+def bench_doc(cases):
+    return {"suite": "pipeline", "streaming": {"cases": cases}}
+
+
+def case(users, duration_s, speedup, diff=0.0):
+    return {"users": users, "duration_s": duration_s,
+            "tick_speedup": speedup, "max_rate_diff_bpm": diff}
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCompare:
+    def test_passes_within_threshold(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 1.6)}
+        assert guard.compare(base, cand, 0.25) == []
+
+    def test_fails_beyond_threshold(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 1.4)}
+        problems = guard.compare(base, cand, 0.25)
+        assert len(problems) == 1
+        assert "tick_speedup" in problems[0]
+
+    def test_only_shared_cases_compared(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0),
+                (15, 120.0): case(15, 120.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.1)}
+        assert guard.compare(base, cand, 0.25) == []
+
+    def test_no_shared_cases_is_an_error(self):
+        base = {(15, 120.0): case(15, 120.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.0)}
+        assert guard.compare(base, cand, 0.25) != []
+
+    def test_nonzero_rate_diff_fails(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.0, diff=0.3)}
+        problems = guard.compare(base, cand, 0.25)
+        assert any("diverged" in p for p in problems)
+
+
+class TestMain:
+    def test_end_to_end_pass(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json",
+                     bench_doc([case(1, 25.0, 2.0), case(5, 25.0, 2.0)]))
+        cand = write(tmp_path, "cand.json",
+                     bench_doc([case(1, 25.0, 1.9)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(cand)]) == 0
+        assert "1 shared case(s)" in capsys.readouterr().out
+
+    def test_end_to_end_regression(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 3.0)]))
+        cand = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 1.0)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(cand)]) == 1
+
+    def test_missing_streaming_suite_fails(self, tmp_path):
+        base = write(tmp_path, "base.json", {"suite": "pipeline"})
+        cand = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(cand)]) == 1
+
+    def test_bad_threshold_rejected(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(base),
+                           "--threshold", "1.5"]) == 2
+
+    def test_missing_file_fails_cleanly(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(tmp_path / "nope.json")]) == 1

@@ -1,0 +1,349 @@
+"""Tests for the incremental streaming estimation path (DESIGN.md §12).
+
+The contract under test is *bit-for-bit equivalence*: an incremental
+``estimate_user`` tick must return exactly what the from-scratch
+``estimate_user_recompute`` reference returns over the same pinned
+trailing window, at every tick, across pruning and across
+checkpoint/restore.  Rates are therefore compared with ``==``, not
+``pytest.approx``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Scenario, TagBreathe, obs, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.core.pipeline import FEED_DROP_KEYS
+from repro.core.preprocess import PhaseChainCursor, displacement_samples
+from repro.epc import EPC96
+from repro.errors import DegradedEstimateWarning, InsufficientDataError
+from repro.reader.tagreport import TagReport
+from repro.streams import GrowableArray, WindowIndex, trailing_window_bounds
+from repro.streams.windows import StreamError
+
+
+@pytest.fixture(scope="module")
+def capture():
+    """One shared two-user 60 s capture at distinct metronome rates."""
+    scenario = Scenario([
+        Subject(user_id=1, distance_m=2.0,
+                breathing=MetronomeBreathing(12.0), sway_seed=1),
+        Subject(user_id=2, distance_m=2.4,
+                breathing=MetronomeBreathing(17.0), sway_seed=2),
+    ])
+    return run_scenario(scenario, duration_s=60.0, seed=5)
+
+
+def make_reports(times, *, user_id=1, tag=0, channel=0, port=1,
+                 phase=1.0, rssi=-60.0):
+    epc = EPC96.from_user_tag(user_id, tag)
+    return [TagReport(epc=epc, timestamp_s=float(t), phase_rad=phase,
+                      rssi_dbm=rssi, doppler_hz=0.0,
+                      channel_index=channel, antenna_port=port)
+            for t in times]
+
+
+def assert_same_estimate(a, b):
+    assert a.rate_bpm == b.rate_bpm
+    assert a.confidence == b.confidence
+    assert sorted(a.degraded_reasons) == sorted(b.degraded_reasons)
+    assert a.tags_fused == b.tags_fused
+    assert a.read_count == b.read_count
+    assert a.antenna_port == b.antenna_port
+
+
+def tick_both(inc_engine, ref_engine, user_id, window_s=None):
+    """Tick both engines; assert identical outcome (value or error)."""
+    try:
+        a = inc_engine.estimate_user(user_id, window_s=window_s)
+    except InsufficientDataError as exc_a:
+        with pytest.raises(InsufficientDataError) as exc_b:
+            ref_engine.estimate_user_recompute(user_id, window_s=window_s)
+        assert str(exc_a) == str(exc_b.value)
+        return None
+    b = ref_engine.estimate_user_recompute(user_id, window_s=window_s)
+    assert_same_estimate(a, b)
+    return a
+
+
+# ----------------------------------------------------------------------
+# Substrate: GrowableArray / WindowIndex / trailing_window_bounds
+# ----------------------------------------------------------------------
+class TestGrowableArray:
+    def test_append_and_view(self):
+        arr = GrowableArray(np.float64)
+        for x in range(100):
+            arr.append(float(x))
+        assert len(arr) == 100
+        np.testing.assert_array_equal(arr.view(), np.arange(100.0))
+
+    def test_drop_front(self):
+        arr = GrowableArray(np.float64)
+        for x in range(10):
+            arr.append(float(x))
+        arr.drop_front(4)
+        np.testing.assert_array_equal(arr.view(), np.arange(4.0, 10.0))
+
+    def test_view_tracks_further_appends(self):
+        arr = GrowableArray(np.float64)
+        arr.append(1.0)
+        arr.append(2.0)
+        before = arr.view().copy()
+        arr.append(3.0)
+        np.testing.assert_array_equal(before, [1.0, 2.0])
+        np.testing.assert_array_equal(arr.view(), [1.0, 2.0, 3.0])
+
+
+class TestWindowBounds:
+    def test_half_open_below(self):
+        lo, hi = trailing_window_bounds(100.0, 25.0)
+        assert lo == 75.0
+        assert hi == 100.0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(StreamError):
+            trailing_window_bounds(10.0, 0.0)
+
+    def test_pinned_shared_by_recompute_and_incremental(self, capture):
+        """A sample landing exactly on ``t_latest - window_s`` is OUT.
+
+        This pins the single window-boundary definition: the trailing
+        window is half-open below, ``(t_latest - window_s, t_latest]``.
+        Both tick paths must agree on the boundary sample's exclusion,
+        so their read_counts (and everything downstream) match.
+        """
+        reports = [r for r in capture.reports if r.user_id == 1]
+        engine = TagBreathe(user_ids={1})
+        for r in reports:
+            engine.feed(r)
+        t_latest = reports[-1].timestamp_s
+        # Choose the window so an actual report sits EXACTLY on the
+        # lower boundary; strict > must exclude it on both paths.
+        boundary = next(r.timestamp_s for r in reports
+                        if t_latest - r.timestamp_s <= 30.0)
+        window = t_latest - boundary
+        in_window = sum(1 for r in reports
+                        if r.timestamp_s > boundary)
+        assert in_window < sum(
+            1 for r in reports if r.timestamp_s >= boundary)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            inc_est = engine.estimate_user(1, window_s=window)
+            rec_est = engine.estimate_user_recompute(1, window_s=window)
+        assert inc_est.read_count == in_window
+        assert rec_est.read_count == in_window
+
+
+# ----------------------------------------------------------------------
+# Cursor-level bit-equality against the batch builder
+# ----------------------------------------------------------------------
+class TestPhaseChainCursor:
+    FREQS = [920.625e6 + 250e3 * k for k in range(16)]
+
+    def random_reports(self, n, seed=7):
+        rng = np.random.default_rng(seed)
+        epc = EPC96.from_user_tag(1, 0)
+        out, t = [], 0.0
+        for _ in range(n):
+            # Mostly dense reads, occasional segment-splitting gaps.
+            t += (float(rng.uniform(0.02, 0.06)) if rng.random() > 0.02
+                  else float(rng.uniform(6.0, 8.0)))
+            out.append(TagReport(
+                epc=epc, timestamp_s=t,
+                phase_rad=float(rng.uniform(0, 2 * np.pi)),
+                rssi_dbm=-60.0, doppler_hz=0.0,
+                channel_index=int(rng.integers(0, 16)), antenna_port=1))
+        return out
+
+    def test_window_matches_batch_bit_for_bit(self):
+        reports = self.random_reports(1200)
+        cursor = PhaseChainCursor(self.FREQS)
+        for i, report in enumerate(reports):
+            cursor.push(report)
+            if i % 300 != 299:
+                continue
+            t_hi = report.timestamp_s
+            t_lo = t_hi - 25.0
+            got = cursor.window_displacement(t_lo, t_hi)
+            want = displacement_samples(
+                [r for r in reports[:i + 1]
+                 if t_lo < r.timestamp_s <= t_hi], self.FREQS)
+            np.testing.assert_array_equal(got.times, want.times)
+            # uint64 view: compares the exact float bit patterns.
+            np.testing.assert_array_equal(
+                got.values.view(np.uint64), want.values.view(np.uint64))
+
+    def test_equality_survives_pruning_and_cache_reuse(self):
+        reports = self.random_reports(2000, seed=11)
+        cursor = PhaseChainCursor(self.FREQS)
+        pruned = False
+        for i, report in enumerate(reports):
+            cursor.push(report)
+            if i % 250 != 249:
+                continue
+            t_hi = report.timestamp_s
+            cursor.prune_before(t_hi - 60.0)
+            pruned = pruned or any(
+                c.base > 0 for c in cursor._groups.values())
+            got = cursor.window_displacement(t_hi - 25.0, t_hi)
+            want = displacement_samples(
+                [r for r in reports[:i + 1]
+                 if t_hi - 25.0 < r.timestamp_s <= t_hi], self.FREQS)
+            np.testing.assert_array_equal(got.times, want.times)
+            np.testing.assert_array_equal(
+                got.values.view(np.uint64), want.values.view(np.uint64))
+        assert pruned, "scenario never pruned; test lost its teeth"
+        assert any(c.segcache for c in cursor._groups.values())
+
+
+# ----------------------------------------------------------------------
+# Engine-level equivalence
+# ----------------------------------------------------------------------
+class TestIncrementalEquivalence:
+    def test_interleaved_ticks_match_recompute(self, capture):
+        inc = TagBreathe(user_ids={1, 2})
+        ref = TagBreathe(user_ids={1, 2}, incremental=False)
+        next_tick, matched = 20.0, 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            for report in capture.reports:
+                inc.feed(report)
+                ref.feed(report)
+                if report.timestamp_s >= next_tick:
+                    next_tick += 4.0
+                    for uid in (1, 2):
+                        if tick_both(inc, ref, uid) is not None:
+                            matched += 1
+        assert matched >= 10
+
+    def test_incremental_false_uses_recompute(self, capture):
+        """The two constructions give identical results on every tick."""
+        inc = TagBreathe(user_ids={1})
+        plain = TagBreathe(user_ids={1}, incremental=False)
+        for report in capture.reports:
+            inc.feed(report)
+            plain.feed(report)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            a = inc.estimate_user(1)
+            b = plain.estimate_user(1)
+        assert_same_estimate(a, b)
+
+    def test_streamed_equals_batch_process(self, capture):
+        """Satellite: feed_many + estimate_user == process over the
+        same pinned trailing window (one shared boundary definition)."""
+        streaming = TagBreathe(user_ids={1, 2})
+        batch = TagBreathe(user_ids={1, 2})
+        streaming.feed_many(capture.reports)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            batch_estimates = batch.process(capture.reports, window_s=25.0)
+            for uid in (1, 2):
+                streamed = streaming.estimate_user(uid, window_s=25.0)
+                assert abs(streamed.rate_bpm
+                           - batch_estimates[uid].rate_bpm) < 1e-9
+                assert streamed.read_count == batch_estimates[uid].read_count
+
+    def test_memoized_tick_returns_same_object(self, capture):
+        engine = TagBreathe(user_ids={1})
+        engine.feed_many(capture.reports)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            with obs.capture() as (_tracer, _registry):
+                first = engine.estimate_user(1)
+                again = engine.estimate_user(1)
+                assert again is first
+                hits = obs.counter("repro_pipeline_tick_cache_total",
+                                   result="hit").value
+                misses = obs.counter("repro_pipeline_tick_cache_total",
+                                     result="miss").value
+        assert misses == 1.0
+        assert hits == 1.0
+
+    def test_new_report_invalidates_memo(self, capture):
+        engine = TagBreathe(user_ids={1})
+        mid = len(capture.reports) // 2
+        engine.feed_many(capture.reports[:mid])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            first = engine.estimate_user(1)
+            engine.feed_many(capture.reports[mid:])
+            second = engine.estimate_user(1)
+            assert second is not first
+            reference = engine.estimate_user_recompute(1)
+        assert_same_estimate(second, reference)
+
+    def test_cached_insufficient_data_reraises(self):
+        engine = TagBreathe(user_ids={1})
+        for r in make_reports([0.0, 0.1, 0.2, 0.3]):
+            engine.feed(r)
+        with pytest.raises(InsufficientDataError) as first:
+            engine.estimate_user(1)
+        with pytest.raises(InsufficientDataError) as second:
+            engine.estimate_user(1)
+        assert str(first.value) == str(second.value)
+
+    def test_unknown_user_raises(self, capture):
+        engine = TagBreathe(user_ids={1, 99})
+        engine.feed_many(capture.reports)
+        with pytest.raises(InsufficientDataError):
+            engine.estimate_user(99)
+
+
+# ----------------------------------------------------------------------
+# Satellite: restore must not conflate replay drops with restored counters
+# ----------------------------------------------------------------------
+class TestRestoreDropAccounting:
+    def duplicate_snapshot(self):
+        """A snapshot whose replay itself triggers a duplicate drop."""
+        reports = make_reports([0.0, 0.5, 1.0, 1.5, 2.0])
+        # Same stream, same timestamp as the newest buffered report: the
+        # replaying feed() classifies this as a duplicate.
+        reports.append(make_reports([2.0])[0])
+        return reports
+
+    def test_replay_drops_kept_out_of_restored_counters(self):
+        engine = TagBreathe(user_ids={1})
+        saved = {"late": 3, "duplicate": 7, "invalid_channel": 0}
+        engine.restore_streaming(self.duplicate_snapshot(), saved)
+        # The restored production counters are exactly the checkpointed
+        # ones — NOT checkpointed + 1 replay artifact.
+        assert engine.feed_drop_counts == saved
+        assert engine.last_restore_drop_counts["duplicate"] == 1
+
+    def test_clean_restore_reports_zero_replay_drops(self):
+        engine = TagBreathe(user_ids={1})
+        engine.restore_streaming(make_reports([0.0, 0.5, 1.0]),
+                                 {"late": 2, "duplicate": 0,
+                                  "invalid_channel": 1})
+        assert engine.last_restore_drop_counts == dict.fromkeys(
+            FEED_DROP_KEYS, 0)
+        assert engine.feed_drop_counts["late"] == 2
+
+    def test_restore_without_counts_zeroes_counters(self):
+        engine = TagBreathe(user_ids={1})
+        engine.restore_streaming(self.duplicate_snapshot())
+        assert engine.feed_drop_counts == dict.fromkeys(FEED_DROP_KEYS, 0)
+        assert engine.last_restore_drop_counts["duplicate"] == 1
+
+    def test_reset_clears_replay_accounting(self):
+        engine = TagBreathe(user_ids={1})
+        engine.restore_streaming(self.duplicate_snapshot())
+        engine.reset_streaming()
+        assert engine.last_restore_drop_counts == dict.fromkeys(
+            FEED_DROP_KEYS, 0)
+
+    def test_restored_engine_estimates_match(self, capture):
+        """Restore = re-feed: estimates after restore are bit-identical
+        to an engine that never checkpointed."""
+        original = TagBreathe(user_ids={1})
+        original.feed_many(capture.reports)
+        restored = TagBreathe(user_ids={1})
+        restored.restore_streaming(original.buffered_reports(),
+                                   original.feed_drop_counts)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            assert_same_estimate(original.estimate_user(1),
+                                 restored.estimate_user(1))

@@ -77,6 +77,31 @@ class TestTimeSeriesConstruction:
             ts.values[0] = 99.0
 
 
+class TestFromTrusted:
+    def test_wraps_without_copy(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([5.0, 6.0, 7.0])
+        ts = TimeSeries.from_trusted(t, v)
+        assert ts.times is t
+        assert ts.values is v
+        assert len(ts) == 3
+
+    def test_arrays_become_read_only(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([1.0, 2.0])
+        ts = TimeSeries.from_trusted(t, v)
+        with pytest.raises(ValueError):
+            ts.times[0] = 9.0
+        with pytest.raises(ValueError):
+            ts.values[0] = 9.0
+
+    def test_equivalent_to_validating_constructor(self):
+        t = np.linspace(0.0, 5.0, 20)
+        v = np.sin(t)
+        assert TimeSeries.from_trusted(t.copy(), v.copy()) == \
+            TimeSeries(t, v)
+
+
 class TestTimeSeriesProperties:
     def test_duration(self):
         ts = TimeSeries([1.0, 2.0, 4.0], [0, 0, 0])
@@ -343,6 +368,41 @@ class TestBinning:
     def test_bin_rejects_bad_width(self):
         with pytest.raises(StreamError):
             bin_sum(make_series(), 0.0)
+
+    def test_bin_sum_range_without_samples_raises(self):
+        """The shared empty-range contract: a requested range containing
+        no samples is an error, not an all-zero series."""
+        ts = TimeSeries([10.0, 11.0], [1.0, 2.0])
+        with pytest.raises(EmptyStreamError):
+            bin_sum(ts, 1.0, t_start=0.0, t_end=5.0)
+
+    def test_bin_mean_range_without_samples_raises(self):
+        """bin_mean shares bin_sum's contract — it must not silently
+        interpolate a flat signal out of nothing."""
+        ts = TimeSeries([10.0, 11.0], [1.0, 2.0])
+        with pytest.raises(EmptyStreamError):
+            bin_mean(ts, 1.0, t_start=0.0, t_end=5.0)
+
+    def test_bin_mean_empty_series_needs_range(self):
+        with pytest.raises(EmptyStreamError):
+            bin_mean(TimeSeries.empty(), 1.0)
+
+    def test_sorted_histogram_matches_numpy(self):
+        """The hot-path binning kernel is bit-identical to np.histogram
+        on sorted unique times (the TimeSeries invariant)."""
+        from repro.streams.resample import _sorted_histogram
+
+        rng = np.random.default_rng(3)
+        t = np.unique(np.sort(rng.uniform(0.0, 20.0, 500)))
+        w = rng.normal(size=t.size)
+        edges = -1.0 + np.arange(101) * 0.22
+        counts_ref, _ = np.histogram(t, bins=edges)
+        sums_ref, _ = np.histogram(t, bins=edges, weights=w)
+        np.testing.assert_array_equal(_sorted_histogram(t, edges),
+                                      counts_ref)
+        np.testing.assert_array_equal(
+            _sorted_histogram(t, edges, weights=w).view(np.uint64),
+            sums_ref.view(np.uint64))
 
 
 class TestResample:

@@ -46,6 +46,30 @@ class TestZeroCrossings:
         crossings = zero_crossing_times(ts)
         assert len(crossings) == 2
 
+    def test_leading_zeros_never_manufacture_a_crossing(self):
+        """A flat zero lead-in belongs to the first nonzero sign: the
+        signal 0,0,0,1 never actually crossed zero."""
+        ts = TimeSeries([0.0, 1.0, 2.0, 3.0], [0.0, 0.0, 0.0, 1.0])
+        assert zero_crossing_times(ts) == []
+
+    def test_leading_zeros_then_real_crossing(self):
+        # The lead-in carries the +1 sign; only the +1 -> -1 flip counts.
+        ts = TimeSeries([0.0, 1.0, 2.0, 3.0, 4.0],
+                        [0.0, 0.0, 1.0, -1.0, 1.0])
+        crossings = zero_crossing_times(ts)
+        assert len(crossings) == 2
+        assert all(c >= 2.0 for c in crossings)
+
+    def test_identically_zero_signal_has_no_crossings(self):
+        ts = TimeSeries.regular(np.zeros(50), 10.0)
+        assert zero_crossing_times(ts) == []
+
+    def test_interior_zero_run_single_crossing(self):
+        # +1, 0, 0, -1: the zeros belong to the previous (+) sign, so
+        # exactly one crossing is reported for the whole run.
+        ts = TimeSeries([0.0, 1.0, 2.0, 3.0], [1.0, 0.0, 0.0, -1.0])
+        assert len(zero_crossing_times(ts)) == 1
+
     def test_hysteresis_suppresses_chatter(self):
         t = np.arange(0, 60, 0.05)
         signal = np.sin(2 * np.pi * 0.2 * t) + 0.05 * np.sin(2 * np.pi * 5.1 * t)

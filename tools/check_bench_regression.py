@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Guard the streaming-tick speedup against perf regressions in CI.
+
+Shared CI runners are far too noisy for absolute-time thresholds, but
+the streaming benchmark's ``tick_speedup`` is a *ratio* of two timings
+taken interleaved on the same machine over the same replayed report
+stream — machine speed cancels out.  This tool compares that ratio
+between the committed reference benchmark (``BENCH_pipeline.json`` at
+the repo root) and a freshly produced candidate (the perf-smoke job's
+``bench-out/BENCH_pipeline.json``) on every case the two runs share,
+and fails when the candidate's speedup has regressed by more than the
+threshold (default 25 %) on any shared case.
+
+The committed reference is a full-grid run and CI produces a quick-grid
+candidate, so the comparison covers the quick cases only — enough to
+catch "someone made the incremental tick recompute again" while staying
+within a smoke job's time budget.
+
+Exit status: 0 when every shared case holds, 1 on regression or when
+the files don't both contain a streaming suite.
+
+Usage:
+    python tools/check_bench_regression.py \
+        --baseline BENCH_pipeline.json \
+        --candidate bench-out/BENCH_pipeline.json [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Fractional speedup loss tolerated before the guard fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
+    """``(users, duration_s) -> case`` from a BENCH_pipeline.json file.
+
+    Raises:
+        ValueError: when the file has no streaming suite (e.g. a
+            benchmark produced before the suite existed).
+    """
+    doc = json.loads(path.read_text())
+    streaming = doc.get("streaming")
+    if not isinstance(streaming, dict) or "cases" not in streaming:
+        raise ValueError(f"{path} has no streaming benchmark suite")
+    return {(case["users"], case["duration_s"]): case
+            for case in streaming["cases"]}
+
+
+def compare(baseline: Dict[Tuple[int, float], dict],
+            candidate: Dict[Tuple[int, float], dict],
+            threshold: float) -> List[str]:
+    """Regression complaints over the shared cases (empty = pass)."""
+    problems = []
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        return ["no shared streaming cases between baseline and candidate"]
+    for key in shared:
+        users, duration_s = key
+        base = baseline[key]["tick_speedup"]
+        cand = candidate[key]["tick_speedup"]
+        floor = base * (1.0 - threshold)
+        if cand < floor:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: tick_speedup {cand:.2f}x "
+                f"< floor {floor:.2f}x (baseline {base:.2f}x, "
+                f"threshold {threshold:.0%})")
+        diff = candidate[key].get("max_rate_diff_bpm", 0.0)
+        if diff != 0.0:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: streamed and recomputed "
+                f"estimates diverged by {diff} bpm (must be exactly 0)")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed reference BENCH_pipeline.json")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="freshly produced BENCH_pipeline.json")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated fractional speedup loss "
+                             f"(default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        print(f"error: threshold must be in [0, 1), got {args.threshold}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_streaming_cases(args.baseline)
+        candidate = load_streaming_cases(args.candidate)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = compare(baseline, candidate, args.threshold)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    shared = sorted(set(baseline) & set(candidate))
+    print(f"bench regression check: {len(shared)} shared case(s) "
+          f"within {args.threshold:.0%} of baseline tick_speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,7 +14,10 @@ JSON files at the output directory root:
   suite: serve-shaped replay of the same captures comparing the
   incremental O(new-samples) cadence tick against the from-scratch
   recompute tick, with memoized (no-new-data) tick latency and the
-  derived per-core serve capacity.
+  derived per-core serve capacity; plus the ``fabric`` suite: a
+  population-scale soak of the multi-process serve fabric (EPC-remapped
+  synthetic users, one mid-run rebalance) whose session-accounting
+  invariants are machine-independent.
 
 Both paths consume identical MAC randomness, so each case's scalar and
 vectorized timings cover the *same* read-event stream — the ratio is a
@@ -302,6 +305,148 @@ def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
     }
 
 
+#: Fabric soak population: full runs settle >=10k concurrent sessions
+#: (the scale the router's consistent hashing is meant to spread);
+#: quick runs keep CI within budget at the same code paths.
+SOAK_FULL_USERS = 10_000
+SOAK_QUICK_USERS = 1_000
+
+#: Fabric soak worker-process count (before the mid-run rebalance).
+SOAK_WORKERS = 4
+
+#: Reports cloned per synthetic soak user — enough to create a session,
+#: ride through a checkpoint, and survive a migration, without turning
+#: the soak into a throughput benchmark of the breathing DSP.
+SOAK_REPORTS_PER_USER = 12
+
+
+def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
+    """Soak the multi-process serve fabric at population scale.
+
+    Synthesises a large user population by EPC-remapping a small real
+    capture — one simulated subject's first ``SOAK_REPORTS_PER_USER``
+    reads are cloned under thousands of distinct user ids
+    (:meth:`EPC96.from_user_tag` keeps the tag ids), interleaved
+    slice-major so every worker ingests continuously.  The stream is
+    replayed at full speed into a ``SOAK_WORKERS``-process fabric, with
+    one :meth:`BreathFabric.add_worker` rebalance injected mid-run.
+
+    The *invariants* in the result are machine-independent and guarded
+    by ``tools/check_bench_regression.py``:
+
+    * ``settled_sessions == users`` — no session was lost to routing,
+      checkpointing, or the rebalance;
+    * ``migrated_sessions > 0`` — the rebalance actually moved load
+      (an add_worker that moves nothing is a broken ring);
+    * ``worker_restarts == 0`` — a soak is not a chaos run; any
+      restart here is a real crash.
+
+    Wall-clock numbers (startup/ingest/rebalance seconds, reports/s)
+    are recorded for humans but never compared across machines.
+    """
+    import asyncio
+    import dataclasses
+    import tempfile
+
+    from .epc.codec import EPC96
+    from .serve.client import IngestClient
+    from .serve.fabric import BreathFabric
+    from .serve.session import SessionConfig
+    from .serve.supervisor import FabricConfig
+
+    users = SOAK_QUICK_USERS if quick else SOAK_FULL_USERS
+    capture = run_scenario(benchmark_scenario(1, seed=seed),
+                           duration_s=25.0, seed=seed)
+    base = [r for r in capture.reports
+            if r.user_id == 1][:SOAK_REPORTS_PER_USER]
+    reports = [
+        dataclasses.replace(r, epc=EPC96.from_user_tag(uid, r.tag_id))
+        for r in base
+        for uid in range(1, users + 1)
+    ]
+
+    async def _soak(state_dir: str) -> Dict:
+        fabric = BreathFabric(state_dir, FabricConfig(
+            workers=SOAK_WORKERS,
+            n_shards=1,
+            heartbeat_interval_s=1.0,
+            heartbeat_timeout_s=5.0,
+            checkpoint_interval_s=30.0,
+            session=SessionConfig(estimate_interval_s=5.0),
+        ))
+        t0 = time.perf_counter()
+        await fabric.start()
+        startup_s = time.perf_counter() - t0
+        try:
+            client = IngestClient("127.0.0.1", fabric.port,
+                                  connect_timeout_s=30.0,
+                                  read_timeout_s=120.0)
+            await client.connect()
+            half = len(reports) // 2
+            t0 = time.perf_counter()
+            first = await client.replay(reports[:half], speed=0.0)
+            t_reb = time.perf_counter()
+            new_id = await fabric.add_worker()
+            rebalance_s = time.perf_counter() - t_reb
+            migrated = int(
+                (await fabric.supervisor.ping_worker(new_id))["sessions"])
+            second = await client.replay(reports[half:], speed=0.0)
+            ingest_s = time.perf_counter() - t0 - rebalance_s
+            final = await fabric.fleet_stats()
+            await client.close(polite=True)
+        finally:
+            restarts = sum(h.restarts
+                           for h in fabric.supervisor.workers.values())
+            await fabric.stop(graceful=True)
+        per_worker = sorted(int(p.get("sessions", 0))
+                            for p in final["workers"].values())
+        mean = sum(per_worker) / len(per_worker) if per_worker else 0.0
+        return {
+            "users": users,
+            "reports": len(reports),
+            "reports_per_user": SOAK_REPORTS_PER_USER,
+            "workers_initial": SOAK_WORKERS,
+            "workers_final": len(final["workers"]),
+            "startup_s": startup_s,
+            "ingest_s": ingest_s,
+            "rebalance_s": rebalance_s,
+            "reports_per_s": (len(reports) / ingest_s
+                              if ingest_s > 0 else float("inf")),
+            "sent": first.sent + second.sent,
+            # acks carry the route's cumulative received count, and both
+            # replay halves share one connection — the second half's
+            # final ack already covers the first.
+            "acked": max(first.acked, second.acked),
+            "shed_total": int(final["shed_total"]),
+            "settled_sessions": int(final["sessions"]),
+            "migrated_sessions": migrated,
+            "worker_restarts": restarts,
+            "link_failures": fabric.counters["link_failures_total"],
+            "rebalances": fabric.counters["rebalances_total"],
+            "session_balance": {
+                "min": per_worker[0] if per_worker else 0,
+                "max": per_worker[-1] if per_worker else 0,
+                "imbalance": (per_worker[-1] / mean if mean else
+                              float("inf")),
+            },
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        case = asyncio.run(_soak(tmp))
+    return {
+        "quick": quick,
+        "seed": seed,
+        "cases": [case],
+        "headline": {
+            "users": case["users"],
+            "settled_sessions": case["settled_sessions"],
+            "migrated_sessions": case["migrated_sessions"],
+            "worker_restarts": case["worker_restarts"],
+            "reports_per_s": case["reports_per_s"],
+        },
+    }
+
+
 def run_obs_overhead_benchmark(users: int, duration_s: float,
                                seed: int = 0, repeats: int = 5) -> Dict:
     """Measure what round-level tracing costs on one headline case.
@@ -368,6 +513,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     simulation, captures = run_simulation_benchmark(grid, seed=seed)
     pipeline = run_pipeline_benchmark(captures, seed=seed)
     pipeline["streaming"] = run_streaming_benchmark(captures, seed=seed)
+    pipeline["fabric"] = run_fabric_soak_benchmark(quick=quick, seed=seed)
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(
         obs_users, obs_duration, seed=seed)

@@ -137,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--signal", action="store_true",
                        help="embed a downsampled breathing-signal trace "
                             "in estimate messages (for dashboards)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes behind a consistent-hash "
+                            "router (0 = single-process server; N >= 1 "
+                            "runs the supervised fabric; requires "
+                            "--state-dir)")
+    serve.add_argument("--state-dir", default=None,
+                       help="fabric state directory (worker checkpoints "
+                            "+ portfiles; restart over the same dir "
+                            "resumes every session)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject a live fabric and verify streamed == batch")
+    chaos.add_argument("--users", type=int, default=4,
+                       help="simulated subjects (default 4)")
+    chaos.add_argument("--duration", type=float, default=60.0,
+                       help="capture length in stream seconds (default 60)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="master seed: capture, fault schedule, jitter")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="fabric worker processes (default 2)")
+    chaos.add_argument("--kills", type=int, default=2,
+                       help="SIGKILLs to inject (default 2)")
+    chaos.add_argument("--stalls", type=int, default=1,
+                       help="SIGSTOP partitions to inject (default 1)")
+    chaos.add_argument("--corruptions", type=int, default=1,
+                       help="checkpoint corruptions to inject (default 1)")
+    chaos.add_argument("--speed", type=float, default=6.0,
+                       help="replay acceleration (default 6x)")
+    chaos.add_argument("--state-dir", default=None,
+                       help="keep fabric state here instead of a temp dir")
 
     replay = sub.add_parser(
         "replay",
@@ -345,6 +376,9 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from .serve import BreathServer, SessionConfig
 
+    if args.workers > 0:
+        return _run_fabric(args)
+
     config = SessionConfig(
         window_s=args.window,
         estimate_interval_s=args.interval,
@@ -390,6 +424,91 @@ def _run_serve(args: argparse.Namespace) -> int:
         for key in ("reports_total", "sessions", "shed_total",
                     "reconnects_total", "protocol_errors_total")))
     return 0
+
+
+def _run_fabric(args: argparse.Namespace) -> int:
+    """``serve --workers N``: supervised multi-process fabric."""
+    import asyncio
+    import signal
+
+    from .serve import BreathFabric, FabricConfig, SessionConfig
+
+    if not args.state_dir:
+        print("error: --workers requires --state-dir (worker checkpoints "
+              "live there; restarting over the same dir resumes sessions)",
+              file=sys.stderr)
+        return 2
+    session = SessionConfig(
+        window_s=args.window,
+        estimate_interval_s=args.interval,
+        warmup_s=args.warmup,
+        queue_capacity=args.queue_capacity,
+        include_signal=args.signal,
+    )
+    config = FabricConfig(
+        workers=args.workers,
+        host=args.host,
+        n_shards=args.shards,
+        checkpoint_interval_s=args.checkpoint_every,
+        session=session,
+    )
+    fabric = BreathFabric(args.state_dir, config,
+                          host=args.host, port=args.port)
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await fabric.start()
+        print(f"fabric on {fabric.host}:{fabric.port} "
+              f"({args.workers} workers x {args.shards} shards, "
+              f"state {args.state_dir}) — Ctrl-C to drain")
+        try:
+            await stop.wait()
+        finally:
+            await fabric.stop(graceful=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    counters = fabric.counters
+    restarts = sum(h.restarts
+                   for h in fabric.supervisor.workers.values())
+    print("drained: " + ", ".join(
+        f"{key}={counters[key]}"
+        for key in ("connections_total", "routed_reports_total",
+                    "link_failures_total", "rebalances_total"))
+        + f", worker_restarts={restarts}")
+    return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: fault-inject a fabric, verify streamed == batch."""
+    from .serve import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        users=args.users,
+        duration_s=args.duration,
+        seed=args.seed,
+        workers=args.workers,
+        kills=args.kills,
+        stalls=args.stalls,
+        corruptions=args.corruptions,
+        speed=args.speed,
+    )
+    print(f"chaos: {config.users} users / {config.duration_s:.0f} s "
+          f"capture on {config.workers} workers; injecting "
+          f"{config.kills} kills, {config.stalls} stalls, "
+          f"{config.corruptions} corruptions (seed {config.seed})...")
+    report = run_chaos(config, state_dir=args.state_dir)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def _run_replay(args: argparse.Namespace) -> int:
@@ -482,6 +601,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_table(
             ["users", "trial", "reports", "process", "throughput"],
             pipe_rows))
+        fabric = results["pipeline"].get("fabric")
+        if fabric:
+            f = fabric["cases"][0]
+            print(f"fabric soak: {f['settled_sessions']}/{f['users']} "
+                  f"sessions settled on {f['workers_initial']}->"
+                  f"{f['workers_final']} workers, "
+                  f"{f['migrated_sessions']} migrated in rebalance, "
+                  f"{f['worker_restarts']} restarts, "
+                  f"{f['reports_per_s']:.0f} reports/s")
         overhead = results["simulation"].get("observability")
         if overhead:
             print(f"observability overhead ({overhead['users']} users, "
@@ -500,6 +628,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     if args.command == "replay":
         return _run_replay(args)

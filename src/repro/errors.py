@@ -81,6 +81,35 @@ class ServeError(ReproError):
     misuse, checkpoint format problems, or client-side failures."""
 
 
+class CheckpointCorruptError(ServeError):
+    """A checkpoint file exists but cannot be trusted (torn write,
+    truncation, garbage bytes, or a structurally malformed document).
+
+    Distinct from a *missing* checkpoint (plain :class:`ServeError`):
+    corruption means a write was interrupted or the storage lied, so the
+    loader falls back to the previous good generation (``<path>.prev``)
+    and the event is counted on
+    ``repro_serve_checkpoint_corrupt_total`` instead of being silently
+    treated as a cold start.
+    """
+
+
+class ServeTimeoutError(ServeError):
+    """A client-side serve operation exceeded its deadline.
+
+    Raised by :class:`~repro.serve.client.IngestClient` (connect/read
+    timeouts) and :func:`~repro.serve.client.watch_estimates` so a dead
+    or partitioned server surfaces as a typed error instead of blocking
+    the caller forever.
+    """
+
+
+class FabricError(ServeError):
+    """Multi-process fabric error (:mod:`repro.serve.fabric`): worker
+    spawn/supervision failures, exhausted reconnect budgets, or a
+    migration that could not complete."""
+
+
 class ProtocolError(ServeError):
     """A wire frame violates the ``repro.serve`` protocol (bad length
     prefix, oversized frame, undecodable payload, unknown message type).

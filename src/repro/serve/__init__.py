@@ -13,19 +13,34 @@ Layout:
   report and estimate wire shapes;
 * :mod:`repro.serve.session` — per-user sessions, sharded workers,
   watermark backpressure and shed-oldest queues;
-* :mod:`repro.serve.checkpoint` — atomic session-state save/load;
+* :mod:`repro.serve.checkpoint` — atomic, fsynced, generational
+  session-state save/load;
 * :mod:`repro.serve.server` — the asyncio TCP server;
-* :mod:`repro.serve.client` — replay (load generator) and watch clients.
+* :mod:`repro.serve.client` — replay (load generator) and watch clients
+  with deadlines, bounded retry, and idempotent resume;
+* :mod:`repro.serve.retry` — the shared backoff policy;
+* :mod:`repro.serve.hashring` — consistent hashing of users onto
+  workers;
+* :mod:`repro.serve.worker` / :mod:`repro.serve.supervisor` /
+  :mod:`repro.serve.fabric` — the multi-process scale-out fabric:
+  supervised worker processes behind a consistent-hash router, with
+  heartbeat-driven restart from checkpoint and live shard migration;
+* :mod:`repro.serve.chaos` — the fault-injection harness that proves
+  the recovery story (``repro chaos``).
 
 See docs/SERVING.md for the wire grammar and operational semantics, and
 ``repro serve`` / ``repro replay`` / ``repro watch`` for the CLI faces.
 """
 
+from .chaos import ChaosConfig, ChaosReport, run_chaos
 from .checkpoint import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
     load_checkpoint,
+    previous_path,
     save_checkpoint,
+    session_state_from_doc,
+    session_state_to_doc,
 )
 from .client import (
     IngestClient,
@@ -34,6 +49,9 @@ from .client import (
     replay_trace,
     watch_estimates,
 )
+from .fabric import BreathFabric
+from .hashring import DEFAULT_VNODES, HashRing
+from .retry import DEFAULT_RETRY, RESPAWN_RETRY, RetryPolicy
 from .protocol import (
     CODECS,
     HAVE_MSGPACK,
@@ -48,6 +66,7 @@ from .protocol import (
 )
 from .server import ACK_EVERY, BreathServer
 from .session import SessionConfig, SessionShard, UserSession
+from .supervisor import FabricConfig, Supervisor, WorkerHandle
 
 __all__ = [
     "BreathServer", "ACK_EVERY",
@@ -57,6 +76,11 @@ __all__ = [
     "FrameDecoder", "encode_frame", "report_to_wire", "wire_to_report",
     "estimate_to_wire", "negotiate_codec",
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "CODECS", "HAVE_MSGPACK",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "previous_path",
+    "session_state_to_doc", "session_state_from_doc",
     "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION",
+    "RetryPolicy", "DEFAULT_RETRY", "RESPAWN_RETRY",
+    "HashRing", "DEFAULT_VNODES",
+    "BreathFabric", "FabricConfig", "Supervisor", "WorkerHandle",
+    "ChaosConfig", "ChaosReport", "run_chaos",
 ]

@@ -1,0 +1,330 @@
+"""Chaos harness: prove the fabric recovers, don't just claim it.
+
+:func:`run_chaos` runs a real multi-process fabric over a seeded
+simulated capture while a fault injector attacks it, then checks the
+only invariant that matters for a breath monitor: **after arbitrary
+worker crashes, partitions, and checkpoint corruption, every user's
+final streamed estimate equals the batch pipeline's answer** for the
+same capture (within the 0.1 bpm bound the serve tests pin on the
+clean path).  Faults injected, seeded per run:
+
+* ``kill``    — SIGKILL a random worker mid-ingest.  The supervisor
+  restarts it from its atomic checkpoint; the ingest client's
+  idempotent resume resends exactly the window the checkpoint had not
+  yet covered.
+* ``stall``   — SIGSTOP a worker for longer than the heartbeat
+  deadline (the router↔worker partition / link-delay case), then
+  SIGCONT.  The supervisor's protocol-level probe sees the silence,
+  counts ``repro_fabric_heartbeat_miss_total``, and restarts the
+  worker.
+* ``corrupt`` — overwrite / truncate a worker's *live* checkpoint file
+  (a torn write at the worst moment) and then SIGKILL it, forcing
+  recovery through the ``.prev`` generation fallback
+  (:mod:`repro.serve.checkpoint`).
+
+Recovery must be *visible*: the report fails the run if faults were
+injected but no worker restart was observed — silent survival usually
+means the fault never landed, and a chaos suite that cannot tell is
+worthless.  ``repro chaos`` is the CLI face; ``tests/test_chaos.py``
+runs a short seeded configuration in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .. import obs
+from ..core.pipeline import TagBreathe
+from ..errors import DegradedEstimateWarning, InsufficientDataError
+from .checkpoint import session_state_from_doc
+from .client import IngestClient
+from .fabric import BreathFabric
+from .retry import RetryPolicy
+from .session import SessionConfig, UserSession
+from .supervisor import FabricConfig
+from .worker import checkpoint_path
+
+#: Replay retry policy for chaos runs: patient enough to ride out a
+#: worker respawn (~import cost) several times in one replay.
+CHAOS_RETRY = RetryPolicy(max_attempts=12, base_delay_s=0.2,
+                          multiplier=1.7, max_delay_s=2.5)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run's shape (everything seeded and bounded).
+
+    Attributes:
+        users: simulated subjects in the capture.
+        duration_s: capture length (stream time, not wall time).
+        seed: master seed — capture synthesis, fault schedule, and
+            retry jitter all derive from it.
+        workers: fabric worker-process count.
+        kills / stalls / corruptions: how many of each fault to inject
+            (spread across the replay; 0 disables that fault).
+        fault_interval_s: mean wall-clock gap between injected faults.
+        speed: replay acceleration (0 = as fast as backpressure
+            admits; the default paces the replay so faults land while
+            data is in flight).
+        tolerance_bpm: allowed |streamed - batch| per user.
+    """
+
+    users: int = 4
+    duration_s: float = 60.0
+    seed: int = 0
+    workers: int = 2
+    kills: int = 2
+    stalls: int = 1
+    corruptions: int = 1
+    fault_interval_s: float = 2.0
+    speed: float = 6.0
+    tolerance_bpm: float = 0.1
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run did and whether the invariant held."""
+
+    users: int = 0
+    reports: int = 0
+    sent: int = 0
+    retries: int = 0
+    resumed_skipped: int = 0
+    kills: int = 0
+    stalls: int = 0
+    corruptions: int = 0
+    restarts_observed: int = 0
+    heartbeat_misses: int = 0
+    compared_users: int = 0
+    max_delta_bpm: float = 0.0
+    missing_users: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    ok: bool = False
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable outcome for the CLI."""
+        lines = [
+            f"chaos: {self.users} users, {self.reports} reports, "
+            f"{self.kills} kills / {self.stalls} stalls / "
+            f"{self.corruptions} corruptions",
+            f"recovery: {self.restarts_observed} worker restart(s), "
+            f"{self.heartbeat_misses} heartbeat miss(es), "
+            f"{self.retries} client reconnect(s), "
+            f"{self.resumed_skipped} report(s) resumed past",
+            f"invariant: {self.compared_users}/{self.users} users "
+            f"compared, max |streamed-batch| = "
+            f"{self.max_delta_bpm:.4f} bpm",
+            f"verdict: {'OK' if self.ok else 'FAILED'}",
+        ]
+        lines.extend(f"note: {n}" for n in self.notes)
+        return lines
+
+
+def _batch_rates(reports, user_ids, window_s: Optional[float]
+                 ) -> Dict[int, float]:
+    """The batch pipeline's final per-user rates over the full capture."""
+    engine = TagBreathe(user_ids=set(user_ids))
+    for report in reports:
+        engine.feed(report)
+    rates: Dict[int, float] = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstimateWarning)
+        for uid in user_ids:
+            try:
+                rates[uid] = engine.estimate_user(
+                    uid, window_s=window_s).rate_bpm
+            except InsufficientDataError:
+                pass
+    return rates
+
+
+def _corrupt_file(path: Path, rng: random.Random) -> bool:
+    """Tear a checkpoint file the way a crash mid-write would."""
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    if rng.random() < 0.5 and len(data) > 2:
+        path.write_bytes(data[:len(data) // 2])  # truncation
+    else:
+        garbage = bytes(rng.randrange(256) for _ in range(64))
+        path.write_bytes(garbage + data[64:])  # scribbled header
+    return True
+
+
+async def _inject_faults(fabric: BreathFabric, config: ChaosConfig,
+                         report: ChaosReport,
+                         replay_done: asyncio.Event) -> None:
+    rng = random.Random(config.seed * 7919 + 1)
+    plan = (["kill"] * config.kills + ["stall"] * config.stalls
+            + ["corrupt"] * config.corruptions)
+    rng.shuffle(plan)
+    for action in plan:
+        delay = config.fault_interval_s * rng.uniform(0.5, 1.5)
+        try:
+            await asyncio.wait_for(replay_done.wait(), timeout=delay)
+            return  # replay finished; stop injecting
+        except asyncio.TimeoutError:
+            pass
+        workers = fabric.supervisor.worker_ids()
+        if not workers:
+            continue
+        victim = rng.choice(workers)
+        handle = fabric.supervisor.workers.get(victim)
+        if handle is None or not handle.alive:
+            continue
+        pid = handle.process.pid
+        if action == "kill":
+            os.kill(pid, signal.SIGKILL)
+            report.kills += 1
+            obs.event("chaos.kill", worker=victim, pid=pid)
+        elif action == "stall":
+            # Longer than max_misses * interval so the heartbeat
+            # deadline genuinely expires (a partition, not a blip).
+            hold = (fabric.config.heartbeat_interval_s
+                    * (fabric.config.max_heartbeat_misses + 2)
+                    + fabric.config.heartbeat_timeout_s)
+            os.kill(pid, signal.SIGSTOP)
+            report.stalls += 1
+            obs.event("chaos.stall", worker=victim, pid=pid,
+                      hold_s=round(hold, 3))
+            await asyncio.sleep(hold)
+            try:  # the supervisor may already have killed+replaced it
+                os.kill(pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        else:  # corrupt: tear the live checkpoint, then crash the
+            # worker so recovery *must* go through the fallback path.
+            if _corrupt_file(
+                    checkpoint_path(fabric.supervisor.state_dir, victim),
+                    rng):
+                report.corruptions += 1
+                obs.event("chaos.corrupt", worker=victim)
+                os.kill(pid, signal.SIGKILL)
+                report.kills += 1
+
+
+async def _run_chaos_async(reports, config: ChaosConfig,
+                           state_dir: Path) -> ChaosReport:
+    report = ChaosReport(users=config.users, reports=len(reports))
+    user_ids = sorted({r.user_id for r in reports
+                       if 1 <= r.user_id <= config.users})
+    session = SessionConfig(estimate_interval_s=5.0)
+    fabric = BreathFabric(
+        state_dir,
+        FabricConfig(
+            workers=config.workers,
+            n_shards=1,
+            heartbeat_interval_s=0.25,
+            heartbeat_timeout_s=1.0,
+            max_heartbeat_misses=2,
+            checkpoint_interval_s=0.25,
+            session=session,
+        ),
+    )
+    await fabric.start()
+    try:
+        client = IngestClient(
+            "127.0.0.1", fabric.port, client_id="chaos-replay",
+            connect_timeout_s=5.0, read_timeout_s=10.0,
+            retry=CHAOS_RETRY, retry_seed=config.seed)
+        await client.connect()
+        replay_done = asyncio.Event()
+        injector = asyncio.ensure_future(
+            _inject_faults(fabric, config, report, replay_done))
+        try:
+            stats = await client.replay(reports, speed=config.speed)
+        finally:
+            replay_done.set()
+            await injector
+            await client.close(polite=False)
+        report.sent = stats.sent
+        report.retries = stats.retries
+        report.resumed_skipped = stats.resumed_skipped
+        report.restarts_observed = sum(
+            h.restarts for h in fabric.supervisor.workers.values())
+        report.heartbeat_misses = sum(
+            h.total_misses for h in fabric.supervisor.workers.values())
+
+        # ----- the invariant: streamed final state == batch pipeline
+        batch = _batch_rates(reports, user_ids, session.window_s)
+        docs = await fabric.collect_states()
+        streamed: Dict[int, float] = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            for doc in docs:
+                state = session_state_from_doc(doc)
+                if state["user_id"] not in set(user_ids):
+                    continue  # contending item tags, not subjects
+                local = UserSession(state["user_id"], session)
+                local.restore(state, state["reports"])
+                message = local.estimate_now()
+                if message is not None:
+                    streamed[state["user_id"]] = message["rate_bpm"]
+        report.compared_users = len(set(batch) & set(streamed))
+        report.missing_users = sorted(set(batch) - set(streamed))
+        for uid in set(batch) & set(streamed):
+            delta = abs(batch[uid] - streamed[uid])
+            report.max_delta_bpm = max(report.max_delta_bpm, delta)
+    finally:
+        await fabric.stop(graceful=True)
+
+    faults = report.kills + report.stalls + report.corruptions
+    report.ok = True
+    if report.missing_users:
+        report.ok = False
+        report.notes.append(
+            f"users lost their session entirely: {report.missing_users}")
+    if report.max_delta_bpm > config.tolerance_bpm:
+        report.ok = False
+        report.notes.append(
+            f"streamed diverged from batch by {report.max_delta_bpm:.4f} "
+            f"bpm (> {config.tolerance_bpm})")
+    if faults > 0 and report.restarts_observed == 0:
+        report.ok = False
+        report.notes.append(
+            "faults were injected but no worker restart was observed — "
+            "recovery must be visible, not assumed")
+    return report
+
+
+def run_chaos(config: Optional[ChaosConfig] = None,
+              state_dir: Optional[Union[str, Path]] = None) -> ChaosReport:
+    """Run one full chaos experiment; returns the verdict report.
+
+    Args:
+        config: run shape (defaults are CI-sized: ~2 workers, a few
+            faults, a 4-user minute of breathing).
+        state_dir: fabric state directory (default: a fresh temp dir,
+            removed afterwards).
+
+    The capture is simulated fresh from ``config.seed`` so the run is
+    self-contained; the batch baseline is computed from the *same*
+    in-memory reports the replay streams.
+    """
+    import tempfile
+
+    from ..bench import benchmark_scenario
+    from ..sim.engine import run_scenario
+
+    config = config if config is not None else ChaosConfig()
+    scenario = benchmark_scenario(config.users, seed=config.seed)
+    result = run_scenario(scenario, duration_s=config.duration_s,
+                          seed=config.seed)
+
+    def _run(directory: Path) -> ChaosReport:
+        return asyncio.run(
+            _run_chaos_async(result.reports, config, directory))
+
+    if state_dir is not None:
+        Path(state_dir).mkdir(parents=True, exist_ok=True)
+        return _run(Path(state_dir))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        return _run(Path(tmp))

@@ -9,6 +9,24 @@ gaps are honoured relative to the capture's own timestamps, so a 5-user
 60 s capture at ``speed=4`` takes ~15 s and arrives with realistic
 burst structure instead of a single blast.
 
+Failure behaviour is part of the contract (the fabric's chaos suite
+exercises every clause):
+
+* **deadlines** — connects and reads carry timeouts; a dead or
+  partitioned server raises :class:`~repro.errors.ServeTimeoutError`
+  instead of blocking the caller forever;
+* **bounded retry** — with a ``client_id``, :meth:`IngestClient.replay`
+  rides through server restarts: each disconnect triggers a
+  reconnect loop with exponential backoff and jitter
+  (:class:`~repro.serve.retry.RetryPolicy`), bounded so an unreachable
+  server becomes an error, not a hang;
+* **idempotent resume** — reports are stamped with per-client sequence
+  numbers; on reconnect the server's ``welcome`` answers ``last_seq``
+  (the highest sequence it has accepted, surviving its own
+  checkpoint/restore) and the client resends exactly from there, so a
+  worker restart duplicates nothing and loses nothing the checkpoint
+  covered.
+
 :func:`watch_estimates` is the subscription side: an async iterator over
 the server's JSONL estimate stream for one user (or all users).
 
@@ -33,12 +51,21 @@ from typing import (
     Union,
 )
 
-from ..errors import ProtocolError, ServeError
+from ..errors import ProtocolError, ServeError, ServeTimeoutError
 from ..reader.tagreport import TagReport
 from .protocol import FrameDecoder, encode_frame, report_to_wire
+from .retry import DEFAULT_RETRY, RetryPolicy
 
 #: How many report frames to pack into one socket write.
 _WRITE_BATCH = 64
+
+#: Default deadline for opening a connection + handshake reads.
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+#: Default deadline for any single awaited reply (ack/flush/pong).  A
+#: healthy server answers a flush as fast as it can ingest the backlog,
+#: so a minute of silence means dead, not slow.
+DEFAULT_READ_TIMEOUT_S = 60.0
 
 
 @dataclass
@@ -46,16 +73,22 @@ class ReplayStats:
     """What one replay run delivered.
 
     Attributes:
-        sent: reports written to the wire.
+        sent: reports written to the wire (this call; resends included).
         acked: reports the server acknowledged (from its last ack).
         shed_total: server-side shed counter at the last ack/flush.
         wall_s: wall-clock seconds the replay took.
+        retries: reconnect attempts the replay survived.
+        resumed_skipped: reports skipped up front because the server's
+            ``last_seq`` said a previous incarnation already delivered
+            them (idempotent resume).
     """
 
     sent: int = 0
     acked: int = 0
     shed_total: int = 0
     wall_s: float = 0.0
+    retries: int = 0
+    resumed_skipped: int = 0
     errors: List[str] = field(default_factory=list)
 
 
@@ -66,51 +99,108 @@ class IngestClient:
         host / port: server address.
         codec: wire codec to request ("json" always works; "msgpack"
             falls back to json when either side lacks the library).
-        client_id: stable identity string; reconnects under the same id
-            tick the server's ``repro_serve_reconnects_total`` counter.
+        client_id: stable identity string; enables idempotent resume
+            (sequence numbering + ``last_seq``) and makes reconnects
+            under the same id tick ``repro_serve_reconnects_total``.
+        connect_timeout_s: deadline for TCP connect + handshake
+            (None = wait forever, the pre-timeout behaviour).
+        read_timeout_s: deadline for any single awaited reply
+            (None = wait forever).
+        retry: reconnect backoff schedule for :meth:`replay`'s
+            ride-through behaviour.
+        retry_seed: seeds the backoff jitter (tests/chaos determinism).
     """
 
     def __init__(self, host: str, port: int, codec: str = "json",
-                 client_id: Optional[str] = None) -> None:
+                 client_id: Optional[str] = None,
+                 connect_timeout_s: Optional[float]
+                 = DEFAULT_CONNECT_TIMEOUT_S,
+                 read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
+                 retry: RetryPolicy = DEFAULT_RETRY,
+                 retry_seed: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.requested_codec = codec
         self.codec = codec
         self.client_id = client_id
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.retry = retry
+        self.retry_seed = retry_seed
+        #: Highest sequence the server reported accepted (from welcome).
+        self.last_seq = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._decoder = FrameDecoder("json")
         self._inbox: List[Dict] = []
+        self._nonce = 0
 
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
     async def connect(self) -> Dict:
         """Open the connection and complete the hello/welcome handshake.
 
         Returns:
-            The server's ``welcome`` message.
+            The server's ``welcome`` message (``last_seq`` is also kept
+            on :attr:`last_seq`).
 
         Raises:
             ServeError: when the server rejects the handshake.
+            ServeTimeoutError: when connect or the handshake reply
+                exceeds ``connect_timeout_s``.
         """
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port)
-        hello = {"type": "hello", "role": "ingest",
-                 "codec": self.requested_codec}
-        if self.client_id is not None:
-            hello["client_id"] = self.client_id
-        self._writer.write(encode_frame(hello, "json"))
-        await self._writer.drain()
-        welcome = await self._read_message()
-        if welcome is None or welcome.get("type") != "welcome":
-            raise ServeError(f"handshake failed: {welcome!r}")
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout_s)
+        except asyncio.TimeoutError:
+            raise ServeTimeoutError(
+                f"connect to {self.host}:{self.port} timed out after "
+                f"{self.connect_timeout_s}s") from None
+        self._decoder = FrameDecoder("json")
+        self._inbox = []
+        try:
+            hello = {"type": "hello", "role": "ingest",
+                     "codec": self.requested_codec}
+            if self.client_id is not None:
+                hello["client_id"] = self.client_id
+            self._writer.write(encode_frame(hello, "json"))
+            await self._writer.drain()
+            welcome = await self._read_message(
+                timeout=self.connect_timeout_s)
+            if welcome is None or welcome.get("type") != "welcome":
+                raise ServeError(f"handshake failed: {welcome!r}")
+        except BaseException:
+            # A failed handshake must not leave a half-open connection
+            # behind: `connected` stays False and retry loops reconnect
+            # from a clean slate.
+            await self._teardown()
+            raise
         self.codec = welcome.get("codec", "json")
         self._decoder.codec = self.codec
+        self.last_seq = int(welcome.get("last_seq", 0))
         return welcome
 
-    async def _read_message(self) -> Optional[Dict]:
+    @property
+    def connected(self) -> bool:
+        """True while a connection is open."""
+        return self._writer is not None
+
+    async def _read_message(self, timeout: Optional[float] = "unset"
+                            ) -> Optional[Dict]:
+        if timeout == "unset":
+            timeout = self.read_timeout_s
         if self._inbox:
             return self._inbox.pop(0)
         while True:
-            data = await self._reader.read(1 << 16)
+            try:
+                data = await asyncio.wait_for(
+                    self._reader.read(1 << 16), timeout=timeout)
+            except asyncio.TimeoutError:
+                raise ServeTimeoutError(
+                    f"no reply from {self.host}:{self.port} within "
+                    f"{timeout}s") from None
             if not data:
                 return None
             messages = self._decoder.feed(data)
@@ -124,16 +214,125 @@ class IngestClient:
         self._inbox.clear()
         return messages
 
-    async def send_report(self, report: TagReport) -> None:
+    async def _teardown(self) -> None:
+        """Drop the connection state without a polite bye (it's dead)."""
+        writer, self._writer, self._reader = self._writer, None, None
+        self._inbox = []
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _report_message(self, report: TagReport,
+                        seq: Optional[int]) -> Dict:
+        message = report_to_wire(report)
+        if seq is not None:
+            message["seq"] = seq
+        return message
+
+    async def send_report(self, report: TagReport,
+                          seq: Optional[int] = None) -> None:
         """Send one tag report (buffered; flushed by the transport)."""
-        self._writer.write(encode_frame(report_to_wire(report), self.codec))
+        self._writer.write(
+            encode_frame(self._report_message(report, seq), self.codec))
         await self._writer.drain()
 
+    async def send_message(self, message: Dict) -> None:
+        """Send one raw protocol message (fabric control plumbing)."""
+        self._writer.write(encode_frame(message, self.codec))
+        await self._writer.drain()
+
+    def write_message(self, message: Dict) -> None:
+        """Buffer one message without draining (router batching path).
+
+        Raises:
+            ConnectionResetError: the transport is already closing —
+                surfaced here so a dead link fails fast instead of
+                buffering into a closed socket.
+        """
+        if self._writer is None or self._writer.is_closing():
+            raise ConnectionResetError("link transport is closed")
+        self._writer.write(encode_frame(message, self.codec))
+
+    async def drain(self) -> None:
+        """Flush buffered writes; blocks under transport backpressure."""
+        await self._writer.drain()
+
+    async def _await_type(self, wanted: str,
+                          stats: Optional[ReplayStats] = None) -> Dict:
+        """Read until a message of ``wanted`` type arrives.
+
+        Acks (and other interleaved traffic) are absorbed into ``stats``
+        when given; an ``error`` message raises ProtocolError; EOF
+        raises ServeError.
+        """
+        while True:
+            message = await self._read_message()
+            if message is None:
+                raise ServeError(
+                    f"connection closed awaiting {wanted!r}")
+            mtype = message.get("type")
+            if mtype == wanted:
+                return message
+            if mtype == "error":
+                raise ProtocolError(str(message.get("message")))
+            if stats is not None:
+                self._absorb(message, stats)
+
+    # ------------------------------------------------------------------
+    # Control verbs (heartbeats, migration) — the fabric's plumbing
+    # ------------------------------------------------------------------
+    async def ping(self, detail: bool = False) -> Dict:
+        """Health probe: returns the server's ``pong`` (session counts).
+
+        Raises:
+            ServeTimeoutError: no pong within ``read_timeout_s`` — the
+                heartbeat miss signal the supervisor acts on.
+        """
+        self._nonce += 1
+        await self.send_message({"type": "ping", "nonce": self._nonce,
+                                 "detail": bool(detail)})
+        while True:
+            pong = await self._await_type("pong")
+            if pong.get("nonce") == self._nonce:
+                return pong
+
+    async def migrate_out(self, user_ids: Sequence[int]) -> List[Dict]:
+        """Ask the server to drain+detach these users; returns state docs."""
+        await self.send_message({"type": "migrate_out",
+                                 "user_ids": [int(u) for u in user_ids]})
+        reply = await self._await_type("migrated")
+        return list(reply.get("sessions", []))
+
+    async def migrate_in(self, sessions: List[Dict]) -> int:
+        """Restore migrated session documents onto the server."""
+        await self.send_message({"type": "migrate_in",
+                                 "sessions": list(sessions)})
+        reply = await self._await_type("migrated")
+        return int(reply.get("count", 0))
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
     async def replay(self, reports: Iterable[TagReport],
                      speed: float = 1.0,
                      progress: Optional[Callable[[int], None]] = None,
                      ) -> ReplayStats:
         """Stream a capture, pacing inter-report gaps by ``speed``.
+
+        With a ``client_id`` the replay is **restart-proof**: every
+        report carries a sequence number, and a dropped connection is
+        retried with backoff; on reconnect the server's ``last_seq``
+        says exactly where to resume, so a server/worker restart in the
+        middle of a replay neither duplicates nor silently loses
+        reports (only data the server's checkpoint never covered is
+        re-sent).  Without a ``client_id`` the pre-fabric behaviour is
+        kept: a connection error propagates to the caller.
 
         Args:
             reports: timestamp-ordered reports (a recorded capture).
@@ -147,13 +346,28 @@ class IngestClient:
             terminating ``flushed`` barrier, so `shed_total` is exact).
 
         Raises:
-            ServeError: when the connection was never opened.
+            ServeError: when the connection was never opened, or the
+                reconnect budget was exhausted mid-replay.
+            ServeTimeoutError: a reply deadline expired with no retry
+                budget left.
         """
         if self._writer is None:
             raise ServeError("connect() before replay()")
         loop = asyncio.get_event_loop()
         t_start = loop.time()
         stats = ReplayStats()
+        if self.client_id is not None:
+            await self._replay_resumable(list(reports), speed, progress,
+                                         stats, loop)
+        else:
+            await self._replay_simple(reports, speed, progress, stats)
+        stats.wall_s = loop.time() - t_start
+        return stats
+
+    async def _replay_simple(self, reports: Iterable[TagReport],
+                             speed: float,
+                             progress: Optional[Callable[[int], None]],
+                             stats: ReplayStats) -> None:
         prev_t: Optional[float] = None
         batch = 0
         for report in reports:
@@ -162,6 +376,8 @@ class IngestClient:
                 if gap > 0:
                     await asyncio.sleep(gap)
             prev_t = report.timestamp_s
+            if self._writer.is_closing():
+                raise ConnectionResetError("server closed the connection")
             self._writer.write(
                 encode_frame(report_to_wire(report), self.codec))
             stats.sent += 1
@@ -177,8 +393,75 @@ class IngestClient:
         flushed = await self.flush()
         if flushed is not None:
             self._absorb(flushed, stats)
-        stats.wall_s = loop.time() - t_start
-        return stats
+
+    async def _replay_resumable(self, reports: List[TagReport],
+                                speed: float,
+                                progress: Optional[Callable[[int], None]],
+                                stats: ReplayStats,
+                                loop: asyncio.AbstractEventLoop) -> None:
+        """Sequence-numbered replay that rides through reconnects.
+
+        ``reports[i]`` carries ``seq = i + 1``; the resume index always
+        comes from the server's ``last_seq``, so the loop converges no
+        matter how far a restarted server's checkpoint rewound.
+        """
+        index = min(self.last_seq, len(reports))
+        stats.resumed_skipped = index
+        delays = None  # reset after any progress; built lazily on failure
+        progressed_at = index
+        while True:
+            try:
+                if not self.connected:
+                    await self.connect()
+                    index = min(self.last_seq, len(reports))
+                prev_t: Optional[float] = None
+                batch = 0
+                while index < len(reports):
+                    report = reports[index]
+                    if speed > 0 and prev_t is not None:
+                        gap = (report.timestamp_s - prev_t) / speed
+                        if gap > 0:
+                            await asyncio.sleep(gap)
+                    prev_t = report.timestamp_s
+                    if self._writer.is_closing():
+                        raise ConnectionResetError(
+                            "server closed the connection")
+                    self._writer.write(encode_frame(
+                        self._report_message(report, index + 1),
+                        self.codec))
+                    index += 1
+                    stats.sent += 1
+                    batch += 1
+                    if batch >= _WRITE_BATCH:
+                        await self._writer.drain()
+                        batch = 0
+                        if progress is not None:
+                            progress(stats.sent)
+                        for message in self._drain_inbox_nowait():
+                            self._absorb(message, stats)
+                await self._writer.drain()
+                flushed = await self.flush()
+                if flushed is not None:
+                    self._absorb(flushed, stats)
+                return
+            except (ConnectionError, ServeTimeoutError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                await self._teardown()
+                if index > progressed_at:
+                    delays = None  # made progress: fresh retry budget
+                    progressed_at = index
+                if delays is None:
+                    delays = self.retry.delays(seed=self.retry_seed)
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise ServeError(
+                        f"replay retry budget exhausted "
+                        f"({self.retry.max_attempts} attempts) talking "
+                        f"to {self.host}:{self.port}: {exc}") from exc
+                stats.retries += 1
+                stats.errors.append(f"reconnect after: {exc}")
+                await asyncio.sleep(delay)
 
     def _absorb(self, message: Dict, stats: ReplayStats) -> None:
         mtype = message.get("type")
@@ -193,6 +476,9 @@ class IngestClient:
 
         Returns:
             The server's ``flushed`` message (None on connection loss).
+
+        Raises:
+            ServeTimeoutError: no ``flushed`` within ``read_timeout_s``.
         """
         self._writer.write(encode_frame({"type": "flush"}, self.codec))
         await self._writer.drain()
@@ -214,12 +500,12 @@ class IngestClient:
             try:
                 self._writer.write(encode_frame({"type": "bye"}, self.codec))
                 await self._writer.drain()
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 pass
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
+        except (ConnectionError, BrokenPipeError, OSError):
             pass
         self._writer = None
         self._reader = None
@@ -228,14 +514,48 @@ class IngestClient:
 async def watch_estimates(host: str, port: int,
                           user_id: Optional[int] = None,
                           codec: str = "json",
+                          connect_timeout_s: Optional[float]
+                          = DEFAULT_CONNECT_TIMEOUT_S,
+                          read_timeout_s: Optional[float] = None,
                           ) -> AsyncIterator[Dict]:
     """Subscribe to a server's estimate stream; yields estimate dicts.
 
     The iterator ends when the server drains (a ``draining`` message) or
     the connection closes.  ``user_id=None`` subscribes to every user.
+
+    Args:
+        connect_timeout_s: deadline for connect + handshake; a dead
+            server raises :class:`~repro.errors.ServeTimeoutError`
+            instead of blocking forever.
+        read_timeout_s: optional per-estimate idle deadline (None =
+            wait indefinitely between estimates, the default — estimate
+            cadence is workload-defined).
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout_s)
+    except asyncio.TimeoutError:
+        raise ServeTimeoutError(
+            f"connect to {host}:{port} timed out after "
+            f"{connect_timeout_s}s") from None
     decoder = FrameDecoder("json")
+
+    async def _read(n: int, timeout: Optional[float]) -> bytes:
+        try:
+            return await asyncio.wait_for(reader.read(n), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise ServeTimeoutError(
+                f"no data from {host}:{port} within {timeout}s") from None
+
+    async def _readline(timeout: Optional[float]) -> bytes:
+        try:
+            return await asyncio.wait_for(reader.readline(),
+                                          timeout=timeout)
+        except asyncio.TimeoutError:
+            raise ServeTimeoutError(
+                f"no estimate from {host}:{port} within {timeout}s"
+            ) from None
+
     try:
         writer.write(encode_frame(
             {"type": "hello", "role": "watch", "codec": codec}, "json"))
@@ -246,7 +566,7 @@ async def watch_estimates(host: str, port: int,
         # arrives as JSONL text lines.
         welcome = None
         while welcome is None:
-            data = await reader.read(1 << 16)
+            data = await _read(1 << 16, connect_timeout_s)
             if not data:
                 return
             messages = decoder.feed(data)
@@ -257,7 +577,7 @@ async def watch_estimates(host: str, port: int,
         writer.write(encode_frame(watch, welcome.get("codec", "json")))
         await writer.drain()
         while True:
-            line = await reader.readline()
+            line = await _readline(read_timeout_s)
             if not line:
                 return
             message = json.loads(line)
@@ -269,7 +589,7 @@ async def watch_estimates(host: str, port: int,
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):
+        except (ConnectionError, BrokenPipeError, OSError):
             pass
 
 

@@ -19,8 +19,18 @@ wire without translation:
      "channel_index": …, "antenna_port": …}
 
 Message types (client → server): ``hello``, ``report``, ``watch``,
-``unwatch``, ``flush``, ``bye``.  Server → client: ``welcome``, ``ack``,
-``estimate``, ``flushed``, ``draining``, ``error``.  Estimates on *watch* connections
+``unwatch``, ``flush``, ``bye``, plus the fabric control verbs ``ping``
+(liveness/heartbeat probe), ``migrate_out`` (drain named users' session
+state off this server) and ``migrate_in`` (restore session state
+migrated from another server).  Server → client: ``welcome``, ``ack``,
+``estimate``, ``flushed``, ``draining``, ``error``, ``pong``,
+``migrated``.  A ``report`` may carry an optional monotonically
+increasing ``seq`` (per ``client_id``): the server remembers the
+highest sequence accepted per client — snapshotted into its checkpoint
+— and silently drops replays at or below it, which is what lets a
+client resend after a reconnect without duplicating data
+(idempotent resume; the ``welcome`` answers ``last_seq``).
+Estimates on *watch* connections
 are additionally available as plain JSONL text (one JSON object per
 line) so ``nc`` / ``tail``-style tooling can consume them; see
 docs/SERVING.md for the full grammar.
@@ -44,8 +54,11 @@ except ImportError:  # pragma: no cover - depends on environment
     msgpack = None
     HAVE_MSGPACK = False
 
-#: Protocol version spoken by this module (bumped on breaking changes).
-PROTOCOL_VERSION = 1
+#: Protocol version spoken by this module.  v2 added the fabric control
+#: verbs (``ping``/``pong``, ``migrate_out``/``migrate_in``/``migrated``)
+#: and idempotent-resume sequence numbers — all additive, so a v1 client
+#: interoperates unchanged.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame's payload size.  A report frame is ~200
 #: bytes; anything near this limit is a corrupt length prefix, not data.
@@ -61,8 +74,10 @@ CODECS = ("json",) + (("msgpack",) if HAVE_MSGPACK else ())
 #: ``flush`` is the ingest barrier: the server answers ``flushed`` only
 #: after every queued report has been ingested, giving replay clients a
 #: happens-before edge between "bytes sent" and "estimates reflect them".
-CLIENT_TYPES = ("hello", "report", "watch", "unwatch", "flush", "bye")
-SERVER_TYPES = ("welcome", "ack", "estimate", "flushed", "draining", "error")
+CLIENT_TYPES = ("hello", "report", "watch", "unwatch", "flush", "bye",
+                "ping", "migrate_out", "migrate_in")
+SERVER_TYPES = ("welcome", "ack", "estimate", "flushed", "draining",
+                "error", "pong", "migrated")
 
 
 def negotiate_codec(requested: Optional[str]) -> str:

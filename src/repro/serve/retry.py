@@ -1,0 +1,79 @@
+"""Bounded retry with exponential backoff and jitter.
+
+The one retry policy every reconnecting component of the serve stack
+shares — :class:`~repro.serve.client.IngestClient` riding through a
+server restart, the fabric router's worker links, the supervisor
+respawning a crashed worker.  Centralising it keeps the failure
+behaviour auditable: a retry budget is *bounded* (an unreachable peer
+becomes a typed error, never an infinite loop), delays grow
+exponentially up to a ceiling (a flapping worker is not hammered), and
+jitter is drawn from a **seeded** generator so tests and chaos runs
+replay deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Schedule of delays for a bounded reconnect/retry loop.
+
+    Attributes:
+        max_attempts: total tries allowed (first try included); the
+            policy yields ``max_attempts - 1`` backoff delays.
+        base_delay_s: delay before the first retry.
+        multiplier: exponential growth factor between retries.
+        max_delay_s: ceiling the grown delay is clamped to.
+        jitter: fraction of each delay randomised; the emitted delay is
+            uniform in ``[d * (1 - jitter), d * (1 + jitter)]``.  0
+            disables jitter (fully deterministic schedule).
+    """
+
+    max_attempts: int = 6
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delays(self, seed: Optional[int] = None) -> Iterator[float]:
+        """Yield the backoff delay before each retry, jittered.
+
+        Args:
+            seed: seeds the jitter draw; None uses process entropy
+                (production), an int makes the schedule reproducible
+                (tests, chaos runs).
+        """
+        rng = random.Random(seed)
+        delay = self.base_delay_s
+        for _ in range(self.max_attempts - 1):
+            jittered = delay
+            if self.jitter > 0:
+                jittered *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            yield jittered
+            delay = min(delay * self.multiplier, self.max_delay_s)
+
+
+#: Default policy for client/router reconnects: ~6 tries over ~4 s.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Supervisor worker-respawn policy: patient, capped at 5 s between tries.
+RESPAWN_RETRY = RetryPolicy(max_attempts=8, base_delay_s=0.1,
+                            max_delay_s=5.0)

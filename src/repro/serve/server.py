@@ -35,8 +35,13 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .. import obs
 from ..core.pipeline import TagBreathe
-from ..errors import ProtocolError, ServeError
-from .checkpoint import load_checkpoint, save_checkpoint
+from ..errors import CheckpointCorruptError, ProtocolError, ServeError
+from .checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    session_state_from_doc,
+    session_state_to_doc,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     FrameDecoder,
@@ -126,8 +131,12 @@ class BreathServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._checkpoint_task: Optional[asyncio.Task] = None
         self._seen_clients: Set[str] = set()
+        self._client_seq: Dict[str, int] = {}
         self._draining = False
         self._drained = asyncio.Event()
+        #: How long drain waits for connection handlers to wind down on
+        #: their own before cancelling stragglers.
+        self.drain_grace_s = 1.0
         self.counters: Dict[str, int] = {
             "frames_total": 0,
             "reports_total": 0,
@@ -135,6 +144,10 @@ class BreathServer:
             "reconnects_total": 0,
             "protocol_errors_total": 0,
             "resumed_reports": 0,
+            "seq_filtered_total": 0,
+            "drain_stuck_total": 0,
+            "migrated_out_total": 0,
+            "migrated_in_total": 0,
         }
 
     # ------------------------------------------------------------------
@@ -186,15 +199,25 @@ class BreathServer:
             for shard in self._shards:
                 await shard.stop()
             # Give connection handlers a beat to see EOF/sentinels, then
-            # cancel stragglers so no task outlives the server.
+            # cancel stragglers so no task outlives the server.  A stuck
+            # handler is never *silently* abandoned: it is cancelled,
+            # awaited, logged, and counted — a handler that repeatedly
+            # shows up here is a bug, and the counter is how it surfaces.
             pending = [t for t in self._conn_tasks
                        if t is not asyncio.current_task() and not t.done()]
             if pending:
-                _done, stuck = await asyncio.wait(pending, timeout=1.0)
+                _done, stuck = await asyncio.wait(
+                    pending, timeout=self.drain_grace_s)
                 for task in stuck:
                     task.cancel()
                 if stuck:
                     await asyncio.gather(*stuck, return_exceptions=True)
+                    self.counters["drain_stuck_total"] += len(stuck)
+                    obs.counter("repro_serve_drain_stuck_total").inc(
+                        len(stuck))
+                    obs.event("serve.drain.stuck", count=len(stuck),
+                              grace_s=self.drain_grace_s,
+                              tasks=sorted(t.get_name() for t in stuck))
             obs.gauge("repro_serve_active_sessions").set(0)
             obs.event("serve.drain.done", sessions=self.session_count(),
                       reports=self.counters["reports_total"],
@@ -252,6 +275,7 @@ class BreathServer:
                 self.checkpoint_path,
                 [s.state() for s in self.sessions()],
                 counters,
+                client_seqs=self._client_seq,
             )
         obs.counter("repro_serve_checkpoints_total").inc()
         return n
@@ -261,8 +285,22 @@ class BreathServer:
             return
         try:
             saved = load_checkpoint(self.checkpoint_path)
+        except CheckpointCorruptError as exc:
+            # Both generations torn/garbage: cold start, but *visibly* —
+            # a clinical monitor must never lose state in silence.
+            obs.counter("repro_serve_checkpoint_corrupt_total").inc()
+            obs.event("serve.checkpoint.corrupt",
+                      path=str(self.checkpoint_path), error=str(exc))
+            return
         except ServeError:
-            return  # no (or unusable) checkpoint: cold start
+            return  # no checkpoint at all: genuine cold start
+        if saved.get("fallback"):
+            # The live file was torn mid-write; the previous good
+            # generation carried the restore.  Count the corruption.
+            obs.counter("repro_serve_checkpoint_corrupt_total").inc()
+            obs.event("serve.checkpoint.fallback",
+                      path=str(self.checkpoint_path),
+                      reason=saved.get("fallback_reason", ""))
         resumed = 0
         for state in saved["sessions"]:
             user_id = int(state["user_id"])
@@ -270,16 +308,84 @@ class BreathServer:
             session = shard.session_for(user_id)
             session.restore(state, state["reports"])
             resumed += len(state["reports"])
-        for key in ("frames_total", "reports_total", "reconnects_total"):
+        for key in ("frames_total", "reports_total", "reconnects_total",
+                    "seq_filtered_total"):
             self.counters[key] = int(saved["counters"].get(key, 0))
         self.counters["resumed_reports"] = resumed
+        # The duplicate-filter watermarks rewind exactly as far as the
+        # session state does (same document), so a client resending from
+        # its last acked position reconstructs the stream exactly once.
+        self._client_seq = dict(saved.get("client_seqs", {}))
+        self._seen_clients.update(self._client_seq)
         obs.event("serve.resume", sessions=len(saved["sessions"]),
-                  reports=resumed)
+                  reports=resumed, clients=len(self._client_seq))
 
     async def _checkpoint_loop(self) -> None:
         while True:
             await asyncio.sleep(self.checkpoint_interval_s)
             self.checkpoint_now()
+
+    # ------------------------------------------------------------------
+    # Fabric control: heartbeat and shard migration
+    # ------------------------------------------------------------------
+    def _pong(self, ping: Dict[str, Any]) -> Dict[str, Any]:
+        """The heartbeat reply (echoes the ping's nonce + health stats)."""
+        reply: Dict[str, Any] = {
+            "type": "pong",
+            "nonce": ping.get("nonce"),
+            "sessions": self.session_count(),
+            "reports_total": self.counters["reports_total"],
+            "shed_total": self.shed_total(),
+            "draining": self._draining,
+        }
+        if ping.get("detail"):
+            reply["user_ids"] = sorted(
+                uid for shard in self._shards for uid in shard.sessions)
+        return reply
+
+    async def migrate_out(self, user_ids: List[int]) -> List[Dict[str, Any]]:
+        """Drain and detach the named users' sessions; returns their state.
+
+        The owning shards' queues are drained first so the snapshot is
+        consistent (every accepted report is inside the state), then the
+        sessions are removed — subsequent reports for these users would
+        open *fresh* sessions, so the router must have stopped sending
+        them here before asking.  The returned documents are exactly the
+        checkpoint session schema (``session_state_to_doc``): migration
+        is a targeted checkpoint whose storage is the wire.
+        """
+        owning = {self.shard_for(uid).index for uid in user_ids}
+        for index in sorted(owning):
+            await self._shards[index].drain()
+        docs = []
+        for uid in sorted(set(user_ids)):
+            session = self.shard_for(uid).remove_session(uid)
+            if session is not None:
+                docs.append(session_state_to_doc(session.state()))
+        self.counters["migrated_out_total"] += len(docs)
+        obs.counter("repro_serve_migrated_sessions_total",
+                    direction="out").inc(len(docs))
+        return docs
+
+    def migrate_in(self, docs: List[Dict[str, Any]]) -> int:
+        """Restore migrated session documents into this server.
+
+        Raises:
+            CheckpointCorruptError: when a document is malformed (the
+                connection handler answers a protocol error; nothing is
+                partially restored from the bad document).
+        """
+        count = 0
+        for doc in docs:
+            state = session_state_from_doc(doc)
+            uid = state["user_id"]
+            session = self.shard_for(uid).session_for(uid)
+            session.restore(state, state["reports"])
+            count += 1
+        self.counters["migrated_in_total"] += count
+        obs.counter("repro_serve_migrated_sessions_total",
+                    direction="in").inc(count)
+        return count
 
     # ------------------------------------------------------------------
     # Estimate fan-out
@@ -320,7 +426,9 @@ class BreathServer:
                 raise ProtocolError(f"unknown role {hello.get('role')!r}")
             codec = negotiate_codec(hello.get("codec"))
             client_id = hello.get("client_id")
-            if isinstance(client_id, str):
+            if not isinstance(client_id, str):
+                client_id = None
+            else:
                 if client_id in self._seen_clients:
                     self.counters["reconnects_total"] += 1
                     obs.counter("repro_serve_reconnects_total").inc()
@@ -329,6 +437,11 @@ class BreathServer:
                 "type": "welcome", "version": PROTOCOL_VERSION,
                 "codec": codec, "role": role,
                 "draining": self._draining,
+                # Idempotent resume: the highest report sequence this
+                # client_id got through before (0 = nothing / unknown),
+                # so a reconnecting sender knows where to resend from.
+                "last_seq": self._client_seq.get(client_id, 0)
+                if client_id else 0,
             }, "json"))
             await writer.drain()
             decoder.codec = codec
@@ -340,7 +453,7 @@ class BreathServer:
                 write_task = asyncio.ensure_future(
                     self._watch_writer(writer, watcher))
             received = await self._read_loop(
-                reader, writer, decoder, codec, watcher)
+                reader, writer, decoder, codec, watcher, client_id)
         except ProtocolError as exc:
             self.counters["protocol_errors_total"] += 1
             obs.counter("repro_serve_protocol_errors_total").inc()
@@ -395,7 +508,8 @@ class BreathServer:
     async def _read_loop(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter,
                          decoder: FrameDecoder, codec: str,
-                         watcher: Optional[_Watcher]) -> int:
+                         watcher: Optional[_Watcher],
+                         client_id: Optional[str] = None) -> int:
         received = 0
         touched: Set[int] = set()
         while True:
@@ -407,11 +521,23 @@ class BreathServer:
                 obs.counter("repro_serve_frames_total").inc()
                 mtype = message.get("type")
                 if mtype == "report":
+                    received += 1
+                    seq = message.get("seq")
+                    if seq is not None and client_id is not None:
+                        seq = int(seq)
+                        if seq <= self._client_seq.get(client_id, 0):
+                            # Replay of an already-accepted sequence
+                            # (resend after a reconnect): drop before
+                            # the shard, count the filter.
+                            self.counters["seq_filtered_total"] += 1
+                            obs.counter(
+                                "repro_serve_seq_filtered_total").inc()
+                            continue
+                        self._client_seq[client_id] = seq
                     report = wire_to_report(message)
                     shard = self.shard_for(report.user_id)
                     shard.submit(report)
                     touched.add(shard.index)
-                    received += 1
                     self.counters["reports_total"] += 1
                     if received % ACK_EVERY == 0:
                         writer.write(encode_frame({
@@ -422,6 +548,30 @@ class BreathServer:
                         await writer.drain()
                     if shard.over_high:
                         await shard.wait_below_low()
+                elif mtype == "ping":
+                    writer.write(encode_frame(
+                        self._pong(message), codec))
+                    await writer.drain()
+                elif mtype == "migrate_out":
+                    docs = await self.migrate_out(
+                        [int(u) for u in message.get("user_ids", [])])
+                    writer.write(encode_frame({
+                        "type": "migrated", "direction": "out",
+                        "sessions": docs,
+                    }, codec))
+                    await writer.drain()
+                elif mtype == "migrate_in":
+                    try:
+                        count = self.migrate_in(
+                            message.get("sessions", []))
+                    except CheckpointCorruptError as exc:
+                        raise ProtocolError(
+                            f"bad migrate_in payload: {exc}") from exc
+                    writer.write(encode_frame({
+                        "type": "migrated", "direction": "in",
+                        "count": count,
+                    }, codec))
+                    await writer.drain()
                 elif mtype == "watch":
                     if watcher is None:
                         raise ProtocolError(

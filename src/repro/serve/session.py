@@ -314,6 +314,20 @@ class SessionShard:
             obs.gauge("repro_serve_active_sessions").inc()
         return session
 
+    def remove_session(self, user_id: int) -> Optional[UserSession]:
+        """Detach and return one session (migration); None when absent.
+
+        Callers must have drained the shard first — a queued report for
+        a removed user would otherwise lazily re-create an empty
+        session and fork the user's state across workers.
+        """
+        session = self.sessions.pop(user_id, None)
+        if session is not None:
+            obs.event("serve.session.migrate_out", user_id=user_id,
+                      shard=self.index)
+            obs.gauge("repro_serve_active_sessions").inc(-1)
+        return session
+
     async def _run(self) -> None:
         while True:
             report = await self._queue.get()

@@ -1,0 +1,490 @@
+"""Worker-process supervision: spawn, heartbeat, restart, migrate.
+
+The :class:`Supervisor` owns the fabric's worker fleet as *processes*:
+it launches them as ``python -m repro.serve.worker`` subprocesses,
+discovers their ephemeral ports through portfiles, probes liveness with protocol-level heartbeats
+(``ping``/``pong`` — a worker whose event loop is wedged fails the
+probe even while its process is technically alive), and restarts any
+worker that dies or goes silent.  Restart is *recovery*, not reset: the
+new incarnation keeps the worker id, so it reloads its predecessor's
+atomic checkpoint and resumes every session mid-breath
+(:mod:`repro.serve.checkpoint`).
+
+Shard migration between live workers is also driven from here
+(:meth:`Supervisor.migrate`): a ``migrate_out``/``migrate_in`` exchange
+over the workers' own control links, timed into the
+``repro_fabric_migration_seconds`` histogram.  The documents on the
+wire are exactly the checkpoint session schema, so migration inherits
+the checkpoint's correctness argument wholesale.
+
+Health metrics (supervisor side — worker processes have their own
+registries): ``repro_fabric_worker_restarts_total``,
+``repro_fabric_heartbeat_miss_total``, ``repro_fabric_workers`` gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .. import obs
+from ..errors import FabricError, ServeError, ServeTimeoutError
+from .client import IngestClient
+from .retry import RESPAWN_RETRY, RetryPolicy
+from .session import SessionConfig
+from .worker import portfile_path, read_portfile
+
+#: How many session documents ride in one migrate frame.  A document is
+#: dominated by its buffered report window (~200 bytes/report, bounded
+#: at a few hundred reports), so 8 per frame stays far under
+#: MAX_FRAME_BYTES even for dense streams.
+MIGRATE_CHUNK = 8
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Knobs for the worker fabric (supervisor + router).
+
+    Attributes:
+        workers: initial worker-process count.
+        host: interface workers (and the router) bind.
+        n_shards: asyncio session shards *inside* each worker.
+        heartbeat_interval_s: wall-clock period between liveness probes.
+        heartbeat_timeout_s: per-probe deadline; a miss is counted and
+            ``max_heartbeat_misses`` consecutive misses trigger restart.
+        max_heartbeat_misses: consecutive probe failures tolerated
+            before a worker is declared dead (a dead *process* is
+            restarted immediately, without waiting out the misses).
+        spawn_deadline_s: how long a freshly spawned worker gets to
+            publish its portfile (covers the package import cost).
+        checkpoint_interval_s: workers' periodic checkpoint cadence;
+            also the upper bound on ingest a crash can force the
+            clients to resend (never on what it can *lose* — resend
+            from ``last_seq`` covers the gap).
+        session: per-user session knobs forwarded to every worker.
+        respawn_retry: backoff between failed respawn attempts.
+    """
+
+    workers: int = 4
+    host: str = "127.0.0.1"
+    n_shards: int = 2
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 2.0
+    max_heartbeat_misses: int = 3
+    spawn_deadline_s: float = 60.0
+    checkpoint_interval_s: float = 1.0
+    session: SessionConfig = field(default_factory=SessionConfig)
+    respawn_retry: RetryPolicy = RESPAWN_RETRY
+
+    def worker_options(self) -> Dict[str, Any]:
+        """The flat options dict :func:`worker_main` expects."""
+        options: Dict[str, Any] = {
+            "host": self.host,
+            "n_shards": self.n_shards,
+            "checkpoint_interval_s": self.checkpoint_interval_s,
+        }
+        for key in ("window_s", "estimate_interval_s", "warmup_s",
+                    "queue_capacity", "high_watermark", "low_watermark",
+                    "include_signal", "signal_points"):
+            options[key] = getattr(self.session, key)
+        return options
+
+
+class WorkerHandle:
+    """One supervised worker: its process, discovered port, and health."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.process: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.pid: Optional[int] = None
+        self.misses = 0
+        self.total_misses = 0
+        self.restarts = 0
+
+    @property
+    def alive(self) -> bool:
+        """True while the worker process exists and has not exited."""
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self, graceful: bool, join_s: float) -> None:
+        """Terminate the process (SIGTERM first when graceful), wait up
+        to ``join_s`` for it to exit, then SIGKILL what remains."""
+        if self.process is None:
+            return
+        if graceful and self.alive:
+            self.process.terminate()
+        if join_s > 0:
+            try:
+                self.process.wait(join_s)
+            except subprocess.TimeoutExpired:
+                pass
+        if self.alive:
+            self.process.kill()
+            try:
+                self.process.wait(5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+class Supervisor:
+    """Spawns and keeps alive the fabric's worker processes.
+
+    Args:
+        state_dir: directory holding every worker's checkpoint and
+            portfile (created if missing).  Shared state *on disk* is
+            the whole recovery story: a restarted supervisor — or a
+            restarted worker — finds everything it needs here.
+        config: fleet knobs (:class:`FabricConfig`).
+    """
+
+    def __init__(self, state_dir: Union[str, Path],
+                 config: Optional[FabricConfig] = None) -> None:
+        self.state_dir = Path(state_dir)
+        self.config = config if config is not None else FabricConfig()
+        self.workers: Dict[int, WorkerHandle] = {}
+        self._controls: Dict[int, IngestClient] = {}
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._restart_locks: Dict[int, asyncio.Lock] = {}
+        # One lock per worker's control link: heartbeats, migrations,
+        # and harvests share the link, and a framed stream tolerates
+        # exactly one reader at a time.
+        self._control_locks: Dict[int, asyncio.Lock] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the initial fleet and begin heartbeating it."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        await asyncio.gather(*(
+            self._spawn(worker_id)
+            for worker_id in range(self.config.workers)))
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+        obs.event("fabric.supervisor.start", workers=len(self.workers),
+                  state_dir=str(self.state_dir))
+
+    async def stop(self, graceful: bool = True) -> None:
+        """Stop heartbeating and terminate the fleet.
+
+        ``graceful`` sends SIGTERM (workers drain + checkpoint);
+        stragglers — and everything when ``graceful=False`` — get
+        SIGKILL.
+        """
+        self._stopping = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            except Exception as exc:  # a crashed loop must not block stop
+                obs.event("fabric.heartbeat.crashed", error=str(exc))
+            self._heartbeat_task = None
+        await self._close_controls()
+        for handle in self.workers.values():
+            if graceful and handle.alive:
+                handle.process.terminate()  # SIGTERM: drain + checkpoint
+        deadline = time.monotonic() + (10.0 if graceful else 0.0)
+        for handle in self.workers.values():
+            handle.kill(graceful=False,
+                        join_s=max(0.0, deadline - time.monotonic()))
+        obs.gauge("repro_fabric_workers").set(0)
+        obs.event("fabric.supervisor.stop", graceful=graceful)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_ids(self) -> List[int]:
+        """The current fleet's worker ids, sorted."""
+        return sorted(self.workers)
+
+    def port_of(self, worker_id: int) -> int:
+        """The worker's current ingest port.
+
+        Raises:
+            FabricError: unknown worker or port not (yet) published.
+        """
+        handle = self.workers.get(worker_id)
+        if handle is None or handle.port is None:
+            raise FabricError(f"worker {worker_id} has no published port")
+        return handle.port
+
+    # ------------------------------------------------------------------
+    # Spawning and restart
+    # ------------------------------------------------------------------
+    async def _spawn(self, worker_id: int) -> WorkerHandle:
+        handle = self.workers.setdefault(worker_id, WorkerHandle(worker_id))
+        portfile = portfile_path(self.state_dir, worker_id)
+        try:  # a stale portfile must not satisfy the discovery poll
+            portfile.unlink()
+        except OSError:
+            pass
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] +
+            [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+        # -c instead of -m: runpy would re-import repro.serve.worker on
+        # top of the package import and warn about the shadowed module.
+        process = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.serve.worker import _cli; _cli()",
+             "--worker-id", str(worker_id),
+             "--state-dir", str(self.state_dir),
+             "--options", json.dumps(self.config.worker_options())],
+            env=env,
+            stdin=subprocess.DEVNULL,
+            # Own session: a terminal Ctrl-C must reach only the
+            # supervisor, which then drains workers deliberately — a
+            # group-delivered SIGINT mid-import would kill them before
+            # their signal handlers exist.
+            start_new_session=True,
+        )
+        handle.process = process
+        handle.port = None
+        handle.misses = 0
+        deadline = time.monotonic() + self.config.spawn_deadline_s
+        while True:
+            doc = read_portfile(portfile)
+            if doc is not None and doc["pid"] == process.pid:
+                handle.port = doc["port"]
+                handle.pid = doc["pid"]
+                break
+            if process.poll() is not None:
+                raise FabricError(
+                    f"worker {worker_id} exited during startup "
+                    f"(exitcode {process.returncode})")
+            if time.monotonic() > deadline:
+                process.kill()
+                raise FabricError(
+                    f"worker {worker_id} did not publish a port within "
+                    f"{self.config.spawn_deadline_s}s")
+            await asyncio.sleep(0.05)
+        obs.gauge("repro_fabric_workers").set(len(self.workers))
+        obs.event("fabric.worker.up", worker=worker_id,
+                  port=handle.port, pid=handle.pid,
+                  restarts=handle.restarts)
+        return handle
+
+    async def restart(self, worker_id: int, reason: str = "unknown"
+                      ) -> WorkerHandle:
+        """Kill (if needed) and respawn one worker; it resumes from its
+        checkpoint.  Concurrent callers for the same worker coalesce
+        onto one restart.
+
+        Raises:
+            FabricError: the respawn retry budget was exhausted.
+        """
+        lock = self._restart_locks.setdefault(worker_id, asyncio.Lock())
+        if lock.locked():  # someone is already restarting it: wait, reuse
+            async with lock:
+                return self.workers[worker_id]
+        async with lock:
+            handle = self.workers[worker_id]
+            with obs.span("fabric.worker.restart", worker=worker_id,
+                          reason=reason):
+                handle.kill(graceful=False, join_s=0.0)
+                await self._drop_control(worker_id)
+                handle.restarts += 1
+                obs.counter("repro_fabric_worker_restarts_total",
+                            worker=str(worker_id)).inc()
+                obs.event("fabric.worker.restart", worker=worker_id,
+                          reason=reason, restarts=handle.restarts)
+                delays = self.config.respawn_retry.delays()
+                while True:
+                    try:
+                        return await self._spawn(worker_id)
+                    except FabricError as exc:
+                        try:
+                            delay = next(delays)
+                        except StopIteration:
+                            raise FabricError(
+                                f"worker {worker_id} would not come back "
+                                f"after {self.config.respawn_retry.max_attempts} "
+                                f"attempts: {exc}") from exc
+                        obs.event("fabric.worker.respawn_retry",
+                                  worker=worker_id, error=str(exc))
+                        await asyncio.sleep(delay)
+
+    async def add_worker(self) -> int:
+        """Grow the fleet by one; returns the new worker id."""
+        worker_id = (max(self.workers) + 1) if self.workers else 0
+        await self._spawn(worker_id)
+        return worker_id
+
+    async def remove_worker(self, worker_id: int,
+                            graceful: bool = True) -> None:
+        """Shrink the fleet: drain (SIGTERM) and forget one worker.
+
+        Callers migrate the worker's sessions away *first*
+        (:meth:`migrate`); whatever remains is drained into the
+        worker's final checkpoint, not lost — but no future worker
+        reads that checkpoint, so do not skip the migration.
+        """
+        handle = self.workers.pop(worker_id, None)
+        self._restart_locks.pop(worker_id, None)
+        if handle is None:
+            return
+        await self._drop_control(worker_id)
+        handle.kill(graceful=graceful, join_s=10.0 if graceful else 0.0)
+        obs.gauge("repro_fabric_workers").set(len(self.workers))
+        obs.event("fabric.worker.removed", worker=worker_id)
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval_s)
+            for worker_id in list(self.workers):
+                if self._stopping:
+                    return
+                await self._probe(worker_id)
+
+    async def _probe(self, worker_id: int) -> None:
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            return
+        if handle.port is None:
+            return  # still starting up; _spawn enforces its own deadline
+        if not handle.alive:
+            await self._restart_quietly(worker_id, "process-exit")
+            return
+        try:
+            pong = await self.ping_worker(worker_id)
+            handle.misses = 0
+            obs.gauge("repro_fabric_worker_sessions",
+                      worker=str(worker_id)).set(
+                          int(pong.get("sessions", 0)))
+        except (ServeError, ServeTimeoutError, ConnectionError,
+                OSError, asyncio.IncompleteReadError):
+            handle.misses += 1
+            handle.total_misses += 1
+            obs.counter("repro_fabric_heartbeat_miss_total",
+                        worker=str(worker_id)).inc()
+            obs.event("fabric.heartbeat.miss", worker=worker_id,
+                      misses=handle.misses)
+            await self._drop_control(worker_id)
+            if handle.misses >= self.config.max_heartbeat_misses:
+                await self._restart_quietly(worker_id, "heartbeat")
+
+    async def _restart_quietly(self, worker_id: int, reason: str) -> None:
+        """Restart from the heartbeat loop; failure is logged, not fatal
+        (the next probe tries again rather than killing the loop)."""
+        try:
+            await self.restart(worker_id, reason=reason)
+        except FabricError as exc:
+            obs.event("fabric.worker.restart_failed", worker=worker_id,
+                      error=str(exc))
+
+    # ------------------------------------------------------------------
+    # Control links
+    # ------------------------------------------------------------------
+    def _control_lock(self, worker_id: int) -> asyncio.Lock:
+        return self._control_locks.setdefault(worker_id, asyncio.Lock())
+
+    async def ping_worker(self, worker_id: int,
+                          detail: bool = False) -> Dict[str, Any]:
+        """Health-probe one worker over its control link (serialised)."""
+        async with self._control_lock(worker_id):
+            control = await self._control(worker_id)
+            return await control.ping(detail=detail)
+
+    async def harvest(self, worker_id: int) -> List[Dict[str, Any]]:
+        """Pull every session state doc off one worker (destructive).
+
+        End-of-run collection for the chaos harness and tests: the
+        sessions are ``migrate_out``-ed in chunks and *removed* from
+        the worker.
+        """
+        docs: List[Dict[str, Any]] = []
+        async with self._control_lock(worker_id):
+            control = await self._control(worker_id)
+            pong = await control.ping(detail=True)
+            users = [int(u) for u in pong.get("user_ids", [])]
+            for start in range(0, len(users), MIGRATE_CHUNK):
+                docs.extend(await control.migrate_out(
+                    users[start:start + MIGRATE_CHUNK]))
+        return docs
+
+    async def _control(self, worker_id: int) -> IngestClient:
+        """A connected control client to one worker (cached)."""
+        client = self._controls.get(worker_id)
+        if client is not None and client.connected:
+            return client
+        client = IngestClient(
+            self.config.host, self.port_of(worker_id),
+            connect_timeout_s=self.config.heartbeat_timeout_s,
+            read_timeout_s=self.config.heartbeat_timeout_s)
+        await client.connect()
+        self._controls[worker_id] = client
+        return client
+
+    async def _drop_control(self, worker_id: int) -> None:
+        client = self._controls.pop(worker_id, None)
+        if client is not None:
+            await client.close(polite=False)
+
+    async def _close_controls(self) -> None:
+        for worker_id in list(self._controls):
+            await self._drop_control(worker_id)
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    async def sessions_of(self, worker_id: int) -> List[int]:
+        """The user ids currently live on one worker (detail ping)."""
+        pong = await self.ping_worker(worker_id, detail=True)
+        return [int(u) for u in pong.get("user_ids", [])]
+
+    async def migrate(self, src: int, dst: int,
+                      user_ids: Sequence[int]) -> int:
+        """Move users' sessions from worker ``src`` to ``dst``.
+
+        The exchange is chunked (``MIGRATE_CHUNK`` sessions per frame)
+        so dense windows never overflow a protocol frame, and *ordered
+        for safety*: a chunk is pulled out of ``src`` only after the
+        previous chunk landed in ``dst``, so a crash mid-migration
+        strands at most one chunk in flight — and that chunk's sessions
+        are still inside ``src``'s checkpoint lineage until the
+        ``migrate_out`` reply, so nothing is ever in *zero* places.
+
+        Returns the number of sessions that actually moved (users with
+        no live session on ``src`` move nothing).
+
+        Raises:
+            FabricError / ServeError: a control link failed; the caller
+                (router) re-resolves ownership before retrying.
+        """
+        user_ids = sorted(set(int(u) for u in user_ids))
+        if not user_ids or src == dst:
+            return 0
+        moved = 0
+        t0 = time.monotonic()
+        with obs.span("fabric.migrate", src=src, dst=dst,
+                      users=len(user_ids)):
+            # Both control links locked for the whole exchange, in id
+            # order so concurrent migrations can never deadlock.
+            first, second = sorted((src, dst))
+            async with self._control_lock(first):
+                async with self._control_lock(second):
+                    src_control = await self._control(src)
+                    dst_control = await self._control(dst)
+                    for start in range(0, len(user_ids), MIGRATE_CHUNK):
+                        chunk = user_ids[start:start + MIGRATE_CHUNK]
+                        docs = await src_control.migrate_out(chunk)
+                        if docs:
+                            moved += await dst_control.migrate_in(docs)
+        elapsed = time.monotonic() - t0
+        obs.histogram("repro_fabric_migration_seconds").observe(elapsed)
+        obs.event("fabric.migrate.done", src=src, dst=dst,
+                  moved=moved, seconds=round(elapsed, 4))
+        return moved

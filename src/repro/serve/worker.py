@@ -1,0 +1,160 @@
+"""One fabric worker process: a supervised BreathServer shard.
+
+A worker is an ordinary :class:`~repro.serve.server.BreathServer` (same
+protocol, same sessions, same checkpoints) wrapped in the small amount
+of ceremony a supervised *process* needs:
+
+* **subprocess entry point** — workers are launched as
+  ``python -m repro.serve.worker`` subprocesses (never ``fork``, which
+  is unsafe under a running asyncio loop, and never multiprocessing
+  ``spawn``, which re-imports the *parent's* ``__main__`` and breaks
+  under stdin/REPL/pytest launchers); the supervisor forwards its own
+  ``sys.path`` through ``PYTHONPATH`` so ``src``-layout checkouts work
+  unchanged;
+* **port discovery** — workers bind port 0 (no port races across
+  restarts) and publish the bound port + pid atomically to a
+  *portfile* in the state directory, which is how the supervisor and
+  router find them;
+* **signal contract** — SIGTERM/SIGINT means *drain*: ingest the
+  backlog, publish final estimates, checkpoint, exit 0.  SIGKILL is the
+  crash the fabric is built to survive: the next incarnation of the
+  worker resumes from the last atomic checkpoint
+  (:mod:`repro.serve.checkpoint`), bit-exact mid-breath.
+
+State layout inside the fabric's ``state_dir``::
+
+    worker-003.ckpt        # live checkpoint (atomic, fsynced)
+    worker-003.ckpt.prev   # previous good generation
+    worker-003.port        # {"port": ..., "pid": ...} (atomic)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Basename pattern for per-worker files inside the fabric state dir.
+_WORKER_STEM = "worker-{worker_id:03d}"
+
+
+def checkpoint_path(state_dir: Union[str, Path], worker_id: int) -> Path:
+    """Where worker ``worker_id`` keeps its live checkpoint."""
+    return Path(state_dir) / (_WORKER_STEM.format(worker_id=worker_id)
+                              + ".ckpt")
+
+
+def portfile_path(state_dir: Union[str, Path], worker_id: int) -> Path:
+    """Where worker ``worker_id`` publishes its bound port and pid."""
+    return Path(state_dir) / (_WORKER_STEM.format(worker_id=worker_id)
+                              + ".port")
+
+
+def write_portfile(path: Path, port: int, pid: int) -> None:
+    """Publish ``{"port", "pid"}`` atomically (tmp + rename)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps({"port": int(port), "pid": int(pid)},
+                              sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def read_portfile(path: Path) -> Optional[Dict[str, int]]:
+    """Parse a portfile; None while absent or torn (caller polls)."""
+    try:
+        doc = json.loads(path.read_text())
+        return {"port": int(doc["port"]), "pid": int(doc["pid"])}
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+async def _run_worker(worker_id: int, state_dir: Path,
+                      options: Dict[str, Any]) -> Dict[str, int]:
+    import warnings
+
+    from ..errors import DegradedEstimateWarning
+    from .server import BreathServer
+    from .session import SessionConfig
+
+    # Degradation is surfaced structurally (degraded_reasons on every
+    # estimate message); the Python warning would only spam the
+    # supervisor's inherited stderr from N processes at once.
+    warnings.simplefilter("ignore", DegradedEstimateWarning)
+
+    session_keys = {f.name for f in dataclasses.fields(SessionConfig)}
+    config = SessionConfig(**{k: v for k, v in options.items()
+                              if k in session_keys})
+    server = BreathServer(
+        host=options.get("host", "127.0.0.1"),
+        port=0,
+        n_shards=int(options.get("n_shards", 2)),
+        config=config,
+        checkpoint_path=str(checkpoint_path(state_dir, worker_id)),
+        checkpoint_interval_s=float(
+            options.get("checkpoint_interval_s", 1.0)),
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+
+    async def _orphan_watchdog(parent_pid: int) -> None:
+        # Workers run in their own session (so a terminal Ctrl-C only
+        # reaches the supervisor), which means a supervisor that dies
+        # without draining would leave them ingesting forever.  Getting
+        # re-parented (to init/subreaper) is the death certificate:
+        # drain, checkpoint, exit.
+        while os.getppid() == parent_pid:
+            await asyncio.sleep(2.0)
+        stop.set()
+
+    watchdog = asyncio.ensure_future(_orphan_watchdog(os.getppid()))
+    try:
+        await server.start()
+        write_portfile(portfile_path(state_dir, worker_id),
+                       server.port, os.getpid())
+        await server.serve_until(stop)
+    finally:
+        watchdog.cancel()
+    return server.summary()
+
+
+def worker_main(worker_id: int, state_dir: str,
+                options: Dict[str, Any]) -> None:
+    """Process entry point for one fabric worker.
+
+    Args:
+        worker_id: this worker's stable identity in the fabric; names
+            its checkpoint and portfile, so a restarted incarnation
+            resumes its predecessor's sessions automatically.
+        state_dir: the fabric's shared state directory (must exist).
+        options: flat knob dict — any :class:`SessionConfig` field,
+            plus ``host``, ``n_shards`` and ``checkpoint_interval_s``.
+
+    Runs until SIGTERM/SIGINT (graceful drain) and exits 0; any other
+    exit is a crash the supervisor restarts from checkpoint.
+    """
+    asyncio.run(_run_worker(worker_id, Path(state_dir), options))
+
+
+def _cli() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="one fabric worker process (launched by the "
+                    "supervisor; not meant to be run by hand)")
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument("--state-dir", required=True)
+    parser.add_argument("--options", default="{}",
+                        help="flat JSON knob dict (SessionConfig fields "
+                             "+ host/n_shards/checkpoint_interval_s)")
+    args = parser.parse_args()
+    worker_main(args.worker_id, args.state_dir, json.loads(args.options))
+
+
+if __name__ == "__main__":
+    _cli()

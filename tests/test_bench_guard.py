@@ -14,13 +14,26 @@ guard = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(guard)
 
 
-def bench_doc(cases):
-    return {"suite": "pipeline", "streaming": {"cases": cases}}
+def bench_doc(cases, fabric_cases=None):
+    doc = {"suite": "pipeline", "streaming": {"cases": cases}}
+    doc["fabric"] = {"cases": [fabric_case()]
+                     if fabric_cases is None else fabric_cases}
+    return doc
 
 
 def case(users, duration_s, speedup, diff=0.0):
     return {"users": users, "duration_s": duration_s,
             "tick_speedup": speedup, "max_rate_diff_bpm": diff}
+
+
+def fabric_case(users=100, settled=None, migrated=7, restarts=0,
+                workers_initial=4, workers_final=5):
+    return {"users": users,
+            "settled_sessions": users if settled is None else settled,
+            "migrated_sessions": migrated,
+            "worker_restarts": restarts,
+            "workers_initial": workers_initial,
+            "workers_final": workers_final}
 
 
 def write(tmp_path, name, doc):
@@ -60,6 +73,44 @@ class TestCompare:
         assert any("diverged" in p for p in problems)
 
 
+class TestFabricSuite:
+    """check_fabric_suite: candidate-only count invariants, no baseline."""
+
+    def test_clean_soak_passes(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.check_fabric_suite(path) == []
+
+    def test_missing_suite_is_a_failure(self, tmp_path):
+        doc = bench_doc([case(1, 25.0, 2.0)])
+        del doc["fabric"]
+        path = write(tmp_path, "cand.json", doc)
+        assert any("no fabric soak suite" in p
+                   for p in guard.check_fabric_suite(path))
+
+    def test_lost_sessions_fail(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(users=100, settled=99)]))
+        assert any("settled 99" in p for p in guard.check_fabric_suite(path))
+
+    def test_rebalance_must_move_sessions(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(migrated=0)]))
+        assert any("moved 0 sessions" in p
+                   for p in guard.check_fabric_suite(path))
+
+    def test_fault_free_soak_must_not_restart_workers(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(restarts=2)]))
+        assert any("restart" in p for p in guard.check_fabric_suite(path))
+
+    def test_worker_count_must_grow(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)],
+            [fabric_case(workers_initial=4, workers_final=4)]))
+        assert any("no rebalance happened" in p
+                   for p in guard.check_fabric_suite(path))
+
+
 class TestMain:
     def test_end_to_end_pass(self, tmp_path, capsys):
         base = write(tmp_path, "base.json",
@@ -73,6 +124,13 @@ class TestMain:
     def test_end_to_end_regression(self, tmp_path):
         base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 3.0)]))
         cand = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 1.0)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(cand)]) == 1
+
+    def test_fabric_violation_fails_end_to_end(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
+        cand = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(users=100, settled=98)]))
         assert guard.main(["--baseline", str(base),
                            "--candidate", str(cand)]) == 1
 

@@ -13,7 +13,13 @@ import pytest
 
 from repro import Scenario, TagBreathe, run_scenario
 from repro.body import MetronomeBreathing, Subject
-from repro.errors import DegradedEstimateWarning, ProtocolError, ServeError
+from repro.errors import (
+    CheckpointCorruptError,
+    DegradedEstimateWarning,
+    ProtocolError,
+    ServeError,
+    ServeTimeoutError,
+)
 from repro.serve import (
     BreathServer,
     FrameDecoder,
@@ -24,6 +30,7 @@ from repro.serve import (
     encode_frame,
     load_checkpoint,
     negotiate_codec,
+    previous_path,
     report_to_wire,
     save_checkpoint,
     watch_estimates,
@@ -313,6 +320,104 @@ class TestCheckpoint:
         assert clone.reports_in == original.reports_in
 
 
+class TestCheckpointHardening:
+    """The crash-safety contract: rotation, fallback, typed corruption."""
+
+    def _save(self, path, marker):
+        result = make_capture(users=1, duration_s=15.0)
+        session = UserSession(1, SessionConfig())
+        for report in result.reports:
+            session.ingest(report)
+        return save_checkpoint(path, [session.state()],
+                               {"frames_total": marker})
+
+    def test_rotation_keeps_previous_generation(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        self._save(path, marker=1)
+        self._save(path, marker=2)
+        assert previous_path(path).exists()
+        assert load_checkpoint(path)["counters"]["frames_total"] == 2
+        prev = load_checkpoint(previous_path(path), allow_fallback=False)
+        assert prev["counters"]["frames_total"] == 1
+
+    def test_corrupt_live_falls_back_to_previous(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        self._save(path, marker=1)
+        self._save(path, marker=2)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        saved = load_checkpoint(path)
+        assert saved["fallback"] is True
+        assert saved["counters"]["frames_total"] == 1
+        [state] = saved["sessions"]
+        assert state["reports"]  # the previous generation's data is whole
+
+    def test_corrupt_without_previous_is_typed_error(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        self._save(path, marker=1)
+        path.write_text("{torn")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+        # CheckpointCorruptError is a ServeError: old handlers still work.
+        with pytest.raises(ServeError):
+            load_checkpoint(path)
+
+    def test_fallback_can_be_disabled(self, tmp_path):
+        path = tmp_path / "serve.ckpt"
+        self._save(path, marker=1)
+        self._save(path, marker=2)
+        path.write_text("{torn")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, allow_fallback=False)
+
+    def test_server_boots_from_fallback_checkpoint(self, tmp_path):
+        """A torn live checkpoint must not keep the server down."""
+        path = tmp_path / "serve.ckpt"
+        self._save(path, marker=1)
+        self._save(path, marker=2)
+        path.write_bytes(b"\x00" * 64)
+
+        async def scenario():
+            server = BreathServer(port=0, checkpoint_path=str(path),
+                                  checkpoint_interval_s=0)
+            await server.start()
+            sessions = server.session_count()
+            await server.drain()
+            return sessions
+
+        assert run(scenario()) == 1
+
+
+class TestRestoreDropAccounting:
+    def test_replay_drops_kept_out_of_live_counters(self):
+        """last_restore_drop_counts: restore-time drops are a property of
+        the snapshot, not of live traffic."""
+        result = make_capture(users=1, duration_s=20.0)
+        original = UserSession(1, SessionConfig(window_s=20.0))
+        for report in result.reports:
+            original.ingest(report)
+        state = original.state()
+        # A torn snapshot: one report duplicated (same stream, same
+        # timestamp) — the replay must drop exactly the duplicate.
+        reports = state["reports"] + [state["reports"][-1]]
+        clone = UserSession(1, SessionConfig(window_s=20.0))
+        clone.restore(state, reports)
+        replay_drops = clone.engine.last_restore_drop_counts
+        assert sum(replay_drops.values()) == 1
+        # ...and the restored *live* counters still equal the
+        # checkpointed ones: nothing leaked across the boundary.
+        assert clone.engine.feed_drop_counts == state["drop_counts"]
+
+    def test_clean_restore_reports_zero_replay_drops(self):
+        result = make_capture(users=1, duration_s=20.0)
+        original = UserSession(1, SessionConfig(window_s=20.0))
+        for report in result.reports:
+            original.ingest(report)
+        state = original.state()
+        clone = UserSession(1, SessionConfig(window_s=20.0))
+        clone.restore(state, state["reports"])
+        assert sum(clone.engine.last_restore_drop_counts.values()) == 0
+
+
 # ----------------------------------------------------------------------
 # The server, end to end over real TCP
 # ----------------------------------------------------------------------
@@ -495,6 +600,144 @@ class TestServerEndToEnd:
         stats, sessions = run(scenario())
         assert stats.acked == len(result.reports)
         assert sessions and sessions[0].reports_in == len(result.reports)
+
+
+class TestDrainStuck:
+    def test_stuck_handler_cancelled_and_counted(self):
+        """Drain never hangs on a wedged connection: after the grace
+        period the handler is cancelled and the stall is *counted*."""
+        from repro import obs
+
+        async def scenario():
+            server = BreathServer(port=0)
+            server.drain_grace_s = 0.05
+            await server.start()
+            # An ingest connection that handshakes and then goes silent:
+            # its handler blocks in read() and never sees the drain.
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await server.drain()
+            await client.close(polite=False)
+            return server.counters
+
+        with obs.capture() as (_tracer, registry):
+            counters = run(scenario())
+            stuck = registry.values("repro_serve_drain_stuck_total")
+        assert counters["drain_stuck_total"] == 1
+        assert sum(stuck.values()) == 1
+
+    def test_clean_drain_counts_nothing(self):
+        async def scenario():
+            server = BreathServer(port=0)
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.close()  # polite bye: the handler winds down
+            await server.drain()
+            return server.counters
+
+        assert run(scenario())["drain_stuck_total"] == 0
+
+
+class TestClientTimeouts:
+    def test_connect_timeout_is_typed(self):
+        """A server that accepts but never answers hello must surface a
+        ServeTimeoutError, not hang the caller forever."""
+
+        async def scenario():
+            async def mute(reader, writer):
+                await reader.read()  # accept, say nothing, wait for EOF
+                writer.close()
+
+            listener = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            client = IngestClient("127.0.0.1", port,
+                                  connect_timeout_s=0.1)
+            try:
+                with pytest.raises(ServeTimeoutError):
+                    await client.connect()
+                assert not client.connected
+            finally:
+                listener.close()
+                await listener.wait_closed()
+
+        run(scenario())
+
+    def test_timeout_is_a_serve_error(self):
+        assert issubclass(ServeTimeoutError, ServeError)
+
+
+class TestIdempotentResume:
+    def test_welcome_answers_last_seq_and_filters_duplicates(self):
+        result = make_capture(users=1, duration_s=10.0)
+        reports = result.reports[:20]
+
+        async def scenario():
+            server = BreathServer(port=0)
+            await server.start()
+            first = IngestClient("127.0.0.1", server.port,
+                                 client_id="reader-7")
+            await first.connect()
+            assert first.last_seq == 0
+            for seq, report in enumerate(reports, start=1):
+                await first.send_report(report, seq=seq)
+            await first.flush()
+            await first.close()
+
+            second = IngestClient("127.0.0.1", server.port,
+                                  client_id="reader-7")
+            await second.connect()
+            resumed_from = second.last_seq
+            # A crashed reader resends a suffix it is not sure about:
+            # everything at or below the watermark must be dropped.
+            for seq, report in enumerate(reports, start=1):
+                if seq > 10:
+                    await second.send_report(report, seq=seq)
+            await second.flush()
+            await second.close()
+            counters = dict(server.counters)
+            total = server.counters["reports_total"]
+            await server.drain()
+            return resumed_from, counters, total
+
+        resumed_from, counters, total = run(scenario())
+        assert resumed_from == len(reports)
+        assert counters["seq_filtered_total"] == len(reports) - 10
+        # Duplicates were filtered before ingest: no report counted twice.
+        assert total == len(reports)
+
+    def test_seq_watermark_survives_checkpoint(self, tmp_path):
+        result = make_capture(users=1, duration_s=10.0)
+        reports = result.reports[:10]
+        path = str(tmp_path / "serve.ckpt")
+
+        async def phase_one():
+            server = BreathServer(port=0, checkpoint_path=path,
+                                  checkpoint_interval_s=0)
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port,
+                                  client_id="reader-9")
+            await client.connect()
+            for seq, report in enumerate(reports, start=1):
+                await client.send_report(report, seq=seq)
+            await client.flush()
+            await client.close()
+            await server.drain()  # checkpoint carries the watermark
+
+        async def phase_two():
+            server = BreathServer(port=0, checkpoint_path=path,
+                                  checkpoint_interval_s=0)
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port,
+                                  client_id="reader-9")
+            await client.connect()
+            seq = client.last_seq
+            await client.close()
+            await server.drain()
+            return seq
+
+        run(phase_one())
+        assert run(phase_two()) == len(reports)
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,11 @@ candidate, so the comparison covers the quick cases only — enough to
 catch "someone made the incremental tick recompute again" while staying
 within a smoke job's time budget.
 
+The candidate's ``fabric`` soak suite is additionally checked on its
+own: its invariants (sessions settled == users requested, rebalance
+moved sessions, zero worker restarts) are counts, not timings, so they
+need no baseline and hold on any machine.
+
 Exit status: 0 when every shared case holds, 1 on regression or when
 the files don't both contain a streaming suite.
 
@@ -50,6 +55,43 @@ def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
         raise ValueError(f"{path} has no streaming benchmark suite")
     return {(case["users"], case["duration_s"]): case
             for case in streaming["cases"]}
+
+
+def check_fabric_suite(path: Path) -> List[str]:
+    """Machine-independent invariants of the fabric soak suite.
+
+    Absolute numbers (sessions, migrations, restarts) are *counts*, not
+    timings, so they are checked on the candidate alone — no baseline
+    ratio needed.  A missing suite is a failure: the soak silently not
+    running is exactly the regression this guard exists to catch.
+    """
+    doc = json.loads(path.read_text())
+    fabric = doc.get("fabric")
+    if not isinstance(fabric, dict) or not fabric.get("cases"):
+        return [f"{path} has no fabric soak suite"]
+    problems = []
+    for case in fabric["cases"]:
+        users = case.get("users", 0)
+        tag = f"fabric {users}u"
+        if case.get("settled_sessions") != users:
+            problems.append(
+                f"{tag}: settled {case.get('settled_sessions')} sessions, "
+                f"expected exactly {users} — the fabric lost or invented "
+                f"sessions across routing/rebalance")
+        if case.get("migrated_sessions", 0) <= 0:
+            problems.append(
+                f"{tag}: rebalance moved 0 sessions — add_worker did not "
+                f"take over any ring arc")
+        if case.get("worker_restarts", 0) != 0:
+            problems.append(
+                f"{tag}: {case.get('worker_restarts')} worker restart(s) "
+                f"during a fault-free soak — something crashed")
+        if case.get("workers_final", 0) <= case.get("workers_initial", 0):
+            problems.append(
+                f"{tag}: workers_final {case.get('workers_final')} not "
+                f"greater than workers_initial "
+                f"{case.get('workers_initial')} — no rebalance happened")
+    return problems
 
 
 def compare(baseline: Dict[Tuple[int, float], dict],
@@ -100,13 +142,18 @@ def main(argv: List[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     problems = compare(baseline, candidate, args.threshold)
+    try:
+        problems.extend(check_fabric_suite(args.candidate))
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"cannot check fabric suite: {exc}")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         return 1
     shared = sorted(set(baseline) & set(candidate))
     print(f"bench regression check: {len(shared)} shared case(s) "
-          f"within {args.threshold:.0%} of baseline tick_speedup")
+          f"within {args.threshold:.0%} of baseline tick_speedup; "
+          f"fabric soak invariants hold")
     return 0
 
 

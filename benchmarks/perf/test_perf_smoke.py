@@ -46,6 +46,33 @@ def test_pipeline_suite_schema(bench_results):
         assert case["users_estimated"] >= 1
 
 
+def test_streaming_batched_feed_schema(bench_results):
+    results, _out = bench_results
+    streaming = results["pipeline"]["streaming"]
+    for case in streaming["cases"]:
+        assert case["feed_batch_s"] > 0
+        assert case["feed_batch_reports_per_s"] > 0
+        # Bit-exactness is a correctness contract, not a timing — it
+        # must hold on any machine, noisy or not.
+        assert case["batch_state_equal"] is True
+        assert case["batch_max_rate_diff_bpm"] == 0.0
+    assert streaming["headline"]["batch_state_equal"] is True
+
+
+def test_wire_suite_schema(bench_results):
+    results, _out = bench_results
+    wire = results["pipeline"]["wire"]
+    modes = {case["mode"] for case in wire["cases"]}
+    assert modes == {"column", "json"}
+    for case in wire["cases"]:
+        assert case["acked"] == case["sent"] == case["reports"]
+        assert case["bytes_per_report"] > 0
+    # Frame sizes are format properties, machine-independent: 48 data
+    # bytes per report in a column frame vs ~200 of JSON.
+    assert wire["headline"]["bytes_ratio"] >= 2.0
+    assert wire["headline"]["acked_equal_sent"] is True
+
+
 def test_bench_files_written_and_json_clean(bench_results):
     _results, out = bench_results
     for name in ("BENCH_simulation.json", "BENCH_pipeline.json"):

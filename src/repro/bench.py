@@ -14,10 +14,14 @@ JSON files at the output directory root:
   suite: serve-shaped replay of the same captures comparing the
   incremental O(new-samples) cadence tick against the from-scratch
   recompute tick, with memoized (no-new-data) tick latency and the
-  derived per-core serve capacity; plus the ``fabric`` suite: a
-  population-scale soak of the multi-process serve fabric (EPC-remapped
-  synthetic users, one mid-run rebalance) whose session-accounting
-  invariants are machine-independent.
+  derived per-core serve capacity, and the batched SoA feed
+  (``feed_batch`` over column chunks) timed against the scalar feed
+  with its bit-exactness contract checked in-run; plus the ``wire``
+  suite: binary column frames vs per-report JSON over a real localhost
+  socket (bytes/report and acked ingest throughput); plus the
+  ``fabric`` suite: a population-scale soak of the multi-process serve
+  fabric (EPC-remapped synthetic users, one mid-run rebalance) whose
+  session-accounting invariants are machine-independent.
 
 Both paths consume identical MAC randomness, so each case's scalar and
 vectorized timings cover the *same* read-event stream — the ratio is a
@@ -45,6 +49,7 @@ from .body import MetronomeBreathing, Subject
 from .config import ReaderConfig
 from .core.pipeline import TagBreathe
 from .errors import DegradedEstimateWarning, InsufficientDataError
+from .reader.batch import ReportBatch
 from .sim.engine import SimulationResult, run_scenario
 from .sim.scenario import Scenario
 
@@ -186,6 +191,26 @@ STREAM_WARMUP_S = 12.0
 #: matches the serve layer's default ``estimate_interval_s``.
 STREAM_CADENCE_S = 5.0
 
+#: Reports per column chunk on the batched-feed measurement — matches
+#: the ingest client's column-frame coalescing scale and is past the
+#: knee where per-batch overheads amortize.
+STREAM_BATCH_CHUNK = 4096
+
+
+def _buffers_equal(a: TagBreathe, b: TagBreathe) -> bool:
+    """Whether two engines' streaming buffers are bit-identical."""
+    ba, bb = a._report_buffers, b._report_buffers
+    if ba.keys() != bb.keys():
+        return False
+    for key, pa in ba.items():
+        pb = bb[key]
+        if (pa.t != pb.t or pa.phase != pb.phase or pa.rssi != pb.rssi
+                or pa.doppler != pb.doppler or pa.channel != pb.channel
+                or pa.antenna != pb.antenna or pa.last_t != pb.last_t
+                or pa.since_prune != pb.since_prune):
+            return False
+    return True
+
 
 def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
                             seed: int = 0) -> Dict:
@@ -258,6 +283,43 @@ def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
                     else:
                         max_diff = max(max_diff,
                                        abs(a.rate_bpm - b.rate_bpm))
+        # The SoA hot path: the identical stream packed as column chunks
+        # (the packing itself is untimed — a columnar reader delivers
+        # arrays natively; ``from_reports`` is the compatibility shim)
+        # and fed through ``feed_batch``.  Same-run ratio against the
+        # scalar feed above, so machine speed cancels out, and the
+        # bit-exactness contract is *checked*, not assumed.
+        batch_all = ReportBatch.from_reports(reports)
+        chunks = [
+            batch_all.select(np.arange(
+                lo, min(lo + STREAM_BATCH_CHUNK, len(batch_all))))
+            for lo in range(0, len(batch_all), STREAM_BATCH_CHUNK)
+        ]
+        bat = TagBreathe(user_ids=set(user_ids))
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            bat.feed_batch(chunk)
+        batch_s = time.perf_counter() - t0
+        state_equal = (bat.feed_drop_counts == inc.feed_drop_counts
+                       and _buffers_equal(bat, inc))
+        batch_diff = 0.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            for uid in user_ids:
+                try:
+                    a = bat.estimate_user(uid)
+                except InsufficientDataError:
+                    a = None
+                try:
+                    b = inc.estimate_user(uid)
+                except InsufficientDataError:
+                    b = None
+                if (a is None) != (b is None):
+                    batch_diff = float("inf")
+                elif a is not None:
+                    batch_diff = max(batch_diff,
+                                     abs(a.rate_bpm - b.rate_bpm))
+
         inc_tick = inc_s / ticks if ticks else float("nan")
         rec_tick = rec_s / ticks if ticks else float("nan")
         hit_tick = hit_s / ticks if ticks else float("nan")
@@ -277,6 +339,14 @@ def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
             "feed_s": feed_s,
             "feed_reports_per_s": (len(reports) / feed_s
                                    if feed_s > 0 else float("inf")),
+            "batch_chunk": STREAM_BATCH_CHUNK,
+            "feed_batch_s": batch_s,
+            "feed_batch_reports_per_s": (len(reports) / batch_s
+                                         if batch_s > 0 else float("inf")),
+            "feed_batch_speedup": (feed_s / batch_s
+                                   if batch_s > 0 else float("inf")),
+            "batch_state_equal": state_equal,
+            "batch_max_rate_diff_bpm": batch_diff,
             "incremental_tick_s": inc_tick,
             "recompute_tick_s": rec_tick,
             "cached_tick_s": hit_tick,
@@ -301,6 +371,91 @@ def run_streaming_benchmark(captures: Dict[tuple, SimulationResult],
             "cached_tick_speedup": headline["cached_tick_speedup"],
             "serve_capacity_users": headline["serve_capacity_users"],
             "max_rate_diff_bpm": headline["max_rate_diff_bpm"],
+            "feed_batch_speedup": headline["feed_batch_speedup"],
+            "batch_state_equal": all(c["batch_state_equal"]
+                                     for c in cases),
+            "batch_max_rate_diff_bpm": max(c["batch_max_rate_diff_bpm"]
+                                           for c in cases),
+        },
+    }
+
+
+def run_wire_benchmark(captures: Dict[tuple, SimulationResult],
+                       seed: int = 0) -> Dict:
+    """Wire-format shootout over a real socket: column frames vs JSON.
+
+    Replays one capture twice into a fresh in-process
+    :class:`~repro.serve.server.BreathServer` over localhost TCP — once
+    with the binary column frame format negotiated (the client
+    coalesces ~:data:`~repro.serve.client._COLUMN_BATCH` reports per
+    frame, the server ingests them through ``feed_batch``), once as
+    per-report JSON messages — and records bytes on the wire and acked
+    ingest throughput for each.
+
+    ``bytes_per_report`` is a property of the wire format, not the
+    machine (48 data bytes per report in a column frame vs ~200 of
+    JSON), so the headline ``bytes_ratio`` is CI-comparable without a
+    baseline; ``ingest_speedup`` is a same-machine wall-clock ratio.
+    """
+    import asyncio
+
+    from .serve.client import IngestClient
+    from .serve.server import BreathServer
+
+    key = (5, 25.0) if (5, 25.0) in captures else max(captures)
+    reports = captures[key].reports
+
+    async def one(frames: tuple, mode: str) -> Dict:
+        server = BreathServer(n_shards=2)
+        await server.start()
+        client = IngestClient("127.0.0.1", server.port, frames=frames,
+                              client_id=f"wire-bench-{mode}")
+        await client.connect()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            t0 = time.perf_counter()
+            stats = await client.replay(reports, speed=0.0)
+            wall = time.perf_counter() - t0
+            await client.close()
+            await server.drain()
+        return {
+            "mode": mode,
+            "users": key[0],
+            "duration_s": key[1],
+            "reports": len(reports),
+            "sent": stats.sent,
+            "acked": stats.acked,
+            "shed_total": stats.shed_total,
+            "bytes_sent": stats.bytes_sent,
+            "bytes_per_report": (stats.bytes_sent / stats.sent
+                                 if stats.sent else float("inf")),
+            "wall_s": wall,
+            "acked_reports_per_s": (stats.acked / wall
+                                    if wall > 0 else float("inf")),
+        }
+
+    async def both() -> List[Dict]:
+        return [await one(("column",), "column"), await one((), "json")]
+
+    column, plain = asyncio.run(both())
+    return {
+        "seed": seed,
+        "cases": [column, plain],
+        "headline": {
+            "users": key[0],
+            "duration_s": key[1],
+            "column_bytes_per_report": column["bytes_per_report"],
+            "json_bytes_per_report": plain["bytes_per_report"],
+            "bytes_ratio": (plain["bytes_per_report"]
+                            / column["bytes_per_report"]
+                            if column["bytes_per_report"]
+                            else float("inf")),
+            "ingest_speedup": (column["acked_reports_per_s"]
+                               / plain["acked_reports_per_s"]
+                               if plain["acked_reports_per_s"]
+                               else float("inf")),
+            "acked_equal_sent": (column["acked"] == column["sent"]
+                                 and plain["acked"] == plain["sent"]),
         },
     }
 
@@ -513,6 +668,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     simulation, captures = run_simulation_benchmark(grid, seed=seed)
     pipeline = run_pipeline_benchmark(captures, seed=seed)
     pipeline["streaming"] = run_streaming_benchmark(captures, seed=seed)
+    pipeline["wire"] = run_wire_benchmark(captures, seed=seed)
     pipeline["fabric"] = run_fabric_soak_benchmark(quick=quick, seed=seed)
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(

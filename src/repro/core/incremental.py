@@ -55,6 +55,7 @@ from .preprocess import (
     DEFAULT_MIN_SEGMENT_LEN,
     PhaseChainCursor,
     StreamKey,
+    defer_chains,
     hampel_filter,
 )
 from .quality import quality_score
@@ -167,6 +168,107 @@ class IncrementalEstimator:
                         rssi=report.rssi_dbm, sid=sid)
         state.cursors[sid].push(report)
         state.version += 1
+
+    def ingest_streams(self, groups: List[Tuple[StreamKey, np.ndarray]],
+                       users: np.ndarray, tags: np.ndarray,
+                       times: np.ndarray, phases: np.ndarray,
+                       rssis: np.ndarray, channels: np.ndarray,
+                       antennas: np.ndarray) -> None:
+        """Vectorized :meth:`ingest` of one batch's accepted rows.
+
+        The caller (``TagBreathe.feed_batch``) has already screened the
+        batch per stream; this ingests every surviving row across all
+        users in three passes — stream-id assignment, per-user window
+        index extension, and one global Eq. (3) chain pass — leaving
+        state bit-identical to calling :meth:`ingest` row by row in
+        arrival order: stream ids are assigned in order of first
+        appearance, each user's index receives its rows as a stable
+        sort by time (what row-wise ``add`` converges to), and each
+        (stream, channel, antenna) chain is differenced in one shot
+        against its cached tail.  ``version`` advances by each user's
+        accepted row count.
+
+        Args:
+            groups: per-stream ``(stream_key, rows)`` pairs — ``rows``
+                being ascending original-batch indices of that stream's
+                accepted rows — sorted by first accepted row, i.e. the
+                order row-wise ingest would first see (and create) each
+                stream.
+            users / tags / times / phases / rssis / channels / antennas:
+                the full batch columns (only ``rows`` positions are
+                read).
+        """
+        if not groups:
+            return
+        sids = np.empty(times.shape[0], dtype=np.int64)
+        cursor_of: Dict[StreamKey, PhaseChainCursor] = {}
+        by_user: Dict[int, List[np.ndarray]] = {}
+        for key, rows in groups:
+            uid = key[0]
+            state = self._states.get(uid)
+            if state is None:
+                state = UserStreamState()
+                self._states[uid] = state
+            sid = state.sid_of.get(key)
+            if sid is None:
+                sid = len(state.keys)
+                state.sid_of[key] = sid
+                state.keys.append(key)
+                state.cursors.append(PhaseChainCursor(
+                    self._frequencies, max_gap_s=self._max_gap_s))
+            sids[rows] = sid
+            cursor_of[key] = state.cursors[sid]
+            by_user.setdefault(uid, []).append(rows)
+
+        for uid, chunks in by_user.items():
+            rows_u = (np.sort(np.concatenate(chunks))
+                      if len(chunks) > 1 else chunks[0])
+            state = self._states[uid]
+            tu = times[rows_u]
+            tsort = np.argsort(tu, kind="stable")
+            tail = state.index.last_time()
+            if tail is None or tu[tsort[0]] >= tail:
+                srt = rows_u[tsort]
+                state.index.extend(tu[tsort], port=antennas[srt],
+                                   rssi=rssis[srt], sid=sids[srt])
+            else:
+                # A straggler lands before the index tail (cross-stream
+                # reordering against previously fed data): rare, row-wise
+                # in arrival order.
+                for i in rows_u.tolist():
+                    state.index.add(float(times[i]), port=int(antennas[i]),
+                                    rssi=float(rssis[i]), sid=int(sids[i]))
+            state.version += rows_u.shape[0]
+
+        # Global chain pass: one stable lexsort arranges every accepted
+        # row as contiguous (user, tag, channel, antenna) runs, each in
+        # arrival order; every chain is then extended from one
+        # vectorized differencing pass.
+        acc = (np.sort(np.concatenate([rows for _, rows in groups]))
+               if len(groups) > 1 else groups[0][1])
+        au = users[acc]
+        atg = tags[acc]
+        ach = channels[acc]
+        aan = antennas[acc]
+        order = np.lexsort((aan, ach, atg, au))
+        gacc = acc[order]
+        su = au[order]
+        stg = atg[order]
+        sch = ach[order]
+        san = aan[order]
+        m = gacc.shape[0]
+        is_start = np.empty(m, dtype=bool)
+        is_start[0] = True
+        np.not_equal(su[1:], su[:-1], out=is_start[1:])
+        is_start[1:] |= ((stg[1:] != stg[:-1]) | (sch[1:] != sch[:-1])
+                         | (san[1:] != san[:-1]))
+        starts = np.flatnonzero(is_start)
+        cursors = [cursor_of[(u, tg)]
+                   for u, tg in zip(su[starts].tolist(),
+                                    stg[starts].tolist())]
+        gkeys = list(zip(sch[starts].tolist(), san[starts].tolist()))
+        defer_chains(cursors, gkeys, starts, times[gacc], phases[gacc],
+                     self._max_gap_s)
 
     def prune_stream(self, user_id: int, key: StreamKey,
                      horizon_s: float) -> None:

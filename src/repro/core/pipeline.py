@@ -31,17 +31,22 @@ Two preprocessing representations are supported (see DESIGN.md):
 from __future__ import annotations
 
 import warnings
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from .. import obs, perf
 from ..config import PipelineConfig, RobustnessConfig
+from ..epc.codec import EPC96
 from ..errors import (
     DegradedEstimateWarning,
     EmptyStreamError,
     ExtractionError,
     InsufficientDataError,
 )
+from ..reader.batch import ReportBatch
 from ..reader.tagreport import TagReport
 from ..streams.timeseries import TimeSeries
 from ..streams.windows import trailing_window_bounds
@@ -92,6 +97,97 @@ MODES = ("samples", "increments")
 #: its ``estimate`` messages so dashboards can watch them like
 #: packet-loss stats.
 FEED_DROP_KEYS = ("late", "duplicate", "invalid_channel")
+
+#: Accepted reports per stream between bounded-memory prune checks.
+_PRUNE_EVERY = 512
+
+
+class _StreamBuffer:
+    """Columnar storage of one (user, tag) stream's buffered reports.
+
+    The streaming hot path appends scalars to plain python lists (six
+    ``list.append`` calls — cheaper than building an object per report),
+    and the batched path bulk-extends from numpy columns; ``TagReport``
+    objects are materialised only on the cold paths (checkpointing,
+    recompute-reference ticks).  Timestamps are strictly increasing by
+    the feed contract, so windowing and pruning are binary searches.
+
+    ``since_prune`` is the per-stream accepted-reports counter behind
+    the bounded-memory prune trigger (it replaces the historical
+    ``len(buffer) % 512`` check, which could stop firing forever once a
+    prune moved the length off the modulo phase).
+    """
+
+    __slots__ = ("key", "t", "phase", "rssi", "doppler", "channel",
+                 "antenna", "last_t", "since_prune")
+
+    def __init__(self, key: StreamKey) -> None:
+        self.key = key
+        self.t: List[float] = []
+        self.phase: List[float] = []
+        self.rssi: List[float] = []
+        self.doppler: List[float] = []
+        self.channel: List[int] = []
+        self.antenna: List[int] = []
+        self.last_t: Optional[float] = None
+        self.since_prune = 0
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def append(self, report: TagReport) -> None:
+        """Buffer one accepted report (must advance the stream's time)."""
+        t = report.timestamp_s
+        self.t.append(t)
+        self.phase.append(report.phase_rad)
+        self.rssi.append(report.rssi_dbm)
+        self.doppler.append(report.doppler_hz)
+        self.channel.append(report.channel_index)
+        self.antenna.append(report.antenna_port)
+        self.last_t = t
+
+    def extend_columns(self, t, phase, rssi, doppler, channel,
+                       antenna) -> None:
+        """Bulk-append accepted batch rows (strictly increasing times).
+
+        ``ndarray.tolist()`` yields the same plain python floats/ints
+        :meth:`append` stores, so scalar- and batch-fed buffers compare
+        equal element for element.
+        """
+        self.t.extend(t.tolist())
+        self.phase.extend(phase.tolist())
+        self.rssi.extend(rssi.tolist())
+        self.doppler.extend(doppler.tolist())
+        self.channel.extend(channel.tolist())
+        self.antenna.extend(antenna.tolist())
+        self.last_t = self.t[-1]
+
+    def prune(self, horizon: float) -> None:
+        """Drop rows with ``t < horizon`` from the front."""
+        cut = bisect_left(self.t, horizon)
+        if not cut:
+            return
+        del self.t[:cut]
+        del self.phase[:cut]
+        del self.rssi[:cut]
+        del self.doppler[:cut]
+        del self.channel[:cut]
+        del self.antenna[:cut]
+
+    def reports(self, after: Optional[float] = None) -> List[TagReport]:
+        """Materialise rows (those with ``t > after``) as ``TagReport``s."""
+        start = 0 if after is None else bisect_right(self.t, after)
+        if start >= len(self.t):
+            return []
+        epc = EPC96.from_user_tag(*self.key)
+        return [
+            TagReport(epc=epc, timestamp_s=ts, phase_rad=ph, rssi_dbm=rs,
+                      doppler_hz=dp, channel_index=ch, antenna_port=an)
+            for ts, ph, rs, dp, ch, an in zip(
+                self.t[start:], self.phase[start:], self.rssi[start:],
+                self.doppler[start:], self.channel[start:],
+                self.antenna[start:])
+        ]
 
 
 def sanitize_reports(
@@ -246,7 +342,7 @@ class TagBreathe:
         # The buffers are the checkpointable source of truth; the
         # incremental estimator below is derived state, rebuilt
         # deterministically by re-feeding them (restore_streaming).
-        self._report_buffers: Dict[StreamKey, List[TagReport]] = {}
+        self._report_buffers: Dict[StreamKey, _StreamBuffer] = {}
         # Tolerate-and-count accounting of reports feed() had to discard.
         self._feed_drops: Dict[str, int] = dict.fromkeys(FEED_DROP_KEYS, 0)
         # Drops incurred while restore_streaming replayed a snapshot —
@@ -528,12 +624,14 @@ class TagBreathe:
             self._feed_drops["invalid_channel"] += 1
             return False
         key = report.stream_key
-        buffer = self._report_buffers.setdefault(key, [])
-        if buffer and report.timestamp_s <= buffer[-1].timestamp_s:
-            kind = ("duplicate"
-                    if report.timestamp_s == buffer[-1].timestamp_s
-                    else "late")
-            self._feed_drops[kind] += 1
+        buffer = self._report_buffers.get(key)
+        if buffer is None:
+            buffer = _StreamBuffer(key)
+            self._report_buffers[key] = buffer
+        t = report.timestamp_s
+        last = buffer.last_t
+        if last is not None and t <= last:
+            self._feed_drops["duplicate" if t == last else "late"] += 1
             return False
         buffer.append(report)
         if self._inc is not None:
@@ -541,16 +639,141 @@ class TagBreathe:
             # against its (channel, antenna) chain — Eq. (3) runs once,
             # here, instead of on every subsequent tick.
             self._inc.ingest(report)
-        # Bound memory: keep ~4 analysis windows of raw reports.
-        if len(buffer) % 512 == 0:
-            horizon = report.timestamp_s - 4.0 * self._window_s()
-            if buffer[0].timestamp_s < horizon:
-                self._report_buffers[key] = [
-                    r for r in buffer if r.timestamp_s >= horizon
-                ]
+        # Bound memory: keep ~4 analysis windows of raw reports.  The
+        # trigger counts accepted reports since the last prune check —
+        # a buffer-length modulo would stop firing once a prune moved
+        # the length off the modulo phase.
+        buffer.since_prune += 1
+        if buffer.since_prune >= _PRUNE_EVERY:
+            buffer.since_prune = 0
+            horizon = t - 4.0 * self._window_s()
+            if buffer.t[0] < horizon:
+                buffer.prune(horizon)
                 if self._inc is not None:
                     self._inc.prune_stream(report.user_id, key, horizon)
         return True
+
+    def feed_batch(self, batch: ReportBatch) -> int:
+        """Consume a column batch; bit-exact with per-report :meth:`feed`.
+
+        The SoA hot path: screening (unmonitored users, invalid
+        channels, per-stream late/duplicate deliveries), buffering, the
+        incremental Eq. (3) differencing, and the bounded-memory prune
+        all run as array operations over the batch's numpy columns.
+        After the call, buffered state and :attr:`feed_drop_counts` are
+        identical — bit for bit — to what a loop of ``feed()`` calls
+        over ``batch.to_reports()`` would have left, so every subsequent
+        :meth:`estimate_user` result is too.
+
+        Late/duplicate screening per stream reduces to a running
+        maximum: seeding a cumulative max with the stream's buffered
+        tail, row *i* is accepted iff ``t[i] > cummax[i]``, a duplicate
+        iff equal, late iff below — dropped rows never raise the running
+        max, so including them in the cummax is exact.
+
+        Args:
+            batch: the reports, in arrival order.
+
+        Returns:
+            How many reports were buffered (the rest were dropped and
+            counted, exactly as ``feed`` would).
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        t = batch.t
+        user = batch.user_id
+        tag = batch.tag_id
+        keep = np.ones(n, dtype=bool)
+        if self._user_ids is not None:
+            allowed = np.fromiter(self._user_ids, dtype=np.uint64,
+                                  count=len(self._user_ids))
+            keep = np.isin(user, allowed)
+        invalid = keep & (batch.channel >= len(self._frequencies))
+        n_invalid = int(np.count_nonzero(invalid))
+        if n_invalid:
+            self._feed_drops["invalid_channel"] += n_invalid
+            keep[invalid] = False
+        cand = np.flatnonzero(keep)
+        if not cand.size:
+            return 0
+
+        # Group candidate rows per (user, tag) stream; the stable
+        # lexsort keeps arrival order inside each group.
+        cu = user[cand]
+        ct = tag[cand]
+        order = np.lexsort((ct, cu))
+        sorted_cand = cand[order]
+        su = cu[order]
+        st = ct[order]
+        starts = np.flatnonzero(np.concatenate(
+            ([True], (su[1:] != su[:-1]) | (st[1:] != st[:-1]))))
+        bounds = np.append(starts, sorted_cand.shape[0])
+
+        n_late = 0
+        n_dup = 0
+        n_accepted = 0
+        accepted: List[Tuple[StreamKey, np.ndarray]] = []
+        prunes: List[Tuple[StreamKey, float]] = []
+        for gi in range(starts.shape[0]):
+            rows = sorted_cand[bounds[gi]: bounds[gi + 1]]
+            key: StreamKey = (int(su[starts[gi]]), int(st[starts[gi]]))
+            buffer = self._report_buffers.get(key)
+            tail = (buffer.last_t if buffer is not None
+                    and buffer.last_t is not None else -np.inf)
+            tg = t[rows]
+            prior = np.maximum.accumulate(
+                np.concatenate(([tail], tg)))[:-1]
+            acc = tg > prior
+            m_acc = int(np.count_nonzero(acc))
+            if m_acc != rows.shape[0]:
+                dup = int(np.count_nonzero(tg == prior))
+                n_dup += dup
+                n_late += rows.shape[0] - m_acc - dup
+            if not m_acc:
+                continue
+            arows = rows[acc]
+            if buffer is None:
+                buffer = _StreamBuffer(key)
+                self._report_buffers[key] = buffer
+            buffer.extend_columns(
+                t[arows], batch.phase[arows], batch.rssi[arows],
+                batch.doppler[arows], batch.channel[arows],
+                batch.antenna[arows])
+            accepted.append((key, arows))
+            n_accepted += m_acc
+            # Prune trigger, shared with feed(): the counter crosses the
+            # threshold at accepted row (PRUNE_EVERY - since_prune - 1),
+            # then every PRUNE_EVERY rows after; horizons are monotone
+            # and pruning is idempotent, so applying only the LAST
+            # trigger's horizon leaves the identical final buffer.
+            total = buffer.since_prune + m_acc
+            if total >= _PRUNE_EVERY:
+                buffer.since_prune = total % _PRUNE_EVERY
+                last_trigger = m_acc - 1 - buffer.since_prune
+                horizon = (float(t[arows[last_trigger]])
+                           - 4.0 * self._window_s())
+                if buffer.t[0] < horizon:
+                    prunes.append((key, horizon))
+            else:
+                buffer.since_prune = total
+
+        if self._inc is not None and accepted:
+            # Streams sorted by their first accepted row — the order
+            # row-wise ingest would first see (and so create) each.
+            accepted.sort(key=lambda kr: int(kr[1][0]))
+            self._inc.ingest_streams(
+                accepted, user, tag, t, batch.phase, batch.rssi,
+                batch.channel, batch.antenna)
+        if n_late:
+            self._feed_drops["late"] += n_late
+        if n_dup:
+            self._feed_drops["duplicate"] += n_dup
+        for key, horizon in prunes:
+            self._report_buffers[key].prune(horizon)
+            if self._inc is not None:
+                self._inc.prune_stream(key[0], key, horizon)
+        return n_accepted
 
     def feed_many(self, reports: Iterable[TagReport]) -> int:
         """Feed a batch of reports in order; returns how many were buffered."""
@@ -658,9 +881,9 @@ class TagBreathe:
         window = window_s if window_s is not None else self._window_s()
         t_latest = None
         for key, buffer in self._report_buffers.items():
-            if key[0] != user_id or not buffer:
+            if key[0] != user_id or not len(buffer):
                 continue
-            last = buffer[-1].timestamp_s
+            last = buffer.last_t
             t_latest = last if t_latest is None else max(t_latest, last)
         if t_latest is None:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
@@ -671,7 +894,7 @@ class TagBreathe:
         for key, buffer in self._report_buffers.items():
             if key[0] != user_id:
                 continue
-            user_reports.extend(r for r in buffer if r.timestamp_s > lo)
+            user_reports.extend(buffer.reports(after=lo))
         user_reports.sort(key=lambda r: r.timestamp_s)
         if not user_reports:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
@@ -679,7 +902,8 @@ class TagBreathe:
 
     def streamed_users(self) -> List[int]:
         """Users with at least one buffered report."""
-        return sorted({key[0] for key, buf in self._report_buffers.items() if buf})
+        return sorted({key[0] for key, buf in self._report_buffers.items()
+                       if len(buf)})
 
     def buffered_reports(self, user_id: Optional[int] = None) -> List[TagReport]:
         """The streamed reports currently buffered, timestamp-ordered.
@@ -698,7 +922,7 @@ class TagBreathe:
         reports: List[TagReport] = []
         for key, buffer in self._report_buffers.items():
             if user_id is None or key[0] == user_id:
-                reports.extend(buffer)
+                reports.extend(buffer.reports())
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
 

@@ -333,12 +333,24 @@ def displacement_samples(
     return TimeSeries.merge(kept)
 
 
+#: Column layout of one chain's ``rows`` array: timestamp, raw phase,
+#: Eq. (3) wrapped delta, and the new-segment flag (0.0/1.0 — float so
+#: all four attributes live in ONE float64 array and a batch extends a
+#: chain with a single row-block append).
+_COL_T, _COL_PHASE, _COL_WD, _COL_SEG = 0, 1, 2, 3
+
+
 class _ChainColumns:
     """Flat per-(channel, antenna) chain storage of one tag stream.
 
-    Four parallel growable columns per group — timestamps, raw phases,
-    the Eq. (3) wrapped deltas, and new-segment flags — plus the chain
-    tail cached as plain floats so the hot push path never touches numpy.
+    Four parallel per-sample attributes packed as the columns of one
+    growable ``(n, 4)`` float64 array — timestamps, raw phases, the
+    Eq. (3) wrapped deltas, and new-segment flags (the chain tail lives
+    on the owning cursor's ``_tails``, keyed like ``_groups``).  Packing
+    them in one array makes chain creation and tiny batch extends one
+    allocation/append instead of four, which dominates the batched
+    ingest path on a cold engine (channel hopping spreads every stream
+    across hundreds of chains).
 
     ``base`` + ``segcache`` implement the across-tick segment reuse of
     :meth:`PhaseChainCursor.window_displacement`: a demeaned segment is a
@@ -350,17 +362,11 @@ class _ChainColumns:
     front), keeping cache keys stable across pruning.
     """
 
-    __slots__ = ("coef", "times", "phases", "wdeltas", "segstart",
-                 "last_t", "last_phase", "base", "segcache")
+    __slots__ = ("coef", "rows", "base", "segcache")
 
     def __init__(self, coef: float) -> None:
         self.coef = coef
-        self.times = GrowableArray(np.float64)
-        self.phases = GrowableArray(np.float64)
-        self.wdeltas = GrowableArray(np.float64)
-        self.segstart = GrowableArray(np.bool_)
-        self.last_t: Optional[float] = None
-        self.last_phase: Optional[float] = None
+        self.rows = GrowableArray(np.float64, width=4)
         self.base = 0
         self.segcache: Dict[Tuple[int, int], TimeSeries] = {}
 
@@ -394,7 +400,8 @@ class PhaseChainCursor:
         StreamError: on a non-positive gap limit.
     """
 
-    __slots__ = ("_frequencies", "_max_gap", "_groups")
+    __slots__ = ("_frequencies", "_max_gap", "_groups", "_pending",
+                 "_tails")
 
     def __init__(self, frequencies_hz: Sequence[float],
                  max_gap_s: float = DEFAULT_SEGMENT_GAP_S) -> None:
@@ -403,9 +410,20 @@ class PhaseChainCursor:
         self._frequencies = frequencies_hz
         self._max_gap = float(max_gap_s)
         self._groups: Dict[GroupKey, _ChainColumns] = {}
+        # Ingest-to-query decoupling: pushes land here as cheap
+        # (group, rows) entries — a tuple per scalar push, a packed
+        # row-block per batch run — and are folded into ``_groups`` only
+        # when a query needs them (:meth:`_flush`).  The wrapped deltas
+        # are still computed AT ingest (seeded from ``_tails``), so
+        # deferral changes nothing about the stored values — it only
+        # batches the per-chain numpy appends and column creation, which
+        # otherwise dominate a cold engine fed via the batched path.
+        self._pending: List[Tuple[GroupKey, object]] = []
+        self._tails: Dict[GroupKey, Tuple[float, float]] = {}
 
     def __len__(self) -> int:
-        return sum(len(cols.times) for cols in self._groups.values())
+        self._flush()
+        return sum(len(cols.rows) for cols in self._groups.values())
 
     def push(self, report: TagReport) -> None:
         """Ingest one report (caller guarantees per-stream time order).
@@ -415,41 +433,64 @@ class PhaseChainCursor:
         map (``TagBreathe.feed`` drops invalid channels before pushing).
         """
         group: GroupKey = (report.channel_index, report.antenna_port)
-        cols = self._groups.get(group)
-        if cols is None:
-            lam = SPEED_OF_LIGHT / self._frequencies[report.channel_index]
-            cols = _ChainColumns(lam / (4.0 * np.pi))
-            self._groups[group] = cols
         t = report.timestamp_s
         phase = report.phase_rad
-        if (cols.last_t is None or t - cols.last_t > self._max_gap
-                or t <= cols.last_t):
-            cols.wdeltas.append(0.0)
-            cols.segstart.append(True)
+        tail = self._tails.get(group)
+        if tail is None or t - tail[0] > self._max_gap or t <= tail[0]:
+            row = (t, phase, 0.0, 1.0)
         else:
-            cols.wdeltas.append(wrap_phase_delta(phase - cols.last_phase))
-            cols.segstart.append(False)
-        cols.times.append(t)
-        cols.phases.append(phase)
-        cols.last_t = t
-        cols.last_phase = phase
+            row = (t, phase, wrap_phase_delta(phase - tail[1]), 0.0)
+        self._pending.append((group, row))
+        self._tails[group] = (t, phase)
+
+    def _flush(self) -> None:
+        """Fold pending rows into the per-group columns.
+
+        Per group, consecutive scalar rows coalesce into one array and
+        every block lands as one bulk append — arrival order within a
+        group is preserved, so the columns end up bit-identical to
+        appending at ingest time.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        per_group: Dict[GroupKey, List[object]] = {}
+        for gk, block in pending:
+            per_group.setdefault(gk, []).append(block)
+        for gk, blocks in per_group.items():
+            cols = self._groups.get(gk)
+            if cols is None:
+                lam = SPEED_OF_LIGHT / self._frequencies[gk[0]]
+                cols = _ChainColumns(lam / (4.0 * np.pi))
+                self._groups[gk] = cols
+            run: List[tuple] = []
+            for block in blocks:
+                if type(block) is tuple:
+                    run.append(block)
+                    continue
+                if run:
+                    cols.rows.extend(np.array(run))
+                    run = []
+                cols.rows.extend(block)
+            if run:
+                cols.rows.extend(np.array(run))
 
     def prune_before(self, horizon_s: float) -> None:
         """Drop samples older than ``horizon_s`` from every chain.
 
         Safe at any cut: window queries re-anchor at the first in-window
         sample, so retained deltas stay valid verbatim.  The chain tail
-        (``last_t``/``last_phase``) is unaffected — pruning only ever
-        removes from the front.
+        (``_tails``) is unaffected — pruning only ever removes from the
+        front.
         """
+        self._flush()
         for cols in self._groups.values():
-            t = cols.times.view()
+            t = cols.rows.view()[:, _COL_T]
             if not t.shape[0] or t[0] >= horizon_s:
                 continue
             drop = int(np.searchsorted(t, horizon_s, side="left"))
-            for arr in (cols.times, cols.phases, cols.wdeltas,
-                        cols.segstart):
-                arr.drop_front(drop)
+            cols.rows.drop_front(drop)
             cols.base += drop
 
     def window_displacement(
@@ -471,11 +512,13 @@ class PhaseChainCursor:
             antenna_port: keep only this port's groups (None = all).
             min_segment_len: drop shorter segments, as the batch path does.
         """
+        self._flush()
         kept: List[TimeSeries] = []
         for group, cols in self._groups.items():
             if antenna_port is not None and group[1] != antenna_port:
                 continue
-            t = cols.times.view()
+            data = cols.rows.view()
+            t = data[:, _COL_T]
             a = int(t.searchsorted(t_low, side="right"))
             b = int(t.searchsorted(t_high, side="right"))
             if b - a < min_segment_len:
@@ -483,12 +526,12 @@ class PhaseChainCursor:
             # The window cut re-anchors mid-chain: position 0 always
             # starts a segment, exactly as the batch builder's fresh
             # chain state does for the first windowed report.
-            bounds = np.flatnonzero(cols.segstart.view()[a:b]).tolist()
+            bounds = np.flatnonzero(data[a:b, _COL_SEG]).tolist()
             if not bounds or bounds[0] != 0:
                 bounds.insert(0, 0)
             bounds.append(b - a)
-            wd = cols.wdeltas.view()
-            phases = cols.phases.view()
+            wd = data[:, _COL_WD]
+            phases = data[:, _COL_PHASE]
             coef = cols.coef
             base = cols.base
             cache = cols.segcache
@@ -527,6 +570,57 @@ class PhaseChainCursor:
         if not kept:
             return TimeSeries.empty()
         return TimeSeries.merge(kept)
+
+
+def defer_chains(cursors: List[PhaseChainCursor], gkeys: List[GroupKey],
+                 starts: np.ndarray, st: np.ndarray, sp: np.ndarray,
+                 max_gap_s: float) -> None:
+    """Stage many phase-chain runs from one pre-grouped vectorized pass.
+
+    ``st``/``sp`` are times and phases arranged as contiguous runs — run
+    *i* targets chain ``gkeys[i]`` of ``cursors[i]`` and begins at
+    ``starts[i]`` — with each run in its chain's arrival order.  The
+    Eq. (3) shifted-difference, gap/retrograde segmenting, and
+    ``wrap_phase_delta`` run **once over the whole arrangement**: each
+    run's first row is differenced against its chain's cached tail
+    (seeded as a zero self-gap for a fresh chain, which marks a segment
+    start exactly like the scalar path's fresh-tail branch).  Per run,
+    only a pending-block append and a tail update remain — the cursor
+    folds the blocks into its per-chain columns on the next query — so
+    many tiny (channel, antenna) runs (channel hopping spreads a stream
+    across every chain) cost two dict operations each, not a numpy
+    append and possibly a column allocation.
+    """
+    n = st.shape[0]
+    seed_t = st[starts].tolist()
+    seed_p = sp[starts].tolist()
+    for gi, (cur, gk) in enumerate(zip(cursors, gkeys)):
+        tail = cur._tails.get(gk)
+        if tail is not None:
+            seed_t[gi] = tail[0]
+            seed_p[gi] = tail[1]
+    prev_t = np.empty(n)
+    prev_t[1:] = st[:-1]
+    prev_t[starts] = seed_t
+    prev_p = np.empty(n)
+    prev_p[1:] = sp[:-1]
+    prev_p[starts] = seed_p
+    gap = st - prev_t
+    seg = (gap <= 0.0) | (gap > max_gap_s)
+    wd = np.where(seg, 0.0, wrap_phase_delta(sp - prev_p))
+    packed = np.empty((n, 4))
+    packed[:, _COL_T] = st
+    packed[:, _COL_PHASE] = sp
+    packed[:, _COL_WD] = wd
+    packed[:, _COL_SEG] = seg
+    bounds = starts.tolist()
+    bounds.append(n)
+    ends = np.asarray(bounds[1:]) - 1
+    tail_t = st[ends].tolist()
+    tail_p = sp[ends].tolist()
+    for gi, (cur, gk) in enumerate(zip(cursors, gkeys)):
+        cur._pending.append((gk, packed[bounds[gi]: bounds[gi + 1]]))
+        cur._tails[gk] = (tail_t[gi], tail_p[gi])
 
 
 def hampel_filter(series: TimeSeries, window: int = 3,

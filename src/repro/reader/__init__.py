@@ -7,6 +7,7 @@ IV-A and V).
 """
 
 from .tagreport import TagReport
+from .batch import ReportBatch
 from .hopping import HopSchedule
 from .antenna import Antenna, RoundRobinScheduler
 from .reader import Reader, TagEnvironment
@@ -18,6 +19,7 @@ __all__ = [
     "ProtocolSniffer",
     "SnifferReport",
     "TagReport",
+    "ReportBatch",
     "HopSchedule",
     "Antenna",
     "RoundRobinScheduler",

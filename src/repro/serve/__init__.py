@@ -54,13 +54,18 @@ from .hashring import DEFAULT_VNODES, HashRing
 from .retry import DEFAULT_RETRY, RESPAWN_RETRY, RetryPolicy
 from .protocol import (
     CODECS,
+    COLUMN_FRAME_VERSION,
+    FRAME_KINDS,
     HAVE_MSGPACK,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameDecoder,
+    decode_column_frame,
+    encode_column_frame,
     encode_frame,
     estimate_to_wire,
     negotiate_codec,
+    negotiate_frames,
     report_to_wire,
     wire_to_report,
 )
@@ -74,8 +79,10 @@ __all__ = [
     "IngestClient", "ReplayStats", "replay_trace", "watch_estimates",
     "collect_estimates",
     "FrameDecoder", "encode_frame", "report_to_wire", "wire_to_report",
-    "estimate_to_wire", "negotiate_codec",
+    "estimate_to_wire", "negotiate_codec", "negotiate_frames",
+    "encode_column_frame", "decode_column_frame",
     "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "CODECS", "HAVE_MSGPACK",
+    "FRAME_KINDS", "COLUMN_FRAME_VERSION",
     "save_checkpoint", "load_checkpoint", "previous_path",
     "session_state_to_doc", "session_state_from_doc",
     "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION",

@@ -51,13 +51,25 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from ..errors import ProtocolError, ServeError, ServeTimeoutError
+from ..reader.batch import ReportBatch
 from ..reader.tagreport import TagReport
-from .protocol import FrameDecoder, encode_frame, report_to_wire
+from .protocol import (
+    FrameDecoder,
+    encode_column_frame,
+    encode_frame,
+    report_to_wire,
+)
 from .retry import DEFAULT_RETRY, RetryPolicy
 
 #: How many report frames to pack into one socket write.
 _WRITE_BATCH = 64
+
+#: How many reports to coalesce into one column frame when the server
+#: granted the binary frame format (48 bytes/report vs ~200 of JSON).
+_COLUMN_BATCH = 256
 
 #: Default deadline for opening a connection + handshake reads.
 DEFAULT_CONNECT_TIMEOUT_S = 10.0
@@ -81,6 +93,8 @@ class ReplayStats:
         resumed_skipped: reports skipped up front because the server's
             ``last_seq`` said a previous incarnation already delivered
             them (idempotent resume).
+        bytes_sent: report payload bytes written (framed; excludes
+            control messages) — the wire-efficiency numerator.
     """
 
     sent: int = 0
@@ -89,6 +103,7 @@ class ReplayStats:
     wall_s: float = 0.0
     retries: int = 0
     resumed_skipped: int = 0
+    bytes_sent: int = 0
     errors: List[str] = field(default_factory=list)
 
 
@@ -99,6 +114,11 @@ class IngestClient:
         host / port: server address.
         codec: wire codec to request ("json" always works; "msgpack"
             falls back to json when either side lacks the library).
+        frames: binary frame kinds to request in the handshake (e.g.
+            ``("column",)``); the server grants the intersection it
+            supports, read back on :attr:`column_frames`.  When the
+            column format is granted, :meth:`replay` coalesces reports
+            into binary column frames instead of per-report messages.
         client_id: stable identity string; enables idempotent resume
             (sequence numbering + ``last_seq``) and makes reconnects
             under the same id tick ``repro_serve_reconnects_total``.
@@ -112,6 +132,7 @@ class IngestClient:
     """
 
     def __init__(self, host: str, port: int, codec: str = "json",
+                 frames: Sequence[str] = (),
                  client_id: Optional[str] = None,
                  connect_timeout_s: Optional[float]
                  = DEFAULT_CONNECT_TIMEOUT_S,
@@ -122,6 +143,9 @@ class IngestClient:
         self.port = port
         self.requested_codec = codec
         self.codec = codec
+        self.requested_frames = tuple(frames)
+        #: Frame kinds the server granted (from welcome; empty pre-connect).
+        self.frames: tuple = ()
         self.client_id = client_id
         self.connect_timeout_s = connect_timeout_s
         self.read_timeout_s = read_timeout_s
@@ -163,6 +187,8 @@ class IngestClient:
         try:
             hello = {"type": "hello", "role": "ingest",
                      "codec": self.requested_codec}
+            if self.requested_frames:
+                hello["frames"] = list(self.requested_frames)
             if self.client_id is not None:
                 hello["client_id"] = self.client_id
             self._writer.write(encode_frame(hello, "json"))
@@ -179,6 +205,7 @@ class IngestClient:
             raise
         self.codec = welcome.get("codec", "json")
         self._decoder.codec = self.codec
+        self.frames = tuple(welcome.get("frames") or ())
         self.last_seq = int(welcome.get("last_seq", 0))
         return welcome
 
@@ -186,6 +213,11 @@ class IngestClient:
     def connected(self) -> bool:
         """True while a connection is open."""
         return self._writer is not None
+
+    @property
+    def column_frames(self) -> bool:
+        """True when the server granted the binary column frame format."""
+        return "column" in self.frames
 
     async def _read_message(self, timeout: Optional[float] = "unset"
                             ) -> Optional[Dict]:
@@ -258,6 +290,35 @@ class IngestClient:
         if self._writer is None or self._writer.is_closing():
             raise ConnectionResetError("link transport is closed")
         self._writer.write(encode_frame(message, self.codec))
+
+    def write_frame(self, data: bytes) -> None:
+        """Buffer one pre-encoded frame (column-frame fan-out path).
+
+        The bytes must already carry their length prefix — the output of
+        :func:`~repro.serve.protocol.encode_frame` or
+        :func:`~repro.serve.protocol.encode_column_frame`.
+
+        Raises:
+            ConnectionResetError: the transport is already closing.
+        """
+        if self._writer is None or self._writer.is_closing():
+            raise ConnectionResetError("link transport is closed")
+        self._writer.write(data)
+
+    def _flush_column(self, pending: List[TagReport],
+                      first_seq: Optional[int],
+                      stats: ReplayStats) -> None:
+        """Encode buffered reports as one column frame and clear them."""
+        batch = ReportBatch.from_reports(pending)
+        seqs = None
+        if first_seq is not None:
+            seqs = np.arange(first_seq, first_seq + len(pending),
+                             dtype=np.uint64)
+        data = encode_column_frame(batch, seqs)
+        self._writer.write(data)
+        stats.bytes_sent += len(data)
+        stats.sent += len(pending)
+        pending.clear()
 
     async def drain(self) -> None:
         """Flush buffered writes; blocks under transport backpressure."""
@@ -370,25 +431,38 @@ class IngestClient:
                              stats: ReplayStats) -> None:
         prev_t: Optional[float] = None
         batch = 0
+        pending: List[TagReport] = []
+        columns = self.column_frames
+        threshold = _COLUMN_BATCH if columns else _WRITE_BATCH
         for report in reports:
             if speed > 0 and prev_t is not None:
                 gap = (report.timestamp_s - prev_t) / speed
                 if gap > 0:
+                    if pending:
+                        self._flush_column(pending, None, stats)
                     await asyncio.sleep(gap)
             prev_t = report.timestamp_s
             if self._writer.is_closing():
                 raise ConnectionResetError("server closed the connection")
-            self._writer.write(
-                encode_frame(report_to_wire(report), self.codec))
-            stats.sent += 1
+            if columns:
+                pending.append(report)
+            else:
+                data = encode_frame(report_to_wire(report), self.codec)
+                self._writer.write(data)
+                stats.bytes_sent += len(data)
+                stats.sent += 1
             batch += 1
-            if batch >= _WRITE_BATCH:
+            if batch >= threshold:
+                if pending:
+                    self._flush_column(pending, None, stats)
                 await self._writer.drain()
                 batch = 0
                 if progress is not None:
                     progress(stats.sent)
                 for message in self._drain_inbox_nowait():
                     self._absorb(message, stats)
+        if pending:
+            self._flush_column(pending, None, stats)
         await self._writer.drain()
         flushed = await self.flush()
         if flushed is not None:
@@ -416,29 +490,47 @@ class IngestClient:
                     index = min(self.last_seq, len(reports))
                 prev_t: Optional[float] = None
                 batch = 0
+                pending: List[TagReport] = []
+                pending_seq = 0
+                columns = self.column_frames
+                threshold = _COLUMN_BATCH if columns else _WRITE_BATCH
                 while index < len(reports):
                     report = reports[index]
                     if speed > 0 and prev_t is not None:
                         gap = (report.timestamp_s - prev_t) / speed
                         if gap > 0:
+                            if pending:
+                                self._flush_column(
+                                    pending, pending_seq, stats)
                             await asyncio.sleep(gap)
                     prev_t = report.timestamp_s
                     if self._writer.is_closing():
                         raise ConnectionResetError(
                             "server closed the connection")
-                    self._writer.write(encode_frame(
-                        self._report_message(report, index + 1),
-                        self.codec))
+                    if columns:
+                        if not pending:
+                            pending_seq = index + 1
+                        pending.append(report)
+                    else:
+                        data = encode_frame(
+                            self._report_message(report, index + 1),
+                            self.codec)
+                        self._writer.write(data)
+                        stats.bytes_sent += len(data)
+                        stats.sent += 1
                     index += 1
-                    stats.sent += 1
                     batch += 1
-                    if batch >= _WRITE_BATCH:
+                    if batch >= threshold:
+                        if pending:
+                            self._flush_column(pending, pending_seq, stats)
                         await self._writer.drain()
                         batch = 0
                         if progress is not None:
                             progress(stats.sent)
                         for message in self._drain_inbox_nowait():
                             self._absorb(message, stats)
+                if pending:
+                    self._flush_column(pending, pending_seq, stats)
                 await self._writer.drain()
                 flushed = await self.flush()
                 if flushed is not None:
@@ -599,7 +691,8 @@ async def watch_estimates(host: str, port: int,
 def replay_trace(source: Union[str, Sequence[TagReport]],
                  host: str, port: int, speed: float = 1.0,
                  client_id: Optional[str] = None,
-                 codec: str = "json") -> ReplayStats:
+                 codec: str = "json",
+                 frames: Sequence[str] = ()) -> ReplayStats:
     """Replay a capture file (CSV/JSONL) or report list synchronously.
 
     The blocking face of :meth:`IngestClient.replay` for scripts and the
@@ -613,7 +706,8 @@ def replay_trace(source: Union[str, Sequence[TagReport]],
         reports = source
 
     async def _run() -> ReplayStats:
-        client = IngestClient(host, port, codec=codec, client_id=client_id)
+        client = IngestClient(host, port, codec=codec, frames=frames,
+                              client_id=client_id)
         await client.connect()
         try:
             return await client.replay(reports, speed=speed)

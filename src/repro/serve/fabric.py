@@ -47,6 +47,8 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
+import numpy as np
+
 from .. import obs
 from ..epc.codec import EPC96
 from ..errors import (
@@ -58,7 +60,15 @@ from ..errors import (
 )
 from .client import IngestClient, watch_estimates
 from .hashring import HashRing
-from .protocol import PROTOCOL_VERSION, FrameDecoder, encode_frame, negotiate_codec
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_column_frame,
+    encode_frame,
+    negotiate_codec,
+    negotiate_frames,
+    report_to_wire,
+)
 from .retry import RESPAWN_RETRY
 from .server import ACK_EVERY
 from .supervisor import FabricConfig, Supervisor
@@ -324,6 +334,7 @@ class BreathFabric:
                 return
             if role != "ingest":
                 raise ProtocolError(f"unknown role {hello.get('role')!r}")
+            frames = negotiate_frames(hello.get("frames"))
             route = _Route(client_id, codec)
             # Eager links when resuming matters: the welcome's last_seq
             # must answer the most-rewound worker's watermark, which
@@ -339,6 +350,7 @@ class BreathFabric:
             writer.write(encode_frame({
                 "type": "welcome", "version": PROTOCOL_VERSION,
                 "codec": codec, "role": "ingest",
+                "frames": list(frames),
                 "draining": self._draining,
                 "last_seq": last_seq,
             }, "json"))
@@ -417,6 +429,17 @@ class BreathFabric:
                                 "shed_total": route.shed_total,
                             }, codec))
                             await writer.drain()
+                    elif mtype == "report_batch":
+                        n = await self._forward_batch(route, message)
+                        if n and (route.received // ACK_EVERY
+                                  > (route.received - n) // ACK_EVERY):
+                            await self._drain_links(route)
+                            writer.write(encode_frame({
+                                "type": "ack",
+                                "received": route.received,
+                                "shed_total": route.shed_total,
+                            }, codec))
+                            await writer.drain()
                     elif mtype == "flush":
                         await self._drain_links(route)
                         for link in route.links.values():
@@ -470,6 +493,48 @@ class BreathFabric:
         obs.counter("repro_fabric_routed_reports_total",
                     worker=str(worker_id)).inc()
 
+    async def _forward_batch(self, route: _Route,
+                             message: Dict[str, Any]) -> int:
+        """Route one column frame, split per owning worker.
+
+        Sub-batches keep their per-row sequence numbers, so the workers'
+        duplicate filters see exactly what a per-report stream would
+        have carried; each sub-frame is re-encoded binary when the
+        worker link granted column frames (always, for our own fleet)
+        and falls back to per-report messages otherwise.
+        """
+        batch = message["batch"]
+        seqs = message.get("seqs")
+        n = len(batch)
+        if not n:
+            return 0
+        user = batch.user_id
+        by_worker: Dict[int, List[int]] = {}
+        for uid in np.unique(user).tolist():
+            by_worker.setdefault(self.ring.owner(int(uid)), []).append(uid)
+        for worker_id, uids in sorted(by_worker.items()):
+            if len(by_worker) == 1:
+                sub, seq_sub = batch, seqs
+            else:
+                mask = np.isin(user, np.asarray(uids, dtype=np.uint64))
+                sub = batch.select(mask)
+                seq_sub = seqs[mask] if seqs is not None else None
+            link = await self._link(route, worker_id)
+            if link.column_frames:
+                link.write_frame(encode_column_frame(sub, seq_sub))
+            else:
+                for i, report in enumerate(sub.to_reports()):
+                    wire = report_to_wire(report)
+                    if seq_sub is not None:
+                        wire["seq"] = int(seq_sub[i])
+                    link.write_message(wire)
+            route.unsent.add(worker_id)
+            obs.counter("repro_fabric_routed_reports_total",
+                        worker=str(worker_id)).inc(len(sub))
+        route.received += n
+        self.counters["routed_reports_total"] += n
+        return n
+
     async def _drain_links(self, route: _Route) -> None:
         """Push buffered writes to the workers (their backpressure
         propagates to the downstream sender through this await)."""
@@ -496,6 +561,7 @@ class BreathFabric:
                 port = self.supervisor.port_of(worker_id)
                 link = IngestClient(
                     self.config.host, port,
+                    frames=("column",),
                     client_id=route.client_id,
                     connect_timeout_s=self.config.heartbeat_timeout_s,
                     read_timeout_s=max(

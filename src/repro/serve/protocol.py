@@ -18,18 +18,29 @@ wire without translation:
      "phase_rad": …, "rssi_dbm": …, "doppler_hz": …,
      "channel_index": …, "antenna_port": …}
 
-Message types (client → server): ``hello``, ``report``, ``watch``,
-``unwatch``, ``flush``, ``bye``, plus the fabric control verbs ``ping``
-(liveness/heartbeat probe), ``migrate_out`` (drain named users' session
-state off this server) and ``migrate_in`` (restore session state
-migrated from another server).  Server → client: ``welcome``, ``ack``,
-``estimate``, ``flushed``, ``draining``, ``error``, ``pong``,
-``migrated``.  A ``report`` may carry an optional monotonically
-increasing ``seq`` (per ``client_id``): the server remembers the
-highest sequence accepted per client — snapshotted into its checkpoint
-— and silently drops replays at or below it, which is what lets a
-client resend after a reconnect without duplicating data
-(idempotent resume; the ``welcome`` answers ``last_seq``).
+Message types (client → server): ``hello``, ``report``,
+``report_batch``, ``watch``, ``unwatch``, ``flush``, ``bye``, plus the
+fabric control verbs ``ping`` (liveness/heartbeat probe),
+``migrate_out`` (drain named users' session state off this server) and
+``migrate_in`` (restore session state migrated from another server).
+Server → client: ``welcome``, ``ack``, ``estimate``, ``flushed``,
+``draining``, ``error``, ``pong``, ``migrated``.  A ``report`` may
+carry an optional monotonically increasing ``seq`` (per ``client_id``):
+the server remembers the highest sequence accepted per client —
+snapshotted into its checkpoint — and silently drops replays at or
+below it, which is what lets a client resend after a reconnect without
+duplicating data (idempotent resume; the ``welcome`` answers
+``last_seq``).
+
+``report_batch`` is the columnar hot path and never exists as a
+json/msgpack object on the wire: a client granted the ``column`` frame
+kind in the hello/welcome ``frames`` negotiation sends whole
+:class:`repro.reader.batch.ReportBatch` column blocks as binary frames
+(:func:`encode_column_frame`), ~4x smaller than the per-report JSON
+messages and decoded back to numpy columns without any per-row parsing;
+the optional per-row seq column carries the same idempotent-resume
+semantics as ``report.seq``.  See docs/SERVING.md for the exact byte
+grammar.
 Estimates on *watch* connections
 are additionally available as plain JSONL text (one JSON object per
 line) so ``nc`` / ``tail``-style tooling can consume them; see
@@ -42,8 +53,11 @@ import json
 import struct
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..epc.codec import EPC96
 from ..errors import ProtocolError, ReproError
+from ..reader.batch import ReportBatch
 from ..reader.tagreport import TagReport
 
 try:  # optional accelerated codec; the image may not carry it
@@ -56,9 +70,10 @@ except ImportError:  # pragma: no cover - depends on environment
 
 #: Protocol version spoken by this module.  v2 added the fabric control
 #: verbs (``ping``/``pong``, ``migrate_out``/``migrate_in``/``migrated``)
-#: and idempotent-resume sequence numbers — all additive, so a v1 client
-#: interoperates unchanged.
-PROTOCOL_VERSION = 2
+#: and idempotent-resume sequence numbers; v3 added the binary column
+#: frame (``report_batch`` on the wire) and its ``frames`` negotiation —
+#: all additive, so v1/v2 clients interoperate unchanged.
+PROTOCOL_VERSION = 3
 
 #: Hard ceiling on one frame's payload size.  A report frame is ~200
 #: bytes; anything near this limit is a corrupt length prefix, not data.
@@ -70,12 +85,44 @@ _HEADER = struct.Struct("!I")
 #: Codecs a connection may negotiate.  "json" is always available.
 CODECS = ("json",) + (("msgpack",) if HAVE_MSGPACK else ())
 
+#: Binary frame kinds a connection may negotiate (hello ``frames`` →
+#: welcome ``frames``).  Unlike codecs, frames are self-describing on
+#: the wire — the column frame's leading magic byte 0x00 can never open
+#: a JSON payload and is not a msgpack map, so the decoder dispatches
+#: per frame and negotiation only gates what a peer may *send*.
+FRAME_KINDS = ("column",)
+
+#: Column-frame layout: a fixed struct header followed by the packed
+#: little-endian columns, one contiguous block per column in this order.
+#: Header: magic (2s, first byte 0x00), frame version (B), flags (B,
+#: bit 0 = trailing per-row seq column), row count (I, big-endian like
+#: the length prefix), 8 reserved zero bytes.
+COLUMN_FRAME_MAGIC = b"\x00C"
+COLUMN_FRAME_VERSION = 1
+_COLUMN_HEADER = struct.Struct("!2sBBI8s")
+_FLAG_SEQ = 0x01
+
+#: (ReportBatch attribute, wire dtype) per packed column — 48 bytes per
+#: row, plus 8 for the optional seq column.
+COLUMN_WIRE_DTYPES = (
+    ("t", "<f8"),
+    ("phase", "<f8"),
+    ("rssi", "<f8"),
+    ("doppler", "<f8"),
+    ("channel", "<i2"),
+    ("antenna", "<i2"),
+    ("user_id", "<u8"),
+    ("tag_id", "<u4"),
+)
+_SEQ_WIRE_DTYPE = "<u8"
+_ROW_BYTES = sum(np.dtype(dt).itemsize for _, dt in COLUMN_WIRE_DTYPES)
+
 #: Message types accepted from clients / emitted by the server.
 #: ``flush`` is the ingest barrier: the server answers ``flushed`` only
 #: after every queued report has been ingested, giving replay clients a
 #: happens-before edge between "bytes sent" and "estimates reflect them".
-CLIENT_TYPES = ("hello", "report", "watch", "unwatch", "flush", "bye",
-                "ping", "migrate_out", "migrate_in")
+CLIENT_TYPES = ("hello", "report", "report_batch", "watch", "unwatch",
+                "flush", "bye", "ping", "migrate_out", "migrate_in")
 SERVER_TYPES = ("welcome", "ack", "estimate", "flushed", "draining",
                 "error", "pong", "migrated")
 
@@ -87,24 +134,49 @@ def negotiate_codec(requested: Optional[str]) -> str:
     return "json"
 
 
+def negotiate_frames(requested: Optional[List[str]]) -> Tuple[str, ...]:
+    """The binary frame kinds granted from a hello's ``frames`` list.
+
+    Unknown kinds are dropped, order and duplicates normalised away; an
+    absent or empty request grants nothing (per-message codec frames
+    only), which is exactly the pre-v3 behaviour.
+    """
+    if not requested:
+        return ()
+    return tuple(kind for kind in FRAME_KINDS if kind in requested)
+
+
+def _check_codec(codec: str) -> None:
+    """Reject a codec this process cannot speak, with a typed reason.
+
+    A *negotiated-but-unavailable* codec (msgpack agreed during a
+    handshake made against a different build, then the library is
+    missing here) is a configuration fault and must fail loudly — a
+    silent JSON fallback would desynchronise the two ends' framing.
+    """
+    if codec == "msgpack" and not HAVE_MSGPACK:
+        raise ProtocolError(
+            "codec 'msgpack' was negotiated but the msgpack library is "
+            "not available in this process")
+    if codec not in ("json", "msgpack"):
+        raise ProtocolError(f"unknown codec {codec!r} (available: {CODECS})")
+
+
 def _encode_payload(message: Dict[str, Any], codec: str) -> bytes:
+    _check_codec(codec)
     if codec == "json":
         return json.dumps(message, separators=(",", ":"),
                           sort_keys=True).encode("utf-8")
-    if codec == "msgpack" and HAVE_MSGPACK:
-        return msgpack.packb(message, use_bin_type=True)
-    raise ProtocolError(f"unknown codec {codec!r} (available: {CODECS})")
+    return msgpack.packb(message, use_bin_type=True)
 
 
 def _decode_payload(payload: bytes, codec: str) -> Dict[str, Any]:
+    _check_codec(codec)
     try:
         if codec == "json":
             message = json.loads(payload.decode("utf-8"))
-        elif codec == "msgpack" and HAVE_MSGPACK:
-            message = msgpack.unpackb(payload, raw=False)
         else:
-            raise ProtocolError(
-                f"unknown codec {codec!r} (available: {CODECS})")
+            message = msgpack.unpackb(payload, raw=False)
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"undecodable {codec} payload: {exc}") from exc
     if not isinstance(message, dict) or "type" not in message:
@@ -124,6 +196,94 @@ def encode_frame(message: Dict[str, Any], codec: str = "json") -> bytes:
         raise ProtocolError(
             f"frame payload {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
     return _HEADER.pack(len(payload)) + payload
+
+
+def encode_column_frame(batch: ReportBatch,
+                        seqs: Optional[np.ndarray] = None) -> bytes:
+    """A ``ReportBatch`` as one length-prefixed binary column frame.
+
+    The payload is the fixed column-frame header followed by each column
+    packed contiguously in :data:`COLUMN_WIRE_DTYPES` order (~48 bytes a
+    report against ~200 for the JSON ``report`` message), plus a
+    trailing per-row ``seq`` column when ``seqs`` is given — per-row
+    rather than a single base because a fabric router splits one frame
+    into per-worker sub-batches whose rows are not contiguous in the
+    original sequence space.
+
+    Raises:
+        ProtocolError: when a value overflows its wire dtype, ``seqs``
+            has the wrong length, or the frame would exceed
+            ``MAX_FRAME_BYTES``.
+    """
+    n = len(batch)
+    if np.any(batch.channel > 0x7FFF) or np.any(batch.antenna > 0x7FFF):
+        raise ProtocolError(
+            "channel/antenna overflow the column frame's int16 range")
+    flags = 0 if seqs is None else _FLAG_SEQ
+    parts = [_COLUMN_HEADER.pack(COLUMN_FRAME_MAGIC, COLUMN_FRAME_VERSION,
+                                 flags, n, b"\x00" * 8)]
+    for name, dt in COLUMN_WIRE_DTYPES:
+        parts.append(np.ascontiguousarray(
+            getattr(batch, name), dtype=dt).tobytes())
+    if seqs is not None:
+        seqs = np.ascontiguousarray(seqs, dtype=_SEQ_WIRE_DTYPE)
+        if seqs.shape != (n,):
+            raise ProtocolError(
+                f"seqs must be one per row ({n}), got shape {seqs.shape}")
+        parts.append(seqs.tobytes())
+    payload = b"".join(parts)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"column frame payload {len(payload)} bytes exceeds "
+            f"{MAX_FRAME_BYTES}; split the batch")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_column_frame(payload: bytes) -> Dict[str, Any]:
+    """Decode one column-frame payload into a ``report_batch`` message.
+
+    Returns ``{"type": "report_batch", "batch": ReportBatch,
+    "seqs": Optional[ndarray]}``.
+
+    Raises:
+        ProtocolError: on a bad magic/version/flags, a payload whose
+            length does not exactly match the advertised row count
+            (truncated or oversized), or column values ``ReportBatch``
+            rejects.
+    """
+    if len(payload) < _COLUMN_HEADER.size:
+        raise ProtocolError(
+            f"column frame payload {len(payload)} bytes is shorter than "
+            f"the {_COLUMN_HEADER.size}-byte header")
+    magic, version, flags, count, _ = _COLUMN_HEADER.unpack_from(payload)
+    if magic != COLUMN_FRAME_MAGIC:
+        raise ProtocolError(f"bad column frame magic {magic!r}")
+    if version != COLUMN_FRAME_VERSION:
+        raise ProtocolError(f"unsupported column frame version {version}")
+    if flags & ~_FLAG_SEQ:
+        raise ProtocolError(f"unknown column frame flags 0x{flags:02x}")
+    has_seq = bool(flags & _FLAG_SEQ)
+    expected = (_COLUMN_HEADER.size + count * _ROW_BYTES
+                + (count * 8 if has_seq else 0))
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"column frame length {len(payload)} != expected {expected} "
+            f"for {count} rows (truncated or trailing garbage)")
+    offset = _COLUMN_HEADER.size
+    columns: Dict[str, np.ndarray] = {}
+    for name, dt in COLUMN_WIRE_DTYPES:
+        columns[name] = np.frombuffer(payload, dtype=dt, count=count,
+                                      offset=offset)
+        offset += count * np.dtype(dt).itemsize
+    seqs = None
+    if has_seq:
+        seqs = np.frombuffer(payload, dtype=_SEQ_WIRE_DTYPE, count=count,
+                             offset=offset)
+    try:
+        batch = ReportBatch(**columns)
+    except ReproError as exc:
+        raise ProtocolError(f"bad column frame contents: {exc}") from exc
+    return {"type": "report_batch", "batch": batch, "seqs": seqs}
 
 
 class FrameDecoder:
@@ -164,7 +324,13 @@ class FrameDecoder:
                 return messages
             payload = bytes(self._buffer[_HEADER.size:end])
             del self._buffer[:end]
-            messages.append(_decode_payload(payload, self.codec))
+            # Column frames are self-describing: the magic's leading
+            # 0x00 can never open a JSON payload and is not a msgpack
+            # map, so dispatch ignores the negotiated codec.
+            if payload[:2] == COLUMN_FRAME_MAGIC:
+                messages.append(decode_column_frame(payload))
+            else:
+                messages.append(_decode_payload(payload, self.codec))
 
 
 # ----------------------------------------------------------------------

@@ -47,6 +47,7 @@ from .protocol import (
     FrameDecoder,
     encode_frame,
     negotiate_codec,
+    negotiate_frames,
     wire_to_report,
 )
 from .session import SessionConfig, SessionShard, UserSession
@@ -425,6 +426,7 @@ class BreathServer:
             if role not in ("ingest", "watch"):
                 raise ProtocolError(f"unknown role {hello.get('role')!r}")
             codec = negotiate_codec(hello.get("codec"))
+            frames = negotiate_frames(hello.get("frames"))
             client_id = hello.get("client_id")
             if not isinstance(client_id, str):
                 client_id = None
@@ -436,6 +438,7 @@ class BreathServer:
             writer.write(encode_frame({
                 "type": "welcome", "version": PROTOCOL_VERSION,
                 "codec": codec, "role": role,
+                "frames": list(frames),
                 "draining": self._draining,
                 # Idempotent resume: the highest report sequence this
                 # client_id got through before (0 = nothing / unknown),
@@ -548,6 +551,43 @@ class BreathServer:
                         await writer.drain()
                     if shard.over_high:
                         await shard.wait_below_low()
+                elif mtype == "report_batch":
+                    batch = message["batch"]
+                    n = len(batch)
+                    if n == 0:
+                        continue
+                    received += n
+                    seqs = message.get("seqs")
+                    if seqs is not None and client_id is not None:
+                        last = self._client_seq.get(client_id, 0)
+                        keep = seqs > last
+                        dropped = int(n - int(keep.sum()))
+                        if dropped:
+                            self.counters["seq_filtered_total"] += dropped
+                            obs.counter(
+                                "repro_serve_seq_filtered_total").inc(dropped)
+                        self._client_seq[client_id] = max(
+                            last, int(seqs.max()))
+                        if dropped == n:
+                            continue
+                        if dropped:
+                            batch = batch.select(keep)
+                    shard = None
+                    for _uid, sub in batch.split_by_user():
+                        shard = self.shard_for(_uid)
+                        shard.submit_batch(sub)
+                        touched.add(shard.index)
+                    self.counters["reports_total"] += len(batch)
+                    if received // ACK_EVERY > (received - n) // ACK_EVERY:
+                        writer.write(encode_frame({
+                            "type": "ack", "received": received,
+                            "shed_total": self.shed_total(),
+                            "backlog": shard.backlog if shard else 0,
+                        }, codec))
+                        await writer.drain()
+                    for index in sorted(touched):
+                        if self._shards[index].over_high:
+                            await self._shards[index].wait_below_low()
                 elif mtype == "ping":
                     writer.write(encode_frame(
                         self._pong(message), codec))

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .. import obs
 from ..core.pipeline import TagBreathe
 from ..errors import InsufficientDataError
+from ..reader.batch import ReportBatch
 from ..reader.tagreport import TagReport
 from .protocol import estimate_to_wire
 
@@ -124,6 +125,26 @@ class UserSession:
             self.next_due_t = t + self.config.warmup_s
         self.latest_t = t if self.latest_t is None else max(self.latest_t, t)
         return self.engine.feed(report)
+
+    def ingest_batch(self, batch: ReportBatch) -> int:
+        """Feed one column batch; returns how many reports were buffered.
+
+        The session bookkeeping lands where a loop of :meth:`ingest`
+        would leave it (``first_t`` from the first row in arrival order,
+        ``latest_t`` the running max) and the engine's ``feed_batch``
+        guarantees state bit-identical to per-report feeding.
+        """
+        n = len(batch)
+        if not n:
+            return 0
+        self.reports_in += n
+        if self.first_t is None:
+            self.first_t = float(batch.t[0])
+            self.next_due_t = self.first_t + self.config.warmup_s
+        t_max = float(batch.t.max())
+        self.latest_t = (t_max if self.latest_t is None
+                         else max(self.latest_t, t_max))
+        return self.engine.feed_batch(batch)
 
     def estimate_due(self) -> bool:
         """True when stream time has advanced past the next cadence tick."""
@@ -227,8 +248,11 @@ class SessionShard:
         self.frames_in = 0
         self._publish = publish
         self._engine_factory = engine_factory
-        self._queue: asyncio.Queue = asyncio.Queue(
-            maxsize=max(1, config.queue_capacity))
+        # The queue itself is unbounded; capacity, shedding, and the
+        # watermarks are accounted in REPORTS via ``_pending``, so one
+        # queued column batch weighs its row count, not one slot.
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pending = 0
         self._below_low = asyncio.Event()
         self._below_low.set()
         self._task: Optional[asyncio.Task] = None
@@ -239,10 +263,27 @@ class SessionShard:
     @property
     def backlog(self) -> int:
         """Reports queued but not yet ingested."""
-        return self._queue.qsize()
+        return self._pending
+
+    def _shed_to_capacity(self) -> None:
+        """Drop oldest queued entries until the backlog fits the bound.
+
+        Never drops the newest entry: a single batch larger than the
+        whole queue capacity is admitted intact (the engine handles any
+        size; the bound is an overload valve, not a frame limit).
+        """
+        capacity = max(1, self.config.queue_capacity)
+        while self._pending > capacity and self._queue.qsize() > 1:
+            oldest = self._queue.get_nowait()
+            self._queue.task_done()
+            dropped = len(oldest) if type(oldest) is ReportBatch else 1
+            self._pending -= dropped
+            self.shed_count += dropped
+            obs.counter("repro_serve_shed_total",
+                        shard=str(self.index)).inc(dropped)
 
     def submit(self, report: TagReport) -> None:
-        """Enqueue one report, shedding the oldest queued one on overflow.
+        """Enqueue one report, shedding the oldest queued ones on overflow.
 
         Never blocks and never raises: under sustained overload the
         freshest data wins and ``repro_serve_shed_total`` counts the
@@ -250,20 +291,26 @@ class SessionShard:
         ``TagBreathe.feed``.
         """
         self.frames_in += 1
-        while True:
-            try:
-                self._queue.put_nowait(report)
-                break
-            except asyncio.QueueFull:
-                try:
-                    self._queue.get_nowait()
-                    self._queue.task_done()
-                except asyncio.QueueEmpty:  # pragma: no cover - race-free loop
-                    continue
-                self.shed_count += 1
-                obs.counter("repro_serve_shed_total",
-                            shard=str(self.index)).inc()
-        if self._queue.qsize() >= self.config.high:
+        self._queue.put_nowait(report)
+        self._pending += 1
+        self._shed_to_capacity()
+        if self._pending >= self.config.high:
+            self._below_low.clear()
+
+    def submit_batch(self, batch: ReportBatch) -> None:
+        """Enqueue one single-user column batch (counted per report).
+
+        Same never-block/never-raise contract as :meth:`submit`; the
+        batch occupies ``len(batch)`` reports of queue capacity and is
+        ingested by the worker in one ``feed_batch`` call.
+        """
+        if not len(batch):
+            return
+        self.frames_in += 1
+        self._queue.put_nowait(batch)
+        self._pending += len(batch)
+        self._shed_to_capacity()
+        if self._pending >= self.config.high:
             self._below_low.clear()
 
     async def wait_below_low(self) -> None:
@@ -278,7 +325,7 @@ class SessionShard:
     @property
     def over_high(self) -> bool:
         """True when the backlog is at or above the high watermark."""
-        return self._queue.qsize() >= self.config.high
+        return self._pending >= self.config.high
 
     # ------------------------------------------------------------------
     # Worker side
@@ -330,16 +377,23 @@ class SessionShard:
 
     async def _run(self) -> None:
         while True:
-            report = await self._queue.get()
+            entry = await self._queue.get()
             try:
-                session = self.session_for(report.user_id)
-                session.ingest(report)
+                if type(entry) is ReportBatch:
+                    count = len(entry)
+                    session = self.session_for(int(entry.user_id[0]))
+                    session.ingest_batch(entry)
+                else:
+                    count = 1
+                    session = self.session_for(entry.user_id)
+                    session.ingest(entry)
                 message = session.maybe_estimate()
                 if message is not None:
                     self._publish(message)
             finally:
+                self._pending -= count
                 self._queue.task_done()
-            if self._queue.qsize() <= self.config.low:
+            if self._pending <= self.config.low:
                 self._below_low.set()
 
     def final_estimates(self) -> List[Dict[str, Any]]:

@@ -32,23 +32,42 @@ import numpy as np
 
 from ..errors import StreamError
 
-#: Initial capacity of a growable column.
+#: Initial capacity of a growable column (on first write).
 _MIN_CAPACITY = 64
+
+#: Shared zero-length arrays, one per (dtype, width): a freshly created
+#: column holds one of these until its first write allocates real
+#: capacity, making column creation nearly free (the batched ingest path
+#: can create hundreds of chain columns in one call on a cold engine).
+_EMPTY: dict = {}
 
 
 class GrowableArray:
-    """An append-mostly 1-D numpy array with amortised O(1) growth.
+    """An append-mostly numpy array with amortised O(1) growth.
 
     Supports the three mutations the window index needs: append at the
     back, insert at an arbitrary position (rare straggler path), and
     drop-by-mask compaction (horizon pruning).  ``view()`` exposes the
     live prefix without copying.
+
+    Args:
+        dtype: element dtype.
+        width: when given, rows are length-``width`` vectors — the array
+            is 2-D with shape ``(n, width)`` and every mutation operates
+            on whole rows.  The phase-chain columns use this to keep one
+            chain's parallel per-sample attributes in a single array
+            (one append per batch instead of one per attribute).
     """
 
     __slots__ = ("_arr", "_n")
 
-    def __init__(self, dtype=np.float64) -> None:
-        self._arr = np.empty(_MIN_CAPACITY, dtype=dtype)
+    def __init__(self, dtype=np.float64, width: Optional[int] = None) -> None:
+        key = (dtype, width)
+        arr = _EMPTY.get(key)
+        if arr is None:
+            shape = 0 if width is None else (0, width)
+            arr = _EMPTY[key] = np.empty(shape, dtype=dtype)
+        self._arr = arr
         self._n = 0
 
     def __len__(self) -> int:
@@ -61,10 +80,11 @@ class GrowableArray:
     def _grow_to(self, need: int) -> None:
         if need <= self._arr.shape[0]:
             return
-        cap = self._arr.shape[0]
+        cap = max(self._arr.shape[0], _MIN_CAPACITY)
         while cap < need:
             cap *= 2
-        new = np.empty(cap, dtype=self._arr.dtype)
+        shape = cap if self._arr.ndim == 1 else (cap, self._arr.shape[1])
+        new = np.empty(shape, dtype=self._arr.dtype)
         new[: self._n] = self._arr[: self._n]
         self._arr = new
 
@@ -73,6 +93,17 @@ class GrowableArray:
         self._grow_to(self._n + 1)
         self._arr[self._n] = value
         self._n += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append many values at the back in one copy."""
+        m = len(values)
+        if not m:
+            return
+        n = self._n
+        if n + m > self._arr.shape[0]:
+            self._grow_to(n + m)
+        self._arr[n: n + m] = values
+        self._n = n + m
 
     def insert(self, position: int, value) -> None:
         """Insert ``value`` at ``position``, shifting the tail right."""
@@ -150,6 +181,34 @@ class WindowIndex:
         self._times.insert(position, time)
         for name, arr in self._columns.items():
             arr.insert(position, values[name])
+
+    def extend(self, times: np.ndarray, **values) -> None:
+        """Bulk-append rows already in time order at or after the tail.
+
+        The batched ingest fast path: equivalent to calling :meth:`add`
+        row by row when every new time is >= the current newest time and
+        ``times`` itself is non-decreasing (ties keep the given order,
+        matching ``add``'s stable side="right" placement).
+
+        Raises:
+            StreamError: when the rows are not in order or would land
+                before the current tail — callers must fall back to
+                row-wise :meth:`add` in that case.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        m = times.shape[0]
+        if not m:
+            return
+        tail = self.last_time()
+        if tail is not None and times[0] < tail:
+            raise StreamError(
+                "bulk extend would land before the index tail; "
+                "use row-wise add for stragglers")
+        if m > 1 and np.any(times[1:] < times[:-1]):
+            raise StreamError("bulk extend requires non-decreasing times")
+        self._times.extend(times)
+        for name, arr in self._columns.items():
+            arr.extend(values[name])
 
     def window_bounds(self, t_low: float, t_high: float) -> Tuple[int, int]:
         """Index range ``[a, b)`` of rows with ``t_low < time <= t_high``.

@@ -14,16 +14,27 @@ guard = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(guard)
 
 
-def bench_doc(cases, fabric_cases=None):
+def bench_doc(cases, fabric_cases=None, wire=None):
     doc = {"suite": "pipeline", "streaming": {"cases": cases}}
     doc["fabric"] = {"cases": [fabric_case()]
                      if fabric_cases is None else fabric_cases}
+    doc["wire"] = wire_suite() if wire is None else wire
     return doc
 
 
-def case(users, duration_s, speedup, diff=0.0):
+def case(users, duration_s, speedup, diff=0.0, batch_speedup=6.0,
+         batch_state_equal=True, batch_diff=0.0):
     return {"users": users, "duration_s": duration_s,
-            "tick_speedup": speedup, "max_rate_diff_bpm": diff}
+            "tick_speedup": speedup, "max_rate_diff_bpm": diff,
+            "feed_batch_speedup": batch_speedup,
+            "batch_state_equal": batch_state_equal,
+            "batch_max_rate_diff_bpm": batch_diff}
+
+
+def wire_suite(bytes_ratio=3.5, acked_equal_sent=True):
+    return {"cases": [{"mode": "column"}, {"mode": "json"}],
+            "headline": {"bytes_ratio": bytes_ratio,
+                         "acked_equal_sent": acked_equal_sent}}
 
 
 def fabric_case(users=100, settled=None, migrated=7, restarts=0,
@@ -72,6 +83,31 @@ class TestCompare:
         problems = guard.compare(base, cand, 0.25)
         assert any("diverged" in p for p in problems)
 
+    def test_batch_speedup_below_floor_fails(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.0, batch_speedup=2.5)}
+        problems = guard.compare(base, cand, 0.25)
+        assert any("feed_batch_speedup" in p for p in problems)
+
+    def test_missing_batch_measurement_fails(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand_case = case(1, 25.0, 2.0)
+        del cand_case["feed_batch_speedup"]
+        problems = guard.compare(base, {(1, 25.0): cand_case}, 0.25)
+        assert any("no feed_batch_speedup" in p for p in problems)
+
+    def test_batch_state_mismatch_fails(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.0, batch_state_equal=False)}
+        problems = guard.compare(base, cand, 0.25)
+        assert any("state" in p for p in problems)
+
+    def test_batch_rate_divergence_fails(self):
+        base = {(1, 25.0): case(1, 25.0, 2.0)}
+        cand = {(1, 25.0): case(1, 25.0, 2.0, batch_diff=0.2)}
+        problems = guard.compare(base, cand, 0.25)
+        assert any("batch" in p and "diverge" in p for p in problems)
+
 
 class TestFabricSuite:
     """check_fabric_suite: candidate-only count invariants, no baseline."""
@@ -109,6 +145,32 @@ class TestFabricSuite:
             [fabric_case(workers_initial=4, workers_final=4)]))
         assert any("no rebalance happened" in p
                    for p in guard.check_fabric_suite(path))
+
+
+class TestWireSuite:
+    """check_wire_suite: format-property invariants, no baseline."""
+
+    def test_clean_suite_passes(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.check_wire_suite(path) == []
+
+    def test_missing_suite_is_a_failure(self, tmp_path):
+        doc = bench_doc([case(1, 25.0, 2.0)])
+        del doc["wire"]
+        path = write(tmp_path, "cand.json", doc)
+        assert any("no wire benchmark suite" in p
+                   for p in guard.check_wire_suite(path))
+
+    def test_low_bytes_ratio_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], wire=wire_suite(bytes_ratio=1.2)))
+        assert any("bytes ratio" in p for p in guard.check_wire_suite(path))
+
+    def test_ack_mismatch_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], wire=wire_suite(acked_equal_sent=False)))
+        assert any("acked != sent" in p
+                   for p in guard.check_wire_suite(path))
 
 
 class TestMain:

@@ -1,0 +1,290 @@
+"""The columnar hot path: batched SoA feed and the binary column frame.
+
+Two contracts are property-tested here (hypothesis):
+
+* ``TagBreathe.feed_batch`` is **bit-exact** with a loop of ``feed``
+  calls — same drop counters, same buffered columns, same per-stream
+  tails — under adversarial orderings (late, duplicate, invalid-channel
+  and interleaved-stream deliveries);
+* the binary column frame round-trips every batch losslessly, and its
+  decoder rejects truncated, padded, or corrupted payloads with a typed
+  :class:`~repro.errors.ProtocolError` instead of misparsing them.
+
+Example-based tests cover the negotiation edges (msgpack absent, frame
+grant filtering) and the serve-level equivalence: a replay using column
+frames leaves the same session estimates as a per-report replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Scenario, TagBreathe, run_scenario
+from repro.body import MetronomeBreathing, Subject
+from repro.epc.codec import EPC96
+from repro.errors import DegradedEstimateWarning, ProtocolError
+from repro.reader.batch import ReportBatch
+from repro.reader.tagreport import TagReport
+from repro.serve import protocol
+from repro.serve import BreathServer, IngestClient
+from repro.serve.protocol import (
+    COLUMN_FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_column_frame,
+    encode_column_frame,
+    encode_frame,
+    negotiate_codec,
+    negotiate_frames,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+#: Report rows drawn to collide: few users/tags, coarse timestamps (so
+#: duplicates and out-of-order deliveries are common), and channels that
+#: sometimes fall outside the default hop table.
+_row = st.tuples(
+    st.integers(min_value=0, max_value=400),      # t in 0.25 s ticks
+    st.floats(min_value=0.0, max_value=6.28),     # phase
+    st.floats(min_value=-80.0, max_value=-30.0),  # rssi
+    st.integers(min_value=0, max_value=64),       # channel (some invalid)
+    st.integers(min_value=1, max_value=3),        # antenna
+    st.integers(min_value=1, max_value=3),        # user
+    st.integers(min_value=1, max_value=2),        # tag
+)
+
+
+def _reports(rows):
+    return [
+        TagReport(epc=EPC96.from_user_tag(u, g), timestamp_s=ti * 0.25,
+                  phase_rad=ph, rssi_dbm=rs, doppler_hz=0.0,
+                  channel_index=ch, antenna_port=an)
+        for ti, ph, rs, ch, an, u, g in rows
+    ]
+
+
+def _buffer_state(engine):
+    """Every buffered column + tail, keyed by stream (for == compares)."""
+    return {
+        key: (buf.t, buf.phase, buf.rssi, buf.doppler, buf.channel,
+              buf.antenna, buf.last_t, buf.since_prune)
+        for key, buf in engine._report_buffers.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# feed_batch == sequential feed (bit-exact)
+# ----------------------------------------------------------------------
+class TestFeedBatchEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_row, min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=7))
+    def test_bit_exact_with_sequential_feed(self, rows, n_chunks):
+        reports = _reports(rows)
+        scalar = TagBreathe()
+        batched = TagBreathe()
+        accepted_scalar = sum(scalar.feed(r) for r in reports)
+        accepted_batched = 0
+        for chunk in np.array_split(np.arange(len(reports)), n_chunks):
+            if chunk.size:
+                batch = ReportBatch.from_reports(
+                    [reports[i] for i in chunk])
+                accepted_batched += batched.feed_batch(batch)
+        assert accepted_batched == accepted_scalar
+        assert batched.feed_drop_counts == scalar.feed_drop_counts
+        assert _buffer_state(batched) == _buffer_state(scalar)
+
+    def test_estimates_bit_exact_on_simulated_capture(self):
+        scenario = Scenario([
+            Subject(user_id=uid, distance_m=3.0,
+                    lateral_offset_m=(uid - 1.5) * 0.8,
+                    breathing=MetronomeBreathing(10.0 + 2.0 * uid),
+                    sway_seed=uid)
+            for uid in (1, 2)
+        ])
+        reports = run_scenario(scenario, duration_s=30.0, seed=11).reports
+        scalar = TagBreathe()
+        batched = TagBreathe()
+        for r in reports:
+            scalar.feed(r)
+        batch = ReportBatch.from_reports(reports)
+        # Odd chunking exercises the cross-chunk cursor/tail state.
+        for lo in range(0, len(batch), 997):
+            batched.feed_batch(batch.select(
+                np.arange(lo, min(lo + 997, len(batch)))))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            for uid in (1, 2):
+                a = scalar.estimate_user(uid)
+                b = batched.estimate_user(uid)
+                assert a.rate_bpm == b.rate_bpm
+                assert a.confidence == b.confidence
+
+
+# ----------------------------------------------------------------------
+# Column frame round-trip and rejection
+# ----------------------------------------------------------------------
+_wire_row = st.tuples(
+    st.floats(min_value=0.0, max_value=1e6),      # t
+    st.floats(min_value=0.0, max_value=6.28),     # phase
+    st.floats(min_value=-120.0, max_value=0.0),   # rssi
+    st.floats(min_value=-1e3, max_value=1e3),     # doppler
+    st.integers(min_value=0, max_value=0x7FFF),   # channel
+    st.integers(min_value=1, max_value=0x7FFF),   # antenna
+    st.integers(min_value=0, max_value=2**63),    # user_id
+    st.integers(min_value=0, max_value=2**32 - 1),  # tag_id
+)
+
+
+def _wire_batch(rows):
+    cols = list(zip(*rows))
+    return ReportBatch(*cols)
+
+
+class TestColumnFrameProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_wire_row, min_size=0, max_size=64),
+           st.booleans())
+    def test_round_trip_bit_exact(self, rows, with_seqs):
+        if not rows:
+            batch = ReportBatch([], [], [], [], [], [], [], [])
+        else:
+            batch = _wire_batch(rows)
+        seqs = None
+        if with_seqs:
+            seqs = np.arange(7, 7 + len(batch), dtype=np.uint64)
+        data = encode_column_frame(batch, seqs)
+        messages = FrameDecoder("json").feed(data)
+        assert len(messages) == 1
+        message = messages[0]
+        assert message["type"] == "report_batch"
+        out = message["batch"]
+        for name in ("t", "phase", "rssi", "doppler", "channel",
+                     "antenna", "user_id", "tag_id"):
+            np.testing.assert_array_equal(getattr(out, name),
+                                          getattr(batch, name))
+            assert getattr(out, name).dtype == getattr(batch, name).dtype
+        if with_seqs:
+            np.testing.assert_array_equal(message["seqs"], seqs)
+        else:
+            assert message["seqs"] is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_wire_row, min_size=1, max_size=16),
+           st.data())
+    def test_truncated_and_padded_payloads_rejected(self, rows, data):
+        payload = encode_column_frame(_wire_batch(rows))[4:]
+        cut = data.draw(st.integers(min_value=1, max_value=len(payload) - 2))
+        with pytest.raises(ProtocolError):
+            decode_column_frame(payload[:cut])
+        with pytest.raises(ProtocolError):
+            decode_column_frame(payload + b"\x00")
+
+    def test_bad_magic_and_version_rejected(self):
+        payload = encode_column_frame(_wire_batch(
+            [(0.0, 0.0, -50.0, 0.0, 1, 1, 1, 1)]))[4:]
+        assert payload[:2] == COLUMN_FRAME_MAGIC
+        with pytest.raises(ProtocolError):
+            decode_column_frame(b"\x00D" + payload[2:])
+        bumped = payload[:2] + bytes([payload[2] + 1]) + payload[3:]
+        with pytest.raises(ProtocolError):
+            decode_column_frame(bumped)
+
+    def test_oversized_encode_rejected(self):
+        n = MAX_FRAME_BYTES // 48 + 64
+        batch = ReportBatch(np.arange(n, dtype=np.float64),
+                            np.zeros(n), np.zeros(n), np.zeros(n),
+                            np.zeros(n, dtype=np.int64),
+                            np.ones(n, dtype=np.int64),
+                            np.zeros(n, dtype=np.uint64),
+                            np.zeros(n, dtype=np.uint64))
+        with pytest.raises(ProtocolError):
+            encode_column_frame(batch)
+
+    def test_wide_channel_rejected(self):
+        batch = ReportBatch([0.0], [0.0], [-50.0], [0.0],
+                            [0x8000], [1], [1], [1])
+        with pytest.raises(ProtocolError):
+            encode_column_frame(batch)
+
+
+# ----------------------------------------------------------------------
+# Negotiation edges
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_frames_grant_filters_unknown_kinds(self):
+        assert negotiate_frames(None) == ()
+        assert negotiate_frames([]) == ()
+        assert negotiate_frames(["column"]) == ("column",)
+        assert negotiate_frames(["parquet", "column", "column"]) \
+            == ("column",)
+        assert negotiate_frames(["parquet"]) == ()
+
+    def test_msgpack_absent_falls_back_and_fails_typed(self, monkeypatch):
+        monkeypatch.setattr(protocol, "HAVE_MSGPACK", False)
+        monkeypatch.setattr(protocol, "CODECS", ("json",))
+        assert negotiate_codec("msgpack") == "json"
+        with pytest.raises(ProtocolError, match="msgpack library"):
+            encode_frame({"type": "ping"}, "msgpack")
+
+    def test_unknown_codec_fails_typed(self):
+        with pytest.raises(ProtocolError, match="unknown codec"):
+            encode_frame({"type": "ping"}, "cbor")
+
+
+# ----------------------------------------------------------------------
+# Serve-level equivalence: column replay == per-report replay
+# ----------------------------------------------------------------------
+class TestServeColumnPath:
+    def test_column_replay_matches_per_report_replay(self):
+        scenario = Scenario([
+            Subject(user_id=uid, distance_m=3.0,
+                    lateral_offset_m=(uid - 1.5) * 0.8,
+                    breathing=MetronomeBreathing(10.0 + 2.0 * uid),
+                    sway_seed=uid)
+            for uid in (1, 2)
+        ])
+        reports = run_scenario(scenario, duration_s=25.0, seed=5).reports
+
+        async def ingest(frames):
+            server = BreathServer(n_shards=2)
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port, frames=frames,
+                                  client_id="eq-test")
+            welcome = await client.connect()
+            stats = await client.replay(reports, speed=0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedEstimateWarning)
+                estimates = {
+                    s.user_id: s.engine.estimate_user(s.user_id).rate_bpm
+                    for s in server.sessions()
+                }
+            await client.close()
+            await server.drain()
+            return welcome, stats, estimates
+
+        async def both():
+            col = await ingest(["column"])
+            plain = await ingest(())
+            return col, plain
+
+        (w_col, s_col, e_col), (w_plain, s_plain, e_plain) = run(both())
+        assert w_col.get("frames") == ["column"]
+        assert w_plain.get("frames") == []
+        assert s_col.sent == s_plain.sent == len(reports)
+        assert s_col.acked == s_plain.acked == len(reports)
+        # The whole point: same estimates, a fraction of the bytes.
+        assert e_col == e_plain
+        assert s_col.bytes_sent < s_plain.bytes_sent / 2

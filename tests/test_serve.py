@@ -183,7 +183,7 @@ class TestBackpressure:
             for report in reports:
                 shard.submit(report)
             kept = []
-            while shard.backlog:
+            while shard._queue.qsize():
                 kept.append(shard._queue.get_nowait())
             return kept
 

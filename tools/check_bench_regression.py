@@ -19,7 +19,11 @@ within a smoke job's time budget.
 The candidate's ``fabric`` soak suite is additionally checked on its
 own: its invariants (sessions settled == users requested, rebalance
 moved sessions, zero worker restarts) are counts, not timings, so they
-need no baseline and hold on any machine.
+need no baseline and hold on any machine.  So are the columnar hot
+path's guarantees: ``feed_batch_speedup`` (a same-run scalar-vs-batched
+ratio) must clear an absolute floor with bit-equal buffered state and
+estimates, and the ``wire`` suite's JSON/column bytes ratio — a
+property of the formats, not the machine — must hold too.
 
 Exit status: 0 when every shared case holds, 1 on regression or when
 the files don't both contain a streaming suite.
@@ -40,6 +44,20 @@ from typing import Dict, List, Tuple
 
 #: Fractional speedup loss tolerated before the guard fails.
 DEFAULT_THRESHOLD = 0.25
+
+#: Hard floor on the batched-feed speedup (``feed_batch_speedup``).
+#: The ratio is same-run, same-machine (scalar feed vs column-chunk
+#: ``feed_batch`` over the identical stream), so machine speed cancels
+#: out; the SoA path's committed runs sit well above 5x, and a drop
+#: below this floor means the vectorized ingest degenerated to
+#: per-report work.
+FEED_BATCH_SPEEDUP_FLOOR = 4.0
+
+#: Floor on the wire suite's bytes ratio (JSON bytes-per-report over
+#: column-frame bytes-per-report).  Frame sizes are properties of the
+#: formats, not the machine: 48 data bytes per report in a column frame
+#: vs ~200 of JSON.
+WIRE_BYTES_RATIO_FLOOR = 2.0
 
 
 def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
@@ -117,6 +135,52 @@ def compare(baseline: Dict[Tuple[int, float], dict],
             problems.append(
                 f"case {users}u/{duration_s:g}s: streamed and recomputed "
                 f"estimates diverged by {diff} bpm (must be exactly 0)")
+        batch_speedup = candidate[key].get("feed_batch_speedup")
+        if batch_speedup is None:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: no feed_batch_speedup — "
+                f"the batched-feed measurement did not run")
+        elif batch_speedup < FEED_BATCH_SPEEDUP_FLOOR:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: feed_batch_speedup "
+                f"{batch_speedup:.2f}x < floor "
+                f"{FEED_BATCH_SPEEDUP_FLOOR:.1f}x — the SoA feed path "
+                f"lost its vectorization win")
+        if candidate[key].get("batch_state_equal") is not True:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: batched feed left "
+                f"different buffered state than sequential feed "
+                f"(batch_state_equal is not true)")
+        batch_diff = candidate[key].get("batch_max_rate_diff_bpm", 0.0)
+        if batch_diff != 0.0:
+            problems.append(
+                f"case {users}u/{duration_s:g}s: batched and sequential "
+                f"feeds diverged by {batch_diff} bpm (must be exactly 0)")
+    return problems
+
+
+def check_wire_suite(path: Path) -> List[str]:
+    """Machine-independent invariants of the wire-format suite.
+
+    Bytes-per-report is a property of the wire formats; ack completeness
+    is a correctness count.  Neither needs a baseline.
+    """
+    doc = json.loads(path.read_text())
+    wire = doc.get("wire")
+    if not isinstance(wire, dict) or not wire.get("headline"):
+        return [f"{path} has no wire benchmark suite"]
+    problems = []
+    headline = wire["headline"]
+    ratio = headline.get("bytes_ratio", 0.0)
+    if not ratio >= WIRE_BYTES_RATIO_FLOOR:
+        problems.append(
+            f"wire: JSON/column bytes ratio {ratio:.2f}x < floor "
+            f"{WIRE_BYTES_RATIO_FLOOR:.1f}x — column frames stopped "
+            f"saving wire bytes")
+    if headline.get("acked_equal_sent") is not True:
+        problems.append(
+            "wire: acked != sent on a backpressured lossless replay — "
+            "the serve path dropped or double-counted reports")
     return problems
 
 
@@ -144,16 +208,18 @@ def main(argv: List[str]) -> int:
     problems = compare(baseline, candidate, args.threshold)
     try:
         problems.extend(check_fabric_suite(args.candidate))
+        problems.extend(check_wire_suite(args.candidate))
     except (OSError, json.JSONDecodeError) as exc:
-        problems.append(f"cannot check fabric suite: {exc}")
+        problems.append(f"cannot check fabric/wire suite: {exc}")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         return 1
     shared = sorted(set(baseline) & set(candidate))
     print(f"bench regression check: {len(shared)} shared case(s) "
-          f"within {args.threshold:.0%} of baseline tick_speedup; "
-          f"fabric soak invariants hold")
+          f"within {args.threshold:.0%} of baseline tick_speedup, "
+          f"feed_batch_speedup >= {FEED_BATCH_SPEEDUP_FLOOR:.1f}x with "
+          f"bit-equal state; wire and fabric invariants hold")
     return 0
 
 

@@ -602,6 +602,258 @@ def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
     }
 
 
+#: Idle-economics population: registered users parked in the cold tier.
+IDLE_FULL_REGISTERED = 1_000_000
+IDLE_QUICK_REGISTERED = 20_000
+
+#: Fraction of the registered fleet actively breathing at any instant
+#: (the ward-realism assumption the ROADMAP names).
+IDLE_ACTIVE_FRACTION = 0.01
+
+#: Reports in an idle user's parked history — a brief monitoring burst
+#: before going quiet, the characteristic idle profile of a fleet where
+#: most registered users are not currently wearing tags.
+IDLE_TEMPLATE_REPORTS = 64
+
+#: Engine-backed sessions actually materialised and fed to steady state
+#: to measure bytes-per-active-user (the fleet's active population is
+#: this sample's cost times the active head-count).
+IDLE_ACTIVE_SAMPLE_FULL = 8
+IDLE_ACTIVE_SAMPLE_QUICK = 4
+
+#: Hibernated users woken one by one to measure wake latency.
+IDLE_WAKE_SAMPLE_FULL = 1_000
+IDLE_WAKE_SAMPLE_QUICK = 200
+
+#: Stream time the compressed soak compresses into back-to-back reps.
+IDLE_SOAK_HOURS_FULL = 8.0
+IDLE_SOAK_HOURS_QUICK = 1.0
+
+#: Stream seconds of capture replayed per soak rep (time-shifted).
+IDLE_SOAK_REP_S = 60.0
+
+#: Stream seconds fed to each active-sample session — past the engine's
+#: ~4-window (100 s) pruning horizon, so the measurement sees the
+#: steady-state plateau, not a still-growing buffer.
+IDLE_STEADY_S = 150.0
+
+
+def _percentile_ms(samples_s: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples_s), q) * 1e3)
+
+
+def run_idle_economics_benchmark(quick: bool = False, seed: int = 0) -> Dict:
+    """Idle-user economics at registered-fleet scale (1M / 1 % active).
+
+    Real fleets are idle-heavy: of ``registered_users`` only
+    ``IDLE_ACTIVE_FRACTION`` are breathing into the system at any
+    instant.  This suite measures what the hibernation cold tier buys:
+
+    * **bytes_per_idle_user** — every registered user is parked in a
+      :class:`~repro.serve.hibernate.HibernationStore` as a real,
+      wakeable compressed document (a per-user rewrite of a template
+      session's canonical JSON — verified by waking a sample), and the
+      store's resident bytes are divided by the population;
+    * **bytes_per_active_user** — a sample of engine-backed sessions is
+      fed ``IDLE_STEADY_S`` stream seconds (past the pruning horizon)
+      and measured with ``tracemalloc``, capturing the *true* python +
+      numpy resident cost, with the engine's own ``streaming_nbytes``
+      accounting recorded alongside;
+    * **wake latency percentiles** — hibernated users are woken one by
+      one through ``SessionShard.session_for`` (inflate + bit-exact
+      replay), p50/p95/p99 over the sample, plus the worst-case wake of
+      a full steady-state session;
+    * **flat-ceiling soak** — one engine is fed an
+      ``IDLE_SOAK_HOURS``-equivalent stream as back-to-back time-shifted
+      60 s reps with a cadence estimate per rep; the resident-bytes
+      ceiling of the last half over the steady quarter must stay ~1
+      (``ceiling_ratio``), proving prune-driven compaction actually
+      releases memory.
+
+    The machine-independent floors (idle/active ratio >= 10x, wake p99,
+    ceiling ratio) are guarded by ``tools/check_bench_regression.py``.
+    """
+    import tracemalloc
+
+    from .serve.checkpoint import session_state_from_doc, \
+        session_state_to_doc
+    from .serve.hibernate import HibernationStore, blob_to_doc, \
+        compress_doc_text, doc_to_blob
+    from .serve.session import SessionConfig, SessionShard, UserSession
+    from .epc.codec import EPC96
+
+    registered = IDLE_QUICK_REGISTERED if quick else IDLE_FULL_REGISTERED
+    active_users = int(registered * IDLE_ACTIVE_FRACTION)
+    active_sample = (IDLE_ACTIVE_SAMPLE_QUICK if quick
+                     else IDLE_ACTIVE_SAMPLE_FULL)
+    wake_sample = IDLE_WAKE_SAMPLE_QUICK if quick else IDLE_WAKE_SAMPLE_FULL
+    soak_hours = IDLE_SOAK_HOURS_QUICK if quick else IDLE_SOAK_HOURS_FULL
+    config = SessionConfig()
+
+    capture = run_scenario(benchmark_scenario(1, seed=seed),
+                           duration_s=IDLE_STEADY_S, seed=seed)
+    reports = [r for r in capture.reports if r.user_id == 1]
+
+    # ---- bytes per ACTIVE user: tracemalloc over a fed sample --------
+    batch = ReportBatch.from_reports(reports)
+    tracemalloc.start()
+    before, _peak = tracemalloc.get_traced_memory()
+    active_sessions = []
+    for _ in range(active_sample):
+        session = UserSession(1, config)
+        for start in range(0, len(batch), STREAM_BATCH_CHUNK):
+            session.ingest_batch(batch.select(
+                np.arange(start, min(start + STREAM_BATCH_CHUNK,
+                                     len(batch)))))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedEstimateWarning)
+            session.estimate_now()
+        active_sessions.append(session)
+    after, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    bytes_per_active = (after - before) / active_sample
+    steady_engine_nbytes = active_sessions[0].engine.streaming_nbytes(1)
+    steady_doc = session_state_to_doc(active_sessions[0].state())
+    steady_doc["hibernated"] = True
+    steady_blob = doc_to_blob(steady_doc)
+    del active_sessions
+
+    # ---- bytes per IDLE user: park the whole registered fleet -------
+    # A template session (the idle profile: a brief burst, then quiet)
+    # is serialised once; each user's blob is a canonical-JSON rewrite
+    # of the template (their user_id, their EPCs) — byte-identical to
+    # hibernating that user for real, and wakeable, at a fraction of
+    # the cost of building a million engines.
+    template = UserSession(1, config)
+    for report in reports[:IDLE_TEMPLATE_REPORTS]:
+        template.ingest(report)
+    template_doc = session_state_to_doc(template.state())
+    template_doc["hibernated"] = True
+    template_text = json.dumps(template_doc, separators=(",", ":"),
+                               sort_keys=True)
+    tag_ids = sorted({r.tag_id for r in reports[:IDLE_TEMPLATE_REPORTS]})
+    old_hexes = [f'"{EPC96.from_user_tag(1, tag).to_hex()}"'
+                 for tag in tag_ids]
+    store = HibernationStore()
+    t0 = time.perf_counter()
+    for uid in range(1, registered + 1):
+        text = template_text.replace('"user_id":1', f'"user_id":{uid}')
+        for tag, old in zip(tag_ids, old_hexes):
+            text = text.replace(
+                old, f'"{EPC96.from_user_tag(uid, tag).to_hex()}"')
+        store.put_blob(uid, compress_doc_text(text))
+    registration_s = time.perf_counter() - t0
+    bytes_per_idle = store.resident_bytes() / registered
+
+    # ---- wake latency: inflate + bit-exact replay per user ----------
+    shard = SessionShard(0, config, publish=lambda message: None)
+    wake_ids = list(range(1, wake_sample + 1))
+    for uid in wake_ids:
+        shard.hibernated.put_blob(uid, store.blob(uid))
+    wake_times: List[float] = []
+    verified = 0
+    for uid in wake_ids:
+        t0 = time.perf_counter()
+        session = shard.session_for(uid)
+        wake_times.append(time.perf_counter() - t0)
+        if (session.user_id == uid
+                and session.reports_in == IDLE_TEMPLATE_REPORTS
+                and len(session.engine.buffered_reports(uid))
+                == IDLE_TEMPLATE_REPORTS):
+            verified += 1
+    # Worst case: waking a full steady-state window.
+    t0 = time.perf_counter()
+    steady_state = session_state_from_doc(blob_to_doc(steady_blob))
+    steady_session = UserSession(1, config)
+    steady_session.restore(steady_state, steady_state["reports"])
+    wake_steady_s = time.perf_counter() - t0
+    del steady_session
+
+    # ---- compressed soak: flat memory ceiling over stream-hours -----
+    reps = max(4, int(round(soak_hours * 3600.0 / IDLE_SOAK_REP_S)))
+    rep_mask = np.asarray(batch.t) <= (float(batch.t[0]) + IDLE_SOAK_REP_S)
+    rep_batch = batch.select(np.flatnonzero(rep_mask))
+    span = float(rep_batch.t[-1] - rep_batch.t[0]) + 0.05
+    engine = TagBreathe(user_ids={1})
+    nbytes_samples: List[int] = []
+    soak_reports = 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstimateWarning)
+        for rep in range(reps):
+            shifted = ReportBatch(
+                rep_batch.t + rep * span, rep_batch.phase, rep_batch.rssi,
+                rep_batch.doppler, rep_batch.channel, rep_batch.antenna,
+                rep_batch.user_id, rep_batch.tag_id)
+            soak_reports += engine.feed_batch(shifted)
+            try:
+                engine.estimate_user(1)
+            except InsufficientDataError:
+                pass
+            nbytes_samples.append(engine.streaming_nbytes(1))
+    quarter, half = len(nbytes_samples) // 4, len(nbytes_samples) // 2
+    steady_max = max(nbytes_samples[quarter:half])
+    late_max = max(nbytes_samples[half:])
+    ceiling_ratio = late_max / steady_max if steady_max else float("inf")
+
+    idle_active_ratio = (bytes_per_active / bytes_per_idle
+                         if bytes_per_idle else float("inf"))
+    fleet_bytes = (active_users * bytes_per_active
+                   + (registered - active_users) * bytes_per_idle)
+    result = {
+        "quick": quick,
+        "seed": seed,
+        "registered_users": registered,
+        "active_users": active_users,
+        "active_sample": active_sample,
+        "template_reports": IDLE_TEMPLATE_REPORTS,
+        "registration_s": registration_s,
+        "registered_per_s": (registered / registration_s
+                             if registration_s > 0 else float("inf")),
+        "store_bytes": store.resident_bytes(),
+        "bytes_per_idle_user": bytes_per_idle,
+        "bytes_per_active_user": bytes_per_active,
+        "idle_active_ratio": idle_active_ratio,
+        "fleet_resident_gb_projection": fleet_bytes / 1e9,
+        "steady_state": {
+            "stream_s": IDLE_STEADY_S,
+            "engine_nbytes": steady_engine_nbytes,
+            "blob_bytes": len(steady_blob),
+            "compression_ratio": (steady_engine_nbytes / len(steady_blob)
+                                  if steady_blob else float("inf")),
+            "wake_s": wake_steady_s,
+        },
+        "wake": {
+            "sample": wake_sample,
+            "verified": verified,
+            "p50_ms": _percentile_ms(wake_times, 50),
+            "p95_ms": _percentile_ms(wake_times, 95),
+            "p99_ms": _percentile_ms(wake_times, 99),
+            "max_ms": float(max(wake_times) * 1e3),
+        },
+        "soak": {
+            "hours": soak_hours,
+            "reps": reps,
+            "rep_stream_s": IDLE_SOAK_REP_S,
+            "reports": soak_reports,
+            "steady_nbytes_max": steady_max,
+            "late_nbytes_max": late_max,
+            "ceiling_ratio": ceiling_ratio,
+            "nbytes_samples": nbytes_samples[:: max(1, reps // 48)],
+        },
+    }
+    result["headline"] = {
+        "registered_users": registered,
+        "active_users": active_users,
+        "bytes_per_idle_user": bytes_per_idle,
+        "bytes_per_active_user": bytes_per_active,
+        "idle_active_ratio": idle_active_ratio,
+        "wake_p99_ms": result["wake"]["p99_ms"],
+        "wake_verified": verified == wake_sample,
+        "soak_ceiling_ratio": ceiling_ratio,
+    }
+    return result
+
+
 def run_obs_overhead_benchmark(users: int, duration_s: float,
                                seed: int = 0, repeats: int = 5) -> Dict:
     """Measure what round-level tracing costs on one headline case.
@@ -670,6 +922,7 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     pipeline["streaming"] = run_streaming_benchmark(captures, seed=seed)
     pipeline["wire"] = run_wire_benchmark(captures, seed=seed)
     pipeline["fabric"] = run_fabric_soak_benchmark(quick=quick, seed=seed)
+    pipeline["idle"] = run_idle_economics_benchmark(quick=quick, seed=seed)
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(
         obs_users, obs_duration, seed=seed)

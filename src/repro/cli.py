@@ -137,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--signal", action="store_true",
                        help="embed a downsampled breathing-signal trace "
                             "in estimate messages (for dashboards)")
+    serve.add_argument("--max-resident-users", type=int, default=None,
+                       help="budget of engine-backed sessions per server "
+                            "(per worker with --workers); exceeding it "
+                            "hibernates the least-recently-active sessions "
+                            "to the compressed cold tier (default: "
+                            "unbounded)")
+    serve.add_argument("--idle-after", type=float, default=None,
+                       help="hibernate a session after this many wall "
+                            "seconds without a report; it wakes bit-exactly "
+                            "on the next one (default: never)")
     serve.add_argument("--workers", type=int, default=0,
                        help="worker processes behind a consistent-hash "
                             "router (0 = single-process server; N >= 1 "
@@ -369,6 +379,18 @@ def _run_observed(args: argparse.Namespace) -> int:
     return 0 if estimates else 1
 
 
+def _per_shard_budget(total: Optional[int], shards: int) -> Optional[int]:
+    """Split a server-wide resident-session budget across shards.
+
+    Ceil division so the shard budgets sum to at least the requested
+    total (a floor of 1 per shard — a shard must be able to hold the
+    session it is currently feeding).
+    """
+    if total is None:
+        return None
+    return max(1, -(-int(total) // max(1, shards)))
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` command: run the service until a signal drains it."""
     import asyncio
@@ -385,6 +407,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         warmup_s=args.warmup,
         queue_capacity=args.queue_capacity,
         include_signal=args.signal,
+        idle_after_s=args.idle_after,
+        max_resident=_per_shard_budget(args.max_resident_users, args.shards),
     )
     server = BreathServer(
         host=args.host, port=args.port, n_shards=args.shards, config=config,
@@ -444,6 +468,8 @@ def _run_fabric(args: argparse.Namespace) -> int:
         warmup_s=args.warmup,
         queue_capacity=args.queue_capacity,
         include_signal=args.signal,
+        idle_after_s=args.idle_after,
+        max_resident=_per_shard_budget(args.max_resident_users, args.shards),
     )
     config = FabricConfig(
         workers=args.workers,

@@ -145,6 +145,22 @@ class IncrementalEstimator:
         state = self._states.get(user_id)
         return -1 if state is None else state.version
 
+    def nbytes(self, user_id: Optional[int] = None) -> int:
+        """Resident numpy bytes of one user's state (or every user's).
+
+        Sums the window-index columns and every chain cursor's packed
+        rows — the allocation-backed cost that hibernation and horizon
+        pruning exist to bound.
+        """
+        states = (self._states.values() if user_id is None
+                  else filter(None, [self._states.get(user_id)]))
+        total = 0
+        for state in states:
+            total += state.index.nbytes
+            for cursor in state.cursors:
+                total += cursor.nbytes
+        return total
+
     def ingest(self, report: TagReport) -> None:
         """Index one accepted report and difference it at its cursor.
 

@@ -926,6 +926,33 @@ class TagBreathe:
         reports.sort(key=lambda r: r.timestamp_s)
         return reports
 
+    #: Estimated resident bytes per buffered ``_StreamBuffer`` row: six
+    #: list slots (8 B of pointer each) plus four boxed floats (~24 B
+    #: each — t/phase/rssi/doppler; channel/antenna hit the small-int
+    #: cache).  An estimate because python objects are not directly
+    #: measurable per-row; the numpy side is counted exactly.
+    _BUFFER_ROW_BYTES = 6 * 8 + 4 * 24
+
+    def streaming_nbytes(self, user_id: Optional[int] = None) -> int:
+        """Approximate resident bytes of the streaming state.
+
+        Sums the incremental estimator's numpy backing (exact — window
+        index plus chain columns, see ``IncrementalEstimator.nbytes``)
+        and the per-stream report buffers (estimated at
+        ``_BUFFER_ROW_BYTES`` per row).  This is the per-user cost the
+        idle-economics benchmark reports and hibernation reclaims.
+
+        Args:
+            user_id: restrict to one user (default: whole engine).
+        """
+        total = 0
+        for key, buffer in self._report_buffers.items():
+            if user_id is None or key[0] == user_id:
+                total += len(buffer) * self._BUFFER_ROW_BYTES
+        if self._inc is not None:
+            total += self._inc.nbytes(user_id)
+        return total
+
     @property
     def last_restore_drop_counts(self) -> Dict[str, int]:
         """Reports the most recent :meth:`restore_streaming` replay dropped.

@@ -425,6 +425,16 @@ class PhaseChainCursor:
         self._flush()
         return sum(len(cols.rows) for cols in self._groups.values())
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the chain columns (flushes pending first).
+
+        Counts the numpy backing arrays — the dominant per-user cost; the
+        bounded per-window segment cache is excluded.
+        """
+        self._flush()
+        return sum(cols.rows.nbytes for cols in self._groups.values())
+
     def push(self, report: TagReport) -> None:
         """Ingest one report (caller guarantees per-stream time order).
 

@@ -15,6 +15,8 @@ Layout:
   watermark backpressure and shed-oldest queues;
 * :mod:`repro.serve.checkpoint` — atomic, fsynced, generational
   session-state save/load;
+* :mod:`repro.serve.hibernate` — compressed cold storage for idle
+  sessions (per-user budgets, idle sweep, lazy bit-exact wake);
 * :mod:`repro.serve.server` — the asyncio TCP server;
 * :mod:`repro.serve.client` — replay (load generator) and watch clients
   with deadlines, bounded retry, and idempotent resume;
@@ -69,6 +71,7 @@ from .protocol import (
     report_to_wire,
     wire_to_report,
 )
+from .hibernate import HibernationStore, blob_to_doc, doc_to_blob
 from .server import ACK_EVERY, BreathServer
 from .session import SessionConfig, SessionShard, UserSession
 from .supervisor import FabricConfig, Supervisor, WorkerHandle
@@ -76,6 +79,7 @@ from .supervisor import FabricConfig, Supervisor, WorkerHandle
 __all__ = [
     "BreathServer", "ACK_EVERY",
     "SessionConfig", "SessionShard", "UserSession",
+    "HibernationStore", "doc_to_blob", "blob_to_doc",
     "IngestClient", "ReplayStats", "replay_trace", "watch_estimates",
     "collect_estimates",
     "FrameDecoder", "encode_frame", "report_to_wire", "wire_to_report",

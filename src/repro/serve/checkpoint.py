@@ -94,7 +94,9 @@ def session_state_from_doc(doc: Dict[str, Any]) -> Dict[str, Any]:
 def save_checkpoint(path: Union[str, Path],
                     sessions: List[Dict[str, Any]],
                     counters: Dict[str, int],
-                    client_seqs: Optional[Dict[str, int]] = None) -> int:
+                    client_seqs: Optional[Dict[str, int]] = None,
+                    hibernated_docs: Optional[List[Dict[str, Any]]] = None,
+                    ) -> int:
     """Write a checkpoint atomically and durably; returns reports captured.
 
     Args:
@@ -105,20 +107,26 @@ def save_checkpoint(path: Union[str, Path],
             back to zero.
         client_seqs: highest accepted report sequence per ``client_id``
             (the duplicate-filter watermarks; omitted = empty).
+        hibernated_docs: already wire-shaped session documents from the
+            hibernation cold tier (flagged ``"hibernated": true``).
+            They land in the same ``sessions`` list as live sessions —
+            one uniform schema — without ever inflating an engine.
 
     The previous live checkpoint, if any, is rotated to ``<path>.prev``
     before the new one lands, so there is always at most one torn
     generation and at least one good one on disk.
     """
     path = Path(path)
+    session_docs = [session_state_to_doc(s) for s in sessions]
+    session_docs.extend(dict(d) for d in (hibernated_docs or []))
+    session_docs.sort(key=lambda d: d["user_id"])
     doc = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
         "counters": {k: int(v) for k, v in sorted(counters.items())},
         "client_seqs": {str(k): int(v)
                         for k, v in sorted((client_seqs or {}).items())},
-        "sessions": [session_state_to_doc(s)
-                     for s in sorted(sessions, key=lambda s: s["user_id"])],
+        "sessions": session_docs,
     }
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w") as handle:

@@ -131,6 +131,7 @@ class BreathServer:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._checkpoint_task: Optional[asyncio.Task] = None
+        self._idle_task: Optional[asyncio.Task] = None
         self._seen_clients: Set[str] = set()
         self._client_seq: Dict[str, int] = {}
         self._draining = False
@@ -169,6 +170,8 @@ class BreathServer:
         if self.checkpoint_path and self.checkpoint_interval_s > 0:
             self._checkpoint_task = asyncio.ensure_future(
                 self._checkpoint_loop())
+        if self.config.idle_after_s is not None:
+            self._idle_task = asyncio.ensure_future(self._idle_sweep_loop())
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Run until ``stop`` is set, then drain gracefully."""
@@ -197,6 +200,8 @@ class BreathServer:
                 watcher.offer(None)  # type: ignore[arg-type]  # sentinel
             if self._checkpoint_task is not None:
                 self._checkpoint_task.cancel()
+            if self._idle_task is not None:
+                self._idle_task.cancel()
             for shard in self._shards:
                 await shard.stop()
             # Give connection handlers a beat to see EOF/sentinels, then
@@ -220,6 +225,7 @@ class BreathServer:
                               grace_s=self.drain_grace_s,
                               tasks=sorted(t.get_name() for t in stuck))
             obs.gauge("repro_serve_active_sessions").set(0)
+            obs.gauge("repro_serve_hibernated_sessions").set(0)
             obs.event("serve.drain.done", sessions=self.session_count(),
                       reports=self.counters["reports_total"],
                       shed=self.shed_total())
@@ -237,14 +243,28 @@ class BreathServer:
         return self._shards[user_id % len(self._shards)]
 
     def sessions(self) -> List[UserSession]:
-        """Every live session, user-id ordered."""
+        """Every resident (engine-backed) session, user-id ordered."""
         out = [s for shard in self._shards
                for s in shard.sessions.values()]
         return sorted(out, key=lambda s: s.user_id)
 
     def session_count(self) -> int:
-        """How many user sessions are live."""
+        """How many user sessions this server owns (resident + hibernated).
+
+        Hibernated sessions count: the user is still registered, their
+        state still rides checkpoints and migration — only the resident
+        engine is gone.  The fabric's session-conservation invariant
+        (settled == requested users) sums this across workers.
+        """
+        return sum(shard.session_count for shard in self._shards)
+
+    def resident_count(self) -> int:
+        """Sessions currently backed by a live engine."""
         return sum(len(shard.sessions) for shard in self._shards)
+
+    def hibernated_count(self) -> int:
+        """Sessions parked in the compressed cold tier."""
+        return sum(len(shard.hibernated) for shard in self._shards)
 
     def shed_total(self) -> int:
         """Reports shed across all shards since start/resume."""
@@ -255,6 +275,8 @@ class BreathServer:
         out = dict(self.counters)
         out["shed_total"] = self.shed_total()
         out["sessions"] = self.session_count()
+        out["resident"] = self.resident_count()
+        out["hibernated"] = self.hibernated_count()
         out["watchers"] = len(self._watchers)
         return out
 
@@ -277,6 +299,8 @@ class BreathServer:
                 [s.state() for s in self.sessions()],
                 counters,
                 client_seqs=self._client_seq,
+                hibernated_docs=[doc for shard in self._shards
+                                 for _uid, doc in shard.hibernated.docs()],
             )
         obs.counter("repro_serve_checkpoints_total").inc()
         return n
@@ -306,8 +330,14 @@ class BreathServer:
         for state in saved["sessions"]:
             user_id = int(state["user_id"])
             shard = self.shard_for(user_id)
-            session = shard.session_for(user_id)
-            session.restore(state, state["reports"])
+            if state.get("hibernated"):
+                # A hibernated session stays cold across the restart: it
+                # goes straight back to the shard's compressed store —
+                # no engine is materialised until the user's next report.
+                shard.adopt_hibernated(user_id, session_state_to_doc(state))
+            else:
+                session = shard.session_for(user_id)
+                session.restore(state, state["reports"])
             resumed += len(state["reports"])
         for key in ("frames_total", "reports_total", "reconnects_total",
                     "seq_filtered_total"):
@@ -327,6 +357,26 @@ class BreathServer:
             self.checkpoint_now()
 
     # ------------------------------------------------------------------
+    # Idle hibernation
+    # ------------------------------------------------------------------
+    def hibernate_idle_now(self) -> int:
+        """One idle sweep across every shard; returns sessions parked."""
+        parked = sum(shard.hibernate_idle() for shard in self._shards)
+        if parked:
+            obs.event("serve.idle_sweep", hibernated=parked,
+                      resident=self.resident_count(),
+                      cold=self.hibernated_count())
+        return parked
+
+    async def _idle_sweep_loop(self) -> None:
+        # Sweeping at half the idle threshold bounds hibernation lag to
+        # 1.5x idle_after_s while keeping the sweep off the hot path.
+        interval = max(0.05, self.config.idle_after_s / 2.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.hibernate_idle_now()
+
+    # ------------------------------------------------------------------
     # Fabric control: heartbeat and shard migration
     # ------------------------------------------------------------------
     def _pong(self, ping: Dict[str, Any]) -> Dict[str, Any]:
@@ -341,7 +391,7 @@ class BreathServer:
         }
         if ping.get("detail"):
             reply["user_ids"] = sorted(
-                uid for shard in self._shards for uid in shard.sessions)
+                uid for shard in self._shards for uid in shard.user_ids())
         return reply
 
     async def migrate_out(self, user_ids: List[int]) -> List[Dict[str, Any]]:
@@ -360,9 +410,17 @@ class BreathServer:
             await self._shards[index].drain()
         docs = []
         for uid in sorted(set(user_ids)):
-            session = self.shard_for(uid).remove_session(uid)
+            shard = self.shard_for(uid)
+            session = shard.remove_session(uid)
             if session is not None:
                 docs.append(session_state_to_doc(session.state()))
+                continue
+            # A hibernated user migrates as their parked document — a
+            # few KB of compressed state, never inflated into an engine.
+            doc = shard.hibernated.pop(uid)
+            if doc is not None:
+                obs.gauge("repro_serve_hibernated_sessions").inc(-1)
+                docs.append(doc)
         self.counters["migrated_out_total"] += len(docs)
         obs.counter("repro_serve_migrated_sessions_total",
                     direction="out").inc(len(docs))
@@ -378,10 +436,13 @@ class BreathServer:
         """
         count = 0
         for doc in docs:
-            state = session_state_from_doc(doc)
+            state = session_state_from_doc(doc)  # validates either kind
             uid = state["user_id"]
-            session = self.shard_for(uid).session_for(uid)
-            session.restore(state, state["reports"])
+            if doc.get("hibernated"):
+                self.shard_for(uid).adopt_hibernated(uid, dict(doc))
+            else:
+                session = self.shard_for(uid).session_for(uid)
+                session.restore(state, state["reports"])
             count += 1
         self.counters["migrated_in_total"] += count
         obs.counter("repro_serve_migrated_sessions_total",

@@ -32,6 +32,7 @@ their shard's worker task, which is what makes the checkpoint snapshot
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -40,6 +41,8 @@ from ..core.pipeline import TagBreathe
 from ..errors import InsufficientDataError
 from ..reader.batch import ReportBatch
 from ..reader.tagreport import TagReport
+from .checkpoint import session_state_from_doc, session_state_to_doc
+from .hibernate import HibernationStore
 from .protocol import estimate_to_wire
 
 #: Default per-shard ingest queue capacity (reports).
@@ -67,6 +70,12 @@ class SessionConfig:
         include_signal: embed a downsampled breathing-signal trace in
             estimate messages (for dashboard sparklines).
         signal_points: ~how many signal samples to embed when enabled.
+        idle_after_s: wall-clock seconds without an ingested report
+            after which the idle sweep hibernates a session (None = no
+            idle-driven hibernation).
+        max_resident: per-shard budget of resident (engine-backed)
+            sessions; exceeding it hibernates the least-recently-active
+            sessions until the budget holds (None = unbounded).
     """
 
     window_s: Optional[float] = None
@@ -77,6 +86,8 @@ class SessionConfig:
     low_watermark: Optional[int] = None
     include_signal: bool = False
     signal_points: int = 60
+    idle_after_s: Optional[float] = None
+    max_resident: Optional[int] = None
 
     @property
     def high(self) -> int:
@@ -114,11 +125,17 @@ class UserSession:
         self.next_due_t: Optional[float] = None
         self.reports_in = 0
         self.estimates_out = 0
+        #: Wall-clock (monotonic) instant of the last ingested report —
+        #: what the idle detector and the resident-budget eviction order
+        #: key on.  Deliberately NOT stream time: a replayed historical
+        #: trace is still *activity* even though its timestamps are old.
+        self.last_active = time.monotonic()
 
     # ------------------------------------------------------------------
     def ingest(self, report: TagReport) -> bool:
         """Feed one report; returns True when the engine buffered it."""
         self.reports_in += 1
+        self.last_active = time.monotonic()
         t = report.timestamp_s
         if self.first_t is None:
             self.first_t = t
@@ -138,6 +155,7 @@ class UserSession:
         if not n:
             return 0
         self.reports_in += n
+        self.last_active = time.monotonic()
         if self.first_t is None:
             self.first_t = float(batch.t[0])
             self.next_due_t = self.first_t + self.config.warmup_s
@@ -244,6 +262,9 @@ class SessionShard:
         self.index = index
         self.config = config
         self.sessions: Dict[int, UserSession] = {}
+        #: Cold tier: idle sessions parked as compressed checkpoint
+        #: documents, woken lazily (and bit-exactly) by the next report.
+        self.hibernated = HibernationStore()
         self.shed_count = 0
         self.frames_in = 0
         self._publish = publish
@@ -350,16 +371,122 @@ class SessionShard:
         await self._queue.join()
 
     def session_for(self, user_id: int) -> UserSession:
-        """Get or lazily create the session for ``user_id``."""
+        """Get, wake, or lazily create the session for ``user_id``.
+
+        A hibernated user's next touch inflates their parked checkpoint
+        document back into a live session whose state is bit-identical
+        to never having hibernated (``restore_streaming`` replays the
+        buffered reports deterministically); a brand-new user gets a
+        fresh session.  Either way the resident budget is enforced
+        afterwards, hibernating the least-recently-active sessions —
+        never the one just touched — when the shard is over budget.
+        """
         session = self.sessions.get(user_id)
         if session is None:
-            session = UserSession(user_id, self.config,
-                                  engine_factory=self._engine_factory)
-            self.sessions[user_id] = session
-            obs.event("serve.session.open", user_id=user_id,
-                      shard=self.index)
-            obs.gauge("repro_serve_active_sessions").inc()
+            doc = self.hibernated.pop(user_id)
+            if doc is not None:
+                session = self._wake(user_id, doc)
+            else:
+                session = UserSession(user_id, self.config,
+                                      engine_factory=self._engine_factory)
+                self.sessions[user_id] = session
+                obs.event("serve.session.open", user_id=user_id,
+                          shard=self.index)
+                obs.gauge("repro_serve_active_sessions").inc()
+            self._enforce_budget(exclude=user_id)
         return session
+
+    def _wake(self, user_id: int, doc: Dict[str, Any]) -> UserSession:
+        """Rebuild a live session from a parked checkpoint document."""
+        t0 = time.perf_counter()
+        state = session_state_from_doc(doc)
+        session = UserSession(user_id, self.config,
+                              engine_factory=self._engine_factory)
+        session.restore(state, state["reports"])
+        self.sessions[user_id] = session
+        elapsed = time.perf_counter() - t0
+        obs.counter("repro_serve_woken_total",
+                    shard=str(self.index)).inc()
+        obs.histogram("repro_serve_wake_latency_seconds").observe(elapsed)
+        obs.gauge("repro_serve_hibernated_sessions").inc(-1)
+        obs.gauge("repro_serve_active_sessions").inc()
+        obs.event("serve.session.wake", user_id=user_id, shard=self.index,
+                  seconds=elapsed)
+        return session
+
+    def hibernate_session(self, user_id: int) -> bool:
+        """Park one resident session in the cold tier; False when absent.
+
+        The session's checkpoint state becomes a compressed document and
+        the engine-backed ``UserSession`` is dropped — its numpy chains,
+        window index, and report buffers become garbage immediately.
+        Safe at any instant between queue entries (hibernation is
+        synchronous inside the shard's single-threaded context); a
+        report already queued for the user simply wakes them when the
+        worker dequeues it, preserving order.
+        """
+        session = self.sessions.pop(user_id, None)
+        if session is None:
+            return False
+        doc = session_state_to_doc(session.state())
+        doc["hibernated"] = True
+        blob_bytes = self.hibernated.put(user_id, doc)
+        obs.counter("repro_serve_hibernated_total",
+                    shard=str(self.index)).inc()
+        obs.gauge("repro_serve_active_sessions").inc(-1)
+        obs.gauge("repro_serve_hibernated_sessions").inc()
+        obs.event("serve.session.hibernate", user_id=user_id,
+                  shard=self.index, blob_bytes=blob_bytes)
+        return True
+
+    def hibernate_idle(self, now: Optional[float] = None) -> int:
+        """Hibernate every session idle past ``config.idle_after_s``.
+
+        Called by the server's idle sweep; returns how many sessions
+        were parked.  No-op when the knob is unset.
+        """
+        idle_after = self.config.idle_after_s
+        if idle_after is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        idle = [user_id for user_id, session in self.sessions.items()
+                if now - session.last_active >= idle_after]
+        for user_id in idle:
+            self.hibernate_session(user_id)
+        return len(idle)
+
+    def _enforce_budget(self, exclude: int) -> None:
+        """Hibernate LRA sessions until ``config.max_resident`` holds."""
+        budget = self.config.max_resident
+        if budget is None:
+            return
+        while len(self.sessions) > max(1, budget):
+            victims = sorted(
+                (session.last_active, user_id)
+                for user_id, session in self.sessions.items()
+                if user_id != exclude)
+            if not victims:
+                return
+            self.hibernate_session(victims[0][1])
+
+    def adopt_hibernated(self, user_id: int, doc: Dict[str, Any]) -> None:
+        """Park an already-hibernated document without waking it.
+
+        The checkpoint-resume and migration paths use this so idle users
+        move between workers as a few KB of compressed JSON instead of a
+        materialised engine.
+        """
+        self.hibernated.put(user_id, doc)
+        obs.gauge("repro_serve_hibernated_sessions").inc()
+
+    @property
+    def session_count(self) -> int:
+        """Sessions this shard owns: resident plus hibernated."""
+        return len(self.sessions) + len(self.hibernated)
+
+    def user_ids(self) -> List[int]:
+        """Every owned user (resident and hibernated), sorted."""
+        return sorted(set(self.sessions) | set(self.hibernated.user_ids()))
 
     def remove_session(self, user_id: int) -> Optional[UserSession]:
         """Detach and return one session (migration); None when absent.

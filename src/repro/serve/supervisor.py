@@ -92,7 +92,8 @@ class FabricConfig:
         }
         for key in ("window_s", "estimate_interval_s", "warmup_s",
                     "queue_capacity", "high_watermark", "low_watermark",
-                    "include_signal", "signal_points"):
+                    "include_signal", "signal_points",
+                    "idle_after_s", "max_resident"):
             options[key] = getattr(self.session, key)
         return options
 

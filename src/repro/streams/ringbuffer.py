@@ -15,11 +15,24 @@ from ..errors import NonMonotonicTimeError, StreamError
 from .timeseries import TimeSeries
 
 
+#: Slots allocated up front by a fresh :class:`RingBuffer` (the backing
+#: arrays grow geometrically toward ``capacity`` as samples arrive).
+_INITIAL_ALLOC = 64
+
+
 class RingBuffer:
     """Fixed-capacity FIFO of ``(time, value)`` samples.
 
     When full, appending evicts the oldest sample.  Times must be appended in
     strictly increasing order.
+
+    ``capacity`` bounds retention, it does not eagerly allocate: the
+    backing arrays start at ``min(capacity, 64)`` slots and double toward
+    ``capacity`` as samples arrive, so a large-capacity buffer that only
+    ever holds a few samples stays small.  Because growth completes
+    before the buffer ever fills, the write head wraps only once the
+    allocation has reached ``capacity`` — growth is always a contiguous
+    prefix copy.
 
     Args:
         capacity: maximum number of retained samples.
@@ -32,8 +45,9 @@ class RingBuffer:
         if capacity <= 0:
             raise StreamError(f"capacity must be > 0, got {capacity}")
         self._capacity = int(capacity)
-        self._times = np.zeros(self._capacity, dtype=float)
-        self._values = np.zeros(self._capacity, dtype=float)
+        self._alloc = min(self._capacity, _INITIAL_ALLOC)
+        self._times = np.zeros(self._alloc, dtype=float)
+        self._values = np.zeros(self._alloc, dtype=float)
         self._head = 0  # next write slot
         self._size = 0
         self._dropped = 0
@@ -42,6 +56,16 @@ class RingBuffer:
     def capacity(self) -> int:
         """Maximum number of samples retained."""
         return self._capacity
+
+    @property
+    def allocated(self) -> int:
+        """Slots currently backed by memory (<= :attr:`capacity`)."""
+        return self._alloc
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the backing arrays."""
+        return int(self._times.nbytes + self._values.nbytes)
 
     def __len__(self) -> int:
         return self._size
@@ -55,7 +79,22 @@ class RingBuffer:
         """Timestamp of the newest sample, or None when empty."""
         if self._size == 0:
             return None
-        return float(self._times[(self._head - 1) % self._capacity])
+        return float(self._times[(self._head - 1) % self._alloc])
+
+    def _grow(self) -> None:
+        # Only reached while alloc < capacity, i.e. before any wrap:
+        # the live samples are the prefix [0, size), so growth is one
+        # contiguous copy.
+        new_alloc = min(self._capacity, self._alloc * 2)
+        times = np.zeros(new_alloc, dtype=float)
+        values = np.zeros(new_alloc, dtype=float)
+        times[: self._size] = self._times[: self._size]
+        values[: self._size] = self._values[: self._size]
+        self._times, self._values = times, values
+        self._alloc = new_alloc
+        # The write cursor wrapped to 0 the instant the old allocation
+        # filled; the live prefix now ends at size, so write there next.
+        self._head = self._size
 
     def append(self, time: float, value: float) -> None:
         """Append one sample.
@@ -68,9 +107,11 @@ class RingBuffer:
             raise NonMonotonicTimeError(
                 f"append time {time} <= last buffered time {last}"
             )
+        if self._size == self._alloc and self._alloc < self._capacity:
+            self._grow()
         self._times[self._head] = time
         self._values[self._head] = value
-        self._head = (self._head + 1) % self._capacity
+        self._head = (self._head + 1) % self._alloc
         if self._size < self._capacity:
             self._size += 1
 
@@ -106,7 +147,7 @@ class RingBuffer:
         """The buffered samples, oldest first, as a :class:`TimeSeries`."""
         if self._size == 0:
             return TimeSeries.empty()
-        if self._size < self._capacity:
+        if self._size < self._alloc:
             t = self._times[: self._size]
             v = self._values[: self._size]
         else:
@@ -115,10 +156,15 @@ class RingBuffer:
         return TimeSeries(t.copy(), v.copy())
 
     def clear(self) -> None:
-        """Drop all samples and reset the drop counter."""
+        """Drop all samples, reset the drop counter, release memory."""
         self._head = 0
         self._size = 0
         self._dropped = 0
+        initial = min(self._capacity, _INITIAL_ALLOC)
+        if self._alloc > initial:
+            self._alloc = initial
+            self._times = np.zeros(initial, dtype=float)
+            self._values = np.zeros(initial, dtype=float)
 
 
 class StreamBuffer:

@@ -73,6 +73,16 @@ class GrowableArray:
     def __len__(self) -> int:
         return self._n
 
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (rows) in the backing array."""
+        return int(self._arr.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the backing array (allocated, not live)."""
+        return int(self._arr.nbytes)
+
     def view(self) -> np.ndarray:
         """The live samples (a view — do not hold across mutations)."""
         return self._arr[: self._n]
@@ -119,12 +129,38 @@ class GrowableArray:
         keep = self._n - count
         self._arr[:keep] = self._arr[count: self._n]
         self._n = max(0, keep)
+        self._maybe_shrink()
 
     def compact(self, keep_mask: np.ndarray) -> None:
         """Keep only the values where ``keep_mask`` is True."""
         kept = self._arr[: self._n][keep_mask]
         self._n = int(kept.shape[0])
         self._arr[: self._n] = kept
+        self._maybe_shrink()
+
+    def _maybe_shrink(self) -> None:
+        """Release backing memory once the live prefix falls far enough.
+
+        Doubling growth never shrinks on its own, so a column that once
+        held a long history would pin its high-water allocation forever.
+        Halve the capacity while the live count fits in a quarter of it
+        (i.e. shrink only past 2x slack — hysteresis against grow/shrink
+        thrash on a buffer oscillating around a power of two), landing
+        the new capacity in ``[2n, 4n)`` with a floor of
+        ``_MIN_CAPACITY``.
+        """
+        cap = self._arr.shape[0]
+        if cap <= _MIN_CAPACITY:
+            return
+        target = cap
+        while target > _MIN_CAPACITY and self._n * 4 <= target:
+            target //= 2
+        if target >= cap:
+            return
+        shape = target if self._arr.ndim == 1 else (target, self._arr.shape[1])
+        new = np.empty(shape, dtype=self._arr.dtype)
+        new[: self._n] = self._arr[: self._n]
+        self._arr = new
 
 
 class WindowIndex:
@@ -148,6 +184,14 @@ class WindowIndex:
 
     def __len__(self) -> int:
         return len(self._times)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across the time column and all side columns."""
+        total = self._times.nbytes
+        for arr in self._columns.values():
+            total += arr.nbytes
+        return total
 
     @property
     def times(self) -> np.ndarray:

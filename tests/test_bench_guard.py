@@ -14,11 +14,12 @@ guard = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(guard)
 
 
-def bench_doc(cases, fabric_cases=None, wire=None):
+def bench_doc(cases, fabric_cases=None, wire=None, idle=None):
     doc = {"suite": "pipeline", "streaming": {"cases": cases}}
     doc["fabric"] = {"cases": [fabric_case()]
                      if fabric_cases is None else fabric_cases}
     doc["wire"] = wire_suite() if wire is None else wire
+    doc["idle"] = idle_suite() if idle is None else idle
     return doc
 
 
@@ -35,6 +36,18 @@ def wire_suite(bytes_ratio=3.5, acked_equal_sent=True):
     return {"cases": [{"mode": "column"}, {"mode": "json"}],
             "headline": {"bytes_ratio": bytes_ratio,
                          "acked_equal_sent": acked_equal_sent}}
+
+
+def idle_suite(registered=20_000, ratio=300.0, wake_verified=True,
+               wake_p99_ms=2.0, ceiling=1.01):
+    return {"headline": {"registered_users": registered,
+                         "active_users": registered // 100,
+                         "bytes_per_idle_user": 2600.0,
+                         "bytes_per_active_user": 2600.0 * ratio,
+                         "idle_active_ratio": ratio,
+                         "wake_p99_ms": wake_p99_ms,
+                         "wake_verified": wake_verified,
+                         "soak_ceiling_ratio": ceiling}}
 
 
 def fabric_case(users=100, settled=None, migrated=7, restarts=0,
@@ -173,6 +186,53 @@ class TestWireSuite:
                    for p in guard.check_wire_suite(path))
 
 
+class TestIdleSuite:
+    """check_idle_suite: same-run ratios and counts, no baseline."""
+
+    def test_clean_suite_passes(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.check_idle_suite(path) == []
+
+    def test_missing_suite_is_a_failure(self, tmp_path):
+        doc = bench_doc([case(1, 25.0, 2.0)])
+        del doc["idle"]
+        path = write(tmp_path, "cand.json", doc)
+        assert any("no idle economics suite" in p
+                   for p in guard.check_idle_suite(path))
+
+    def test_population_floor(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(registered=500)))
+        assert any("registered users" in p
+                   for p in guard.check_idle_suite(path))
+
+    def test_low_idle_active_ratio_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(ratio=6.0)))
+        assert any("ratio 6.0x" in p for p in guard.check_idle_suite(path))
+
+    def test_unverified_wake_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(wake_verified=False)))
+        assert any("bit-exact" in p for p in guard.check_idle_suite(path))
+
+    def test_slow_wake_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(wake_p99_ms=400.0)))
+        assert any("wake p99" in p for p in guard.check_idle_suite(path))
+
+    def test_growing_memory_ceiling_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(ceiling=2.4)))
+        assert any("ceiling ratio" in p
+                   for p in guard.check_idle_suite(path))
+
+    def test_missing_fields_fail_not_pass(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle={"headline": {"quick": True}}))
+        assert len(guard.check_idle_suite(path)) >= 4
+
+
 class TestMain:
     def test_end_to_end_pass(self, tmp_path, capsys):
         base = write(tmp_path, "base.json",
@@ -193,6 +253,13 @@ class TestMain:
         base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
         cand = write(tmp_path, "cand.json", bench_doc(
             [case(1, 25.0, 2.0)], [fabric_case(users=100, settled=98)]))
+        assert guard.main(["--baseline", str(base),
+                           "--candidate", str(cand)]) == 1
+
+    def test_idle_violation_fails_end_to_end(self, tmp_path):
+        base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
+        cand = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], idle=idle_suite(ratio=3.0)))
         assert guard.main(["--baseline", str(base),
                            "--candidate", str(cand)]) == 1
 

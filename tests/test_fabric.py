@@ -25,6 +25,7 @@ from repro.errors import (
     DegradedEstimateWarning,
     FabricError,
     InsufficientDataError,
+    ServeError,
 )
 from repro.serve import (
     DEFAULT_VNODES,
@@ -306,6 +307,90 @@ class TestFabricRecovery:
         assert after["sessions"] == before["sessions"]  # none lost
         assert new_id in after["workers"]
         assert len(after["workers"]) == len(before["workers"]) + 1
+
+
+class TestFabricHibernation:
+    def test_hibernated_sessions_survive_crash_and_rebalance(
+            self, tmp_path):
+        """Parked sessions ride worker checkpoints through a SIGKILL
+        restart AND migrate during a rebalance, then wake correct."""
+        result = make_capture(users=2, duration_s=40.0, seed=7)
+        reports = result.reports
+        half = len(reports) // 2
+        session = SessionConfig(estimate_interval_s=5.0, idle_after_s=0.3)
+        config = FabricConfig(session=session, **FAST_FABRIC)
+
+        async def scenario():
+            fabric = BreathFabric(tmp_path, config)
+            await fabric.start()
+            try:
+                client = IngestClient(
+                    "127.0.0.1", fabric.port, client_id="hib",
+                    connect_timeout_s=5.0, read_timeout_s=10.0,
+                    retry=RetryPolicy(max_attempts=10, base_delay_s=0.2,
+                                      max_delay_s=2.0),
+                    retry_seed=3)
+                await client.connect()
+                await client.replay(reports[:half], speed=0)
+                # Give the workers' idle sweeps (0.15 s interval) and a
+                # checkpoint cycle (0.25 s) time to park both users.
+                await asyncio.sleep(1.2)
+                parked = await fabric.fleet_stats()
+                victim = fabric.owner(1)
+                handle = fabric.supervisor.workers[victim]
+                os.kill(handle.process.pid, signal.SIGKILL)
+                # Wait for the heartbeat monitor to notice, restart the
+                # worker from its checkpoint (cold docs included), and
+                # republish its port — only then rebalance.
+                for _ in range(150):
+                    await asyncio.sleep(0.2)
+                    try:
+                        for wid in fabric.supervisor.worker_ids():
+                            await fabric.supervisor.ping_worker(wid)
+                        break
+                    except (FabricError, ServeError, OSError):
+                        continue
+                else:
+                    pytest.fail("fleet never recovered from the kill")
+                new_id = await fabric.add_worker()  # migrates cold docs
+                after = await fabric.fleet_stats()
+                await client.close(polite=False)
+                # The users come back: a fresh client identity, so the
+                # workers' idempotent-resume watermarks (which already
+                # cover the first replay's seqs) don't filter the new
+                # frames as duplicates.
+                client2 = IngestClient(
+                    "127.0.0.1", fabric.port, client_id="hib-return",
+                    connect_timeout_s=5.0, read_timeout_s=10.0,
+                    retry=RetryPolicy(max_attempts=10, base_delay_s=0.2,
+                                      max_delay_s=2.0),
+                    retry_seed=4)
+                await client2.connect()
+                await client2.replay(reports[half:], speed=0)
+                await client2.close(polite=False)
+                docs = await fabric.collect_states()
+                restarts = sum(h.restarts
+                               for h in fabric.supervisor.workers.values())
+            finally:
+                await fabric.stop(graceful=True)
+            return parked, after, new_id, docs, restarts
+
+        parked, after, new_id, docs, restarts = run(scenario())
+        # Hibernated sessions stay owned: none lost to the crash, the
+        # checkpoint restart, or the migration onto the new worker.
+        assert parked["sessions"] == 2
+        assert after["sessions"] == 2
+        assert new_id in after["workers"]
+        assert restarts >= 1  # the kill really forced a restart
+
+        streamed = _final_rates(docs, {1, 2}, session)
+        assert set(streamed) == {1, 2}
+        engine = TagBreathe(user_ids={1, 2})
+        engine.feed_many(reports)
+        for uid in (1, 2):
+            expected = engine.estimate_user(uid, window_s=session.window_s)
+            assert streamed[uid] == pytest.approx(expected.rate_bpm,
+                                                  abs=0.1)
 
 
 # ----------------------------------------------------------------------

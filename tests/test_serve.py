@@ -741,6 +741,185 @@ class TestIdempotentResume:
 
 
 # ----------------------------------------------------------------------
+# Hibernation (the cold tier, through the real server)
+# ----------------------------------------------------------------------
+class TestHibernation:
+    def _scenario(self, reports, second_half_frames=()):
+        """Replay half, park everyone, replay the rest; return the books."""
+        half = len(reports) // 2
+
+        async def scenario():
+            server = BreathServer(port=0, n_shards=2, config=SessionConfig(
+                window_s=40.0, idle_after_s=30.0))
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports[:half], speed=0)
+            await client.close()
+            # Everyone went quiet 100 s ago (wall clock): the sweep
+            # must park both sessions and free their engines.
+            for session in server.sessions():
+                session.last_active -= 100.0
+            parked = server.hibernate_idle_now()
+            mid = server.summary()
+            client2 = IngestClient("127.0.0.1", server.port,
+                                   frames=second_half_frames)
+            await client2.connect()
+            await client2.replay(reports[half:], speed=0)
+            await client2.close()
+            finals = {s.user_id: s.estimate_now() for s in server.sessions()}
+            end = server.summary()
+            await server.drain()
+            return parked, mid, finals, end
+
+        return run(scenario())
+
+    def _assert_continuity(self, reports, parked, mid, finals, end):
+        assert parked == 2
+        assert mid["resident"] == 0 and mid["hibernated"] == 2
+        assert mid["sessions"] == 2  # parked users still counted as owned
+        assert end["resident"] == 2 and end["hibernated"] == 0
+        uninterrupted = TagBreathe(user_ids={1, 2})
+        uninterrupted.feed_many(reports)
+        for uid in (1, 2):
+            expected = uninterrupted.estimate_user(uid, window_s=40.0)
+            assert finals[uid]["rate_bpm"] == pytest.approx(
+                expected.rate_bpm, abs=0.1)
+
+    def test_idle_sweep_parks_and_next_report_wakes(self):
+        reports = make_capture(users=2, duration_s=40.0).reports
+        self._assert_continuity(reports, *self._scenario(reports))
+
+    def test_wake_via_binary_column_frames(self):
+        """The wake can land on the batched SoA path (feed_batch)."""
+        reports = make_capture(users=2, duration_s=40.0).reports
+        self._assert_continuity(
+            reports, *self._scenario(reports,
+                                     second_half_frames=("column",)))
+
+    def test_hibernated_sessions_survive_checkpoint_restart(self, tmp_path):
+        """Parked docs ride the checkpoint, resume cold, then wake."""
+        reports = make_capture(users=2, duration_s=40.0).reports
+        half = len(reports) // 2
+        path = str(tmp_path / "serve.ckpt")
+
+        def server_config():
+            return dict(port=0, n_shards=2, checkpoint_path=path,
+                        checkpoint_interval_s=0,
+                        config=SessionConfig(window_s=40.0,
+                                             idle_after_s=30.0))
+
+        async def first_run():
+            server = BreathServer(**server_config())
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports[:half], speed=0)
+            await client.close()
+            for session in server.sessions():
+                session.last_active -= 100.0
+            assert server.hibernate_idle_now() == 2
+            await server.drain()  # kill point: checkpoint holds cold docs
+
+        async def second_run():
+            server = BreathServer(**server_config())
+            await server.start()
+            # Resumed cold: owned but no engine was materialised.
+            resumed = server.summary()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports[half:], speed=0)
+            await client.close()
+            finals = {s.user_id: s.estimate_now() for s in server.sessions()}
+            await server.drain()
+            return resumed, finals
+
+        run(first_run())
+        resumed, finals = run(second_run())
+        assert resumed["sessions"] == 2
+        assert resumed["resident"] == 0 and resumed["hibernated"] == 2
+        uninterrupted = TagBreathe(user_ids={1, 2})
+        uninterrupted.feed_many(reports)
+        for uid in (1, 2):
+            expected = uninterrupted.estimate_user(uid, window_s=40.0)
+            assert finals[uid]["rate_bpm"] == pytest.approx(
+                expected.rate_bpm, abs=0.1)
+
+    def test_idle_sweep_loop_runs_on_its_own(self):
+        """With a tiny idle_after_s the background sweep parks sessions
+        without anyone calling hibernate_idle_now."""
+        reports = make_capture(users=1, duration_s=20.0).reports
+
+        async def scenario():
+            server = BreathServer(port=0, config=SessionConfig(
+                window_s=20.0, idle_after_s=0.1))
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports, speed=0)
+            await client.close()
+            for _ in range(100):  # sweep interval is idle_after_s / 2
+                if server.hibernated_count():
+                    break
+                await asyncio.sleep(0.05)
+            counts = (server.resident_count(), server.hibernated_count())
+            await server.drain()
+            return counts
+
+        resident, hibernated = run(scenario())
+        assert (resident, hibernated) == (0, 1)
+
+    def test_max_resident_budget_enforced_per_shard(self):
+        reports = make_capture(users=3, duration_s=10.0).reports
+
+        async def scenario():
+            server = BreathServer(port=0, n_shards=1, config=SessionConfig(
+                window_s=10.0, max_resident=1))
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports, speed=0)
+            await client.close()
+            counts = (server.resident_count(), server.hibernated_count(),
+                      server.session_count())
+            await server.drain()
+            return counts
+
+        resident, hibernated, total = run(scenario())
+        assert resident == 1
+        assert hibernated == 2
+        assert total == 3
+
+    def test_hibernation_metrics_registered(self):
+        from repro import obs
+        reports = make_capture(users=1, duration_s=10.0).reports
+
+        async def scenario():
+            server = BreathServer(port=0, config=SessionConfig(
+                window_s=10.0, idle_after_s=30.0))
+            await server.start()
+            client = IngestClient("127.0.0.1", server.port)
+            await client.connect()
+            await client.replay(reports, speed=0)
+            await client.close()
+            server.sessions()[0].last_active -= 100.0
+            server.hibernate_idle_now()
+            # Touching the user again wakes them through the histogram.
+            server.shard_for(1).session_for(1)
+            await server.drain()
+
+        with obs.capture() as (_tracer, registry):
+            run(scenario())
+            parked = registry.values("repro_serve_hibernated_total")
+            woken = registry.values("repro_serve_woken_total")
+            latency = registry.histogram("repro_serve_wake_latency_seconds")
+            observed = latency.count
+        assert sum(parked.values()) == 1
+        assert sum(woken.values()) == 1
+        assert observed == 1  # the wake histogram saw the inflate+replay
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 class TestServeCLI:
@@ -753,6 +932,25 @@ class TestServeCLI:
         assert args.command == "replay" and args.speed == 4.0
         args = parser.parse_args(["watch", "3"])
         assert args.command == "watch" and args.user == 3
+
+    def test_parser_accepts_hibernation_knobs(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0",
+                                  "--max-resident-users", "5000",
+                                  "--idle-after", "120"])
+        assert args.max_resident_users == 5000
+        assert args.idle_after == 120.0
+        # Both default to off: sessions stay resident forever.
+        args = parser.parse_args(["serve", "--port", "0"])
+        assert args.max_resident_users is None and args.idle_after is None
+
+    def test_per_shard_budget_split(self):
+        from repro.cli import _per_shard_budget
+        assert _per_shard_budget(None, 4) is None
+        assert _per_shard_budget(100, 4) == 25
+        assert _per_shard_budget(10, 4) == 3  # ceil division
+        assert _per_shard_budget(1, 8) == 1   # floor of one per shard
 
     def test_replay_against_dead_server_fails_cleanly(self, tmp_path, capsys):
         from repro.cli import main

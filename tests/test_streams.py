@@ -301,6 +301,39 @@ class TestRingBuffer:
         rb.clear()
         assert rb.dropped == 0
 
+    def test_lazy_allocation_grows_toward_capacity(self):
+        """A large-capacity buffer allocates 64 slots up front and doubles
+        as it fills, never past capacity."""
+        rb = RingBuffer(1000)
+        assert rb.allocated == 64
+        for i in range(65):
+            rb.append(float(i), float(i))
+        assert rb.allocated == 128
+        for i in range(65, 1001):
+            rb.append(float(i), float(i))
+        assert rb.allocated == 1000
+        assert rb.nbytes == 2 * 1000 * 8
+
+    def test_growth_preserves_order_and_oldest_sample(self):
+        """Regression: when appends exactly fill the allocation the write
+        head wraps to 0, and growth must move it back past the live prefix
+        or the next append silently overwrites the oldest sample."""
+        rb = RingBuffer(200)
+        for i in range(70):  # crosses the 64-slot initial allocation
+            rb.append(float(i), float(i * 2))
+        snap = rb.snapshot()
+        assert list(snap.times) == [float(i) for i in range(70)]
+        assert snap.values[0] == 0.0 and snap.values[-1] == 138.0
+
+    def test_clear_releases_grown_allocation(self):
+        rb = RingBuffer(1000)
+        for i in range(500):
+            rb.append(float(i), float(i))
+        assert rb.allocated >= 512
+        rb.clear()
+        assert rb.allocated == 64
+        assert len(rb) == 0
+
 
 class TestStreamBuffer:
     def test_append_and_window(self):

@@ -23,7 +23,11 @@ need no baseline and hold on any machine.  So are the columnar hot
 path's guarantees: ``feed_batch_speedup`` (a same-run scalar-vs-batched
 ratio) must clear an absolute floor with bit-equal buffered state and
 estimates, and the ``wire`` suite's JSON/column bytes ratio — a
-property of the formats, not the machine — must hold too.
+property of the formats, not the machine — must hold too.  The ``idle``
+economics suite is likewise self-contained: the idle/active bytes
+ratio, the soak's flat memory ceiling, and wake verification are
+same-run ratios and counts, with only the wake p99 held to a (very
+generous) absolute ceiling.
 
 Exit status: 0 when every shared case holds, 1 on regression or when
 the files don't both contain a streaming suite.
@@ -58,6 +62,29 @@ FEED_BATCH_SPEEDUP_FLOOR = 4.0
 #: formats, not the machine: 48 data bytes per report in a column frame
 #: vs ~200 of JSON.
 WIRE_BYTES_RATIO_FLOOR = 2.0
+
+#: Floor on the idle suite's bytes-per-active over bytes-per-idle ratio.
+#: Both sides are measured in the same run on the same interpreter, so
+#: the ratio is machine-independent; committed runs sit two orders of
+#: magnitude above this floor, and a drop below it means hibernation
+#: stopped paying for itself.
+IDLE_ACTIVE_RATIO_FLOOR = 10.0
+
+#: Ceiling on the idle suite's wake p99.  Wake latency IS a timing, but
+#: the quick-suite wakes (inflate + replay of a brief parked history)
+#: commit at ~2 ms — a generous absolute ceiling still catches the
+#: qualitative regressions (wake re-running a full from-scratch
+#: estimate, or replaying an unpruned history) without tripping on
+#: runner noise.
+IDLE_WAKE_P99_CEILING_S = 0.25
+
+#: Ceiling on the soak's late/steady resident-bytes ratio.  A flat
+#: memory profile holds this at ~1.0; anything approaching 1.5 means
+#: pruned prefixes stopped releasing memory.
+IDLE_SOAK_CEILING_RATIO = 1.5
+
+#: Smallest registered population the idle suite may claim to cover.
+IDLE_MIN_REGISTERED = 10_000
 
 
 def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
@@ -184,6 +211,51 @@ def check_wire_suite(path: Path) -> List[str]:
     return problems
 
 
+def check_idle_suite(path: Path) -> List[str]:
+    """Machine-independent invariants of the idle-economics suite.
+
+    The idle/active bytes ratio and the soak's memory-ceiling ratio are
+    same-run ratios; wake verification is a correctness count.  Only the
+    wake p99 is an absolute timing, and its ceiling is two orders of
+    magnitude above committed runs.
+    """
+    doc = json.loads(path.read_text())
+    idle = doc.get("idle")
+    if not isinstance(idle, dict) or not idle.get("headline"):
+        return [f"{path} has no idle economics suite"]
+    problems = []
+    headline = idle["headline"]
+    registered = headline.get("registered_users", 0)
+    if registered < IDLE_MIN_REGISTERED:
+        problems.append(
+            f"idle: only {registered} registered users — the suite must "
+            f"cover at least {IDLE_MIN_REGISTERED} to mean anything")
+    ratio = headline.get("idle_active_ratio", 0.0)
+    if not ratio >= IDLE_ACTIVE_RATIO_FLOOR:
+        problems.append(
+            f"idle: bytes_per_active/bytes_per_idle ratio {ratio:.1f}x "
+            f"< floor {IDLE_ACTIVE_RATIO_FLOOR:.0f}x — hibernation "
+            f"stopped shrinking idle sessions")
+    if headline.get("wake_verified") is not True:
+        problems.append(
+            "idle: woken sessions did not all verify (wrong user, lost "
+            "reports, or failed inflate) — wake is not bit-exact")
+    p99_s = headline.get("wake_p99_ms", float("inf")) / 1e3
+    if not p99_s <= IDLE_WAKE_P99_CEILING_S:
+        problems.append(
+            f"idle: wake p99 {p99_s * 1e3:.1f} ms > ceiling "
+            f"{IDLE_WAKE_P99_CEILING_S * 1e3:.0f} ms — waking a parked "
+            f"session became too slow to hide behind the first report")
+    ceiling = headline.get("soak_ceiling_ratio", float("inf"))
+    if not ceiling <= IDLE_SOAK_CEILING_RATIO:
+        problems.append(
+            f"idle: soak memory ceiling ratio {ceiling:.2f} > "
+            f"{IDLE_SOAK_CEILING_RATIO} — resident bytes kept growing "
+            f"over stream-hours; prune-driven compaction is not "
+            f"releasing memory")
+    return problems
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True,
@@ -209,8 +281,9 @@ def main(argv: List[str]) -> int:
     try:
         problems.extend(check_fabric_suite(args.candidate))
         problems.extend(check_wire_suite(args.candidate))
+        problems.extend(check_idle_suite(args.candidate))
     except (OSError, json.JSONDecodeError) as exc:
-        problems.append(f"cannot check fabric/wire suite: {exc}")
+        problems.append(f"cannot check fabric/wire/idle suite: {exc}")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -219,7 +292,8 @@ def main(argv: List[str]) -> int:
     print(f"bench regression check: {len(shared)} shared case(s) "
           f"within {args.threshold:.0%} of baseline tick_speedup, "
           f"feed_batch_speedup >= {FEED_BATCH_SPEEDUP_FLOOR:.1f}x with "
-          f"bit-equal state; wire and fabric invariants hold")
+          f"bit-equal state; wire, fabric, and idle-economics "
+          f"invariants hold")
     return 0
 
 

@@ -1,0 +1,59 @@
+"""The scenario-pack handbook numbers, regenerated.
+
+No figure in the paper corresponds to these — the paper's evaluation
+(Section VI) covers still, metronome-paced subjects.  The packs stress
+exactly what that protocol leaves out: gross motion artifacts, apnea
+holds, a crowded ward under heavy phase noise, and an overnight run.
+The published reference numbers live under the ``"scenarios"`` key of
+``BENCH_simulation.json`` (full grid) and are gated absolutely by
+``tools/check_bench_regression.py``; this benchmark regenerates the
+quick grid and asserts the same machine-independent contracts:
+
+* motion packs: **zero** confident-but-wrong estimates during injected
+  motion, zero-ish false/missed alarm rates;
+* ward: ``auto`` holds accuracy >= 0.85 through the RSS fallback while
+  the ``phase_only`` control collapses below 0.60;
+* event packs: clean-tick accuracy >= 0.90.
+"""
+
+from repro.bench import run_scenario_pack_benchmark
+
+from conftest import print_reproduction
+
+
+def test_scenario_packs(benchmark, capsys):
+    scenarios = benchmark.pedantic(
+        lambda: run_scenario_pack_benchmark(quick=True, seed=0),
+        rounds=1, iterations=1)
+    rows = []
+    for name, pack in scenarios["packs"].items():
+        for case_name, case in pack["cases"].items():
+            rows.append((
+                name, case_name, case["ticks"],
+                f"{case['mean_accuracy']:.3f}",
+                f"{case['mean_accuracy_clean']:.3f}"
+                if case["mean_accuracy_clean"] is not None else "-",
+                case["confident_wrong_in_motion"],
+                f"{case['false_alarm_rate']:.3f}",
+                f"{case['missed_alarm_rate']:.3f}",
+            ))
+    print_reproduction(
+        capsys, "Scenario packs (quick grid)",
+        ("pack", "engine", "ticks", "accuracy", "clean-acc",
+         "conf-wrong(motion)", "false-alarm", "missed-alarm"), rows,
+        paper_note="no counterpart — regimes the paper's still-subject "
+                   "protocol never exercised",
+    )
+    packs = scenarios["packs"]
+    for name, pack in packs.items():
+        for case_name, case in pack["cases"].items():
+            tag = f"{name}/{case_name}"
+            assert case["confident_wrong_in_motion"] == 0, tag
+            assert case["false_alarm_rate"] <= 0.05, tag
+            assert case["missed_alarm_rate"] <= 0.20, tag
+    ward = packs["ward"]["cases"]
+    assert ward["auto"]["mean_accuracy"] >= 0.85
+    assert ward["phase_only"]["mean_accuracy"] < 0.60
+    assert ward["auto"]["estimator_ticks"].get("rss", 0) > 0
+    for name in ("motion_bursts", "apnea_sigh", "overnight"):
+        assert packs[name]["cases"]["auto"]["mean_accuracy_clean"] >= 0.90, name

@@ -899,6 +899,32 @@ def run_obs_overhead_benchmark(users: int, duration_s: float,
     }
 
 
+def run_scenario_pack_benchmark(quick: bool = False, seed: int = 0) -> Dict:
+    """Run every scenario pack and collect its accuracy/alarm metrics.
+
+    The ``scenarios`` suite of ``BENCH_simulation.json``: each pack in
+    :data:`repro.sim.scenarios.PACKS` is captured once and scored for
+    every configured engine (see
+    :func:`repro.sim.scenarios.evaluate_pack`).  The numbers are
+    workload metrics, not wall-clock — they are machine-independent and
+    CI gates them directly (``check_scenario_suite`` in
+    ``tools/check_bench_regression.py``).
+    """
+    from .sim.scenarios import build_pack, pack_names
+    from .sim.scenarios.evaluate import evaluate_pack
+    t_start = time.perf_counter()
+    packs = {name: evaluate_pack(build_pack(name, quick=quick, seed=seed),
+                                 seed=seed)
+             for name in pack_names()}
+    return {
+        "suite": "scenarios",
+        "quick": quick,
+        "seed": seed,
+        "elapsed_s": time.perf_counter() - t_start,
+        "packs": packs,
+    }
+
+
 def _machine_info() -> Dict:
     return {
         "python": platform.python_version(),
@@ -926,6 +952,8 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(
         obs_users, obs_duration, seed=seed)
+    simulation["scenarios"] = run_scenario_pack_benchmark(
+        quick=quick, seed=seed)
     simulation["quick"] = pipeline["quick"] = quick
     if out_dir is not None:
         out = Path(out_dir)

@@ -12,6 +12,7 @@ from .waveforms import (
     AsymmetricBreathing,
     IrregularBreathing,
     MetronomeBreathing,
+    ApneaSighBreathing,
 )
 from .placement import TagPlacement, BreathingStyle, standard_placements
 from .subject import Subject, BodyTag
@@ -37,6 +38,7 @@ __all__ = [
     "AsymmetricBreathing",
     "IrregularBreathing",
     "MetronomeBreathing",
+    "ApneaSighBreathing",
     "TagPlacement",
     "BreathingStyle",
     "standard_placements",

@@ -76,9 +76,31 @@ class TransientMotion:
                 return self._amp * 0.5 * (1.0 - math.cos(2.0 * math.pi * u))
         return 0.0
 
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`displacement` over a time vector.
+
+        Replicates the scalar path's first-match rule bit for bit (when
+        two drawn bursts overlap, the earlier-scheduled one wins), so
+        batched and per-instant trajectory synthesis agree exactly.
+        """
+        times = np.asarray(times, dtype=float)
+        disp = np.zeros(times.shape)
+        taken = np.zeros(times.shape, dtype=bool)
+        for start in self._bursts:
+            u = (times - start) / self._dur
+            active = (u >= 0.0) & (u < 1.0) & ~taken
+            disp[active] = self._amp * 0.5 * (
+                1.0 - np.cos(2.0 * np.pi * u[active]))
+            taken |= active
+        return disp
+
     def is_active(self, t: float) -> bool:
         """True while a burst is in progress at ``t``."""
         return any(start <= t < start + self._dur for start in self._bursts)
+
+    def active_windows(self) -> List[Tuple[float, float]]:
+        """Ground-truth ``(start, end)`` of every scheduled burst."""
+        return [(start, start + self._dur) for start in self._bursts]
 
 
 class RestlessBreathing(BreathingWaveform):
@@ -105,6 +127,10 @@ class RestlessBreathing(BreathingWaveform):
 
     def displacement(self, t: float) -> float:
         return self._breathing.displacement(t) + self._transients.displacement(t)
+
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        return (self._breathing.displacement_array(times)
+                + self._transients.displacement_array(times))
 
     def true_rate_bpm(self, t_start: float, t_end: float) -> float:
         return self._breathing.true_rate_bpm(t_start, t_end)

@@ -244,6 +244,141 @@ class IrregularBreathing(BreathingWaveform):
         return breaths / (t_end - t_start) * 60.0
 
 
+class ApneaSighBreathing(BreathingWaveform):
+    """Clinically eventful breathing: apnea holds and sigh breaths.
+
+    The intro's "occasional pauses" taken to their clinical extreme — the
+    pattern an overnight ward monitor exists to catch.  The schedule is a
+    sequence of raised-cosine cycles around ``base_rate_bpm``; seeded
+    events perturb it two ways:
+
+    * **apnea** — after a cycle, breathing *stops* for a uniform
+      ``[apnea_min_s, apnea_max_s]`` hold (clinical apneas run 10 s and
+      up).  The chest sits at exhaled rest for the whole hold.
+    * **sigh** — a cycle's amplitude is multiplied by ``sigh_gain`` and
+      its duration stretched 1.5x, the deep augmented breath healthy
+      sleepers take a few times an hour.
+
+    The schedule is drawn once at construction, so the waveform is a
+    deterministic function of time afterwards, and the ground-truth
+    event times are exposed for scenario-pack scoring via
+    :attr:`apnea_windows` and :attr:`sigh_times`.
+
+    Args:
+        base_rate_bpm: nominal rate between events.
+        amplitude_m: peak chest displacement of a normal cycle.
+        apnea_per_minute: mean apnea events per minute (Poisson-ish:
+            each cycle ends in a hold with the matching probability).
+        apnea_min_s / apnea_max_s: hold-duration bounds.
+        sigh_probability: per-cycle chance of a sigh.
+        sigh_gain: amplitude multiplier of a sigh cycle.
+        seed: RNG seed for the event schedule.
+        horizon_s: schedule length; queries beyond it raise.
+
+    Raises:
+        BodyModelError: on invalid parameters.
+    """
+
+    def __init__(self, base_rate_bpm: float,
+                 amplitude_m: float = DEFAULT_AMPLITUDE_M,
+                 apnea_per_minute: float = 0.5,
+                 apnea_min_s: float = 10.0,
+                 apnea_max_s: float = 25.0,
+                 sigh_probability: float = 0.03,
+                 sigh_gain: float = 2.5,
+                 seed: int = 0,
+                 horizon_s: float = 600.0) -> None:
+        if base_rate_bpm <= 0:
+            raise BodyModelError("base_rate_bpm must be > 0")
+        if amplitude_m < 0:
+            raise BodyModelError("amplitude must be >= 0")
+        if apnea_per_minute < 0:
+            raise BodyModelError("apnea_per_minute must be >= 0")
+        if not 0.0 < apnea_min_s <= apnea_max_s:
+            raise BodyModelError("need 0 < apnea_min_s <= apnea_max_s")
+        if not 0.0 <= sigh_probability <= 1.0:
+            raise BodyModelError("sigh_probability must be in [0, 1]")
+        if sigh_gain < 1.0:
+            raise BodyModelError("sigh_gain must be >= 1")
+        self._amp = float(amplitude_m)
+        self._horizon = float(horizon_s)
+        rng = np.random.default_rng(seed)
+        base_period = 60.0 / base_rate_bpm
+        hold_probability = min(1.0, apnea_per_minute * base_period / 60.0)
+        # Pre-draw the schedule: (start, breath_duration, hold_after, gain).
+        self._cycles: List[Tuple[float, float, float, float]] = []
+        self._apnea_windows: List[Tuple[float, float]] = []
+        self._sigh_times: List[float] = []
+        t = 0.0
+        while t < self._horizon:
+            duration = base_period * max(0.3, 1.0 + rng.normal(0.0, 0.06))
+            gain = 1.0
+            if rng.random() < sigh_probability:
+                gain = float(sigh_gain)
+                duration *= 1.5
+                self._sigh_times.append(t)
+            hold = 0.0
+            if rng.random() < hold_probability:
+                hold = float(rng.uniform(apnea_min_s, apnea_max_s))
+                self._apnea_windows.append((t + duration, t + duration + hold))
+            self._cycles.append((t, duration, hold, gain))
+            t += duration + hold
+        self._starts = np.array([c[0] for c in self._cycles])
+        self._durations = np.array([c[1] for c in self._cycles])
+        self._gains = np.array([c[3] for c in self._cycles])
+
+    @property
+    def apnea_windows(self) -> List[Tuple[float, float]]:
+        """Ground-truth ``(start, end)`` of every scheduled apnea hold."""
+        return list(self._apnea_windows)
+
+    @property
+    def sigh_times(self) -> List[float]:
+        """Ground-truth onset times of every scheduled sigh cycle."""
+        return list(self._sigh_times)
+
+    def displacement(self, t: float) -> float:
+        if t < 0 or t > self._horizon:
+            raise BodyModelError(
+                f"time {t} outside schedule horizon [0, {self._horizon}]"
+            )
+        idx = max(0, int(np.searchsorted(self._starts, t, side="right")) - 1)
+        start, duration, _hold, gain = self._cycles[idx]
+        u = t - start
+        if u >= duration:  # inside the apnea hold: chest at exhaled rest
+            return 0.0
+        return self._amp * gain * 0.5 * (1.0 - math.cos(TWO_PI * u / duration))
+
+    def displacement_array(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        if times.size and (times.min() < 0 or times.max() > self._horizon):
+            raise BodyModelError(
+                f"times outside schedule horizon [0, {self._horizon}]"
+            )
+        idx = np.maximum(0, np.searchsorted(self._starts, times, side="right") - 1)
+        u = times - self._starts[idx]
+        durations = self._durations[idx]
+        disp = (self._amp * self._gains[idx] * 0.5
+                * (1.0 - np.cos(TWO_PI * u / durations)))
+        return np.where(u >= durations, 0.0, disp)
+
+    def true_rate_bpm(self, t_start: float, t_end: float) -> float:
+        """Cycles completed per minute within the window (holds excluded).
+
+        Raises:
+            BodyModelError: on an empty window.
+        """
+        if t_end <= t_start:
+            raise BodyModelError("window must have positive duration")
+        breaths = 0.0
+        for start, duration, _hold, _gain in self._cycles:
+            if start >= t_end or start + duration <= t_start:
+                continue
+            overlap = min(t_end, start + duration) - max(t_start, start)
+            breaths += overlap / duration
+        return breaths / (t_end - t_start) * 60.0
+
+
 class MetronomeBreathing(AsymmetricBreathing):
     """Metronome-paced breathing as in the paper's evaluation protocol.
 

@@ -92,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for BENCH_*.json (default: cwd); "
                             "'-' skips writing")
     bench.add_argument("--seed", type=int, default=0, help="master seed")
+    bench.add_argument("--suite", choices=["all", "scenarios"],
+                       default="all",
+                       help="'scenarios' runs only the scenario packs and "
+                            "merges their metrics into an existing "
+                            "BENCH_simulation.json (default: all suites)")
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -585,6 +590,44 @@ def _run_watch(args: argparse.Namespace) -> int:
         return 0
 
 
+def _run_bench_scenarios(args: argparse.Namespace, out_dir: Optional[str],
+                         grid_name: str) -> int:
+    """``bench --suite scenarios``: run the packs, merge into the JSON.
+
+    Only the ``"scenarios"`` key of an existing ``BENCH_simulation.json``
+    is replaced — the wall-clock suites keep their published numbers, so
+    the packs can be re-scored without re-timing the whole grid.
+    """
+    import json
+    from pathlib import Path
+
+    from .bench import run_scenario_pack_benchmark
+
+    print(f"running {grid_name} scenario-pack suite (seed {args.seed})...")
+    scenarios = run_scenario_pack_benchmark(quick=args.quick, seed=args.seed)
+    rows = []
+    for name, pack in scenarios["packs"].items():
+        for case, metrics in pack["cases"].items():
+            rows.append([
+                name, case, metrics["ticks"],
+                f"{metrics['mean_accuracy']:.3f}",
+                metrics["confident_wrong_in_motion"],
+                f"{metrics['false_alarm_rate']:.3f}",
+                f"{metrics['missed_alarm_rate']:.3f}",
+            ])
+    print(render_table(
+        ["pack", "engine", "ticks", "accuracy", "conf-wrong(motion)",
+         "false-alarm", "missed-alarm"], rows))
+    if out_dir is not None:
+        path = Path(out_dir) / "BENCH_simulation.json"
+        payload = json.loads(path.read_text()) if path.exists() else {}
+        payload["scenarios"] = scenarios
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"merged scenario metrics into {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -605,6 +648,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .bench import run_benchmarks
         out_dir = None if args.out_dir == "-" else args.out_dir
         grid_name = "quick" if args.quick else "full"
+        if args.suite == "scenarios":
+            return _run_bench_scenarios(args, out_dir, grid_name)
         print(f"running {grid_name} perf benchmark grid "
               f"(seed {args.seed})...")
         results = run_benchmarks(quick=args.quick, seed=args.seed,

@@ -206,6 +206,110 @@ class RobustnessConfig:
 
 
 @dataclass(frozen=True)
+class MotionConfig:
+    """Doppler-based gross-motion detection (DESIGN.md §16).
+
+    No analogue in the paper — its subjects sat still.  The reader's
+    Doppler column (paper Fig. 3, Eq. 2) is useless for breathing
+    (~0.01 Hz signal under ~1.5 Hz noise) but gross body motion
+    (walking, turning) moves the tag at walking speed, pushing the
+    *bin-averaged* Doppler far outside its noise floor.  The detector
+    bins the window's Doppler reports, z-scores each bin mean against a
+    MAD-estimated per-report sigma, and flags runs of significant bins.
+
+    All thresholds default so that a clean, still-subject capture never
+    flags: the z threshold and the absolute shift floor are both far
+    above what averaging pure noise can reach.
+
+    Attributes:
+        enabled: run the detector at all (``False`` restores the
+            pre-motion-gating pipeline bit-identically).
+        bin_s: width of the Doppler averaging bins.
+        z_threshold: significance threshold on ``|bin mean| * sqrt(n) /
+            sigma`` (sigma MAD-estimated from the window's reports).
+        min_shift_hz: absolute floor on a flagged bin's ``|mean|`` —
+            guards against a tiny MAD sigma making noise significant.
+        min_run_bins: consecutive flagged bins required before the
+            window counts as containing motion (single-bin blips are
+            interference, not a moving body).
+        gate_fraction: gate (suppress confidence toward zero) when at
+            least this fraction of the window's bins are flagged.
+        gate_recent_s: also gate when any flagged bin overlaps the
+            trailing this-many seconds of the window — motion *now*
+            invalidates the estimate even if the window average is calm.
+    """
+
+    enabled: bool = True
+    bin_s: float = 0.5
+    z_threshold: float = 4.5
+    min_shift_hz: float = 0.75
+    min_run_bins: int = 2
+    gate_fraction: float = 0.35
+    gate_recent_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.bin_s <= 0:
+            raise ConfigError("bin_s must be > 0")
+        if self.z_threshold <= 0:
+            raise ConfigError("z_threshold must be > 0")
+        if self.min_shift_hz < 0:
+            raise ConfigError("min_shift_hz must be >= 0")
+        if self.min_run_bins < 1:
+            raise ConfigError("min_run_bins must be >= 1")
+        if not 0 < self.gate_fraction <= 1:
+            raise ConfigError("gate_fraction must be in (0, 1]")
+        if self.gate_recent_s < 0:
+            raise ConfigError("gate_recent_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Estimator selection and phase-quality fallback (DESIGN.md §16).
+
+    The paper's pipeline is phase-only; Section IV-D.2 sketches RSSI
+    and Doppler "enhancement" without committing to a design.  This
+    config picks which :class:`~repro.core.estimators.BreathEstimator`
+    produces the rate, and — in ``auto`` mode — when to fall back from
+    the phase path to the RSS-amplitude path.
+
+    Phase quality is measured as the median absolute sample-to-sample
+    step of the fused displacement track: clean captures sit well under
+    a millimetre; when phase noise dominates, the track becomes a
+    random walk with centimetre-scale steps and the zero-crossing count
+    stops meaning breaths.
+
+    Attributes:
+        estimator: ``"zero_crossing"`` (the paper's Eq. 5 path),
+            ``"spectral"`` (Fig. 7 FFT-peak), ``"rss"`` (per-channel
+            demeaned RSSI amplitude, UbiBreathe-style), or ``"auto"``
+            (zero-crossing with RSS fallback under degraded phase).
+        roughness_enter_m: in ``auto`` mode, switch to the RSS fallback
+            when track roughness exceeds this.
+        roughness_exit_m: switch back to zero-crossing only when
+            roughness drops below this (must be below the enter
+            threshold; the dual threshold is the hysteresis band that
+            stops a borderline stream from flapping every tick).
+    """
+
+    estimator: str = "auto"
+    roughness_enter_m: float = 0.004
+    roughness_exit_m: float = 0.002
+
+    #: Every estimator name ``estimator`` accepts.
+    CHOICES = ("auto", "zero_crossing", "spectral", "rss")
+
+    def __post_init__(self) -> None:
+        if self.estimator not in self.CHOICES:
+            raise ConfigError(
+                f"estimator must be one of {self.CHOICES}, got {self.estimator!r}")
+        if self.roughness_enter_m <= 0:
+            raise ConfigError("roughness_enter_m must be > 0")
+        if not 0 < self.roughness_exit_m <= self.roughness_enter_m:
+            raise ConfigError(
+                "roughness_exit_m must be in (0, roughness_enter_m]")
+
+
+@dataclass(frozen=True)
 class ScenarioDefaults:
     """Default experiment settings (right column of Table I)."""
 
@@ -292,6 +396,8 @@ class SystemConfig:
     defaults: ScenarioDefaults = field(default_factory=ScenarioDefaults)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     robustness: RobustnessConfig = field(default_factory=RobustnessConfig)
+    motion: MotionConfig = field(default_factory=MotionConfig)
+    estimators: EstimatorConfig = field(default_factory=EstimatorConfig)
 
 
 def default_config() -> SystemConfig:

@@ -26,6 +26,17 @@ REASON_ANTENNA_FAILOVER = "antenna_failover"
 #: Hampel rejection removed a non-trivial fraction of displacement
 #: samples (phase glitches / pi-ambiguity flips).
 REASON_OUTLIERS = "phase_outliers"
+#: The Doppler motion detector found gross body motion (walking,
+#: turning) inside the analysis window; the displacement track is
+#: dominated by the motion artifact, not breathing.
+REASON_MOTION = "motion_artifact"
+#: The fused displacement track's phase quality fell below the fallback
+#: threshold (median sample-to-sample step too rough for zero-crossing
+#: counting to mean breaths).
+REASON_PHASE_DEGRADED = "phase_degraded"
+#: The estimate was produced by the RSS-amplitude fallback estimator
+#: rather than the paper's phase path.
+REASON_RSS_FALLBACK = "rss_fallback"
 
 #: Every degradation reason the pipeline can attach to an estimate.
 DEGRADED_REASONS = (
@@ -34,4 +45,7 @@ DEGRADED_REASONS = (
     REASON_TAG_DEATH,
     REASON_ANTENNA_FAILOVER,
     REASON_OUTLIERS,
+    REASON_MOTION,
+    REASON_PHASE_DEGRADED,
+    REASON_RSS_FALLBACK,
 )

@@ -37,7 +37,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import perf
-from ..config import PipelineConfig, RobustnessConfig
+from ..config import (
+    EstimatorConfig,
+    MotionConfig,
+    PipelineConfig,
+    RobustnessConfig,
+)
 from ..errors import EmptyStreamError, InsufficientDataError
 from ..reader.tagreport import TagReport
 from ..streams.timeseries import TimeSeries
@@ -49,8 +54,15 @@ from .degradation import (
     REASON_OUTLIERS,
     REASON_TAG_DEATH,
 )
+from .estimators import (
+    BreathEstimator,
+    EstimationWindow,
+    resolve_estimator,
+    track_roughness,
+)
 from .extraction import BreathExtractor, BreathingEstimate
 from .fusion import fuse_sample_streams
+from .motion import STILL, apply_motion, score_motion
 from .preprocess import (
     DEFAULT_MIN_SEGMENT_LEN,
     PhaseChainCursor,
@@ -78,6 +90,9 @@ class TickOutcome:
     reasons: List[str]
     n_rejected: int
     n_samples: int
+    estimator: str = "zero_crossing"
+    motion_gated: bool = False
+    motion_score: float = 0.0
 
 
 class UserStreamState:
@@ -94,6 +109,7 @@ class UserStreamState:
     def __init__(self) -> None:
         self.index = WindowIndex({
             "port": np.int64, "rssi": np.float64, "sid": np.int64,
+            "dop": np.float64, "chan": np.int64,
         })
         self.cursors: List[PhaseChainCursor] = []
         self.keys: List[StreamKey] = []
@@ -124,6 +140,9 @@ class IncrementalEstimator:
         extractor: BreathExtractor,
         select_antenna: bool,
         max_gap_s: float,
+        motion: Optional[MotionConfig] = None,
+        est_config: Optional[EstimatorConfig] = None,
+        estimators: Optional[Dict[str, BreathEstimator]] = None,
     ) -> None:
         self._frequencies = frequencies_hz
         self._config = config
@@ -131,6 +150,13 @@ class IncrementalEstimator:
         self._extractor = extractor
         self._select_antenna = select_antenna
         self._max_gap_s = max_gap_s
+        self._motion = motion if motion is not None else MotionConfig()
+        self._est_config = (est_config if est_config is not None
+                            else EstimatorConfig())
+        if estimators is None:
+            from .estimators import build_estimators
+            estimators = build_estimators(extractor)
+        self._estimators = estimators
         self._states: Dict[int, UserStreamState] = {}
 
     # ------------------------------------------------------------------
@@ -181,14 +207,16 @@ class IncrementalEstimator:
             state.cursors.append(PhaseChainCursor(
                 self._frequencies, max_gap_s=self._max_gap_s))
         state.index.add(report.timestamp_s, port=report.antenna_port,
-                        rssi=report.rssi_dbm, sid=sid)
+                        rssi=report.rssi_dbm, sid=sid,
+                        dop=report.doppler_hz, chan=report.channel_index)
         state.cursors[sid].push(report)
         state.version += 1
 
     def ingest_streams(self, groups: List[Tuple[StreamKey, np.ndarray]],
                        users: np.ndarray, tags: np.ndarray,
                        times: np.ndarray, phases: np.ndarray,
-                       rssis: np.ndarray, channels: np.ndarray,
+                       rssis: np.ndarray, dopplers: np.ndarray,
+                       channels: np.ndarray,
                        antennas: np.ndarray) -> None:
         """Vectorized :meth:`ingest` of one batch's accepted rows.
 
@@ -210,9 +238,9 @@ class IncrementalEstimator:
                 accepted rows — sorted by first accepted row, i.e. the
                 order row-wise ingest would first see (and create) each
                 stream.
-            users / tags / times / phases / rssis / channels / antennas:
-                the full batch columns (only ``rows`` positions are
-                read).
+            users / tags / times / phases / rssis / dopplers / channels
+                / antennas: the full batch columns (only ``rows``
+                positions are read).
         """
         if not groups:
             return
@@ -246,14 +274,17 @@ class IncrementalEstimator:
             if tail is None or tu[tsort[0]] >= tail:
                 srt = rows_u[tsort]
                 state.index.extend(tu[tsort], port=antennas[srt],
-                                   rssi=rssis[srt], sid=sids[srt])
+                                   rssi=rssis[srt], sid=sids[srt],
+                                   dop=dopplers[srt], chan=channels[srt])
             else:
                 # A straggler lands before the index tail (cross-stream
                 # reordering against previously fed data): rare, row-wise
                 # in arrival order.
                 for i in rows_u.tolist():
                     state.index.add(float(times[i]), port=int(antennas[i]),
-                                    rssi=float(rssis[i]), sid=int(sids[i]))
+                                    rssi=float(rssis[i]), sid=int(sids[i]),
+                                    dop=float(dopplers[i]),
+                                    chan=int(channels[i]))
             state.version += rows_u.shape[0]
 
         # Global chain pass: one stable lexsort arranges every accepted
@@ -308,8 +339,19 @@ class IncrementalEstimator:
     # ------------------------------------------------------------------
     # Tick side
     # ------------------------------------------------------------------
-    def estimate(self, user_id: int, window_s: float) -> TickOutcome:
+    def estimate(self, user_id: int, window_s: float,
+                 previous_estimator: Optional[str] = None,
+                 estimator_override: Optional[str] = None) -> TickOutcome:
         """One incremental tick over the trailing ``window_s`` seconds.
+
+        Args:
+            user_id: the user to estimate.
+            window_s: trailing-window length.
+            previous_estimator: the user's fallback hysteresis memory
+                (the estimator that produced their previous streaming
+                estimate), owned by the pipeline.
+            estimator_override: per-call estimator override, bypassing
+                ``auto`` selection.
 
         Raises:
             InsufficientDataError: no streamed data for the user, or the
@@ -334,10 +376,19 @@ class IncrementalEstimator:
             ports = index.column("port")[a:b]
             rssis = index.column("rssi")[a:b]
             sids = index.column("sid")[a:b]
+            dops = index.column("dop")[a:b]
+            chans = index.column("chan")[a:b]
             # Stage 1 (delivery hygiene) is a no-op here by construction:
             # feed() enforces per-stream order and dedup and the index
             # keeps global time order, so sanitize_reports would find
             # nothing to count.
+
+            # The motion screen (stage 4b) scores the *full* sanitized
+            # window — all antennas, pre-demotion — exactly like the
+            # batch path: antenna selection exists for phase continuity,
+            # while Doppler motion evidence is antenna-agnostic.
+            m_times = times
+            m_dops = dops
 
             # Stage 2: antenna selection with failover past dead ports.
             antenna_port: Optional[int] = None
@@ -351,6 +402,10 @@ class IncrementalEstimator:
                 keep = ports == antenna_port
                 times = times[keep]
                 sids = sids[keep]
+                ports = ports[keep]
+                rssis = rssis[keep]
+                dops = dops[keep]
+                chans = chans[keep]
             elif unique_ports.size == 1:
                 antenna_port = int(unique_ports[0])
 
@@ -370,6 +425,10 @@ class IncrementalEstimator:
                     keep = ~np.isin(sids, dead)
                     times = times[keep]
                     sids = sids[keep]
+                    ports = ports[keep]
+                    rssis = rssis[keep]
+                    dops = dops[keep]
+                    chans = chans[keep]
 
             # Stage 4: coverage — long holes in the read times.
             if times.shape[0] > 1:
@@ -381,6 +440,13 @@ class IncrementalEstimator:
                 if excess > 0.0:
                     reasons.append(REASON_GAPS)
                     confidence *= max(0.5, 1.0 - excess / span)
+
+            # Stage 4b: Doppler motion screen (same pure function, same
+            # full-window pre-selection arrays as the batch path).
+            motion = STILL
+            if self._motion.enabled and m_times.shape[0]:
+                motion = score_motion(m_times, m_dops, self._motion)
+                confidence = apply_motion(motion, reasons, confidence)
 
         with perf.stage("pipeline.tick.fuse"):
             # Stage 5: per-tag windowed displacement (from the feed-time
@@ -413,7 +479,19 @@ class IncrementalEstimator:
                 confidence *= max(0.7, 1.0 - 5.0 * n_rejected / n_samples)
 
         with perf.stage("pipeline.tick.extract"):
-            estimate = self._extractor.estimate(fused.track)
+            # Stage 6: estimator selection + extraction (DESIGN.md §16),
+            # identical arithmetic and ordering to the batch path.
+            roughness = track_roughness(fused.track)
+            chosen, est_factor = resolve_estimator(
+                self._est_config, roughness, previous_estimator,
+                estimator_override, reasons)
+            confidence *= est_factor
+            # ``tag=sids`` labels the same per-tag groups the batch path
+            # labels with tag_id — only the partition is contracted.
+            est_window = EstimationWindow(
+                track=fused.track, times=times, rssi=rssis,
+                channel=chans, antenna=ports, tag=sids)
+            estimate = self._estimators[chosen].estimate(est_window)
 
         return TickOutcome(
             estimate=estimate,
@@ -424,6 +502,9 @@ class IncrementalEstimator:
             reasons=reasons,
             n_rejected=n_rejected,
             n_samples=n_samples,
+            estimator=chosen,
+            motion_gated=motion.gated,
+            motion_score=motion.score,
         )
 
 

@@ -38,7 +38,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from .. import obs, perf
-from ..config import PipelineConfig, RobustnessConfig
+from ..config import (
+    EstimatorConfig,
+    MotionConfig,
+    PipelineConfig,
+    RobustnessConfig,
+)
 from ..epc.codec import EPC96
 from ..errors import (
     DegradedEstimateWarning,
@@ -55,8 +60,17 @@ from .degradation import (
     REASON_ANTENNA_FAILOVER,
     REASON_DISORDERED,
     REASON_GAPS,
+    REASON_MOTION,
     REASON_OUTLIERS,
+    REASON_PHASE_DEGRADED,
+    REASON_RSS_FALLBACK,
     REASON_TAG_DEATH,
+)
+from .estimators import (
+    EstimationWindow,
+    build_estimators,
+    resolve_estimator,
+    track_roughness,
 )
 from .extraction import BreathExtractor, BreathingEstimate
 from .fusion import (
@@ -65,6 +79,7 @@ from .fusion import (
     group_reports_by_user,
 )
 from .incremental import IncrementalEstimator
+from .motion import STILL, MotionReport, apply_motion, score_motion
 from .preprocess import (
     DEFAULT_MAX_GAP_S,
     DEFAULT_SEGMENT_GAP_S,
@@ -82,6 +97,7 @@ __all__ = [
     "MODES", "FEED_DROP_KEYS", "DEGRADED_REASONS",
     "REASON_DISORDERED", "REASON_GAPS", "REASON_TAG_DEATH",
     "REASON_ANTENNA_FAILOVER", "REASON_OUTLIERS",
+    "REASON_MOTION", "REASON_PHASE_DEGRADED", "REASON_RSS_FALLBACK",
     "sanitize_reports", "UserEstimate", "TagBreathe",
 ]
 
@@ -251,10 +267,22 @@ class UserEstimate:
         confidence: 1.0 for a clean, fully-backed estimate; lowered
             multiplicatively for every degradation the pipeline had to
             survive (report loss, dead tags, antenna failover, rejected
-            outliers).  Callers gate on this to tell a trustworthy
-            estimate from a best-effort one.
+            outliers, detected motion).  Callers gate on this to tell a
+            trustworthy estimate from a best-effort one.
         degraded_reasons: which degradations occurred, as stable machine
             names from :data:`DEGRADED_REASONS` (empty = clean).
+        estimator: which :class:`~repro.core.estimators.BreathEstimator`
+            produced the rate — ``"zero_crossing"`` (the paper's path),
+            ``"spectral"``, or ``"rss"`` (the UbiBreathe-style
+            fallback; accompanied by ``rss_fallback`` in
+            ``degraded_reasons`` when ``auto`` mode chose it).
+        motion_gated: the Doppler motion detector found gross body
+            motion extensive or recent enough that the rate over this
+            window should not be trusted at all (DESIGN.md §16);
+            confidence is pinned low when set.
+        motion_score: the detector's largest bin z-score (0.0 when
+            still or the detector is disabled; walking-scale motion
+            scores in the tens).
     """
 
     user_id: int
@@ -264,6 +292,9 @@ class UserEstimate:
     read_count: int
     confidence: float = 1.0
     degraded_reasons: Tuple[str, ...] = field(default=())
+    estimator: str = "zero_crossing"
+    motion_gated: bool = False
+    motion_score: float = 0.0
 
     @property
     def rate_bpm(self) -> float:
@@ -304,6 +335,12 @@ class TagBreathe:
             Disable to benchmark against, or fall back to, the
             from-scratch recompute path; results are identical either
             way.
+        motion: Doppler motion-detection thresholds (DESIGN.md §16);
+            defaults never flag a clean still-subject capture.
+        estimators: estimator selection and fallback hysteresis; the
+            default ``auto`` runs the paper's zero-crossing path with
+            RSS fallback under degraded phase, which on clean captures
+            is bit-identical to the pre-lattice pipeline.
 
     Raises:
         ExtractionError: on an unknown mode or filter type.
@@ -321,6 +358,8 @@ class TagBreathe:
         smooth_k: int = DEFAULT_SMOOTH_K,
         robustness: Optional[RobustnessConfig] = None,
         incremental: bool = True,
+        motion: Optional[MotionConfig] = None,
+        estimators: Optional[EstimatorConfig] = None,
     ) -> None:
         if mode not in MODES:
             raise ExtractionError(f"mode must be one of {MODES}, got {mode!r}")
@@ -338,6 +377,16 @@ class TagBreathe:
         self._max_gap_s = max_gap_s
         self._smooth_k = smooth_k
         self._robustness = robustness if robustness is not None else RobustnessConfig()
+        self._motion = motion if motion is not None else MotionConfig()
+        self._est_config = (estimators if estimators is not None
+                            else EstimatorConfig())
+        # The estimator lattice: every rate-producing path behind one
+        # interface, sharing the extraction stage (DESIGN.md §16).
+        self._estimators = build_estimators(self._extractor)
+        # Per-user fallback hysteresis memory for auto mode: the
+        # estimator that produced the user's previous *streaming*
+        # estimate.  Batch process() stays stateless (previous=None).
+        self._active_estimator: Dict[int, str] = {}
         # Streaming state: raw reports buffered per (user, tag) stream.
         # The buffers are the checkpointable source of truth; the
         # incremental estimator below is derived state, rebuilt
@@ -355,8 +404,12 @@ class TagBreathe:
         if incremental and mode == "samples":
             self._inc = IncrementalEstimator(
                 self._frequencies, self._config, self._robustness,
-                self._extractor, self._select_antenna, self._max_gap_s)
-        self._tick_memo: Dict[Tuple[int, float], Tuple[int, str, object]] = {}
+                self._extractor, self._select_antenna, self._max_gap_s,
+                motion=self._motion, est_config=self._est_config,
+                estimators=self._estimators)
+        # Memo key: (user_id, window_s, per-call estimator override).
+        self._tick_memo: Dict[Tuple[int, float, Optional[str]],
+                              Tuple[int, str, object]] = {}
 
     @property
     def config(self) -> PipelineConfig:
@@ -482,7 +535,10 @@ class TagBreathe:
         return fused.track, n_rejected, n_samples
 
     def _process_user(self, user_id: int,
-                      user_reports: List[TagReport]) -> UserEstimate:
+                      user_reports: List[TagReport],
+                      previous_estimator: Optional[str] = None,
+                      estimator_override: Optional[str] = None
+                      ) -> UserEstimate:
         rb = self._robustness
         reasons: List[str] = []
         confidence = 1.0
@@ -493,6 +549,13 @@ class TagBreathe:
         if n_bad:
             reasons.append(REASON_DISORDERED)
             confidence *= max(0.6, 1.0 - n_bad / max(1, len(user_reports)))
+
+        # The Doppler motion screen (stage 4b) scores the *full* sanitized
+        # window, before antenna selection and staleness demotion: those
+        # filters exist for phase continuity, while Doppler motion
+        # evidence is antenna-agnostic and halving the reports halves the
+        # z-test's sqrt(n).
+        motion_window = working
 
         # 2. Antenna selection with failover past dead ports.
         antenna_port: Optional[int] = None
@@ -535,6 +598,17 @@ class TagBreathe:
                 reasons.append(REASON_GAPS)
                 confidence *= max(0.5, 1.0 - excess / span)
 
+        # 4b. Doppler motion screen over the full sanitized window (all
+        #     antennas, pre-demotion — see stage 2) — gross body motion
+        #     (walking, turning) corrupts phase *and* RSS, so the verdict
+        #     applies whichever estimator runs below.
+        motion: MotionReport = STILL
+        if self._motion.enabled and motion_window:
+            m_times = np.array([r.timestamp_s for r in motion_window])
+            m_dop = np.array([r.doppler_hz for r in motion_window])
+            motion = score_motion(m_times, m_dop, self._motion)
+            confidence = apply_motion(motion, reasons, confidence)
+
         # 5. Fusion with per-stream Hampel outlier rejection.  Too few
         # reads to even form a displacement sample is an insufficient-data
         # failure, not a stream-misuse bug: translate so process_detailed
@@ -548,10 +622,30 @@ class TagBreathe:
             reasons.append(REASON_OUTLIERS)
             confidence *= max(0.7, 1.0 - 5.0 * n_rejected / n_samples)
 
-        estimate = self._extractor.estimate(track)
+        # 6. Estimator selection (DESIGN.md §16): the fused track's
+        #    roughness decides whether the paper's zero-crossing path is
+        #    trustworthy or the RSS fallback takes over.
+        roughness = track_roughness(track)
+        chosen, est_factor = resolve_estimator(
+            self._est_config, roughness, previous_estimator,
+            estimator_override, reasons)
+        confidence *= est_factor
+        window = EstimationWindow(
+            track=track,
+            times=np.array([r.timestamp_s for r in working]),
+            rssi=np.array([r.rssi_dbm for r in working]),
+            channel=np.array([r.channel_index for r in working],
+                             dtype=np.int64),
+            antenna=np.array([r.antenna_port for r in working],
+                             dtype=np.int64),
+            tag=np.array([r.tag_id for r in working], dtype=np.int64),
+        )
+        estimate = self._estimators[chosen].estimate(window)
         return self._finalize_estimate(
             user_id, estimate, antenna_port, len(streams), len(working),
-            confidence, reasons, n_rejected, warn_stacklevel=4)
+            confidence, reasons, n_rejected, warn_stacklevel=4,
+            estimator=chosen, motion_gated=motion.gated,
+            motion_score=motion.score)
 
     def _finalize_estimate(
         self,
@@ -564,6 +658,9 @@ class TagBreathe:
         reasons: List[str],
         n_rejected: int,
         warn_stacklevel: int,
+        estimator: str = "zero_crossing",
+        motion_gated: bool = False,
+        motion_score: float = 0.0,
     ) -> UserEstimate:
         """Shared tail of both estimate paths: clamp, count, warn, build.
 
@@ -576,6 +673,10 @@ class TagBreathe:
         if obs.enabled():
             registry = obs.get_registry()
             registry.counter("repro_pipeline_estimates_total").inc()
+            registry.counter("repro_pipeline_estimator_total",
+                             estimator=estimator).inc()
+            if motion_gated:
+                registry.counter("repro_pipeline_motion_gated_total").inc()
             if n_rejected:
                 registry.counter(
                     "repro_pipeline_hampel_rejected_total").inc(n_rejected)
@@ -599,6 +700,9 @@ class TagBreathe:
             read_count=read_count,
             confidence=confidence,
             degraded_reasons=tuple(reasons),
+            estimator=estimator,
+            motion_gated=motion_gated,
+            motion_score=motion_score,
         )
 
     # ------------------------------------------------------------------
@@ -764,7 +868,7 @@ class TagBreathe:
             accepted.sort(key=lambda kr: int(kr[1][0]))
             self._inc.ingest_streams(
                 accepted, user, tag, t, batch.phase, batch.rssi,
-                batch.channel, batch.antenna)
+                batch.doppler, batch.channel, batch.antenna)
         if n_late:
             self._feed_drops["late"] += n_late
         if n_dup:
@@ -811,7 +915,8 @@ class TagBreathe:
         return sum(self._feed_drops.values())
 
     def estimate_user(self, user_id: int,
-                      window_s: Optional[float] = None) -> UserEstimate:
+                      window_s: Optional[float] = None,
+                      estimator: Optional[str] = None) -> UserEstimate:
         """Estimate from the trailing window of streamed data.
 
         With incremental state enabled (the default in samples mode) this
@@ -827,22 +932,37 @@ class TagBreathe:
         not on cache hits.  Results are bit-for-bit identical to
         :meth:`estimate_user_recompute`.
 
+        The returned :class:`UserEstimate` carries the full degradation
+        bookkeeping: ``confidence`` (1.0 for a clean window, lowered
+        multiplicatively per survived fault), ``degraded_reasons``
+        (stable machine names from :data:`DEGRADED_REASONS`),
+        ``estimator`` (which lattice path produced the rate —
+        ``auto`` mode falls back from zero-crossing to RSS under
+        degraded phase and tags the estimate ``rss_fallback``), and
+        ``motion_gated``/``motion_score`` (the Doppler motion
+        detector's verdict; a gated estimate should not be trusted).
+
         Args:
             user_id: the user to estimate.
             window_s: analysis window length (default: 25 s, the paper's
                 characterisation window).
+            estimator: per-call estimator override ("zero_crossing",
+                "spectral", or "rss") — bypasses ``auto`` selection
+                without touching the user's fallback hysteresis state.
 
         Raises:
             InsufficientDataError: when no streamed data covers the user
                 or the window holds too little signal.
+            ExtractionError: on an unknown ``estimator`` name.
         """
         if self._inc is None:
-            return self.estimate_user_recompute(user_id, window_s=window_s)
+            return self.estimate_user_recompute(user_id, window_s=window_s,
+                                                estimator=estimator)
         window = window_s if window_s is not None else self._window_s()
         version = self._inc.version(user_id)
         if version < 0:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
-        memo_key = (user_id, window)
+        memo_key = (user_id, window, estimator)
         cached = self._tick_memo.get(memo_key)
         if cached is not None and cached[0] == version:
             obs.counter("repro_pipeline_tick_cache_total",
@@ -851,22 +971,39 @@ class TagBreathe:
                 return cached[2]
             raise InsufficientDataError(cached[2])
         obs.counter("repro_pipeline_tick_cache_total", result="miss").inc()
+        previous = self._active_estimator.get(user_id)
         with obs.span("pipeline.tick", user_id=user_id), \
                 perf.stage("pipeline.tick"):
             try:
-                outcome = self._inc.estimate(user_id, window)
+                outcome = self._inc.estimate(
+                    user_id, window, previous_estimator=previous,
+                    estimator_override=estimator)
             except InsufficientDataError as exc:
                 self._tick_memo[memo_key] = (version, "err", str(exc))
                 raise
             result = self._finalize_estimate(
                 user_id, outcome.estimate, outcome.antenna_port,
                 outcome.tags_fused, outcome.read_count, outcome.confidence,
-                outcome.reasons, outcome.n_rejected, warn_stacklevel=3)
+                outcome.reasons, outcome.n_rejected, warn_stacklevel=3,
+                estimator=outcome.estimator,
+                motion_gated=outcome.motion_gated,
+                motion_score=outcome.motion_score)
         self._tick_memo[memo_key] = (version, "ok", result)
+        if estimator is None:
+            self._note_estimator(user_id, previous, result.estimator)
         return result
 
+    def _note_estimator(self, user_id: int, previous: Optional[str],
+                        chosen: str) -> None:
+        """Update the fallback hysteresis memory; count transitions."""
+        self._active_estimator[user_id] = chosen
+        if previous is not None and previous != chosen:
+            obs.counter("repro_pipeline_estimator_transitions_total",
+                        to=chosen).inc()
+
     def estimate_user_recompute(self, user_id: int,
-                                window_s: Optional[float] = None
+                                window_s: Optional[float] = None,
+                                estimator: Optional[str] = None
                                 ) -> UserEstimate:
         """The from-scratch reference tick over the streamed buffers.
 
@@ -876,7 +1013,16 @@ class TagBreathe:
         This is the oracle :meth:`estimate_user`'s incremental state is
         validated against, the fallback for ``mode="increments"`` and
         engines built with ``incremental=False``, and the baseline the
-        serve-capacity benchmark measures against.
+        serve-capacity benchmark measures against.  Shares the fallback
+        hysteresis memory with :meth:`estimate_user` (the selection is
+        idempotent once the memory holds the choice, so interleaving the
+        two paths cannot diverge).
+
+        Args:
+            user_id: the user to estimate.
+            window_s: analysis window length (default: 25 s).
+            estimator: per-call estimator override, as in
+                :meth:`estimate_user`.
         """
         window = window_s if window_s is not None else self._window_s()
         t_latest = None
@@ -898,7 +1044,13 @@ class TagBreathe:
         user_reports.sort(key=lambda r: r.timestamp_s)
         if not user_reports:
             raise InsufficientDataError(f"no streamed data for user {user_id}")
-        return self._process_user(user_id, user_reports)
+        previous = self._active_estimator.get(user_id)
+        result = self._process_user(user_id, user_reports,
+                                    previous_estimator=previous,
+                                    estimator_override=estimator)
+        if estimator is None:
+            self._note_estimator(user_id, previous, result.estimator)
+        return result
 
     def streamed_users(self) -> List[int]:
         """Users with at least one buffered report."""
@@ -1018,6 +1170,7 @@ class TagBreathe:
         self._feed_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
         self._last_restore_drops = dict.fromkeys(FEED_DROP_KEYS, 0)
         self._tick_memo.clear()
+        self._active_estimator.clear()
         if self._inc is not None:
             self._inc.reset()
 

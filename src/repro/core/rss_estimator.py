@@ -1,0 +1,130 @@
+"""RSS-amplitude breathing estimation — the fallback path of DESIGN.md §16.
+
+The paper's Fig. 2 shows the RSSI of a chest tag rippling with
+breathing, then Section IV-A rejects it for the production path: the
+0.5 dBm quantisation cannot resolve subtle motion.  UbiBreathe (arXiv
+1505.02388) demonstrated the opposite trade: RSS alone carries a usable
+breathing estimate when processed carefully, and — crucially — its
+failure modes are *independent* of the phase path's.  Heavy phase noise
+(dense multipath, marginal SNR, interference) randomises the Eq. 3
+displacement track while leaving the amplitude ripple intact, which is
+exactly the regime where this estimator takes over from zero-crossing
+(see :func:`repro.core.estimators.select_estimator`).
+
+Recipe:
+
+1. subtract each (tag, channel, antenna) group's mean RSSI — the
+   amplitude analogue of the phase path's per-(tag, channel) grouping.
+   Tag membership matters as much as channel: a user's tags sit at
+   different ranges/placements, so their mean levels differ by many dB —
+   far more than the sub-dB breathing ripple — and a merge without
+   per-tag demeaning is dominated by inter-tag level jumps;
+2. average each group *separately* within 0.25 s bins — quantised
+   readings dither across the 0.5 dBm steps, so the bin mean recovers
+   sub-step amplitude;
+3. combine the groups coherently via their first principal component.
+   The breathing ripple rides a standing-wave pattern whose phase is
+   an independent unknown per link, so each (tag, channel, antenna)
+   group sees the same chest motion with a *random sign and scale* —
+   some groups even sit at a standing-wave null, where the response
+   frequency-doubles.  A naive concatenation therefore cancels as
+   often as it adds (and the cancellation residue beats at twice the
+   breathing rate); the dominant SVD component instead learns each
+   group's sign/weight and adds them in phase — the cheap analogue of
+   the subcarrier-PCA combining used by CSI breathing sensors;
+4. resample to a regular 20 Hz grid and run the same
+   filter/zero-crossing extraction as the phase path (Eq. 5 semantics
+   preserved: the estimate is still a median of crossing-pair rates;
+   crossing positions are invariant to the principal component's
+   arbitrary overall sign, which is canonicalised anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+from ..streams.resample import resample_linear
+from ..streams.timeseries import TimeSeries
+from .estimators import BreathEstimator, EstimationWindow
+from .extraction import BreathExtractor, BreathingEstimate
+
+#: Averaging-bin width [s]; matches the Fig. 2 RSSI baseline.
+RSS_BIN_S = 0.25
+
+#: Regular-grid rate [Hz] for filtering; matches the baselines' grid.
+RSS_GRID_HZ = 20.0
+
+#: Antenna ports are 1-4 (Impinj R420), so 8 strides are enough to pack
+#: the antenna into one integer key without collisions; 1024 channel
+#: strides cover every regulatory hop plan.  Together they pack
+#: (tag, channel, antenna) into a single collision-free int64 key.
+_ANTENNA_STRIDE = 8
+_CHANNEL_STRIDE = 1024
+
+
+class RSSEstimator(BreathEstimator):
+    """UbiBreathe-style estimator: rate from the RSS amplitude ripple."""
+
+    name = "rss"
+
+    def __init__(self, extractor: BreathExtractor) -> None:
+        self._extractor = extractor
+
+    def estimate(self, window: EstimationWindow) -> BreathingEstimate:
+        """Estimate the window's breathing rate from its RSSI column.
+
+        Raises:
+            InsufficientDataError: with too few reads, too few distinct
+                timestamps, or too few crossings downstream.
+        """
+        times = window.times
+        n = int(times.shape[0])
+        if n < 8:
+            raise InsufficientDataError("too few reads for RSS estimation")
+        key = ((window.tag.astype(np.int64) * _CHANNEL_STRIDE
+                + window.channel.astype(np.int64)) * _ANTENNA_STRIDE
+               + window.antenna.astype(np.int64))
+        uniq, inverse = np.unique(key, return_inverse=True)
+        n_groups = int(uniq.shape[0])
+        # Canonicalise group ids to order-of-first-appearance: the tag
+        # column only contracts the *partition* (the streaming path uses
+        # different label values for the same groups), and the SVD below
+        # must see the identical matrix either way.
+        first_seen = np.full(n_groups, n, dtype=np.int64)
+        np.minimum.at(first_seen, inverse, np.arange(n, dtype=np.int64))
+        rank = np.empty(n_groups, dtype=np.int64)
+        rank[np.argsort(first_seen, kind="stable")] = np.arange(n_groups)
+        group = rank[inverse]
+        sums = np.bincount(group, weights=window.rssi, minlength=n_groups)
+        counts = np.bincount(group, minlength=n_groups)
+        demeaned = window.rssi - (sums / counts)[group]
+
+        # Per-group bin means on one shared grid.
+        t0 = float(times[0])
+        bins = np.floor((times - t0) / RSS_BIN_S).astype(np.int64)
+        n_bins = int(bins[-1]) + 1
+        flat = group * n_bins + bins
+        bin_sums = np.bincount(flat, weights=demeaned,
+                               minlength=n_groups * n_bins)
+        bin_counts = np.bincount(flat, minlength=n_groups * n_bins)
+        matrix = np.zeros(n_groups * n_bins)
+        occupied = bin_counts > 0
+        matrix[occupied] = bin_sums[occupied] / bin_counts[occupied]
+        matrix = matrix.reshape(n_groups, n_bins)
+        bin_occupied = occupied.reshape(n_groups, n_bins).any(axis=0)
+        if int(bin_occupied.sum()) < 8:
+            raise InsufficientDataError("too few RSS bins for estimation")
+
+        # Coherent combine: dominant SVD component across groups.  The
+        # overall sign is arbitrary; pin it so the largest-magnitude
+        # sample is positive (crossing extraction would not care, but a
+        # canonical series keeps both estimate paths bit-identical).
+        _, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+        combined = vt[0] * singular[0]
+        if combined[np.argmax(np.abs(combined))] < 0.0:
+            combined = -combined
+        centers = t0 + (np.arange(n_bins) + 0.5) * RSS_BIN_S
+        series = TimeSeries(centers[bin_occupied], combined[bin_occupied])
+        regular = resample_linear(series, RSS_GRID_HZ)
+        return self._extractor.estimate(regular)

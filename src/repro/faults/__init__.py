@@ -8,7 +8,8 @@ chainable transforms that perturb a
 deployed RFID installation actually sees — report loss (i.i.d. and
 bursty), tag dropout and permanent death, antenna-port outages, phase
 glitches and pi-ambiguity flips, timestamp jitter, duplicate and
-out-of-order delivery, and interference bursts.
+out-of-order delivery, interference bursts, and gross
+subject-motion bursts.
 
 Every injector is severity-parameterised with a guaranteed identity at
 severity 0, and every chain is reproducible under a fixed seed.  See
@@ -24,6 +25,7 @@ from .injectors import (
     DuplicateReports,
     FaultInjector,
     InterferenceBurst,
+    MotionBurst,
     OutOfOrderDelivery,
     PhaseOutliers,
     PhasePiFlips,
@@ -49,4 +51,5 @@ __all__ = [
     "TimestampJitter",
     "DuplicateReports",
     "OutOfOrderDelivery",
+    "MotionBurst",
 ]

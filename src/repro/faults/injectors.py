@@ -31,7 +31,12 @@ import numpy as np
 
 from ..errors import FaultInjectionError
 from ..reader.tagreport import TagReport
-from ..units import TWO_PI
+from ..units import TWO_PI, wavelength
+
+#: Mid-band FCC carrier wavelength [m] used to turn burst kinematics into
+#: phase/Doppler perturbations (channel-exact wavelengths would need the
+#: hop table; the ~1% spread across the band does not matter here).
+_NOMINAL_LAMBDA_M = float(wavelength(915.0e6))
 
 
 def _span(reports: Sequence[TagReport]) -> Tuple[float, float]:
@@ -448,6 +453,68 @@ class OutOfOrderDelivery(FaultInjector):
         return [reports[i] for i in order]
 
 
+# ----------------------------------------------------------------------
+# Subject motion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MotionBurst(FaultInjector):
+    """Gross body-motion bursts: the subject shifts, turns, or walks.
+
+    The paper's pipeline (and its evaluation) assumes a mostly-still
+    subject; this injector breaks that assumption on purpose.  Each
+    burst moves the whole tag array through a smooth raised-cosine
+    excursion of ``excursion_m`` metres over ``burst_s`` seconds:
+    inside the window every report's phase advances by the Eq. 3
+    displacement term (``4*pi*d/lambda``, wrapped) and its Doppler
+    reading picks up the coherent ``v/lambda`` shift that the motion
+    detector (:mod:`repro.core.motion`) keys on.  After a burst the
+    phase offset *persists* — the body settled somewhere new.
+
+    ``severity`` scales burst coverage exactly like
+    :class:`InterferenceBurst`: about ``severity * span / burst_s``
+    bursts per capture, each at a seeded start time with a seeded
+    direction.
+    """
+
+    severity: float
+    burst_s: float = 3.0
+    excursion_m: float = 1.5
+    name = "motion_burst"
+
+    def __post_init__(self) -> None:
+        self._validate_severity()
+        if self.burst_s <= 0:
+            raise FaultInjectionError("motion_burst: burst_s must be > 0")
+        if self.excursion_m <= 0:
+            raise FaultInjectionError("motion_burst: excursion_m must be > 0")
+
+    def _transform(self, reports, rng):
+        t0, t1 = _span(reports)
+        span = max(t1 - t0, self.burst_s)
+        n_bursts = max(1, int(round(self.severity * span / self.burst_s)))
+        starts = rng.uniform(t0, max(t0, t1 - self.burst_s), size=n_bursts)
+        signs = rng.choice((-1.0, 1.0), size=n_bursts)
+        times = np.array([r.timestamp_s for r in reports])
+        disp = np.zeros(times.shape[0])
+        vel = np.zeros(times.shape[0])
+        peak_v = self.excursion_m * np.pi / (2.0 * self.burst_s)
+        for start, sign in zip(starts, signs):
+            u = np.clip((times - start) / self.burst_s, 0.0, 1.0)
+            disp += sign * self.excursion_m * (1.0 - np.cos(np.pi * u)) / 2.0
+            vel += sign * peak_v * np.sin(np.pi * u)
+        phase_delta = 2.0 * TWO_PI * disp / _NOMINAL_LAMBDA_M
+        doppler_delta = vel / _NOMINAL_LAMBDA_M
+        moved = (disp != 0.0) | (vel != 0.0)
+        return [
+            replace(
+                r,
+                phase_rad=float((r.phase_rad + dp) % TWO_PI),
+                doppler_hz=float(r.doppler_hz + dd),
+            ) if m else r
+            for r, m, dp, dd in zip(reports, moved, phase_delta, doppler_delta)
+        ]
+
+
 #: Every concrete injector class, for property tests and CLI listings.
 ALL_INJECTORS = (
     ReportDrop,
@@ -461,4 +528,5 @@ ALL_INJECTORS = (
     TimestampJitter,
     DuplicateReports,
     OutOfOrderDelivery,
+    MotionBurst,
 )

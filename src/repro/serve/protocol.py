@@ -394,6 +394,8 @@ def estimate_to_wire(user_id: int, stream_t: float, estimate: Any,
         "rate_bpm": estimate.rate_bpm,
         "confidence": estimate.confidence,
         "degraded_reasons": list(estimate.degraded_reasons),
+        "estimator": estimate.estimator,
+        "motion_gated": estimate.motion_gated,
         "tags_fused": estimate.tags_fused,
         "read_count": estimate.read_count,
         "antenna_port": estimate.antenna_port,

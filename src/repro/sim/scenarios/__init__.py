@@ -1,0 +1,39 @@
+"""Scenario packs: named stress regimes with ground truth and scoring.
+
+The paper evaluates still, metronome-paced subjects; deployment sees
+motion artifacts, apneas, crowded wards, and overnight drift.  Each
+pack here bottles one such regime as a deterministic
+:class:`~repro.sim.scenarios.evaluate.PackSpec` — scenario, tick
+cadence, engine configurations, and schedule-derived ground-truth event
+windows — and :func:`~repro.sim.scenarios.evaluate.evaluate_pack`
+scores every tick for accuracy, confident-but-wrong estimates, and
+false/missed motion alarms.
+
+Run them via ``repro bench --suite scenarios`` or the regenerating
+benchmark ``benchmarks/test_scenario_packs.py``; the published numbers
+live under the ``"scenarios"`` key of ``BENCH_simulation.json`` and are
+guarded by ``tools/check_bench_regression.py``.
+"""
+
+from .evaluate import (CONFIDENT_CONFIDENCE, MIN_MOTION_OVERLAP_S,
+                       WRONG_ACCURACY, PackSpec, evaluate_pack)
+from .packs import (PACKS, WARD_PHASE_NOISE, WARD_WINDOW_S, apnea_sigh_pack,
+                    build_pack, motion_bursts_pack, overnight_pack,
+                    pack_names, ward_pack)
+
+__all__ = [
+    "CONFIDENT_CONFIDENCE",
+    "MIN_MOTION_OVERLAP_S",
+    "WRONG_ACCURACY",
+    "PackSpec",
+    "evaluate_pack",
+    "PACKS",
+    "WARD_PHASE_NOISE",
+    "WARD_WINDOW_S",
+    "apnea_sigh_pack",
+    "build_pack",
+    "motion_bursts_pack",
+    "overnight_pack",
+    "pack_names",
+    "ward_pack",
+]

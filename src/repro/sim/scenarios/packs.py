@@ -1,0 +1,197 @@
+"""The four scenario packs: named stress regimes with ground truth.
+
+Each builder returns a :class:`~repro.sim.scenarios.evaluate.PackSpec`
+for one regime the paper's still-subject evaluation never exercised:
+
+* ``motion_bursts`` — seated users who periodically lean/reach at
+  walking-scale excursions.  Exercises the Doppler motion detector; the
+  contract is zero confident-but-wrong estimates during motion.
+* ``apnea_sigh`` — clinically eventful breathing (10-25 s apnea holds,
+  occasional sighs).  Exercises rate truth under holds and the
+  pipeline's willingness to refuse rather than invent a rate.
+* ``ward`` — a three-bed ward under heavy phase noise.  The phase
+  displacement track random-walks; the ``auto`` estimator lattice must
+  hold accuracy through the RSS fallback while a phase-only engine
+  collapses (the DESIGN.md §16 acceptance pair).
+* ``overnight`` — one lying subject, long capture, sparse events of
+  both kinds.  The closest pack to the deployment the system exists
+  for.
+
+Every pack is deterministic given ``(pack, seed)``: waveform/transient
+schedules are seeded off the pack seed, and ground-truth event windows
+are read straight from the schedules, never re-derived from signals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ...body.activities import RestlessBreathing, TransientMotion
+from ...body.subject import Subject
+from ...body.waveforms import ApneaSighBreathing, MetronomeBreathing
+from ...config import EstimatorConfig
+from ...errors import ScenarioError
+from ...rf.noise import PhaseNoiseModel
+from ..scenario import Scenario
+from .evaluate import PackSpec
+
+#: Walking-scale transient.  Transients ride the breathing motion axis
+#: (toward the antenna), and the placement ``motion_share`` (~0.5
+#: averaged over the standard mixed-style placements) halves the
+#: effective excursion: a 3 m out-and-back over 5 s is ~1.5 m effective
+#: — the subject leans/steps a big step toward the reader and returns
+#: at ~0.9 m/s peak.  The sizing is deliberate on three axes: the
+#: effective excursion must stay well short of the subject-antenna
+#: distance (a sweep through the antenna's near field/beam edge drops
+#: the link and starves the detector of the hottest bins); the peak
+#: speed must push binned Doppler z-scores well past the z=4.5
+#: threshold; and each velocity lobe must span >= 2 consecutive
+#: half-second bins (``min_run_bins=2``) — short sharp bursts leave
+#: only isolated hot bins, which the run filter correctly refuses to
+#: call motion.
+_BURST_AMPLITUDE_M = 3.0
+_BURST_DURATION_S = 5.0
+
+#: The ward pack's degraded-phase regime: a 1.2 rad phase-noise floor
+#: turns the Eq. 3 displacement track into a random walk (roughness far
+#: above ``EstimatorConfig.roughness_enter_m``) while leaving the RSS
+#: amplitude ripple intact.
+WARD_PHASE_NOISE = dict(floor_rad=1.2, ref_rad=0.3)
+
+#: The ward pack analyses 40 s windows: under heavy phase noise the RSS
+#: path needs the longer window for a stable crossing median (25 s
+#: windows lose ~10 accuracy points).
+WARD_WINDOW_S = 40.0
+
+_AUTO = EstimatorConfig()
+_PHASE_ONLY = EstimatorConfig(estimator="zero_crossing")
+_RSS_ONLY = EstimatorConfig(estimator="rss")
+
+
+def motion_bursts_pack(quick: bool = False, seed: int = 0) -> PackSpec:
+    """Two seated users with walking-scale transient bursts."""
+    duration = 90.0 if quick else 180.0
+    subjects: List[Subject] = []
+    motion_windows: Dict[int, Tuple[Tuple[float, float], ...]] = {}
+    for uid in (1, 2):
+        transients = TransientMotion(
+            rate_per_minute=2.0, amplitude_m=_BURST_AMPLITUDE_M,
+            duration_s=_BURST_DURATION_S, horizon_s=duration,
+            seed=seed * 97 + uid)
+        subjects.append(Subject(
+            user_id=uid, distance_m=2.5 + 0.5 * (uid - 1),
+            lateral_offset_m=(uid - 1.5) * 1.0, sway_seed=uid,
+            breathing=RestlessBreathing(
+                MetronomeBreathing(10.0 + 2.0 * uid), transients)))
+        motion_windows[uid] = tuple(transients.active_windows())
+    return PackSpec(
+        name="motion_bursts",
+        title="Motion-artifact bursts",
+        description=("seated users lean/reach at walking speed; the "
+                     "Doppler gate must keep wrong estimates un-confident"),
+        scenario=Scenario(subjects),
+        duration_s=duration, window_s=25.0, warmup_s=30.0, cadence_s=5.0,
+        engines={"auto": _AUTO},
+        motion_windows=motion_windows,
+    )
+
+
+def apnea_sigh_pack(quick: bool = False, seed: int = 0) -> PackSpec:
+    """One subject with clinical apnea holds and sigh breaths."""
+    duration = 90.0 if quick else 180.0
+    breathing = ApneaSighBreathing(
+        base_rate_bpm=14.0, apnea_per_minute=0.7, sigh_probability=0.05,
+        seed=seed + 1, horizon_s=duration + 10.0)
+    subject = Subject(user_id=1, distance_m=2.0, breathing=breathing,
+                      sway_seed=seed + 1)
+    return PackSpec(
+        name="apnea_sigh",
+        title="Apnea holds and sighs",
+        description=("breathing stops for 10-25 s at a time; the monitor "
+                     "must degrade or refuse, never invent a clean rate"),
+        scenario=Scenario([subject]),
+        duration_s=duration, window_s=25.0, warmup_s=30.0, cadence_s=5.0,
+        engines={"auto": _AUTO},
+        apnea_windows={1: tuple(breathing.apnea_windows)},
+    )
+
+
+def ward_pack(quick: bool = False, seed: int = 0) -> PackSpec:
+    """Three beds under heavy phase noise: the RSS-fallback acceptance pair."""
+    duration = 90.0 if quick else 150.0
+    subjects = [
+        Subject(user_id=uid, distance_m=1.5 + 0.25 * (uid - 1),
+                lateral_offset_m=(uid - 2) * 0.6, sway_seed=uid,
+                breathing=MetronomeBreathing(8.0 + 2.0 * uid))
+        for uid in (1, 2, 3)
+    ]
+    return PackSpec(
+        name="ward",
+        title="Multi-person ward, degraded phase",
+        description=("1.2 rad phase-noise floor randomises the phase "
+                     "track; auto mode must hold accuracy via the RSS "
+                     "fallback while phase-only collapses"),
+        scenario=Scenario(subjects),
+        duration_s=duration, window_s=WARD_WINDOW_S,
+        warmup_s=WARD_WINDOW_S + 5.0, cadence_s=5.0,
+        engines={"auto": _AUTO, "phase_only": _PHASE_ONLY,
+                 "rss": _RSS_ONLY},
+        phase_noise=PhaseNoiseModel(**WARD_PHASE_NOISE),
+    )
+
+
+def overnight_pack(quick: bool = False, seed: int = 0) -> PackSpec:
+    """One lying subject, long capture, sparse events of both kinds."""
+    duration = 120.0 if quick else 300.0
+    # A reposition in bed: brisk (turns take a couple of seconds, not
+    # five) and large on the waveform axis because the lying axis points
+    # mostly up — only the frontal component of the excursion is radial
+    # (see _BURST_AMPLITUDE_M for the constraints the sizing respects).
+    transients = TransientMotion(
+        rate_per_minute=0.4, amplitude_m=3.5, duration_s=2.5,
+        horizon_s=duration, seed=seed * 31 + 7)
+    breathing = ApneaSighBreathing(
+        base_rate_bpm=12.0, apnea_per_minute=0.25, sigh_probability=0.04,
+        seed=seed + 11, horizon_s=duration + 10.0)
+    subject = Subject(
+        user_id=1, distance_m=1.8, posture="lying",
+        breathing=RestlessBreathing(breathing, transients),
+        sway_seed=seed + 11)
+    return PackSpec(
+        name="overnight",
+        title="Overnight run",
+        description=("a sleeping subject with rare turns and apneas — the "
+                     "deployment regime, end to end"),
+        scenario=Scenario([subject]),
+        duration_s=duration, window_s=25.0, warmup_s=30.0, cadence_s=10.0,
+        engines={"auto": _AUTO},
+        motion_windows={1: tuple(transients.active_windows())},
+        apnea_windows={1: tuple(breathing.apnea_windows)},
+    )
+
+
+#: Registry: pack name -> builder(quick, seed) -> PackSpec.
+PACKS: Dict[str, Callable[..., PackSpec]] = {
+    "motion_bursts": motion_bursts_pack,
+    "apnea_sigh": apnea_sigh_pack,
+    "ward": ward_pack,
+    "overnight": overnight_pack,
+}
+
+
+def pack_names() -> List[str]:
+    """Registered pack names, registry order."""
+    return list(PACKS)
+
+
+def build_pack(name: str, quick: bool = False, seed: int = 0) -> PackSpec:
+    """Build one pack by registry name.
+
+    Raises:
+        ScenarioError: for unknown pack names.
+    """
+    builder = PACKS.get(name)
+    if builder is None:
+        raise ScenarioError(
+            f"unknown scenario pack {name!r}; have {pack_names()}")
+    return builder(quick=quick, seed=seed)

@@ -253,6 +253,10 @@ class TestUserSession:
         assert all(m["type"] == "estimate" for m in estimates)
         assert all(m["user_id"] == 1 for m in estimates)
         assert "drop_counts" in estimates[0]
+        # The estimator lattice and motion gate are wire-visible.
+        assert all(m["estimator"] in ("zero_crossing", "spectral", "rss")
+                   for m in estimates)
+        assert all(m["motion_gated"] is False for m in estimates)
 
     def test_signal_embedding(self):
         result = make_capture(users=1, duration_s=30.0)

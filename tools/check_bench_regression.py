@@ -29,13 +29,25 @@ ratio, the soak's flat memory ceiling, and wake verification are
 same-run ratios and counts, with only the wake p99 held to a (very
 generous) absolute ceiling.
 
+When ``--simulation`` names a ``BENCH_simulation.json``, its
+``scenarios`` suite is gated too.  Scenario-pack numbers are workload
+metrics (accuracy fractions, alarm counts over a deterministic seeded
+capture), not timings, so they are absolute and machine-independent:
+the motion-burst pack must publish **zero** confident-but-wrong
+estimates during injected motion, the degraded-phase ward must hold
+``auto`` accuracy at or above 0.85 while the phase-only control sits
+below 0.60 (proving the RSS fallback both engages and earns its keep),
+and every pack's false/missed alarm rates must stay under their
+ceilings.
+
 Exit status: 0 when every shared case holds, 1 on regression or when
 the files don't both contain a streaming suite.
 
 Usage:
     python tools/check_bench_regression.py \
         --baseline BENCH_pipeline.json \
-        --candidate bench-out/BENCH_pipeline.json [--threshold 0.25]
+        --candidate bench-out/BENCH_pipeline.json [--threshold 0.25] \
+        [--simulation bench-out/BENCH_simulation.json]
 """
 
 from __future__ import annotations
@@ -85,6 +97,27 @@ IDLE_SOAK_CEILING_RATIO = 1.5
 
 #: Smallest registered population the idle suite may claim to cover.
 IDLE_MIN_REGISTERED = 10_000
+
+#: The scenario packs every BENCH_simulation.json scenarios suite must
+#: contain.
+SCENARIO_PACKS = ("motion_bursts", "apnea_sigh", "ward", "overnight")
+
+#: Floor on the ward pack's ``auto`` (lattice) accuracy and ceiling on
+#: its ``phase_only`` control — the DESIGN.md §16 acceptance pair: the
+#: RSS fallback must hold accuracy where pure phase collapses.
+#: Committed runs sit at ~0.99 auto / ~0.45 phase-only.
+WARD_AUTO_ACCURACY_FLOOR = 0.85
+WARD_PHASE_ONLY_ACCURACY_CEILING = 0.60
+
+#: Floor on clean-tick accuracy (ticks whose window overlaps no injected
+#: event) for the event packs; committed runs sit at 0.95+.
+CLEAN_ACCURACY_FLOOR = 0.90
+
+#: Alarm-rate ceilings.  Committed runs measure 0.0 for both rates on
+#: every pack; the ceilings leave room for benign estimator jitter
+#: without letting a real alarm regression through.
+FALSE_ALARM_RATE_CEILING = 0.05
+MISSED_ALARM_RATE_CEILING = 0.20
 
 
 def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
@@ -256,44 +289,135 @@ def check_idle_suite(path: Path) -> List[str]:
     return problems
 
 
+def check_scenario_suite(path: Path) -> List[str]:
+    """Absolute gates over the scenario-pack suite (empty = pass).
+
+    Every number here is a workload metric over a deterministic seeded
+    capture — fractions and counts, never wall-clock — so quick-grid CI
+    runs and the committed full-grid reference are held to the same
+    bars.
+    """
+    doc = json.loads(path.read_text())
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios.get("packs"):
+        return [f"{path} has no scenario-pack suite"]
+    packs = scenarios["packs"]
+    problems = []
+    for name in SCENARIO_PACKS:
+        if name not in packs:
+            problems.append(f"scenarios: pack {name!r} missing")
+    for name, pack in packs.items():
+        for case_name, case in pack.get("cases", {}).items():
+            tag = f"scenarios {name}/{case_name}"
+            wrong = case.get("confident_wrong_in_motion")
+            if wrong != 0:
+                problems.append(
+                    f"{tag}: {wrong} confident-but-wrong estimate(s) "
+                    f"during injected motion (must be exactly 0 — the "
+                    f"motion gate exists to prevent these)")
+            if case.get("false_alarm_rate", 1.0) > FALSE_ALARM_RATE_CEILING:
+                problems.append(
+                    f"{tag}: false_alarm_rate "
+                    f"{case.get('false_alarm_rate'):.3f} > ceiling "
+                    f"{FALSE_ALARM_RATE_CEILING}")
+            if case.get("missed_alarm_rate", 1.0) > MISSED_ALARM_RATE_CEILING:
+                problems.append(
+                    f"{tag}: missed_alarm_rate "
+                    f"{case.get('missed_alarm_rate'):.3f} > ceiling "
+                    f"{MISSED_ALARM_RATE_CEILING}")
+            clean = case.get("mean_accuracy_clean")
+            if (name != "ward" and case_name == "auto"
+                    and not (clean or 0.0) >= CLEAN_ACCURACY_FLOOR):
+                problems.append(
+                    f"{tag}: clean-tick accuracy {clean} < floor "
+                    f"{CLEAN_ACCURACY_FLOOR}")
+    ward = packs.get("ward", {}).get("cases", {})
+    auto_acc = ward.get("auto", {}).get("mean_accuracy", 0.0)
+    phase_acc = ward.get("phase_only", {}).get("mean_accuracy", 1.0)
+    if "ward" in packs:
+        if not auto_acc >= WARD_AUTO_ACCURACY_FLOOR:
+            problems.append(
+                f"scenarios ward/auto: accuracy {auto_acc:.3f} < floor "
+                f"{WARD_AUTO_ACCURACY_FLOOR} — the RSS fallback stopped "
+                f"holding accuracy under degraded phase")
+        if not phase_acc < WARD_PHASE_ONLY_ACCURACY_CEILING:
+            problems.append(
+                f"scenarios ward/phase_only: accuracy {phase_acc:.3f} >= "
+                f"{WARD_PHASE_ONLY_ACCURACY_CEILING} — the control arm "
+                f"no longer degrades, so the ward pack proves nothing "
+                f"about the fallback")
+        rss_ticks = (ward.get("auto", {}).get("estimator_ticks", {})
+                     .get("rss", 0))
+        if rss_ticks <= 0:
+            problems.append(
+                "scenarios ward/auto: the RSS fallback never engaged "
+                "(0 rss estimator ticks) — auto mode is not detecting "
+                "the degraded phase")
+    return problems
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, required=True,
+    parser.add_argument("--baseline", type=Path, default=None,
                         help="committed reference BENCH_pipeline.json")
-    parser.add_argument("--candidate", type=Path, required=True,
+    parser.add_argument("--candidate", type=Path, default=None,
                         help="freshly produced BENCH_pipeline.json")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="tolerated fractional speedup loss "
                              f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--simulation", type=Path, default=None,
+                        help="optional BENCH_simulation.json whose "
+                             "scenario-pack suite should be gated too")
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         print(f"error: threshold must be in [0, 1), got {args.threshold}",
               file=sys.stderr)
         return 2
-    try:
-        baseline = load_streaming_cases(args.baseline)
-        candidate = load_streaming_cases(args.candidate)
-    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    problems = compare(baseline, candidate, args.threshold)
-    try:
-        problems.extend(check_fabric_suite(args.candidate))
-        problems.extend(check_wire_suite(args.candidate))
-        problems.extend(check_idle_suite(args.candidate))
-    except (OSError, json.JSONDecodeError) as exc:
-        problems.append(f"cannot check fabric/wire/idle suite: {exc}")
+    if (args.baseline is None) != (args.candidate is None):
+        print("error: --baseline and --candidate must be given together",
+              file=sys.stderr)
+        return 2
+    if args.baseline is None and args.simulation is None:
+        print("error: nothing to check — give --baseline/--candidate "
+              "and/or --simulation", file=sys.stderr)
+        return 2
+    problems = []
+    shared: List[Tuple[int, float]] = []
+    if args.baseline is not None:
+        try:
+            baseline = load_streaming_cases(args.baseline)
+            candidate = load_streaming_cases(args.candidate)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        problems.extend(compare(baseline, candidate, args.threshold))
+        shared = sorted(set(baseline) & set(candidate))
+        try:
+            problems.extend(check_fabric_suite(args.candidate))
+            problems.extend(check_wire_suite(args.candidate))
+            problems.extend(check_idle_suite(args.candidate))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"cannot check fabric/wire/idle suite: {exc}")
+    if args.simulation is not None:
+        try:
+            problems.extend(check_scenario_suite(args.simulation))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"cannot check scenario suite: {exc}")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         return 1
-    shared = sorted(set(baseline) & set(candidate))
-    print(f"bench regression check: {len(shared)} shared case(s) "
-          f"within {args.threshold:.0%} of baseline tick_speedup, "
-          f"feed_batch_speedup >= {FEED_BATCH_SPEEDUP_FLOOR:.1f}x with "
-          f"bit-equal state; wire, fabric, and idle-economics "
-          f"invariants hold")
+    notes = []
+    if args.baseline is not None:
+        notes.append(
+            f"{len(shared)} shared case(s) within {args.threshold:.0%} of "
+            f"baseline tick_speedup, feed_batch_speedup >= "
+            f"{FEED_BATCH_SPEEDUP_FLOOR:.1f}x with bit-equal state; wire, "
+            f"fabric, and idle-economics invariants hold")
+    if args.simulation is not None:
+        notes.append("scenario-pack gates hold")
+    print(f"bench regression check: {'; '.join(notes)}")
     return 0
 
 

@@ -19,9 +19,11 @@ JSON files at the output directory root:
   with its bit-exactness contract checked in-run; plus the ``wire``
   suite: binary column frames vs per-report JSON over a real localhost
   socket (bytes/report and acked ingest throughput); plus the
-  ``fabric`` suite: a population-scale soak of the multi-process serve
-  fabric (EPC-remapped synthetic users, one mid-run rebalance) whose
-  session-accounting invariants are machine-independent.
+  ``fabric_scale`` suite: a population-scale soak of the multi-process
+  serve fabric (EPC-remapped synthetic users, one mid-run rebalance)
+  whose session-accounting invariants — including per-machine capacity
+  (``users_per_machine``) and the acked==sent ingest contract — are
+  machine-independent.
 
 Both paths consume identical MAC randomness, so each case's scalar and
 vectorized timings cover the *same* read-event stream — the ratio is a
@@ -460,10 +462,11 @@ def run_wire_benchmark(captures: Dict[tuple, SimulationResult],
     }
 
 
-#: Fabric soak population: full runs settle >=10k concurrent sessions
-#: (the scale the router's consistent hashing is meant to spread);
+#: Fabric soak population: full runs settle >=50k concurrent sessions
+#: (the ward-scale population the multi-machine fabric is sized
+#: against; per-machine capacity is published as users/worker);
 #: quick runs keep CI within budget at the same code paths.
-SOAK_FULL_USERS = 10_000
+SOAK_FULL_USERS = 50_000
 SOAK_QUICK_USERS = 1_000
 
 #: Fabric soak worker-process count (before the mid-run rebalance).
@@ -491,10 +494,18 @@ def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
 
     * ``settled_sessions == users`` — no session was lost to routing,
       checkpointing, or the rebalance;
+    * ``acked == sent`` (``acked_equal_sent``) — every report the
+      client sent was acknowledged ingested; the fabric never shed or
+      silently dropped under soak load;
     * ``migrated_sessions > 0`` — the rebalance actually moved load
       (an add_worker that moves nothing is a broken ring);
     * ``worker_restarts == 0`` — a soak is not a chaos run; any
       restart here is a real crash.
+
+    ``users_per_machine`` (settled sessions / final worker count) is
+    the published per-machine capacity figure: with the TCP worker
+    transport, each worker process is the stand-in for one machine of
+    the multi-machine deployment, so users/worker is users/machine.
 
     Wall-clock numbers (startup/ingest/rebalance seconds, reports/s)
     are recorded for humans but never compared across machines.
@@ -556,6 +567,9 @@ def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
         per_worker = sorted(int(p.get("sessions", 0))
                             for p in final["workers"].values())
         mean = sum(per_worker) / len(per_worker) if per_worker else 0.0
+        sent = first.sent + second.sent
+        acked = max(first.acked, second.acked)
+        settled = int(final["sessions"])
         return {
             "users": users,
             "reports": len(reports),
@@ -567,13 +581,16 @@ def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
             "rebalance_s": rebalance_s,
             "reports_per_s": (len(reports) / ingest_s
                               if ingest_s > 0 else float("inf")),
-            "sent": first.sent + second.sent,
+            "sent": sent,
             # acks carry the route's cumulative received count, and both
             # replay halves share one connection — the second half's
             # final ack already covers the first.
-            "acked": max(first.acked, second.acked),
+            "acked": acked,
+            "acked_equal_sent": acked == sent,
             "shed_total": int(final["shed_total"]),
-            "settled_sessions": int(final["sessions"]),
+            "settled_sessions": settled,
+            "users_per_machine": (settled / len(final["workers"])
+                                  if final["workers"] else 0.0),
             "migrated_sessions": migrated,
             "worker_restarts": restarts,
             "link_failures": fabric.counters["link_failures_total"],
@@ -595,6 +612,8 @@ def run_fabric_soak_benchmark(quick: bool = False, seed: int = 0) -> Dict:
         "headline": {
             "users": case["users"],
             "settled_sessions": case["settled_sessions"],
+            "users_per_machine": case["users_per_machine"],
+            "acked_equal_sent": case["acked_equal_sent"],
             "migrated_sessions": case["migrated_sessions"],
             "worker_restarts": case["worker_restarts"],
             "reports_per_s": case["reports_per_s"],
@@ -947,7 +966,8 @@ def run_benchmarks(quick: bool = False, seed: int = 0,
     pipeline = run_pipeline_benchmark(captures, seed=seed)
     pipeline["streaming"] = run_streaming_benchmark(captures, seed=seed)
     pipeline["wire"] = run_wire_benchmark(captures, seed=seed)
-    pipeline["fabric"] = run_fabric_soak_benchmark(quick=quick, seed=seed)
+    pipeline["fabric_scale"] = run_fabric_soak_benchmark(quick=quick,
+                                                         seed=seed)
     pipeline["idle"] = run_idle_economics_benchmark(quick=quick, seed=seed)
     obs_users, obs_duration = max(grid)
     simulation["observability"] = run_obs_overhead_benchmark(

@@ -92,11 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for BENCH_*.json (default: cwd); "
                             "'-' skips writing")
     bench.add_argument("--seed", type=int, default=0, help="master seed")
-    bench.add_argument("--suite", choices=["all", "scenarios"],
+    bench.add_argument("--suite", choices=["all", "scenarios",
+                                           "fabric_scale"],
                        default="all",
                        help="'scenarios' runs only the scenario packs and "
                             "merges their metrics into an existing "
-                            "BENCH_simulation.json (default: all suites)")
+                            "BENCH_simulation.json; 'fabric_scale' runs "
+                            "only the multi-process soak and merges it "
+                            "into BENCH_pipeline.json (default: all "
+                            "suites)")
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -161,6 +165,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fabric state directory (worker checkpoints "
                             "+ portfiles; restart over the same dir "
                             "resumes every session)")
+    serve.add_argument("--standby", action="store_true",
+                       help="run a warm-standby router over an existing "
+                            "fabric's --state-dir: routes immediately and "
+                            "promotes to supervisor if the primary dies")
+
+    serve_worker = sub.add_parser(
+        "serve-worker",
+        help="run one fabric worker and join a remote supervisor")
+    serve_worker.add_argument("--join", required=True,
+                              help="supervisor control address host:port "
+                                   "(comma-separated candidates allowed)")
+    serve_worker.add_argument("--state-dir", required=True,
+                              help="local directory for this worker's "
+                                   "checkpoint and portfile")
+    serve_worker.add_argument("--worker-id", type=int, default=None,
+                              help="fixed worker id (default: supervisor "
+                                   "assigns one at join)")
+    serve_worker.add_argument("--host", default="127.0.0.1",
+                              help="bind address for the ingest listener")
+    serve_worker.add_argument("--advertise", default=None,
+                              help="address the router should dial, when "
+                                   "it differs from --host (NAT/containers)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -183,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay acceleration (default 6x)")
     chaos.add_argument("--state-dir", default=None,
                        help="keep fabric state here instead of a temp dir")
+    chaos.add_argument("--router-kill", action="store_true",
+                       help="SIGKILL the primary router mid-replay and "
+                            "require a warm standby to promote while the "
+                            "client reconnects (replaces worker faults)")
 
     replay = sub.add_parser(
         "replay",
@@ -403,7 +433,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from .serve import BreathServer, SessionConfig
 
-    if args.workers > 0:
+    if args.workers > 0 or args.standby:
         return _run_fabric(args)
 
     config = SessionConfig(
@@ -463,7 +493,8 @@ def _run_fabric(args: argparse.Namespace) -> int:
     from .serve import BreathFabric, FabricConfig, SessionConfig
 
     if not args.state_dir:
-        print("error: --workers requires --state-dir (worker checkpoints "
+        flag = "--standby" if args.standby else "--workers"
+        print(f"error: {flag} requires --state-dir (worker checkpoints "
               "live there; restarting over the same dir resumes sessions)",
               file=sys.stderr)
         return 2
@@ -477,14 +508,15 @@ def _run_fabric(args: argparse.Namespace) -> int:
         max_resident=_per_shard_budget(args.max_resident_users, args.shards),
     )
     config = FabricConfig(
-        workers=args.workers,
+        workers=max(args.workers, 1),
         host=args.host,
         n_shards=args.shards,
         checkpoint_interval_s=args.checkpoint_every,
         session=session,
     )
     fabric = BreathFabric(args.state_dir, config,
-                          host=args.host, port=args.port)
+                          host=args.host, port=args.port,
+                          standby=args.standby)
 
     async def _run() -> None:
         stop = asyncio.Event()
@@ -495,9 +527,14 @@ def _run_fabric(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
         await fabric.start()
-        print(f"fabric on {fabric.host}:{fabric.port} "
-              f"({args.workers} workers x {args.shards} shards, "
-              f"state {args.state_dir}) — Ctrl-C to drain")
+        if args.standby:
+            print(f"standby router on {fabric.host}:{fabric.port} over "
+                  f"{len(fabric.supervisor.workers)} worker(s), "
+                  f"state {args.state_dir} — promotes if the primary dies")
+        else:
+            print(f"fabric on {fabric.host}:{fabric.port} "
+                  f"({args.workers} workers x {args.shards} shards, "
+                  f"state {args.state_dir}) — Ctrl-C to drain")
         try:
             await stop.wait()
         finally:
@@ -518,6 +555,38 @@ def _run_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_worker(args: argparse.Namespace) -> int:
+    """``serve-worker``: one worker process joining a remote supervisor.
+
+    The supervisor assigns the worker id (unless pinned) and pushes the
+    fleet's session knobs in the assign reply, so a hand-started worker
+    behaves identically to a locally spawned one.
+    """
+    from pathlib import Path
+
+    from .serve.worker import worker_main
+
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    options = {
+        "host": args.host,
+        "join": [spec.strip()
+                 for spec in args.join.split(",") if spec.strip()],
+    }
+    if args.advertise:
+        options["advertise_host"] = args.advertise
+    label = (f"worker {args.worker_id}" if args.worker_id is not None
+             else "worker (id assigned at join)")
+    print(f"{label} joining {args.join} "
+          f"(state {state_dir}) — Ctrl-C to drain")
+    try:
+        worker_main(args.worker_id, str(state_dir), options)
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     """``chaos``: fault-inject a fabric, verify streamed == batch."""
     from .serve import ChaosConfig, run_chaos
@@ -531,11 +600,18 @@ def _run_chaos(args: argparse.Namespace) -> int:
         stalls=args.stalls,
         corruptions=args.corruptions,
         speed=args.speed,
+        router_kill=args.router_kill,
     )
-    print(f"chaos: {config.users} users / {config.duration_s:.0f} s "
-          f"capture on {config.workers} workers; injecting "
-          f"{config.kills} kills, {config.stalls} stalls, "
-          f"{config.corruptions} corruptions (seed {config.seed})...")
+    if config.router_kill:
+        print(f"chaos: {config.users} users / {config.duration_s:.0f} s "
+              f"capture on {config.workers} workers; SIGKILLing the "
+              f"primary router mid-replay, standby must promote "
+              f"(seed {config.seed})...")
+    else:
+        print(f"chaos: {config.users} users / {config.duration_s:.0f} s "
+              f"capture on {config.workers} workers; injecting "
+              f"{config.kills} kills, {config.stalls} stalls, "
+              f"{config.corruptions} corruptions (seed {config.seed})...")
     report = run_chaos(config, state_dir=args.state_dir)
     for line in report.summary_lines():
         print(line)
@@ -628,6 +704,44 @@ def _run_bench_scenarios(args: argparse.Namespace, out_dir: Optional[str],
     return 0
 
 
+def _fabric_scale_summary(case: dict) -> str:
+    """One-line headline for a fabric_scale soak case."""
+    return (f"fabric soak: {case['settled_sessions']}/{case['users']} "
+            f"sessions settled on {case['workers_initial']}->"
+            f"{case['workers_final']} workers "
+            f"({case['users_per_machine']:.0f} users/machine), "
+            f"{case['migrated_sessions']} migrated in rebalance, "
+            f"{case['worker_restarts']} restarts, "
+            f"{case['reports_per_s']:.0f} reports/s, "
+            f"acked==sent: {case['acked_equal_sent']}")
+
+
+def _run_bench_fabric(args: argparse.Namespace, out_dir: Optional[str],
+                      grid_name: str) -> int:
+    """``bench --suite fabric_scale``: soak only, merge into the JSON.
+
+    Only the ``"fabric_scale"`` key of an existing ``BENCH_pipeline.json``
+    is replaced — the single-process pipeline suites keep their published
+    numbers, so the multi-machine soak can be re-scored alone.
+    """
+    import json
+    from pathlib import Path
+
+    from .bench import run_fabric_soak_benchmark
+
+    print(f"running {grid_name} fabric_scale soak (seed {args.seed})...")
+    suite = run_fabric_soak_benchmark(quick=args.quick, seed=args.seed)
+    print(_fabric_scale_summary(suite["cases"][0]))
+    if out_dir is not None:
+        path = Path(out_dir) / "BENCH_pipeline.json"
+        payload = json.loads(path.read_text()) if path.exists() else {}
+        payload["fabric_scale"] = suite
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"merged fabric_scale metrics into {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -650,6 +764,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         grid_name = "quick" if args.quick else "full"
         if args.suite == "scenarios":
             return _run_bench_scenarios(args, out_dir, grid_name)
+        if args.suite == "fabric_scale":
+            return _run_bench_fabric(args, out_dir, grid_name)
         print(f"running {grid_name} perf benchmark grid "
               f"(seed {args.seed})...")
         results = run_benchmarks(quick=args.quick, seed=args.seed,
@@ -672,15 +788,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_table(
             ["users", "trial", "reports", "process", "throughput"],
             pipe_rows))
-        fabric = results["pipeline"].get("fabric")
+        fabric = results["pipeline"].get("fabric_scale")
         if fabric:
-            f = fabric["cases"][0]
-            print(f"fabric soak: {f['settled_sessions']}/{f['users']} "
-                  f"sessions settled on {f['workers_initial']}->"
-                  f"{f['workers_final']} workers, "
-                  f"{f['migrated_sessions']} migrated in rebalance, "
-                  f"{f['worker_restarts']} restarts, "
-                  f"{f['reports_per_s']:.0f} reports/s")
+            print(_fabric_scale_summary(fabric["cases"][0]))
         overhead = results["simulation"].get("observability")
         if overhead:
             print(f"observability overhead ({overhead['users']} users, "
@@ -699,6 +809,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "serve-worker":
+        return _run_serve_worker(args)
 
     if args.command == "chaos":
         return _run_chaos(args)

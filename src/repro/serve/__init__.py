@@ -24,11 +24,17 @@ Layout:
 * :mod:`repro.serve.hashring` — consistent hashing of users onto
   workers;
 * :mod:`repro.serve.worker` / :mod:`repro.serve.supervisor` /
-  :mod:`repro.serve.fabric` — the multi-process scale-out fabric:
-  supervised worker processes behind a consistent-hash router, with
-  heartbeat-driven restart from checkpoint and live shard migration;
+  :mod:`repro.serve.fabric` — the multi-machine scale-out fabric:
+  supervised worker processes behind a consistent-hash router, joined
+  over a TCP control socket (``repro serve-worker --join``), with
+  heartbeat-driven restart from checkpoint, live shard migration, and
+  a warm-standby router (``repro serve --standby``) that promotes
+  itself when the primary dies;
+* :mod:`repro.serve.statefiles` — the on-disk coordination plane
+  (supervisor address, worker registry, router endpoints; all atomic);
 * :mod:`repro.serve.chaos` — the fault-injection harness that proves
-  the recovery story (``repro chaos``).
+  the recovery story, worker kills and router failover alike
+  (``repro chaos [--router-kill]``).
 
 See docs/SERVING.md for the wire grammar and operational semantics, and
 ``repro serve`` / ``repro replay`` / ``repro watch`` for the CLI faces.
@@ -74,7 +80,16 @@ from .protocol import (
 from .hibernate import HibernationStore, blob_to_doc, doc_to_blob
 from .server import ACK_EVERY, BreathServer
 from .session import SessionConfig, SessionShard, UserSession
+from .statefiles import (
+    fabric_endpoints,
+    read_state_doc,
+    registry_path,
+    router_addr_path,
+    supervisor_addr_path,
+    write_state_doc,
+)
 from .supervisor import FabricConfig, Supervisor, WorkerHandle
+from .worker import control_rpc, parse_addr, register_with, worker_main
 
 __all__ = [
     "BreathServer", "ACK_EVERY",
@@ -93,5 +108,8 @@ __all__ = [
     "RetryPolicy", "DEFAULT_RETRY", "RESPAWN_RETRY",
     "HashRing", "DEFAULT_VNODES",
     "BreathFabric", "FabricConfig", "Supervisor", "WorkerHandle",
+    "control_rpc", "parse_addr", "register_with", "worker_main",
+    "read_state_doc", "write_state_doc", "supervisor_addr_path",
+    "registry_path", "router_addr_path", "fabric_endpoints",
     "ChaosConfig", "ChaosReport", "run_chaos",
 ]

@@ -21,6 +21,17 @@ clean path).  Faults injected, seeded per run:
   (a torn write at the worst moment) and then SIGKILL it, forcing
   recovery through the ``.prev`` generation fallback
   (:mod:`repro.serve.checkpoint`).
+* ``router kill`` (``router_kill=True``) — the big one: SIGKILL the
+  *active router process itself* mid-replay.  The run stands up the
+  primary fabric as a subprocess and a warm-standby
+  :class:`~repro.serve.fabric.BreathFabric` in-process over the same
+  state dir; the client replays with both endpoints
+  (``IngestClient(endpoints=...)``).  When the primary dies, the
+  client's reconnect rotates onto the standby, the standby's failover
+  monitor promotes it (adopting the orphaned workers through the
+  on-disk registry), and the replay resumes from the fleet's sequence
+  watermarks.  The verdict additionally requires the failover to be
+  *observed* (``failovers >= 1`` and client reconnects > 0).
 
 Recovery must be *visible*: the report fails the run if faults were
 injected but no worker restart was observed — silent survival usually
@@ -35,6 +46,9 @@ import asyncio
 import os
 import random
 import signal
+import subprocess
+import sys
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +62,7 @@ from .client import IngestClient
 from .fabric import BreathFabric
 from .retry import RetryPolicy
 from .session import SessionConfig, UserSession
+from .statefiles import read_state_doc, router_addr_path
 from .supervisor import FabricConfig
 from .worker import checkpoint_path
 
@@ -69,6 +84,10 @@ class ChaosConfig:
         workers: fabric worker-process count.
         kills / stalls / corruptions: how many of each fault to inject
             (spread across the replay; 0 disables that fault).
+        router_kill: run the *router failover* experiment instead of
+            worker faults: the primary fabric runs as a subprocess, a
+            warm standby runs in-process, and the primary is SIGKILLed
+            mid-replay; recovery must flow through the standby.
         fault_interval_s: mean wall-clock gap between injected faults.
         speed: replay acceleration (0 = as fast as backpressure
             admits; the default paces the replay so faults land while
@@ -83,6 +102,7 @@ class ChaosConfig:
     kills: int = 2
     stalls: int = 1
     corruptions: int = 1
+    router_kill: bool = False
     fault_interval_s: float = 2.0
     speed: float = 6.0
     tolerance_bpm: float = 0.1
@@ -100,6 +120,8 @@ class ChaosReport:
     kills: int = 0
     stalls: int = 0
     corruptions: int = 0
+    router_kills: int = 0
+    failovers: int = 0
     restarts_observed: int = 0
     heartbeat_misses: int = 0
     compared_users: int = 0
@@ -113,7 +135,9 @@ class ChaosReport:
         lines = [
             f"chaos: {self.users} users, {self.reports} reports, "
             f"{self.kills} kills / {self.stalls} stalls / "
-            f"{self.corruptions} corruptions",
+            f"{self.corruptions} corruptions / "
+            f"{self.router_kills} router kill(s)",
+            f"failover: {self.failovers} standby promotion(s)",
             f"recovery: {self.restarts_observed} worker restart(s), "
             f"{self.heartbeat_misses} heartbeat miss(es), "
             f"{self.retries} client reconnect(s), "
@@ -125,6 +149,22 @@ class ChaosReport:
         ]
         lines.extend(f"note: {n}" for n in self.notes)
         return lines
+
+
+def _chaos_fabric_config(workers: int) -> FabricConfig:
+    """The tight-timing fleet knobs every chaos fabric (primary,
+    standby, subprocess) must share, so failover detection and session
+    estimates agree across processes."""
+    return FabricConfig(
+        workers=workers,
+        n_shards=1,
+        heartbeat_interval_s=0.25,
+        heartbeat_timeout_s=1.0,
+        max_heartbeat_misses=2,
+        orphan_grace_s=15.0,
+        checkpoint_interval_s=0.25,
+        session=SessionConfig(estimate_interval_s=5.0),
+    )
 
 
 def _batch_rates(reports, user_ids, window_s: Optional[float]
@@ -211,24 +251,39 @@ async def _inject_faults(fabric: BreathFabric, config: ChaosConfig,
                 report.kills += 1
 
 
+async def _compare_streamed(report: ChaosReport, fabric: BreathFabric,
+                            reports, user_ids, session: SessionConfig
+                            ) -> None:
+    """The invariant: streamed final state == batch pipeline."""
+    batch = _batch_rates(reports, user_ids, session.window_s)
+    docs = await fabric.collect_states()
+    streamed: Dict[int, float] = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedEstimateWarning)
+        for doc in docs:
+            state = session_state_from_doc(doc)
+            if state["user_id"] not in set(user_ids):
+                continue  # contending item tags, not subjects
+            local = UserSession(state["user_id"], session)
+            local.restore(state, state["reports"])
+            message = local.estimate_now()
+            if message is not None:
+                streamed[state["user_id"]] = message["rate_bpm"]
+    report.compared_users = len(set(batch) & set(streamed))
+    report.missing_users = sorted(set(batch) - set(streamed))
+    for uid in set(batch) & set(streamed):
+        delta = abs(batch[uid] - streamed[uid])
+        report.max_delta_bpm = max(report.max_delta_bpm, delta)
+
+
 async def _run_chaos_async(reports, config: ChaosConfig,
                            state_dir: Path) -> ChaosReport:
     report = ChaosReport(users=config.users, reports=len(reports))
     user_ids = sorted({r.user_id for r in reports
                        if 1 <= r.user_id <= config.users})
-    session = SessionConfig(estimate_interval_s=5.0)
-    fabric = BreathFabric(
-        state_dir,
-        FabricConfig(
-            workers=config.workers,
-            n_shards=1,
-            heartbeat_interval_s=0.25,
-            heartbeat_timeout_s=1.0,
-            max_heartbeat_misses=2,
-            checkpoint_interval_s=0.25,
-            session=session,
-        ),
-    )
+    fabric_config = _chaos_fabric_config(config.workers)
+    session = fabric_config.session
+    fabric = BreathFabric(state_dir, fabric_config)
     await fabric.start()
     try:
         client = IngestClient(
@@ -252,30 +307,14 @@ async def _run_chaos_async(reports, config: ChaosConfig,
             h.restarts for h in fabric.supervisor.workers.values())
         report.heartbeat_misses = sum(
             h.total_misses for h in fabric.supervisor.workers.values())
-
-        # ----- the invariant: streamed final state == batch pipeline
-        batch = _batch_rates(reports, user_ids, session.window_s)
-        docs = await fabric.collect_states()
-        streamed: Dict[int, float] = {}
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DegradedEstimateWarning)
-            for doc in docs:
-                state = session_state_from_doc(doc)
-                if state["user_id"] not in set(user_ids):
-                    continue  # contending item tags, not subjects
-                local = UserSession(state["user_id"], session)
-                local.restore(state, state["reports"])
-                message = local.estimate_now()
-                if message is not None:
-                    streamed[state["user_id"]] = message["rate_bpm"]
-        report.compared_users = len(set(batch) & set(streamed))
-        report.missing_users = sorted(set(batch) - set(streamed))
-        for uid in set(batch) & set(streamed):
-            delta = abs(batch[uid] - streamed[uid])
-            report.max_delta_bpm = max(report.max_delta_bpm, delta)
+        await _compare_streamed(report, fabric, reports, user_ids, session)
     finally:
         await fabric.stop(graceful=True)
+    _verdict(report, config)
+    return report
 
+
+def _verdict(report: ChaosReport, config: ChaosConfig) -> None:
     faults = report.kills + report.stalls + report.corruptions
     report.ok = True
     if report.missing_users:
@@ -292,7 +331,139 @@ async def _run_chaos_async(reports, config: ChaosConfig,
         report.notes.append(
             "faults were injected but no worker restart was observed — "
             "recovery must be visible, not assumed")
+    if report.router_kills > 0:
+        # Failover must be *observed*, not assumed: the standby has to
+        # have promoted itself, and the client has to have actually
+        # ridden a reconnect (a kill the replay never felt never
+        # exercised the path).
+        if report.failovers == 0:
+            report.ok = False
+            report.notes.append(
+                "router was killed but the standby never promoted")
+        if report.retries == 0:
+            report.ok = False
+            report.notes.append(
+                "router was killed but the client never reconnected — "
+                "the kill landed after the replay finished")
+
+
+async def _run_failover_async(reports, config: ChaosConfig,
+                              state_dir: Path) -> ChaosReport:
+    """The router-kill experiment: primary as a subprocess, warm
+    standby in-process, SIGKILL the primary mid-replay, recover
+    through the standby."""
+    report = ChaosReport(users=config.users, reports=len(reports))
+    user_ids = sorted({r.user_id for r in reports
+                       if 1 <= r.user_id <= config.users})
+    fabric_config = _chaos_fabric_config(config.workers)
+    session = fabric_config.session
+    rng = random.Random(config.seed * 7919 + 3)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in sys.path if p] +
+        [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+    primary = subprocess.Popen(
+        [sys.executable, "-c",
+         "from repro.serve.chaos import _fabric_main; _fabric_main()",
+         "--state-dir", str(state_dir),
+         "--workers", str(config.workers)],
+        env=env, stdin=subprocess.DEVNULL, start_new_session=True)
+    standby: Optional[BreathFabric] = None
+    try:
+        deadline = time.monotonic() + 60.0
+        while True:  # wait for the primary's router endpoint
+            doc = read_state_doc(router_addr_path(state_dir, "primary"))
+            if doc is not None and doc.get("pid") == primary.pid:
+                primary_addr = (str(doc["host"]), int(doc["port"]))
+                break
+            if primary.poll() is not None:
+                raise RuntimeError(
+                    f"primary fabric exited during startup "
+                    f"(exitcode {primary.returncode})")
+            if time.monotonic() > deadline:
+                raise RuntimeError("primary fabric never published "
+                                   "its router address")
+            await asyncio.sleep(0.05)
+        standby = BreathFabric(state_dir, fabric_config, standby=True)
+        await standby.start()
+        obs.event("chaos.failover.up", primary=primary_addr,
+                  standby=(standby.host, standby.port))
+
+        client = IngestClient(
+            endpoints=[primary_addr, (standby.host, standby.port)],
+            client_id="chaos-replay",
+            connect_timeout_s=5.0, read_timeout_s=10.0,
+            retry=CHAOS_RETRY, retry_seed=config.seed)
+        await client.connect()
+
+        async def _kill_router() -> None:
+            await asyncio.sleep(
+                config.fault_interval_s * rng.uniform(0.8, 1.2))
+            os.kill(primary.pid, signal.SIGKILL)
+            primary.wait()
+            report.router_kills += 1
+            obs.event("chaos.router_kill", pid=primary.pid)
+
+        killer = asyncio.ensure_future(_kill_router())
+        try:
+            stats = await client.replay(reports, speed=config.speed)
+        finally:
+            await killer
+            await client.close(polite=False)
+        report.sent = stats.sent
+        report.retries = stats.retries
+        report.resumed_skipped = stats.resumed_skipped
+
+        # The standby promotes on its own clock; the replay usually
+        # outlives the detection window, but never assume it.
+        deadline = time.monotonic() + fabric_config.orphan_grace_s
+        while standby.standby and time.monotonic() < deadline:
+            await asyncio.sleep(0.1)
+        report.failovers = standby.counters["failovers_total"]
+        report.restarts_observed = sum(
+            h.restarts for h in standby.supervisor.workers.values())
+        report.heartbeat_misses = sum(
+            h.total_misses for h in standby.supervisor.workers.values())
+        await _compare_streamed(report, standby, reports, user_ids,
+                                session)
+    finally:
+        if standby is not None:
+            await standby.stop(graceful=True)
+        if primary.poll() is None:
+            primary.kill()
+            primary.wait()
+    _verdict(report, config)
     return report
+
+
+def _fabric_main() -> None:
+    """Subprocess entry point: one primary chaos fabric until SIGTERM.
+
+    Launched by the router-kill experiment (and nothing else) so there
+    is a real router *process* to SIGKILL; the knobs come from
+    :func:`_chaos_fabric_config` in both processes, keeping session
+    configuration identical across the failover boundary.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.serve.chaos._fabric_main")
+    parser.add_argument("--state-dir", required=True)
+    parser.add_argument("--workers", type=int, required=True)
+    args = parser.parse_args()
+
+    async def _run() -> None:
+        fabric = BreathFabric(args.state_dir,
+                              _chaos_fabric_config(args.workers))
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        await fabric.start()
+        await stop.wait()
+        await fabric.stop(graceful=True)
+
+    asyncio.run(_run())
 
 
 def run_chaos(config: Optional[ChaosConfig] = None,
@@ -320,8 +491,9 @@ def run_chaos(config: Optional[ChaosConfig] = None,
                           seed=config.seed)
 
     def _run(directory: Path) -> ChaosReport:
-        return asyncio.run(
-            _run_chaos_async(result.reports, config, directory))
+        runner = (_run_failover_async if config.router_kill
+                  else _run_chaos_async)
+        return asyncio.run(runner(result.reports, config, directory))
 
     if state_dir is not None:
         Path(state_dir).mkdir(parents=True, exist_ok=True)

@@ -48,6 +48,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -129,18 +130,36 @@ class IngestClient:
         retry: reconnect backoff schedule for :meth:`replay`'s
             ride-through behaviour.
         retry_seed: seeds the backoff jitter (tests/chaos determinism).
+        endpoints: alternative servers for the same fabric (e.g. the
+            primary and standby routers, from
+            :func:`~repro.serve.statefiles.fabric_endpoints`).  Each
+            failed stretch of a resumable replay rotates to the next
+            endpoint before reconnecting, so a router death rides onto
+            its peer without operator action; sequence watermarks make
+            the handoff idempotent.  When given, ``host``/``port`` may
+            be omitted (the first endpoint is the starting point).
     """
 
-    def __init__(self, host: str, port: int, codec: str = "json",
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None, codec: str = "json",
                  frames: Sequence[str] = (),
                  client_id: Optional[str] = None,
                  connect_timeout_s: Optional[float]
                  = DEFAULT_CONNECT_TIMEOUT_S,
                  read_timeout_s: Optional[float] = DEFAULT_READ_TIMEOUT_S,
                  retry: RetryPolicy = DEFAULT_RETRY,
-                 retry_seed: Optional[int] = None) -> None:
-        self.host = host
-        self.port = port
+                 retry_seed: Optional[int] = None,
+                 endpoints: Optional[Sequence[Tuple[str, int]]] = None
+                 ) -> None:
+        if endpoints:
+            self._endpoints: List[Tuple[str, int]] = [
+                (str(h), int(p)) for h, p in endpoints]
+        elif host is not None and port is not None:
+            self._endpoints = [(host, int(port))]
+        else:
+            raise ValueError("IngestClient needs host+port or endpoints")
+        self._endpoint_index = 0
+        self.host, self.port = self._endpoints[0]
         self.requested_codec = codec
         self.codec = codec
         self.requested_frames = tuple(frames)
@@ -213,6 +232,23 @@ class IngestClient:
     def connected(self) -> bool:
         """True while a connection is open."""
         return self._writer is not None
+
+    @property
+    def endpoints(self) -> Tuple[Tuple[str, int], ...]:
+        """Every endpoint this client rotates across."""
+        return tuple(self._endpoints)
+
+    def rotate_endpoint(self) -> Tuple[str, int]:
+        """Advance to the next endpoint (round-robin); returns it.
+
+        A no-op with a single endpoint.  Resumable replays call this
+        after every failed stretch so a dead router's clients converge
+        on its standby within one retry delay.
+        """
+        self._endpoint_index = ((self._endpoint_index + 1)
+                                % len(self._endpoints))
+        self.host, self.port = self._endpoints[self._endpoint_index]
+        return self.host, self.port
 
     @property
     def column_frames(self) -> bool:
@@ -539,6 +575,8 @@ class IngestClient:
             except (ConnectionError, ServeTimeoutError, OSError,
                     asyncio.IncompleteReadError) as exc:
                 await self._teardown()
+                if len(self._endpoints) > 1:
+                    self.rotate_endpoint()
                 if index > progressed_at:
                     delays = None  # made progress: fresh retry budget
                     progressed_at = index

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
@@ -71,7 +72,11 @@ from .protocol import (
 )
 from .retry import RESPAWN_RETRY
 from .server import ACK_EVERY
+from .statefiles import (read_state_doc, remove_state_doc,
+                         router_addr_path, supervisor_addr_path,
+                         write_state_doc)
 from .supervisor import FabricConfig, Supervisor
+from .worker import control_rpc
 
 #: Socket read chunk size (same as the single-process server).
 _READ_CHUNK = 1 << 16
@@ -107,20 +112,35 @@ class BreathFabric:
     """A router + supervised worker fleet behind one ingest port.
 
     Args:
-        state_dir: directory for worker checkpoints and portfiles;
-            restarting the whole fabric over the same directory resumes
-            every worker's sessions.
+        state_dir: directory for worker checkpoints and the fabric's
+            coordination files; restarting the whole fabric over the
+            same directory resumes every worker's sessions.
         config: fleet knobs (:class:`FabricConfig`).
         host / port: the router's listen address (0 = ephemeral; read
             :attr:`port` after :meth:`start`).
+        standby: warm-standby mode.  The fabric does not spawn or
+            supervise anything; it mirrors the active fabric's worker
+            registry from the state dir (so it routes identically — the
+            ring is a pure function of the worker-id set), serves
+            ingest immediately, and probes the active supervisor's
+            control socket.  When the active side goes silent it
+            *promotes*: takes over supervision of the fleet (adopting
+            the workers through the registry), bumps the supervisor
+            epoch, and carries on.  Clients ride across via endpoint
+            rotation (:class:`IngestClient` ``endpoints=``) and resume
+            from their sequence watermarks.
     """
 
     def __init__(self, state_dir: Union[str, Path],
                  config: Optional[FabricConfig] = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 standby: bool = False) -> None:
         self.config = config if config is not None else FabricConfig()
+        self.state_dir = Path(state_dir)
         self.host = host
         self.port = port
+        self.standby = standby
+        self.role = "standby" if standby else "primary"
         self.supervisor = Supervisor(state_dir, self.config)
         self.ring: Optional[HashRing] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -128,42 +148,69 @@ class BreathFabric:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._routing = asyncio.Event()
         self._rebalance_lock = asyncio.Lock()
+        self._failover_task: Optional[asyncio.Task] = None
         self._draining = False
         self.counters: Dict[str, int] = {
             "connections_total": 0,
             "routed_reports_total": 0,
             "link_failures_total": 0,
             "rebalances_total": 0,
+            "failovers_total": 0,
+            "absorbed_workers_total": 0,
         }
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Spawn the fleet, build the ring, open the front door."""
+        """Spawn (or mirror) the fleet, build the ring, open the door."""
         if self._server is not None:
             raise FabricError("fabric already started")
-        await self.supervisor.start()
+        if self.standby:
+            await self.supervisor.attach()
+            if not self.supervisor.workers:
+                raise FabricError(
+                    "standby found no worker registry in "
+                    f"{self.state_dir}; start the primary fabric first")
+            self.supervisor.on_registry_change = self._on_registry_change
+        else:
+            self.supervisor.on_worker_joined = self._on_worker_joined
+            await self.supervisor.start()
         self.ring = HashRing(self.supervisor.worker_ids())
         self._routing.set()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        write_state_doc(router_addr_path(self.state_dir, self.role), {
+            "host": self.host, "port": self.port, "pid": os.getpid()})
+        if self.standby:
+            self._failover_task = asyncio.ensure_future(
+                self._failover_monitor())
         obs.event("fabric.start", host=self.host, port=self.port,
-                  workers=len(self.ring.workers))
+                  role=self.role, workers=len(self.ring.workers))
 
     async def stop(self, graceful: bool = True) -> None:
         """Close the front door and stop the fleet.
 
         ``graceful`` lets workers drain and checkpoint (SIGTERM); the
-        state directory then holds a complete, resumable snapshot.
+        state directory then holds a complete, resumable snapshot.  A
+        never-promoted standby stops only itself — the active fabric's
+        fleet is not ours to kill.
         """
         self._draining = True
         self._routing.set()  # unblock handlers parked on the barrier
+        if self._failover_task is not None:
+            self._failover_task.cancel()
+            try:
+                await self._failover_task
+            except asyncio.CancelledError:
+                pass
+            self._failover_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        remove_state_doc(router_addr_path(self.state_dir, self.role))
         pending = [t for t in self._conn_tasks if not t.done()]
         if pending:
             _done, stuck = await asyncio.wait(pending, timeout=1.0)
@@ -265,6 +312,113 @@ class BreathFabric:
             obs.event("fabric.rebalance", kind="remove", worker=worker_id,
                       moved=moved, workers=len(new_ring.workers))
             return moved
+
+    # ------------------------------------------------------------------
+    # Failover (standby role) and late worker joins
+    # ------------------------------------------------------------------
+    async def _failover_monitor(self) -> None:
+        """Probe the active supervisor's control socket; promote after
+        ``max_heartbeat_misses`` consecutive silent intervals.
+
+        The address is re-read from ``supervisor.addr`` every probe, so
+        the monitor follows a supervisor that restarts on a new port —
+        and a *retracted* address (graceful shutdown removes the file)
+        counts as a miss, because a fleet with checkpoints on disk and
+        no supervisor is exactly what a warm standby exists to revive.
+        """
+        misses = 0
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval_s)
+            addr = read_state_doc(supervisor_addr_path(self.state_dir))
+            if (addr is not None and addr.get("port") is not None
+                    and int(addr.get("pid", -1)) != os.getpid()):
+                try:
+                    pong = await control_rpc(
+                        (str(addr.get("host", self.config.host)),
+                         int(addr["port"])),
+                        {"type": "ping"},
+                        timeout_s=self.config.heartbeat_timeout_s)
+                    if pong.get("type") == "pong":
+                        misses = 0
+                        continue
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    pass
+            misses += 1
+            obs.event("fabric.failover.miss", misses=misses)
+            if misses >= self.config.max_heartbeat_misses:
+                await self.promote()
+                return
+
+    async def promote(self) -> None:
+        """Take over the fabric: become the supervisor of record.
+
+        Idempotent; safe to call directly (operator-driven failover)
+        or from the monitor.  After promotion this fabric heartbeats,
+        restarts, and rebalances exactly like a primary — the ingest
+        address does not change, so connected clients never notice.
+        """
+        if not self.standby:
+            return
+        self.standby = False
+        self.counters["failovers_total"] += 1
+        obs.counter("repro_fabric_failovers_total").inc()
+        with obs.span("fabric.failover", role=self.role):
+            self.supervisor.on_registry_change = None
+            self.supervisor.on_worker_joined = self._on_worker_joined
+            await self.supervisor.takeover()
+            self.ring = HashRing(self.supervisor.worker_ids())
+        obs.event("fabric.failover.promoted", role=self.role,
+                  epoch=self.supervisor.epoch,
+                  workers=len(self.ring.workers))
+
+    def _on_registry_change(self) -> None:
+        """Standby: mirror the active fabric's membership.  The ring is
+        a pure function of the worker-id set, so both routers always
+        agree on ownership without talking to each other."""
+        ids = self.supervisor.worker_ids()
+        if ids and (self.ring is None
+                    or tuple(sorted(ids)) != self.ring.workers):
+            self.ring = HashRing(ids)
+            obs.event("fabric.ring.refresh", workers=len(ids))
+
+    def _on_worker_joined(self, worker_id: int) -> None:
+        """An unsolicited registration (remote ``--join`` or a
+        rediscovered orphan): fold the newcomer into the ring."""
+        asyncio.ensure_future(self._absorb_worker(worker_id))
+
+    async def _absorb_worker(self, worker_id: int) -> None:
+        """Migrate the joining worker's ring arc onto it (same dance as
+        :meth:`add_worker`, minus the spawn)."""
+        try:
+            async with self._rebalance_lock:
+                if (self.ring is not None
+                        and worker_id in self.ring.workers):
+                    return  # re-registration, not a membership change
+                if worker_id not in self.supervisor.workers:
+                    return  # removed before we got the lock
+                new_ring = (self.ring.with_workers(
+                    self.supervisor.worker_ids()) if self.ring is not None
+                    else HashRing(self.supervisor.worker_ids()))
+                moved = 0
+                async with self._pause_routing():
+                    for src in self.supervisor.worker_ids():
+                        if src == worker_id:
+                            continue
+                        users = await self.supervisor.sessions_of(src)
+                        to_move = [u for u in users
+                                   if new_ring.owner(u) == worker_id]
+                        moved += await self.supervisor.migrate(
+                            src, worker_id, to_move)
+                    self.ring = new_ring
+                self.counters["rebalances_total"] += 1
+                self.counters["absorbed_workers_total"] += 1
+                obs.counter("repro_fabric_rebalances_total").inc()
+                obs.event("fabric.rebalance", kind="absorb",
+                          worker=worker_id, moved=moved,
+                          workers=len(new_ring.workers))
+        except _LINK_ERRORS as exc:
+            obs.event("fabric.absorb.failed", worker=worker_id,
+                      error=str(exc))
 
     def _pause_routing(self):
         """Context manager: barrier new forwards, quiesce in-flight ones.
@@ -558,9 +712,9 @@ class BreathFabric:
         delays = RESPAWN_RETRY.delays()
         while True:
             try:
-                port = self.supervisor.port_of(worker_id)
+                host, port = self.supervisor.address_of(worker_id)
                 link = IngestClient(
-                    self.config.host, port,
+                    host, port,
                     frames=("column",),
                     client_id=route.client_id,
                     connect_timeout_s=self.config.heartbeat_timeout_s,
@@ -608,9 +762,9 @@ class BreathFabric:
 
         async def _pump(worker_id: int) -> None:
             try:
-                port = self.supervisor.port_of(worker_id)
+                host, port = self.supervisor.address_of(worker_id)
                 async for message in watch_estimates(
-                        self.config.host, port, user_id=wanted):
+                        host, port, user_id=wanted):
                     await queue.put(message)
             except _LINK_ERRORS:
                 pass  # that worker's stream ends; others keep flowing

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .. import obs
@@ -136,6 +137,9 @@ class BreathServer:
         self._client_seq: Dict[str, int] = {}
         self._draining = False
         self._drained = asyncio.Event()
+        #: monotonic time of the last heartbeat ping; the worker's
+        #: rejoin watchdog reads this to notice a dead supervisor.
+        self.last_ping_monotonic: float = time.monotonic()
         #: How long drain waits for connection handlers to wind down on
         #: their own before cancelling stragglers.
         self.drain_grace_s = 1.0
@@ -381,6 +385,7 @@ class BreathServer:
     # ------------------------------------------------------------------
     def _pong(self, ping: Dict[str, Any]) -> Dict[str, Any]:
         """The heartbeat reply (echoes the ping's nonce + health stats)."""
+        self.last_ping_monotonic = time.monotonic()
         reply: Dict[str, Any] = {
             "type": "pong",
             "nonce": ping.get("nonce"),

@@ -1,0 +1,93 @@
+"""Shared state-dir files: the fabric's on-disk coordination plane.
+
+Everything a second process needs to find — or take over — a running
+fabric lives as small atomic JSON documents inside the fabric's
+``state_dir``.  Atomicity is the whole contract: every writer goes
+through tmp-file + ``os.replace``, so a reader either sees a complete
+previous generation or a complete new one, never a torn write.
+
+Files::
+
+    supervisor.addr        # {"host","port","pid","epoch"} — the live
+                           # supervisor's control socket; rewritten
+                           # (epoch bumped) on standby takeover
+    fabric.json            # worker registry: {"epoch","workers":{id:
+                           # {"host","port","pid","spawned"}}}
+    router-primary.addr    # {"host","port","pid"} — ingest endpoints,
+    router-standby.addr    # one file per role (atomic, no read-modify-
+                           # write races between the two routers)
+
+The registry is how a warm-standby router knows the fleet without ever
+talking to the primary, and how a promoted supervisor adopts workers it
+did not spawn.  ``spawned`` records whether the worker is a local
+subprocess of this state dir's machine (adoptable: kill/respawn by
+pid) or a remote joiner (supervision is heartbeat-only).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+SUPERVISOR_ADDR_FILE = "supervisor.addr"
+REGISTRY_FILE = "fabric.json"
+ROUTER_ROLES = ("primary", "standby")
+
+
+def write_state_doc(path: Union[str, Path], doc: Dict[str, Any]) -> None:
+    """Publish one JSON document atomically (tmp + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def read_state_doc(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Parse one state doc; ``None`` while absent or torn (caller polls)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def remove_state_doc(path: Union[str, Path]) -> None:
+    """Retract a state doc (missing file is fine)."""
+    try:
+        Path(path).unlink()
+    except OSError:
+        pass
+
+
+def supervisor_addr_path(state_dir: Union[str, Path]) -> Path:
+    """Where the live supervisor publishes its control-socket address."""
+    return Path(state_dir) / SUPERVISOR_ADDR_FILE
+
+
+def registry_path(state_dir: Union[str, Path]) -> Path:
+    """Where the supervisor publishes the worker registry."""
+    return Path(state_dir) / REGISTRY_FILE
+
+
+def router_addr_path(state_dir: Union[str, Path], role: str) -> Path:
+    """Where the router of ``role`` ('primary'/'standby') publishes
+    its ingest endpoint."""
+    if role not in ROUTER_ROLES:
+        raise ValueError(f"unknown router role {role!r}")
+    return Path(state_dir) / f"router-{role}.addr"
+
+
+def fabric_endpoints(state_dir: Union[str, Path]) -> List[Tuple[str, int]]:
+    """Every published router ingest endpoint, primary first.
+
+    Clients hand this straight to ``IngestClient(endpoints=...)`` so a
+    reconnect after a router death rotates onto the standby.
+    """
+    endpoints: List[Tuple[str, int]] = []
+    for role in ROUTER_ROLES:
+        doc = read_state_doc(router_addr_path(state_dir, role))
+        if doc is not None and "host" in doc and "port" in doc:
+            endpoints.append((str(doc["host"]), int(doc["port"])))
+    return endpoints

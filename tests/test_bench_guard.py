@@ -16,8 +16,8 @@ _spec.loader.exec_module(guard)
 
 def bench_doc(cases, fabric_cases=None, wire=None, idle=None):
     doc = {"suite": "pipeline", "streaming": {"cases": cases}}
-    doc["fabric"] = {"cases": [fabric_case()]
-                     if fabric_cases is None else fabric_cases}
+    doc["fabric_scale"] = {"cases": [fabric_case()]
+                           if fabric_cases is None else fabric_cases}
     doc["wire"] = wire_suite() if wire is None else wire
     doc["idle"] = idle_suite() if idle is None else idle
     return doc
@@ -51,13 +51,19 @@ def idle_suite(registered=20_000, ratio=300.0, wake_verified=True,
 
 
 def fabric_case(users=100, settled=None, migrated=7, restarts=0,
-                workers_initial=4, workers_final=5):
+                workers_initial=4, workers_final=5,
+                acked_equal_sent=True, users_per_machine=None):
+    settled = users if settled is None else settled
     return {"users": users,
-            "settled_sessions": users if settled is None else settled,
+            "settled_sessions": settled,
             "migrated_sessions": migrated,
             "worker_restarts": restarts,
             "workers_initial": workers_initial,
-            "workers_final": workers_final}
+            "workers_final": workers_final,
+            "acked_equal_sent": acked_equal_sent,
+            "users_per_machine": (settled / workers_final
+                                  if users_per_machine is None
+                                  else users_per_machine)}
 
 
 def write(tmp_path, name, doc):
@@ -131,9 +137,28 @@ class TestFabricSuite:
 
     def test_missing_suite_is_a_failure(self, tmp_path):
         doc = bench_doc([case(1, 25.0, 2.0)])
-        del doc["fabric"]
+        del doc["fabric_scale"]
         path = write(tmp_path, "cand.json", doc)
-        assert any("no fabric soak suite" in p
+        assert any("no fabric_scale soak suite" in p
+                   for p in guard.check_fabric_suite(path))
+
+    def test_legacy_fabric_key_is_not_accepted(self, tmp_path):
+        doc = bench_doc([case(1, 25.0, 2.0)])
+        doc["fabric"] = doc.pop("fabric_scale")
+        path = write(tmp_path, "cand.json", doc)
+        assert any("no fabric_scale soak suite" in p
+                   for p in guard.check_fabric_suite(path))
+
+    def test_ack_mismatch_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(acked_equal_sent=False)]))
+        assert any("acked != sent" in p
+                   for p in guard.check_fabric_suite(path))
+
+    def test_missing_per_machine_capacity_fails(self, tmp_path):
+        path = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(users_per_machine=0.0)]))
+        assert any("users_per_machine" in p
                    for p in guard.check_fabric_suite(path))
 
     def test_lost_sessions_fail(self, tmp_path):
@@ -279,3 +304,16 @@ class TestMain:
         base = write(tmp_path, "base.json", bench_doc([case(1, 25.0, 2.0)]))
         assert guard.main(["--baseline", str(base),
                            "--candidate", str(tmp_path / "nope.json")]) == 1
+
+    def test_fabric_only_pass(self, tmp_path, capsys):
+        cand = write(tmp_path, "cand.json", bench_doc([case(1, 25.0, 2.0)]))
+        assert guard.main(["--fabric", str(cand)]) == 0
+        assert "fabric_scale soak invariants hold" in capsys.readouterr().out
+
+    def test_fabric_only_violation_fails(self, tmp_path):
+        cand = write(tmp_path, "cand.json", bench_doc(
+            [case(1, 25.0, 2.0)], [fabric_case(acked_equal_sent=False)]))
+        assert guard.main(["--fabric", str(cand)]) == 1
+
+    def test_no_inputs_rejected(self):
+        assert guard.main([]) == 2

@@ -38,3 +38,22 @@ class TestChaosRun:
         assert report.compared_users == config.users
         assert not report.missing_users
         assert report.max_delta_bpm <= config.tolerance_bpm
+
+    def test_router_kill_fails_over_to_standby_and_matches_batch(
+            self, tmp_path):
+        """Acceptance: SIGKILL the active router mid-replay; the warm
+        standby must promote, the client must reconnect through it, and
+        streamed estimates must still match batch within tolerance."""
+        config = ChaosConfig(users=2, duration_s=30.0, seed=11,
+                             workers=2, router_kill=True,
+                             fault_interval_s=1.5, speed=5.0)
+        report = run_chaos(config, state_dir=tmp_path)
+        assert report.ok, "\n".join(report.summary_lines())
+        # The fault landed and the failover is visible, not assumed:
+        assert report.router_kills == 1
+        assert report.failovers >= 1
+        assert report.retries >= 1  # the client actually reconnected
+        # The invariant held for every subject across the failover:
+        assert report.compared_users == config.users
+        assert not report.missing_users
+        assert report.max_delta_bpm <= config.tolerance_bpm

@@ -38,9 +38,20 @@ from repro.serve import (
     UserSession,
     session_state_from_doc,
 )
+from repro.serve.statefiles import (
+    fabric_endpoints,
+    read_state_doc,
+    registry_path,
+    router_addr_path,
+    supervisor_addr_path,
+    write_state_doc,
+)
+from repro.serve.supervisor import Supervisor, WorkerHandle
 from repro.serve.worker import (
+    parse_addr,
     portfile_path,
     read_portfile,
+    register_with,
     write_portfile,
 )
 
@@ -171,6 +182,41 @@ class TestRetryPolicy:
         with pytest.raises(ConfigError):
             RetryPolicy(base_delay_s=-1.0)
 
+    @given(st.integers(1, 12),
+           st.floats(0.01, 0.5),
+           st.floats(1.0, 4.0),
+           st.floats(0.5, 5.0),
+           st.floats(0.0, 0.9),
+           st.integers(0, 2**32))
+    @settings(max_examples=150, deadline=None)
+    def test_every_delay_stays_in_its_jitter_band(
+            self, attempts, base, multiplier, ceiling, jitter, seed):
+        """Property: with the un-jittered schedule d0=base,
+        d_{k+1}=min(d_k*mult, ceiling), every emitted delay lies in
+        [d*(1-jitter), d*(1+jitter)] and there are exactly
+        max_attempts-1 of them."""
+        policy = RetryPolicy(max_attempts=attempts, base_delay_s=base,
+                             multiplier=multiplier, max_delay_s=ceiling,
+                             jitter=jitter)
+        delays = list(policy.delays(seed=seed))
+        assert len(delays) == attempts - 1
+        raw = base
+        for delay in delays:
+            assert raw * (1.0 - jitter) - 1e-12 <= delay
+            assert delay <= raw * (1.0 + jitter) + 1e-12
+            raw = min(raw * multiplier, ceiling)
+
+    @given(st.integers(2, 12), st.floats(0.0, 0.9), st.integers(0, 2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_ceiling_bounds_every_delay(self, attempts, jitter, seed):
+        """Property: no jittered delay ever exceeds
+        max_delay_s * (1 + jitter) — the worst-case wait per retry is
+        bounded no matter how many attempts the budget allows."""
+        policy = RetryPolicy(max_attempts=attempts, base_delay_s=0.1,
+                             multiplier=3.0, max_delay_s=1.0, jitter=jitter)
+        for delay in policy.delays(seed=seed):
+            assert delay <= 1.0 * (1.0 + jitter) + 1e-12
+
 
 # ----------------------------------------------------------------------
 # Worker port discovery
@@ -188,6 +234,257 @@ class TestPortfile:
         assert read_portfile(path) is None
         path.write_text(json.dumps({"port": "not-a-port"}))
         assert read_portfile(path) is None
+
+
+# ----------------------------------------------------------------------
+# On-disk coordination plane (statefiles)
+# ----------------------------------------------------------------------
+class TestStateFiles:
+    def test_roundtrip_and_retraction(self, tmp_path):
+        path = supervisor_addr_path(tmp_path)
+        write_state_doc(path, {"host": "127.0.0.1", "port": 4242,
+                               "pid": 99, "epoch": 3})
+        assert read_state_doc(path)["epoch"] == 3
+        path.unlink()
+        assert read_state_doc(path) is None
+
+    def test_torn_or_non_dict_reads_as_none(self, tmp_path):
+        path = registry_path(tmp_path)
+        path.write_text('{"epoch": 1, "workers":')  # torn mid-write
+        assert read_state_doc(path) is None
+        path.write_text('[1, 2, 3]')  # valid JSON, wrong shape
+        assert read_state_doc(path) is None
+
+    def test_router_roles_are_closed(self, tmp_path):
+        with pytest.raises(ValueError):
+            router_addr_path(tmp_path, "tertiary")
+
+    def test_fabric_endpoints_lists_primary_first(self, tmp_path):
+        assert fabric_endpoints(tmp_path) == []
+        write_state_doc(router_addr_path(tmp_path, "standby"),
+                        {"host": "10.0.0.2", "port": 2222, "pid": 2})
+        write_state_doc(router_addr_path(tmp_path, "primary"),
+                        {"host": "10.0.0.1", "port": 1111, "pid": 1})
+        assert fabric_endpoints(tmp_path) == [("10.0.0.1", 1111),
+                                              ("10.0.0.2", 2222)]
+
+    def test_parse_addr(self):
+        assert parse_addr("10.0.0.7:9000") == ("10.0.0.7", 9000)
+        with pytest.raises(ValueError):
+            parse_addr("9000")
+
+
+# ----------------------------------------------------------------------
+# Supervisor fleet bookkeeping (regression tests for the three
+# supervision bugs: per-worker map leaks, the restart/remove race, and
+# serial heartbeat probing)
+# ----------------------------------------------------------------------
+class TestSupervisorBookkeeping:
+    @staticmethod
+    def _bare_supervisor(tmp_path, **overrides):
+        knobs = dict(workers=0, heartbeat_interval_s=0.05,
+                     heartbeat_timeout_s=0.5)
+        knobs.update(overrides)
+        return Supervisor(tmp_path, FabricConfig(**knobs))
+
+    def test_fleet_shrink_releases_every_per_worker_map(self, tmp_path):
+        """remove_worker must drop *all* per-worker entries — a leaked
+        control-link lock per grow/shrink cycle is unbounded memory on
+        a long-lived elastic fabric."""
+        async def scenario():
+            sup = self._bare_supervisor(tmp_path)
+            for _ in range(3):  # repeated grow/shrink cycles
+                for wid in range(4):
+                    sup.workers[wid] = WorkerHandle(wid, spawned=False)
+                    sup._restart_locks.setdefault(wid, asyncio.Lock())
+                    sup._control_lock(wid)
+                    sup._registered.setdefault(wid, asyncio.Event())
+                for wid in range(4):
+                    await sup.remove_worker(wid, graceful=False)
+            return sup
+
+        sup = run(scenario())
+        assert sup.workers == {}
+        assert sup._restart_locks == {}
+        assert sup._control_locks == {}
+        assert sup._registered == {}
+
+    def test_restart_queued_behind_remove_raises_fabric_error(
+            self, tmp_path):
+        """A restart that queues on the coalescing lock while the
+        worker is removed must surface FabricError, not KeyError."""
+        async def scenario():
+            sup = self._bare_supervisor(tmp_path)
+            sup.workers[3] = WorkerHandle(3, spawned=False)
+            lock = sup._restart_locks.setdefault(3, asyncio.Lock())
+            await lock.acquire()  # an in-flight restart holds the lock
+            waiter = asyncio.ensure_future(sup.restart(3))
+            await asyncio.sleep(0.05)  # waiter is queued on the lock
+            await sup.remove_worker(3, graceful=False)
+            lock.release()
+            with pytest.raises(FabricError, match="removed during restart"):
+                await waiter
+
+        run(scenario())
+
+    def test_restart_of_unknown_worker_raises_fabric_error(self, tmp_path):
+        async def scenario():
+            sup = self._bare_supervisor(tmp_path)
+            with pytest.raises(FabricError):
+                await sup.restart(9)
+
+        run(scenario())
+
+    def test_heartbeats_probe_the_fleet_concurrently(self, tmp_path):
+        """One wedged worker must cost one probe timeout, not O(fleet):
+        the loop fires every probe of a sweep together."""
+        async def scenario():
+            sup = self._bare_supervisor(tmp_path)
+            for wid in range(4):
+                sup.workers[wid] = WorkerHandle(wid, spawned=False)
+            active = 0
+            peak = 0
+
+            async def fake_probe(worker_id):
+                nonlocal active, peak
+                active += 1
+                peak = max(peak, active)
+                await asyncio.sleep(0.1)
+                active -= 1
+
+            sup._probe = fake_probe
+            task = asyncio.ensure_future(sup._heartbeat_loop())
+            await asyncio.sleep(0.4)
+            sup._stopping = True
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            return peak
+
+        peak = run(scenario())
+        assert peak == 4  # the whole sweep in flight together
+
+
+# ----------------------------------------------------------------------
+# Control-socket registration (TCP worker transport)
+# ----------------------------------------------------------------------
+class TestControlRegistration:
+    def test_remote_join_is_assigned_an_id_and_fleet_options(
+            self, tmp_path):
+        """Two-phase join/register against a live control socket: the
+        supervisor assigns the id, hands back fleet-consistent session
+        knobs, and records the worker as remote (not killable)."""
+        async def scenario():
+            config = FabricConfig(workers=0, n_shards=3,
+                                  heartbeat_interval_s=0.1)
+            sup = Supervisor(tmp_path, config)
+            await sup.start()
+            try:
+                assign = await register_with(
+                    [sup.control_address()], worker_id=None,
+                    host="127.0.0.1", port=45001)
+                addr_doc = read_state_doc(supervisor_addr_path(tmp_path))
+                registry = read_state_doc(registry_path(tmp_path))
+            finally:
+                await sup.stop(graceful=False)
+            return sup, assign, addr_doc, registry
+
+        sup, assign, addr_doc, registry = run(scenario())
+        assert assign is not None and assign["type"] == "assign"
+        wid = assign["worker_id"]
+        assert assign["options"]["n_shards"] == 3  # fleet knobs travel
+        handle = sup.workers[wid]
+        assert handle.remote and not handle.spawned
+        assert sup.address_of(wid) == ("127.0.0.1", 45001)
+        # The coordination plane reflects the join:
+        assert addr_doc["port"] == sup.control_port
+        assert str(wid) in registry["workers"]
+        assert registry["workers"][str(wid)]["spawned"] is False
+
+    def test_pinned_id_rejoin_and_stale_pid_rejection(self, tmp_path):
+        """A worker may rejoin under its existing id; a registration
+        from a pid that is not the current local incarnation is
+        rejected instead of poisoning the port map."""
+        async def scenario():
+            sup = Supervisor(tmp_path, FabricConfig(workers=0))
+            await sup.start()
+            try:
+                first = await register_with(
+                    [sup.control_address()], worker_id=7,
+                    host="127.0.0.1", port=45002)
+                second = await register_with(
+                    [sup.control_address()], worker_id=7,
+                    host="127.0.0.1", port=45003)
+                # Simulate a local incarnation: a Popen whose pid is not
+                # the registering process's.
+                class _FakeProcess:
+                    pid = -1
+
+                    def poll(self):
+                        return None
+
+                sup.workers[7].process = _FakeProcess()
+                stale = sup._handle_register(
+                    {"worker_id": 7, "host": "127.0.0.1",
+                     "port": 45004, "pid": os.getpid()})
+            finally:
+                sup.workers[7].process = None
+                await sup.stop(graceful=False)
+            return first, second, stale, sup
+
+        first, second, stale, sup = run(scenario())
+        assert first["worker_id"] == 7 and second["worker_id"] == 7
+        assert stale["type"] == "error" and "stale" in stale["error"]
+        assert sup.workers[7].port == 45003  # the rejected port never landed
+
+
+# ----------------------------------------------------------------------
+# Standby attach / takeover (supervisor level)
+# ----------------------------------------------------------------------
+class TestStandbyTakeover:
+    def test_attach_mirrors_registry_and_takeover_bumps_epoch(
+            self, tmp_path):
+        """A standby attaches by reading fabric.json (no sockets), then
+        a takeover adopts the fleet, opens a control socket, and
+        publishes a strictly newer epoch."""
+        write_state_doc(registry_path(tmp_path), {
+            "epoch": 4,
+            "workers": {"0": {"host": "127.0.0.1", "port": 40001,
+                              "pid": 1234, "spawned": False}},
+        })
+        write_state_doc(supervisor_addr_path(tmp_path), {
+            "host": "127.0.0.1", "port": 39999, "pid": 1, "epoch": 4})
+
+        async def scenario():
+            sup = Supervisor(tmp_path, FabricConfig(
+                workers=1, heartbeat_interval_s=0.05))
+            await sup.attach()
+            attached_view = (sup.attached, dict(sup.workers),
+                             sup.control_port)
+            await sup.takeover()
+            addr_doc = read_state_doc(supervisor_addr_path(tmp_path))
+            await sup.stop(graceful=False)
+            return sup, attached_view, addr_doc
+
+        sup, (attached, workers, control_port), addr_doc = run(scenario())
+        assert attached and control_port is None  # mirror only
+        assert 0 in workers and workers[0].port == 40001
+        assert not sup.attached and sup.control_port is not None
+        assert sup.epoch == 5  # strictly newer than the dead primary's
+        # stop() retracts supervisor.addr so orphan hunts fail fast:
+        assert addr_doc["epoch"] == 5
+        assert read_state_doc(supervisor_addr_path(tmp_path)) is None
+
+    def test_standby_fabric_requires_an_existing_registry(self, tmp_path):
+        async def scenario():
+            fabric = BreathFabric(tmp_path, FabricConfig(workers=1),
+                                  standby=True)
+            with pytest.raises(FabricError, match="no worker registry"):
+                await fabric.start()
+
+        run(scenario())
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +693,24 @@ class TestFabricHibernation:
 # ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
+class TestClientEndpoints:
+    def test_rotation_round_robins_and_updates_target(self):
+        client = IngestClient(endpoints=[("a", 1), ("b", 2)])
+        assert client.endpoints == (("a", 1), ("b", 2))
+        assert (client.host, client.port) == ("a", 1)
+        assert client.rotate_endpoint() == ("b", 2)
+        assert (client.host, client.port) == ("b", 2)
+        assert client.rotate_endpoint() == ("a", 1)
+
+    def test_single_endpoint_stays_put(self):
+        client = IngestClient("a", 1)
+        assert client.endpoints == (("a", 1),)
+
+    def test_requires_an_endpoint(self):
+        with pytest.raises(ValueError):
+            IngestClient()
+
+
 class TestFabricCLI:
     def test_parser_accepts_fabric_flags(self):
         from repro.cli import build_parser
@@ -403,13 +718,36 @@ class TestFabricCLI:
         args = parser.parse_args(
             ["serve", "--workers", "4", "--state-dir", "/tmp/f"])
         assert args.workers == 4 and args.state_dir == "/tmp/f"
+        assert args.standby is False
         args = parser.parse_args(
             ["chaos", "--users", "3", "--kills", "2", "--seed", "9"])
         assert args.command == "chaos"
         assert (args.users, args.kills, args.seed) == (3, 2, 9)
+        assert args.router_kill is False
+
+    def test_parser_accepts_multi_machine_flags(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--standby", "--state-dir", "/tmp/f"])
+        assert args.standby is True and args.workers == 0
+        args = parser.parse_args(
+            ["serve-worker", "--join", "10.0.0.1:7000",
+             "--state-dir", "/tmp/w", "--advertise", "10.0.0.9"])
+        assert args.command == "serve-worker"
+        assert args.join == "10.0.0.1:7000"
+        assert args.worker_id is None and args.advertise == "10.0.0.9"
+        args = parser.parse_args(["chaos", "--router-kill"])
+        assert args.router_kill is True
 
     def test_serve_workers_requires_state_dir(self, capsys):
         from repro.cli import main
         code = main(["serve", "--workers", "2"])
         assert code == 2
         assert "--state-dir" in capsys.readouterr().err
+
+    def test_serve_standby_requires_state_dir(self, capsys):
+        from repro.cli import main
+        code = main(["serve", "--standby"])
+        assert code == 2
+        assert "--standby requires --state-dir" in capsys.readouterr().err

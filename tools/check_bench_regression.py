@@ -16,10 +16,14 @@ candidate, so the comparison covers the quick cases only — enough to
 catch "someone made the incremental tick recompute again" while staying
 within a smoke job's time budget.
 
-The candidate's ``fabric`` soak suite is additionally checked on its
-own: its invariants (sessions settled == users requested, rebalance
-moved sessions, zero worker restarts) are counts, not timings, so they
-need no baseline and hold on any machine.  So are the columnar hot
+The candidate's ``fabric_scale`` soak suite is additionally checked on
+its own: its invariants (sessions settled == users requested, every
+sent report acked, per-machine capacity published, rebalance moved
+sessions, zero worker restarts) are counts, not timings, so they need
+no baseline and hold on any machine.  ``--fabric`` gates just that
+suite from a ``BENCH_pipeline.json`` produced by
+``repro bench --suite fabric_scale`` — the CI smoke path, which skips
+the wall-clock grids.  So are the columnar hot
 path's guarantees: ``feed_batch_speedup`` (a same-run scalar-vs-batched
 ratio) must clear an absolute floor with bit-equal buffered state and
 estimates, and the ``wire`` suite's JSON/column bytes ratio — a
@@ -136,26 +140,36 @@ def load_streaming_cases(path: Path) -> Dict[Tuple[int, float], dict]:
 
 
 def check_fabric_suite(path: Path) -> List[str]:
-    """Machine-independent invariants of the fabric soak suite.
+    """Machine-independent invariants of the fabric_scale soak suite.
 
-    Absolute numbers (sessions, migrations, restarts) are *counts*, not
-    timings, so they are checked on the candidate alone — no baseline
-    ratio needed.  A missing suite is a failure: the soak silently not
-    running is exactly the regression this guard exists to catch.
+    Absolute numbers (sessions, acks, migrations, restarts) are
+    *counts*, not timings, so they are checked on the candidate alone —
+    no baseline ratio needed.  A missing suite is a failure: the soak
+    silently not running is exactly the regression this guard exists
+    to catch.
     """
     doc = json.loads(path.read_text())
-    fabric = doc.get("fabric")
+    fabric = doc.get("fabric_scale")
     if not isinstance(fabric, dict) or not fabric.get("cases"):
-        return [f"{path} has no fabric soak suite"]
+        return [f"{path} has no fabric_scale soak suite"]
     problems = []
     for case in fabric["cases"]:
         users = case.get("users", 0)
-        tag = f"fabric {users}u"
+        tag = f"fabric_scale {users}u"
         if case.get("settled_sessions") != users:
             problems.append(
                 f"{tag}: settled {case.get('settled_sessions')} sessions, "
                 f"expected exactly {users} — the fabric lost or invented "
                 f"sessions across routing/rebalance")
+        if case.get("acked_equal_sent") is not True:
+            problems.append(
+                f"{tag}: acked != sent on a lossless soak replay — the "
+                f"fabric dropped or double-counted reports")
+        if not case.get("users_per_machine", 0) > 0:
+            problems.append(
+                f"{tag}: users_per_machine "
+                f"{case.get('users_per_machine')} not published — the "
+                f"soak no longer reports per-machine capacity")
         if case.get("migrated_sessions", 0) <= 0:
             problems.append(
                 f"{tag}: rebalance moved 0 sessions — add_worker did not "
@@ -369,6 +383,11 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--simulation", type=Path, default=None,
                         help="optional BENCH_simulation.json whose "
                              "scenario-pack suite should be gated too")
+    parser.add_argument("--fabric", type=Path, default=None,
+                        help="optional BENCH_pipeline.json whose "
+                             "fabric_scale soak suite should be gated "
+                             "on its own (CI smoke path without the "
+                             "wall-clock grids)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         print(f"error: threshold must be in [0, 1), got {args.threshold}",
@@ -378,9 +397,10 @@ def main(argv: List[str]) -> int:
         print("error: --baseline and --candidate must be given together",
               file=sys.stderr)
         return 2
-    if args.baseline is None and args.simulation is None:
-        print("error: nothing to check — give --baseline/--candidate "
-              "and/or --simulation", file=sys.stderr)
+    if (args.baseline is None and args.simulation is None
+            and args.fabric is None):
+        print("error: nothing to check — give --baseline/--candidate, "
+              "--simulation, and/or --fabric", file=sys.stderr)
         return 2
     problems = []
     shared: List[Tuple[int, float]] = []
@@ -404,6 +424,11 @@ def main(argv: List[str]) -> int:
             problems.extend(check_scenario_suite(args.simulation))
         except (OSError, json.JSONDecodeError) as exc:
             problems.append(f"cannot check scenario suite: {exc}")
+    if args.fabric is not None:
+        try:
+            problems.extend(check_fabric_suite(args.fabric))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"cannot check fabric_scale suite: {exc}")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -414,9 +439,11 @@ def main(argv: List[str]) -> int:
             f"{len(shared)} shared case(s) within {args.threshold:.0%} of "
             f"baseline tick_speedup, feed_batch_speedup >= "
             f"{FEED_BATCH_SPEEDUP_FLOOR:.1f}x with bit-equal state; wire, "
-            f"fabric, and idle-economics invariants hold")
+            f"fabric_scale, and idle-economics invariants hold")
     if args.simulation is not None:
         notes.append("scenario-pack gates hold")
+    if args.fabric is not None:
+        notes.append("fabric_scale soak invariants hold")
     print(f"bench regression check: {'; '.join(notes)}")
     return 0
 
